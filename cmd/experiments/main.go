@@ -1,0 +1,92 @@
+// Command experiments regenerates the paper's evaluation figures
+// against the simulated substrate.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -fig fig20 -seeds 5
+//	experiments -all -quick
+//
+// Each figure prints a table whose rows mirror the paper's plot axes,
+// plus notes comparing the measured shape with the paper's claims.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		list   = flag.Bool("list", false, "list available figures and extensions, then exit")
+		fig    = flag.String("fig", "", "run a single figure or extension by id (e.g. fig20, abl-interp)")
+		all    = flag.Bool("all", false, "run every paper figure")
+		ext    = flag.Bool("ext", false, "run every extension/ablation study")
+		seeds  = flag.Int("seeds", 5, "Monte-Carlo instances per configuration")
+		quick  = flag.Bool("quick", false, "reduced sweeps and grid resolution")
+		format = flag.String("format", "text", "output format: text, csv or json")
+	)
+	flag.Parse()
+
+	opts := experiments.Options{Seeds: *seeds, Quick: *quick}
+
+	switch {
+	case *list:
+		for _, s := range experiments.All {
+			fmt.Printf("%-12s %s\n", s.ID, s.Paper)
+		}
+		for _, s := range experiments.Extensions {
+			fmt.Printf("%-12s %s\n", s.ID, s.Paper)
+		}
+	case *fig != "":
+		spec, ok := experiments.ByID(*fig)
+		if !ok {
+			spec, ok = experiments.ExtensionByID(*fig)
+		}
+		if !ok {
+			fmt.Fprintf(os.Stderr, "experiments: unknown figure %q (use -list)\n", *fig)
+			os.Exit(2)
+		}
+		if err := run(spec, opts, *format); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", spec.ID, err)
+			os.Exit(1)
+		}
+	case *all || *ext:
+		specs := experiments.All
+		if *ext {
+			specs = experiments.Extensions
+		}
+		failed := 0
+		for _, spec := range specs {
+			if err := run(spec, opts, *format); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", spec.ID, err)
+				failed++
+			}
+		}
+		if failed > 0 {
+			os.Exit(1)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func run(spec experiments.Spec, opts experiments.Options, format string) error {
+	start := time.Now()
+	report, err := spec.Run(opts)
+	if err != nil {
+		return err
+	}
+	if err := report.Write(os.Stdout, format); err != nil {
+		return err
+	}
+	if format == "text" || format == "" {
+		fmt.Printf("(%s in %.1fs)\n\n", spec.ID, time.Since(start).Seconds())
+	}
+	return nil
+}

@@ -1,0 +1,195 @@
+// Command skyranctl runs a full SkyRAN scenario end-to-end: build a
+// terrain (procedural or from a LiDAR XYZ file), drop UEs, run one or
+// more controller epochs with UE mobility, and report per-epoch
+// placement quality and LTE serving statistics.
+//
+// Usage:
+//
+//	skyranctl -terrain NYC -ues 6 -epochs 3 -controller skyran
+//	skyranctl -terrain CAMPUS -ues 7 -topology clustered -controller uniform -budget 800
+//	skyranctl -xyz scan.xyz -ues 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/metrics"
+	"repro/internal/rem"
+	"repro/internal/sim"
+	"repro/internal/terrain"
+	"repro/internal/trace"
+	"repro/internal/ue"
+)
+
+func main() {
+	var (
+		terrName  = flag.String("terrain", "CAMPUS", "terrain: CAMPUS, RURAL, NYC, LARGE, FLAT")
+		xyz       = flag.String("xyz", "", "LiDAR point-cloud file (x y z class per line) instead of -terrain")
+		esri      = flag.String("esri", "", "ESRI ASCII grid DSM (.asc) instead of -terrain")
+		nUEs      = flag.Int("ues", 6, "number of UEs")
+		topology  = flag.String("topology", "uniform", "UE placement: uniform or clustered")
+		ctrlName  = flag.String("controller", "skyran", "controller: skyran, uniform, centroid, random, oracle")
+		budget    = flag.Float64("budget", 800, "measurement budget per epoch (metres)")
+		epochs    = flag.Int("epochs", 1, "epochs to run (half the UEs relocate between epochs)")
+		seed      = flag.Int64("seed", 1, "scenario seed")
+		serveSecs = flag.Float64("serve", 5, "seconds of LTE serving to simulate per epoch")
+		traceOut  = flag.String("trace", "", "record flight telemetry to this JSONL file (view with traceview)")
+	)
+	flag.Parse()
+	if err := run(*terrName, *xyz, *esri, *nUEs, *topology, *ctrlName, *budget, *epochs, *seed, *serveSecs, *traceOut); err != nil {
+		fmt.Fprintln(os.Stderr, "skyranctl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(terrName, xyz, esri string, nUEs int, topology, ctrlName string, budget float64, epochs int, seed int64, serveSecs float64, traceOut string) error {
+	t, err := buildTerrain(terrName, xyz, esri, uint64(seed))
+	if err != nil {
+		return err
+	}
+	st := t.Stats()
+	fmt.Printf("terrain %s: %.0fx%.0f m, %.0f%% open, %.0f%% building, %.0f%% foliage, tallest %.0f m\n",
+		t.Name, t.Bounds().Width(), t.Bounds().Height(),
+		100*st.OpenFrac, 100*st.BuildingFrac, 100*st.FoliageFrac, st.MaxObstacleHeight)
+
+	rng := rand.New(rand.NewSource(seed))
+	var ues []*ue.UE
+	if topology == "clustered" {
+		center := ue.PlaceRandomOpen(1, t.Bounds().Inset(40), t.IsOpen, 0, rng)[0].Pos
+		ues = ue.PlaceClustered(nUEs, center, t.Bounds().Width()*0.06, t.Bounds(), t.IsOpen, rng)
+	} else {
+		ues = ue.PlaceRandomOpen(nUEs, t.Bounds().Inset(t.Bounds().Width()*0.08), t.IsOpen, 15, rng)
+	}
+	w, err := sim.New(sim.Config{Terrain: t, Seed: uint64(seed), FastRanging: true}, ues)
+	if err != nil {
+		return err
+	}
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		rec := trace.NewRecorder(f)
+		rec.Meta(t.Name, seed)
+		defer func() {
+			if err := rec.Flush(); err != nil {
+				fmt.Fprintln(os.Stderr, "skyranctl: trace:", err)
+			}
+		}()
+		w.Tracer = rec
+	}
+	fmt.Printf("%d UEs attached (EPC sessions: %d)\n", nUEs, w.Core.ActiveSessions())
+
+	ctrl, err := makeController(ctrlName, budget, seed)
+	if err != nil {
+		return err
+	}
+
+	for e := 0; e < epochs; e++ {
+		if e > 0 {
+			relocateHalf(w, rng)
+			fmt.Printf("\n-- epoch %d (half the UEs relocated) --\n", e+1)
+		} else {
+			fmt.Printf("\n-- epoch %d --\n", e+1)
+		}
+		res, err := ctrl.RunEpoch(w)
+		if err != nil {
+			return fmt.Errorf("epoch %d: %w", e+1, err)
+		}
+		fmt.Printf("%s placed UAV at %s\n", ctrl.Name(), res.Position)
+		fmt.Printf("flight: localization %.0f m, measurement %.0f m (%.0f s total)\n",
+			res.LocalizationM, res.MeasurementM, res.TotalFlightS)
+		if len(res.UEEstimates) == len(w.UEs) {
+			var errs []float64
+			for i, est := range res.UEEstimates {
+				errs = append(errs, est.Dist(w.UEs[i].Pos))
+			}
+			fmt.Printf("localization: median error %.1f m\n", metrics.Median(errs))
+		}
+
+		// Quality vs ground truth in the serving plane.
+		bestPos, bestVal := core.BestPosition(w, res.Position.Z, 5, rem.MaxMean)
+		got := w.AvgThroughputAt(res.Position)
+		fmt.Printf("avg throughput: %.1f Mbps (optimal %.1f Mbps at %s) -> relative %.2f\n",
+			got/1e6, bestVal/1e6, bestPos, metrics.Relative(got, bestVal))
+
+		if serveSecs > 0 {
+			bits := w.ServeSeconds(serveSecs, 10)
+			var total float64
+			for i, b := range bits {
+				fmt.Printf("  UE%d served %.1f Mbps\n", w.UEs[i].ID, b/serveSecs/1e6)
+				total += b
+			}
+			fmt.Printf("cell served %.1f Mbps aggregate over %.0f s\n", total/serveSecs/1e6, serveSecs)
+		}
+		fmt.Printf("battery: %.0f%% remaining, odometer %.0f m\n",
+			100*w.UAV.EnergyFraction(), w.UAV.OdometerM())
+	}
+	return nil
+}
+
+func buildTerrain(name, xyz, esri string, seed uint64) (*terrain.Surface, error) {
+	if esri != "" {
+		f, err := os.Open(esri)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return terrain.ReadESRI("ESRI-DSM", f, 4)
+	}
+	if xyz != "" {
+		f, err := os.Open(xyz)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		pc, err := terrain.ReadXYZ(f)
+		if err != nil {
+			return nil, err
+		}
+		return terrain.FromPointCloud("XYZ", pc, 1)
+	}
+	t := terrain.ByName(name, seed)
+	if t == nil {
+		return nil, fmt.Errorf("unknown terrain %q", name)
+	}
+	return t, nil
+}
+
+func makeController(name string, budget float64, seed int64) (core.Controller, error) {
+	switch name {
+	case "skyran":
+		return core.NewSkyRAN(core.Config{Seed: seed, MeasurementBudgetM: budget}), nil
+	case "uniform":
+		return &core.Uniform{BudgetM: budget}, nil
+	case "centroid":
+		return &core.Centroid{Seed: seed}, nil
+	case "random":
+		return &core.Random{Seed: seed}, nil
+	case "oracle":
+		return &core.Oracle{}, nil
+	default:
+		return nil, fmt.Errorf("unknown controller %q", name)
+	}
+}
+
+func relocateHalf(w *sim.World, rng *rand.Rand) {
+	t := w.Terrain
+	area := t.Bounds().Inset(t.Bounds().Width() * 0.08)
+	for i := 0; i < len(w.UEs)/2; i++ {
+		idx := rng.Intn(len(w.UEs))
+		for try := 0; try < 5000; try++ {
+			p := geom.V2(area.MinX+rng.Float64()*area.Width(), area.MinY+rng.Float64()*area.Height())
+			if t.IsOpen(p) {
+				w.UEs[idx].Pos = p
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,40 @@
+// Command traceview summarises a SkyRAN flight trace recorded with
+// skyranctl -trace: record counts, probing overhead, per-UE SNR
+// statistics and served traffic.
+//
+// Usage:
+//
+//	skyranctl -terrain NYC -ues 6 -trace run.jsonl
+//	traceview run.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/trace"
+)
+
+func main() {
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: traceview <trace.jsonl>")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "traceview:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	recs, err := trace.Read(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "traceview:", err)
+		os.Exit(1)
+	}
+	if _, err := trace.Summarize(recs).WriteTo(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "traceview:", err)
+		os.Exit(1)
+	}
+}

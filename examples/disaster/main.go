@@ -1,0 +1,58 @@
+// Disaster relief: the paper's motivating deployment (§1) — fixed
+// infrastructure is down over a rural area and a SkyRAN UAV is flown
+// in to restore connectivity. The example compares SkyRAN against the
+// Centroid and Uniform baselines on the same scenario and shows the
+// battery cost of each strategy's probing.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	skyran "repro"
+)
+
+func main() {
+	fmt.Println("== Rural disaster-relief deployment (250 m x 250 m, 8 UEs) ==")
+
+	type entry struct {
+		name string
+		make func(seed int64) skyran.Controller
+	}
+	strategies := []entry{
+		{"SkyRAN", func(seed int64) skyran.Controller {
+			return skyran.NewController(skyran.ControllerConfig{Budget: 900, Seed: seed})
+		}},
+		{"Uniform", func(int64) skyran.Controller { return skyran.NewUniformBaseline(900) }},
+		{"Centroid", func(seed int64) skyran.Controller { return skyran.NewCentroidBaseline(seed) }},
+	}
+
+	for _, st := range strategies {
+		// Fresh scenario per strategy so probing flights do not share
+		// battery or UE state.
+		sc, err := skyran.NewScenario(skyran.ScenarioConfig{
+			Terrain: "RURAL",
+			UEs:     8,
+			Seed:    7,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ctrl := st.make(7)
+		res, err := ctrl.RunEpoch(sc.World)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rel := sc.RelativeThroughput(res.Position)
+		fmt.Printf("%-9s placed at %-22s rel-throughput %.2f  probing %5.0f m  battery left %.0f%%\n",
+			st.name, res.Position.String(), rel,
+			res.LocalizationM+res.MeasurementM, 100*sc.World.UAV.EnergyFraction())
+	}
+
+	fmt.Println("\nOn flat rural terrain every strategy converges near the optimum —")
+	fmt.Println("exactly the paper's Fig 29 (parity on RURAL): when shadowing is mild,")
+	fmt.Println("cheap geometry is enough and Centroid's near-zero probing wins on")
+	fmt.Println("battery. Complex terrain flips this — see examples/stadium (clustered")
+	fmt.Println("hotspot) and examples/urban (street canyons), where REM-guided probing")
+	fmt.Println("is what buys the throughput.")
+}

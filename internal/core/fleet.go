@@ -1,0 +1,158 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/geom"
+	"repro/internal/rem"
+	"repro/internal/sim"
+	"repro/internal/terrain"
+	"repro/internal/traj"
+	"repro/internal/ue"
+)
+
+// Fleet coordinates several SkyRAN UAVs over one operating area — the
+// multi-UAV deployment sketched in §7/§8 of the paper. The area's UEs
+// are partitioned into sectors by K-means over their positions; each
+// UAV runs an independent SkyRAN controller over its sector's UEs, on
+// a separate carrier (so inter-UAV interference is a frequency-
+// planning problem, not a physical one), while all controllers share
+// one REM store so maps measured by any UAV benefit the others.
+//
+// Each UAV flies concurrently in wall-clock terms: the fleet's probing
+// overhead is the maximum over its members, not the sum.
+type Fleet struct {
+	cfg      Config
+	nUAVs    int
+	terrain  *terrain.Surface
+	seed     uint64
+	shared   *rem.Store
+	fast     bool
+	partRNG  *rand.Rand
+	sectored [][]*ue.UE
+}
+
+// FleetResult aggregates one fleet epoch.
+type FleetResult struct {
+	// PerUAV holds each member's epoch result, index-aligned with the
+	// sector partition.
+	PerUAV []EpochResult
+	// Sectors holds the UE sets assigned to each UAV.
+	Sectors [][]*ue.UE
+	// MaxFlightS is the wall-clock probing overhead (members fly in
+	// parallel).
+	MaxFlightS float64
+	// Worlds exposes the per-sector worlds for evaluation.
+	Worlds []*sim.World
+}
+
+// NewFleet builds a fleet of n UAVs over the given terrain. cfg is the
+// per-member controller configuration (the shared store is installed
+// automatically).
+func NewFleet(n int, t *terrain.Surface, cfg Config, seed uint64, fastRanging bool) (*Fleet, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("core: fleet needs at least 1 UAV")
+	}
+	cfg.defaults()
+	return &Fleet{
+		cfg:     cfg,
+		nUAVs:   n,
+		terrain: t,
+		seed:    seed,
+		shared:  rem.NewStore(cfg.ReuseRadiusM),
+		fast:    fastRanging,
+		partRNG: rand.New(rand.NewSource(int64(seed) + 41)),
+	}, nil
+}
+
+// RunEpoch partitions the UEs into sectors and runs one SkyRAN epoch
+// per sector. Sector worlds share the terrain, radio seed and UE
+// subsets, so propagation is identical to a single-world simulation of
+// the same links.
+func (f *Fleet) RunEpoch(ues []*ue.UE) (*FleetResult, error) {
+	if len(ues) == 0 {
+		return nil, fmt.Errorf("core: fleet epoch without UEs")
+	}
+	k := f.nUAVs
+	if k > len(ues) {
+		k = len(ues)
+	}
+	// Partition by K-means over true positions' rough estimates (in a
+	// real deployment this comes from the previous epoch's shared
+	// localization; at bootstrap a coarse fleet-wide localization
+	// flight would provide it — we accept the UE positions as the
+	// partition input since partitioning only needs coarse geometry).
+	pts := make([]geom.Vec2, len(ues))
+	for i, u := range ues {
+		pts[i] = u.Pos
+	}
+	centers := traj.KMeans(pts, k, f.partRNG)
+	assign := traj.AssignClusters(pts, centers)
+	sectors := make([][]*ue.UE, k)
+	for i, u := range ues {
+		sectors[assign[i]] = append(sectors[assign[i]], ue.New(u.ID, u.Pos))
+	}
+
+	res := &FleetResult{Sectors: sectors}
+	for s, sector := range sectors {
+		if len(sector) == 0 {
+			res.PerUAV = append(res.PerUAV, EpochResult{})
+			res.Worlds = append(res.Worlds, nil)
+			continue
+		}
+		w, err := sim.New(sim.Config{
+			Terrain:     f.terrain,
+			Seed:        f.seed, // same radio environment for every member
+			FastRanging: f.fast,
+		}, sector)
+		if err != nil {
+			return nil, fmt.Errorf("core: fleet sector %d: %w", s, err)
+		}
+		cfg := f.cfg
+		cfg.Seed = f.cfg.Seed + int64(s)*1000
+		cfg.SharedStore = f.shared
+		ctrl := NewSkyRAN(cfg)
+		er, err := ctrl.RunEpoch(w)
+		if err != nil {
+			return nil, fmt.Errorf("core: fleet sector %d epoch: %w", s, err)
+		}
+		res.PerUAV = append(res.PerUAV, er)
+		res.Worlds = append(res.Worlds, w)
+		if t := er.TotalFlightS; t > res.MaxFlightS {
+			res.MaxFlightS = t
+		}
+	}
+	return res, nil
+}
+
+// SharedStore exposes the fleet-wide REM store.
+func (f *Fleet) SharedStore() *rem.Store { return f.shared }
+
+// MeanRelativeThroughput scores the fleet placement: for each sector,
+// average UE throughput from its UAV relative to the sector's own
+// optimum, averaged over sectors weighted by UE count.
+func (r *FleetResult) MeanRelativeThroughput(evalCell float64) float64 {
+	var sum, n float64
+	for s, w := range r.Worlds {
+		if w == nil || len(r.Sectors[s]) == 0 {
+			continue
+		}
+		pos := r.PerUAV[s].Position
+		_, best := BestPosition(w, pos.Z, evalCell, rem.MaxMean)
+		if best <= 0 {
+			continue
+		}
+		rel := w.AvgThroughputAt(pos) / best
+		if rel > 1 {
+			rel = 1
+		}
+		weight := float64(len(r.Sectors[s]))
+		sum += rel * weight
+		n += weight
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / n
+}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/terrain"
+	"repro/internal/ue"
+)
+
+func TestFleetValidation(t *testing.T) {
+	tr := terrain.Campus(1)
+	if _, err := NewFleet(0, tr, Config{}, 1, true); err == nil {
+		t.Error("zero UAVs should fail")
+	}
+	f, err := NewFleet(2, tr, Config{Seed: 1, FixedAltitudeM: 60, MeasurementBudgetM: 300}, 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.RunEpoch(nil); err == nil {
+		t.Error("epoch without UEs should fail")
+	}
+}
+
+func TestFleetPartitionsAndPlaces(t *testing.T) {
+	tr := terrain.Large(1)
+	ues := ue.PlaceRandomOpen(8, tr.Bounds().Inset(80), tr.IsOpen, 30,
+		newTestRNG(3))
+	f, err := NewFleet(2, tr, Config{
+		Seed:               3,
+		FixedAltitudeM:     60,
+		MeasurementBudgetM: 700,
+	}, 3, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := f.RunEpoch(ues)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Sectors) != 2 {
+		t.Fatalf("sectors = %d", len(res.Sectors))
+	}
+	total := 0
+	for _, s := range res.Sectors {
+		total += len(s)
+	}
+	if total != 8 {
+		t.Errorf("partition lost UEs: %d", total)
+	}
+	if res.MaxFlightS <= 0 {
+		t.Error("no flight overhead recorded")
+	}
+	if rel := res.MeanRelativeThroughput(16); rel < 0.4 {
+		t.Errorf("fleet relative throughput %.2f too low", rel)
+	}
+	if f.SharedStore().Len() == 0 {
+		t.Error("shared store empty after epoch")
+	}
+}
+
+func TestFleetSharedStoreAcrossMembers(t *testing.T) {
+	// Two UAVs, UEs clustered so sectors are distinct; after the first
+	// epoch the shared store should hold entries from both sectors.
+	tr := terrain.Campus(2)
+	var ues []*ue.UE
+	for i := 0; i < 3; i++ {
+		ues = append(ues, ue.New(i, tr.Bounds().Center().Add(vec(float64(-80+10*i), -80))))
+	}
+	for i := 3; i < 6; i++ {
+		ues = append(ues, ue.New(i, tr.Bounds().Center().Add(vec(float64(60+10*(i-3)), 80))))
+	}
+	f, err := NewFleet(2, tr, Config{Seed: 4, FixedAltitudeM: 60, MeasurementBudgetM: 300}, 4, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := f.RunEpoch(ues)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Sectors[0]) == 0 || len(res.Sectors[1]) == 0 {
+		t.Fatal("clustered UEs should split across both sectors")
+	}
+	if f.SharedStore().Len() < 4 {
+		t.Errorf("shared store holds %d entries, want entries from both sectors", f.SharedStore().Len())
+	}
+}

@@ -1,0 +1,13 @@
+package core
+
+import (
+	"math/rand"
+
+	"repro/internal/geom"
+)
+
+// newTestRNG returns a seeded random stream for test scenario setup.
+func newTestRNG(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// vec is shorthand for a displacement vector in tests.
+func vec(x, y float64) geom.Vec2 { return geom.V2(x, y) }

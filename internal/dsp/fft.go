@@ -1,0 +1,166 @@
+// Package dsp provides the signal-processing primitives behind
+// SkyRAN's SRS time-of-flight estimator: an iterative radix-2 FFT,
+// frequency-domain zero-pad upsampling (paper eq. 2), element-wise
+// conjugate correlation (eq. 1) and magnitude peak location (eq. 3).
+// Only the Go standard library is used.
+package dsp
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/cmplx"
+)
+
+// IsPow2 reports whether n is a positive power of two.
+func IsPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+// NextPow2 returns the smallest power of two >= n (minimum 1).
+func NextPow2(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return 1 << bits.Len(uint(n-1))
+}
+
+// FFT computes the in-place decimation-in-time radix-2 FFT of x.
+// len(x) must be a power of two; FFT panics otherwise, since a
+// non-power-of-two length always indicates a programming error in the
+// fixed-size LTE processing chain.
+func FFT(x []complex128) {
+	fftDir(x, false)
+}
+
+// IFFT computes the in-place inverse FFT of x with 1/N normalisation.
+func IFFT(x []complex128) {
+	fftDir(x, true)
+}
+
+func fftDir(x []complex128, inverse bool) {
+	n := len(x)
+	if n == 0 {
+		return
+	}
+	if !IsPow2(n) {
+		panic(fmt.Sprintf("dsp: FFT length %d is not a power of two", n))
+	}
+	// Bit-reversal permutation.
+	shift := 64 - uint(bits.Len(uint(n-1)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	// Butterflies.
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		step := sign * 2 * math.Pi / float64(size)
+		wBase := cmplx.Exp(complex(0, step))
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			for k := 0; k < half; k++ {
+				a := x[start+k]
+				b := x[start+k+half] * w
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+				w *= wBase
+			}
+		}
+	}
+	if inverse {
+		inv := complex(1/float64(n), 0)
+		for i := range x {
+			x[i] *= inv
+		}
+	}
+}
+
+// Conj returns a new slice with the element-wise complex conjugate.
+func Conj(x []complex128) []complex128 {
+	out := make([]complex128, len(x))
+	for i, v := range x {
+		out[i] = cmplx.Conj(v)
+	}
+	return out
+}
+
+// MulElem returns the element-wise product a⊙b. The slices must have
+// equal length.
+func MulElem(a, b []complex128) []complex128 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("dsp: MulElem length mismatch %d vs %d", len(a), len(b)))
+	}
+	out := make([]complex128, len(a))
+	for i := range a {
+		out[i] = a[i] * b[i]
+	}
+	return out
+}
+
+// UpsampleSpectrum implements the paper's eq. (2): zero-pad a length-N
+// frequency-domain symbol to length N·K by inserting N·(K−1) zeros
+// between the positive- and negative-frequency halves. IFFT of the
+// result is the K× interpolated time-domain signal.
+func UpsampleSpectrum(s []complex128, k int) []complex128 {
+	n := len(s)
+	if k <= 1 {
+		out := make([]complex128, n)
+		copy(out, s)
+		return out
+	}
+	out := make([]complex128, n*k)
+	half := n / 2
+	copy(out, s[:half])
+	copy(out[n*k-(n-half):], s[half:])
+	return out
+}
+
+// MaxAbsIndex returns the index of the element with the largest
+// magnitude (the paper's maxpos), and that magnitude. Ties resolve to
+// the lowest index. It returns (-1, 0) for an empty slice.
+func MaxAbsIndex(x []complex128) (int, float64) {
+	best, bi := -1.0, -1
+	for i, v := range x {
+		m := real(v)*real(v) + imag(v)*imag(v)
+		if m > best {
+			best, bi = m, i
+		}
+	}
+	if bi < 0 {
+		return -1, 0
+	}
+	return bi, math.Sqrt(best)
+}
+
+// Energy returns the sum of squared magnitudes of x.
+func Energy(x []complex128) float64 {
+	var e float64
+	for _, v := range x {
+		e += real(v)*real(v) + imag(v)*imag(v)
+	}
+	return e
+}
+
+// ApplyDelay multiplies a frequency-domain symbol by the linear phase
+// ramp corresponding to a (possibly fractional) delay of d samples:
+// X'(f) = X(f)·exp(−j2πfd/N), with f the signed FFT bin index. This is
+// how the channel simulator imposes sub-sample time shifts.
+func ApplyDelay(s []complex128, d float64) []complex128 {
+	n := len(s)
+	out := make([]complex128, n)
+	for i := range s {
+		// Signed bin index: bins above N/2 are negative frequencies.
+		f := i
+		if i > n/2 {
+			f = i - n
+		}
+		phase := -2 * math.Pi * float64(f) * d / float64(n)
+		out[i] = s[i] * cmplx.Exp(complex(0, phase))
+	}
+	return out
+}

@@ -1,0 +1,285 @@
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randSignal(rng *rand.Rand, n int) []complex128 {
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return x
+}
+
+func maxErr(a, b []complex128) float64 {
+	var m float64
+	for i := range a {
+		if d := cmplx.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func TestIsPow2NextPow2(t *testing.T) {
+	for _, c := range []struct {
+		n    int
+		pow2 bool
+		next int
+	}{
+		{1, true, 1}, {2, true, 2}, {3, false, 4}, {4, true, 4},
+		{5, false, 8}, {1023, false, 1024}, {1024, true, 1024},
+		{0, false, 1}, {-4, false, 1},
+	} {
+		if IsPow2(c.n) != c.pow2 {
+			t.Errorf("IsPow2(%d) = %v", c.n, !c.pow2)
+		}
+		if got := NextPow2(c.n); got != c.next {
+			t.Errorf("NextPow2(%d) = %d, want %d", c.n, got, c.next)
+		}
+	}
+}
+
+func TestFFTKnownValues(t *testing.T) {
+	// DC signal -> impulse at bin 0.
+	x := []complex128{1, 1, 1, 1}
+	FFT(x)
+	want := []complex128{4, 0, 0, 0}
+	if maxErr(x, want) > 1e-12 {
+		t.Errorf("FFT(ones) = %v", x)
+	}
+	// Impulse -> flat spectrum.
+	x = []complex128{1, 0, 0, 0}
+	FFT(x)
+	want = []complex128{1, 1, 1, 1}
+	if maxErr(x, want) > 1e-12 {
+		t.Errorf("FFT(impulse) = %v", x)
+	}
+	// Single complex exponential -> single bin.
+	n := 8
+	x = make([]complex128, n)
+	for i := range x {
+		x[i] = cmplx.Exp(complex(0, 2*math.Pi*3*float64(i)/float64(n)))
+	}
+	FFT(x)
+	for i := range x {
+		mag := cmplx.Abs(x[i])
+		if i == 3 && math.Abs(mag-8) > 1e-9 {
+			t.Errorf("bin 3 mag = %v, want 8", mag)
+		}
+		if i != 3 && mag > 1e-9 {
+			t.Errorf("bin %d mag = %v, want 0", i, mag)
+		}
+	}
+}
+
+func TestFFTRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func(szSeed uint8) bool {
+		n := 1 << (1 + szSeed%10) // 2..1024
+		x := randSignal(rng, n)
+		orig := append([]complex128(nil), x...)
+		FFT(x)
+		IFFT(x)
+		return maxErr(x, orig) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFFTLinearityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	f := func(ar, ai float64) bool {
+		if math.IsNaN(ar) || math.IsInf(ar, 0) || math.Abs(ar) > 1e3 {
+			return true
+		}
+		if math.IsNaN(ai) || math.IsInf(ai, 0) || math.Abs(ai) > 1e3 {
+			return true
+		}
+		alpha := complex(ar, ai)
+		n := 64
+		x := randSignal(rng, n)
+		y := randSignal(rng, n)
+		// FFT(αx + y)
+		comb := make([]complex128, n)
+		for i := range comb {
+			comb[i] = alpha*x[i] + y[i]
+		}
+		FFT(comb)
+		// αFFT(x) + FFT(y)
+		FFT(x)
+		FFT(y)
+		for i := range x {
+			x[i] = alpha*x[i] + y[i]
+		}
+		return maxErr(comb, x) < 1e-6*(1+cmplx.Abs(alpha))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParsevalProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 << (2 + trial%8)
+		x := randSignal(rng, n)
+		timeE := Energy(x)
+		FFT(x)
+		freqE := Energy(x) / float64(n)
+		if math.Abs(timeE-freqE) > 1e-6*timeE {
+			t.Fatalf("Parseval violated: time %v freq %v", timeE, freqE)
+		}
+	}
+}
+
+func TestFFTPanicsOnBadLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for length 3")
+		}
+	}()
+	FFT(make([]complex128, 3))
+}
+
+func TestFFTEmptyNoop(t *testing.T) {
+	FFT(nil) // must not panic
+	IFFT(nil)
+}
+
+func TestConjMulElem(t *testing.T) {
+	a := []complex128{1 + 2i, 3 - 4i}
+	c := Conj(a)
+	if c[0] != 1-2i || c[1] != 3+4i {
+		t.Errorf("Conj = %v", c)
+	}
+	b := []complex128{2, 1i}
+	p := MulElem(a, b)
+	if p[0] != 2+4i || p[1] != 4+3i {
+		t.Errorf("MulElem = %v", p)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on length mismatch")
+		}
+	}()
+	MulElem(a, []complex128{1})
+}
+
+func TestUpsampleSpectrumInterpolates(t *testing.T) {
+	// A band-limited signal upsampled by K must pass through the
+	// original samples at stride K (up to scaling 1/K handled by IFFT
+	// normalisation: ifft of padded spectrum yields x/K at stride K
+	// after the 1/(NK) normalisation; compensate by K).
+	n, k := 16, 4
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = cmplx.Exp(complex(0, 2*math.Pi*2*float64(i)/float64(n))) +
+			0.5*cmplx.Exp(complex(0, -2*math.Pi*3*float64(i)/float64(n)))
+	}
+	spec := append([]complex128(nil), x...)
+	FFT(spec)
+	up := UpsampleSpectrum(spec, k)
+	IFFT(up)
+	for i := 0; i < n; i++ {
+		got := up[i*k] * complex(float64(k), 0)
+		if cmplx.Abs(got-x[i]) > 1e-9 {
+			t.Fatalf("upsampled[%d*K] = %v, want %v", i, got, x[i])
+		}
+	}
+}
+
+func TestUpsampleSpectrumK1Copies(t *testing.T) {
+	s := []complex128{1, 2, 3, 4}
+	out := UpsampleSpectrum(s, 1)
+	if &out[0] == &s[0] {
+		t.Error("K=1 should still copy")
+	}
+	if maxErr(out, s) != 0 {
+		t.Error("K=1 should be identity")
+	}
+}
+
+func TestMaxAbsIndex(t *testing.T) {
+	x := []complex128{1, -3i, 2 + 2i}
+	i, m := MaxAbsIndex(x)
+	if i != 1 || math.Abs(m-3) > 1e-12 {
+		t.Errorf("MaxAbsIndex = %d, %v", i, m)
+	}
+	if i, m = MaxAbsIndex(nil); i != -1 || m != 0 {
+		t.Error("empty should be -1,0")
+	}
+	// Tie resolves to the lowest index.
+	if i, _ = MaxAbsIndex([]complex128{5, 5}); i != 0 {
+		t.Error("tie should pick lowest index")
+	}
+}
+
+func TestApplyDelayShiftsPeak(t *testing.T) {
+	// Delaying an impulse by d integer samples moves the time-domain
+	// peak to index d.
+	n := 64
+	td := make([]complex128, n)
+	td[0] = 1
+	spec := append([]complex128(nil), td...)
+	FFT(spec)
+	for _, d := range []int{0, 1, 5, 31} {
+		shifted := ApplyDelay(spec, float64(d))
+		IFFT(shifted)
+		i, _ := MaxAbsIndex(shifted)
+		if i != d {
+			t.Errorf("delay %d: peak at %d", d, i)
+		}
+	}
+}
+
+func TestApplyDelayFractionalViaUpsample(t *testing.T) {
+	// A fractional delay of 2.25 samples, upsampled 4×, peaks at 9.
+	n, k := 64, 4
+	td := make([]complex128, n)
+	td[0] = 1
+	spec := append([]complex128(nil), td...)
+	FFT(spec)
+	shifted := ApplyDelay(spec, 2.25)
+	up := UpsampleSpectrum(shifted, k)
+	IFFT(up)
+	i, _ := MaxAbsIndex(up)
+	if i != 9 {
+		t.Errorf("fractional delay peak at %d, want 9", i)
+	}
+}
+
+func TestEnergy(t *testing.T) {
+	if Energy([]complex128{3 + 4i, 1}) != 26 {
+		t.Error("energy wrong")
+	}
+	if Energy(nil) != 0 {
+		t.Error("empty energy should be 0")
+	}
+}
+
+func BenchmarkFFT1024(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := randSignal(rng, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		y := append([]complex128(nil), x...)
+		FFT(y)
+	}
+}
+
+func BenchmarkFFT4096(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := randSignal(rng, 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		y := append([]complex128(nil), x...)
+		FFT(y)
+	}
+}

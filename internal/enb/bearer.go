@@ -1,0 +1,95 @@
+package enb
+
+import (
+	"sync"
+
+	"repro/internal/epc"
+)
+
+// Bearer is the downlink user-plane path for one UE: GTP-U PDUs from
+// the core are decapsulated into an IP packet queue, and scheduler
+// grants (bits served per TTI) drain the queue in order. It converts
+// the scheduler's abstract bit credits into byte-accurate packet
+// delivery, which the serving-phase examples report.
+type Bearer struct {
+	mu sync.Mutex
+
+	tunnel *epc.Tunnel
+	queue  [][]byte
+	// creditBits is the accumulated unspent scheduler grant; a packet
+	// leaves the queue only when its full size fits the credit.
+	creditBits float64
+	// Delivered counts packets and bytes handed to the UE.
+	DeliveredPackets uint64
+	DeliveredBytes   uint64
+	// Dropped counts queue-overflow discards.
+	Dropped uint64
+	// MaxQueue bounds the queue length (default 256 packets).
+	MaxQueue int
+}
+
+// NewBearer returns a bearer bound to the session's GTP tunnel.
+func NewBearer(sess *epc.Session) *Bearer {
+	return &Bearer{tunnel: epc.NewTunnel(sess.TEID), MaxQueue: 256}
+}
+
+// Tunnel exposes the underlying GTP tunnel (for the core side to
+// encapsulate towards).
+func (b *Bearer) Tunnel() *epc.Tunnel { return b.tunnel }
+
+// DeliverGTPU accepts a GTP-U PDU from the core, validates it against
+// the bearer's TEID and enqueues the inner packet. Overflow drops the
+// newest packet (tail drop) and is counted.
+func (b *Bearer) DeliverGTPU(pdu []byte) error {
+	inner, err := b.tunnel.Decap(pdu)
+	if err != nil {
+		return err
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	max := b.MaxQueue
+	if max <= 0 {
+		max = 256
+	}
+	if len(b.queue) >= max {
+		b.Dropped++
+		return nil
+	}
+	b.queue = append(b.queue, inner)
+	return nil
+}
+
+// QueuedPackets returns the current queue depth.
+func (b *Bearer) QueuedPackets() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.queue)
+}
+
+// Credit grants bits of air-interface capacity (one TTI's scheduler
+// allocation) and returns the packets that completed transmission.
+// Unused credit carries over, but only while there is a backlog —
+// idle-cell credit does not bank up.
+func (b *Bearer) Credit(bits float64) [][]byte {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(b.queue) == 0 {
+		b.creditBits = 0
+		return nil
+	}
+	b.creditBits += bits
+	var out [][]byte
+	for len(b.queue) > 0 {
+		need := float64(len(b.queue[0]) * 8)
+		if b.creditBits < need {
+			break
+		}
+		b.creditBits -= need
+		pkt := b.queue[0]
+		b.queue = b.queue[1:]
+		out = append(out, pkt)
+		b.DeliveredPackets++
+		b.DeliveredBytes += uint64(len(pkt))
+	}
+	return out
+}

@@ -1,0 +1,86 @@
+package enb
+
+import (
+	"bytes"
+	"net"
+	"testing"
+
+	"repro/internal/epc"
+)
+
+func testBearer(t *testing.T) *Bearer {
+	t.Helper()
+	return NewBearer(&epc.Session{IMSI: "1", TEID: 77, IP: net.IPv4(10, 45, 0, 2)})
+}
+
+func TestBearerEndToEnd(t *testing.T) {
+	b := testBearer(t)
+	pkt := bytes.Repeat([]byte{0xab}, 100) // 800 bits
+	if err := b.DeliverGTPU(b.Tunnel().Encap(pkt)); err != nil {
+		t.Fatal(err)
+	}
+	if b.QueuedPackets() != 1 {
+		t.Fatal("packet not queued")
+	}
+	// Not enough credit yet.
+	if out := b.Credit(700); out != nil {
+		t.Error("partial credit must not deliver")
+	}
+	out := b.Credit(200) // 700+200 >= 800
+	if len(out) != 1 || !bytes.Equal(out[0], pkt) {
+		t.Fatalf("delivery wrong: %d packets", len(out))
+	}
+	if b.DeliveredPackets != 1 || b.DeliveredBytes != 100 {
+		t.Error("counters wrong")
+	}
+}
+
+func TestBearerInOrderMultiPacket(t *testing.T) {
+	b := testBearer(t)
+	for i := 0; i < 3; i++ {
+		pkt := []byte{byte(i), 0, 0, 0} // 32 bits each
+		if err := b.DeliverGTPU(b.Tunnel().Encap(pkt)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out := b.Credit(70) // enough for 2 packets (64 bits), not 3
+	if len(out) != 2 || out[0][0] != 0 || out[1][0] != 1 {
+		t.Fatalf("in-order delivery broken: %v", out)
+	}
+	if b.QueuedPackets() != 1 {
+		t.Error("third packet should remain queued")
+	}
+}
+
+func TestBearerIdleCreditDoesNotBank(t *testing.T) {
+	b := testBearer(t)
+	b.Credit(1e9)                       // idle: must not bank
+	pkt := bytes.Repeat([]byte{1}, 125) // 1000 bits
+	if err := b.DeliverGTPU(b.Tunnel().Encap(pkt)); err != nil {
+		t.Fatal(err)
+	}
+	if out := b.Credit(500); out != nil {
+		t.Error("banked idle credit leaked through")
+	}
+}
+
+func TestBearerTailDrop(t *testing.T) {
+	b := testBearer(t)
+	b.MaxQueue = 2
+	for i := 0; i < 4; i++ {
+		if err := b.DeliverGTPU(b.Tunnel().Encap([]byte{byte(i)})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if b.QueuedPackets() != 2 || b.Dropped != 2 {
+		t.Errorf("queue=%d dropped=%d", b.QueuedPackets(), b.Dropped)
+	}
+}
+
+func TestBearerRejectsWrongTunnel(t *testing.T) {
+	b := testBearer(t)
+	other := epc.NewTunnel(999)
+	if err := b.DeliverGTPU(other.Encap([]byte{1})); err == nil {
+		t.Error("wrong TEID must be rejected")
+	}
+}

@@ -1,0 +1,288 @@
+// Package enb implements the airborne eNodeB's MAC/RRC slice: UE
+// contexts with RRC states, the attach signalling relay to the EPC,
+// per-TTI PRB scheduling (round-robin, max-CQI, proportional-fair),
+// and CQI-driven throughput accounting. Together with package epc this
+// is the "LTE eNodeB + EPC" substrate the paper runs on two onboard
+// computers (§4.1); the figures' throughput numbers come from this
+// scheduler fed with the propagation model's SNRs.
+package enb
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/epc"
+	"repro/internal/ltephy"
+)
+
+// RRCState is the radio-resource-control state of a UE context.
+type RRCState int
+
+const (
+	// RRCIdle means no active radio connection.
+	RRCIdle RRCState = iota
+	// RRCConnected means the UE has an active data bearer.
+	RRCConnected
+)
+
+// String implements fmt.Stringer.
+func (s RRCState) String() string {
+	switch s {
+	case RRCIdle:
+		return "idle"
+	case RRCConnected:
+		return "connected"
+	default:
+		return fmt.Sprintf("RRCState(%d)", int(s))
+	}
+}
+
+// UEContext is the eNodeB-side state for one UE.
+type UEContext struct {
+	RNTI uint16
+	IMSI epc.IMSI
+	RRC  RRCState
+	// CQI is the most recent channel-quality report (0-15).
+	CQI int
+	// Session is the EPC session after a successful attach.
+	Session *epc.Session
+
+	// scheduler accounting
+	servedBits float64
+	avgRateBps float64 // EWMA for proportional fair
+}
+
+// SchedulerPolicy selects how PRBs are shared each TTI.
+type SchedulerPolicy int
+
+const (
+	// RoundRobin splits PRBs equally among connected UEs.
+	RoundRobin SchedulerPolicy = iota
+	// MaxCQI gives all PRBs to the best-channel UE (max throughput,
+	// no fairness).
+	MaxCQI
+	// ProportionalFair weighs instantaneous rate against served EWMA.
+	ProportionalFair
+)
+
+// String implements fmt.Stringer.
+func (p SchedulerPolicy) String() string {
+	switch p {
+	case RoundRobin:
+		return "round-robin"
+	case MaxCQI:
+		return "max-cqi"
+	case ProportionalFair:
+		return "proportional-fair"
+	default:
+		return fmt.Sprintf("SchedulerPolicy(%d)", int(p))
+	}
+}
+
+// ENodeB is the airborne base station.
+type ENodeB struct {
+	Num    ltephy.Numerology
+	Policy SchedulerPolicy
+
+	core *epc.Core
+
+	mu       sync.Mutex
+	byRNTI   map[uint16]*UEContext
+	byIMSI   map[epc.IMSI]*UEContext
+	nextRNTI uint16
+	ttis     uint64
+}
+
+// New returns an eNodeB bound to the given EPC core.
+func New(num ltephy.Numerology, core *epc.Core, policy SchedulerPolicy) *ENodeB {
+	return &ENodeB{
+		Num:      num,
+		Policy:   policy,
+		core:     core,
+		byRNTI:   make(map[uint16]*UEContext),
+		byIMSI:   make(map[epc.IMSI]*UEContext),
+		nextRNTI: 61, // first C-RNTI after the reserved range
+	}
+}
+
+// ErrNotAttached is returned when an operation needs a connected UE.
+var ErrNotAttached = errors.New("enb: UE not attached")
+
+// Attach runs the full signalling chain for a UE: RRC connection,
+// attach request to the EPC, authentication challenge/response with
+// the UE key, and default-bearer activation. It returns the UE
+// context.
+func (e *ENodeB) Attach(imsi epc.IMSI, key [16]byte, seed uint64) (*UEContext, error) {
+	challenge, err := e.core.BeginAttach(imsi, seed)
+	if err != nil {
+		return nil, fmt.Errorf("enb: attach %s: %w", imsi, err)
+	}
+	// The UE computes its response with its SIM key.
+	resp := epc.Respond(key, challenge)
+	sess, err := e.core.CompleteAttach(imsi, resp)
+	if err != nil {
+		return nil, fmt.Errorf("enb: attach %s: %w", imsi, err)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if ctx, ok := e.byIMSI[imsi]; ok {
+		ctx.RRC = RRCConnected
+		ctx.Session = sess
+		return ctx, nil
+	}
+	ctx := &UEContext{RNTI: e.nextRNTI, IMSI: imsi, RRC: RRCConnected, Session: sess}
+	e.nextRNTI++
+	e.byRNTI[ctx.RNTI] = ctx
+	e.byIMSI[imsi] = ctx
+	return ctx, nil
+}
+
+// Detach releases the UE context and its EPC session.
+func (e *ENodeB) Detach(imsi epc.IMSI) {
+	e.core.Detach(imsi)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if ctx, ok := e.byIMSI[imsi]; ok {
+		delete(e.byRNTI, ctx.RNTI)
+		delete(e.byIMSI, imsi)
+	}
+}
+
+// ReportSNR records a wideband SNR report for the UE, updating its
+// CQI. Unknown IMSIs are ignored (stale reports after detach).
+func (e *ENodeB) ReportSNR(imsi epc.IMSI, snrDB float64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if ctx, ok := e.byIMSI[imsi]; ok {
+		ctx.CQI = ltephy.CQIForSNR(snrDB)
+	}
+}
+
+// Connected returns the connected UE contexts (stable order by RNTI is
+// not guaranteed; callers sort if needed).
+func (e *ENodeB) Connected() []*UEContext {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]*UEContext, 0, len(e.byIMSI))
+	for _, ctx := range e.byIMSI {
+		if ctx.RRC == RRCConnected {
+			out = append(out, ctx)
+		}
+	}
+	return out
+}
+
+// Context returns the UE context for imsi.
+func (e *ENodeB) Context(imsi epc.IMSI) (*UEContext, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	ctx, ok := e.byIMSI[imsi]
+	return ctx, ok
+}
+
+// bitsPerPRBTTI returns the deliverable bits for one PRB in one TTI at
+// the given CQI.
+func (e *ENodeB) bitsPerPRBTTI(cqi int) float64 {
+	if cqi <= 0 {
+		return 0
+	}
+	const rePerPRBTTI = 12 * 14 * 0.75 // subcarriers × symbols × (1 − overhead)
+	return rePerPRBTTI * ltephy.EfficiencyForSNR(ltephy.SNRForCQI(cqi))
+}
+
+// RunTTI executes one 1 ms scheduling interval, allocating the cell's
+// PRBs among connected UEs under the configured policy and crediting
+// served bits. It returns the total bits served this TTI.
+func (e *ENodeB) RunTTI() float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.ttis++
+	var active []*UEContext
+	for _, ctx := range e.byIMSI {
+		if ctx.RRC == RRCConnected && ctx.CQI > 0 {
+			active = append(active, ctx)
+		}
+	}
+	if len(active) == 0 {
+		return 0
+	}
+	prbs := e.Num.PRBs
+	var total float64
+	credit := func(ctx *UEContext, nPRB int) {
+		bits := e.bitsPerPRBTTI(ctx.CQI) * float64(nPRB)
+		ctx.servedBits += bits
+		total += bits
+	}
+	switch e.Policy {
+	case RoundRobin:
+		base := prbs / len(active)
+		extra := prbs % len(active)
+		// Rotate the extra PRBs deterministically by TTI count.
+		for i, ctx := range active {
+			n := base
+			if (i+int(e.ttis))%len(active) < extra {
+				n++
+			}
+			credit(ctx, n)
+		}
+	case MaxCQI:
+		best := active[0]
+		for _, ctx := range active[1:] {
+			if ctx.CQI > best.CQI || (ctx.CQI == best.CQI && ctx.RNTI < best.RNTI) {
+				best = ctx
+			}
+		}
+		credit(best, prbs)
+	case ProportionalFair:
+		best := active[0]
+		bestMetric := -1.0
+		for _, ctx := range active {
+			inst := e.bitsPerPRBTTI(ctx.CQI)
+			avg := ctx.avgRateBps
+			if avg < 1 {
+				avg = 1
+			}
+			if m := inst / avg; m > bestMetric {
+				bestMetric, best = m, ctx
+			}
+		}
+		credit(best, prbs)
+	}
+	// Update proportional-fair EWMAs with each UE's achievable
+	// full-cell rate this TTI.
+	const alpha = 0.02
+	for _, ctx := range active {
+		ctx.avgRateBps = (1-alpha)*ctx.avgRateBps + alpha*(e.bitsPerPRBTTI(ctx.CQI)*float64(prbs))
+	}
+	return total
+}
+
+// ServedBits returns the cumulative bits served to imsi.
+func (e *ENodeB) ServedBits(imsi epc.IMSI) float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if ctx, ok := e.byIMSI[imsi]; ok {
+		return ctx.servedBits
+	}
+	return 0
+}
+
+// ResetAccounting zeroes all served-bit counters (used between
+// experiment phases).
+func (e *ENodeB) ResetAccounting() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, ctx := range e.byIMSI {
+		ctx.servedBits = 0
+		ctx.avgRateBps = 0
+	}
+	e.ttis = 0
+}
+
+// TTIs returns the number of scheduling intervals executed.
+func (e *ENodeB) TTIs() uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.ttis
+}

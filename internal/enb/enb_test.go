@@ -1,0 +1,243 @@
+package enb
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/epc"
+	"repro/internal/ltephy"
+)
+
+func key(b byte) [16]byte {
+	var k [16]byte
+	for i := range k {
+		k[i] = b
+	}
+	return k
+}
+
+// rig builds an eNodeB with n attached UEs named "ue0".."ueN-1".
+func rig(t *testing.T, n int, policy SchedulerPolicy) *ENodeB {
+	t.Helper()
+	hss := epc.NewHSS()
+	core := epc.NewCore(hss)
+	e := New(ltephy.LTE10MHz(), core, policy)
+	for i := 0; i < n; i++ {
+		imsi := epc.IMSI(fmt.Sprintf("ue%d", i))
+		hss.Provision(epc.Subscriber{IMSI: imsi, Key: key(byte(i)), QoSClass: 9})
+		if _, err := e.Attach(imsi, key(byte(i)), uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return e
+}
+
+func TestAttachCreatesContext(t *testing.T) {
+	e := rig(t, 2, RoundRobin)
+	ctx, ok := e.Context("ue0")
+	if !ok || ctx.RRC != RRCConnected || ctx.Session == nil {
+		t.Fatalf("context = %+v", ctx)
+	}
+	other, _ := e.Context("ue1")
+	if ctx.RNTI == other.RNTI {
+		t.Error("RNTIs must be unique")
+	}
+	if len(e.Connected()) != 2 {
+		t.Error("connected count")
+	}
+}
+
+func TestAttachUnknownFails(t *testing.T) {
+	core := epc.NewCore(epc.NewHSS())
+	e := New(ltephy.LTE10MHz(), core, RoundRobin)
+	if _, err := e.Attach("ghost", key(1), 1); err == nil {
+		t.Error("unknown subscriber should fail attach")
+	}
+}
+
+func TestDetachReleases(t *testing.T) {
+	e := rig(t, 1, RoundRobin)
+	e.Detach("ue0")
+	if _, ok := e.Context("ue0"); ok {
+		t.Error("context should be released")
+	}
+	if len(e.Connected()) != 0 {
+		t.Error("still connected after detach")
+	}
+}
+
+func TestRunTTINoUEs(t *testing.T) {
+	core := epc.NewCore(epc.NewHSS())
+	e := New(ltephy.LTE10MHz(), core, RoundRobin)
+	if e.RunTTI() != 0 {
+		t.Error("no UEs should serve 0 bits")
+	}
+}
+
+func TestRunTTIOutageUEExcluded(t *testing.T) {
+	e := rig(t, 1, RoundRobin)
+	e.ReportSNR("ue0", -30) // outage: CQI 0
+	if e.RunTTI() != 0 {
+		t.Error("outage UE should receive nothing")
+	}
+}
+
+func TestThroughputMatchesCQITable(t *testing.T) {
+	e := rig(t, 1, RoundRobin)
+	e.ReportSNR("ue0", 25) // CQI 15
+	for i := 0; i < 1000; i++ {
+		e.RunTTI()
+	}
+	bps := e.ServedBits("ue0") // 1000 TTIs = 1 s
+	want := ltephy.LTE10MHz().ThroughputBps(25)
+	if math.Abs(bps-want)/want > 0.01 {
+		t.Errorf("served %v bps, want ~%v", bps, want)
+	}
+}
+
+func TestRoundRobinFairAllocation(t *testing.T) {
+	e := rig(t, 2, RoundRobin)
+	e.ReportSNR("ue0", 25)
+	e.ReportSNR("ue1", 25)
+	for i := 0; i < 1000; i++ {
+		e.RunTTI()
+	}
+	b0, b1 := e.ServedBits("ue0"), e.ServedBits("ue1")
+	if math.Abs(b0-b1)/b0 > 0.02 {
+		t.Errorf("unfair RR: %v vs %v", b0, b1)
+	}
+	// Each should get ~half the peak.
+	want := ltephy.LTE10MHz().ThroughputBps(25) / 2
+	if math.Abs(b0-want)/want > 0.05 {
+		t.Errorf("per-UE %v, want ~%v", b0, want)
+	}
+}
+
+func TestPRBConservationProperty(t *testing.T) {
+	// Total served bits can never exceed all PRBs at the best active
+	// CQI — the scheduler cannot create capacity.
+	e := rig(t, 3, RoundRobin)
+	e.ReportSNR("ue0", 5)
+	e.ReportSNR("ue1", 15)
+	e.ReportSNR("ue2", 25)
+	for i := 0; i < 200; i++ {
+		total := e.RunTTI()
+		cap := e.bitsPerPRBTTI(15) * float64(e.Num.PRBs)
+		if total > cap+1e-9 {
+			t.Fatalf("TTI served %v bits > capacity %v", total, cap)
+		}
+	}
+}
+
+func TestMaxCQIPicksBest(t *testing.T) {
+	e := rig(t, 2, MaxCQI)
+	e.ReportSNR("ue0", 5)
+	e.ReportSNR("ue1", 25)
+	for i := 0; i < 100; i++ {
+		e.RunTTI()
+	}
+	if e.ServedBits("ue0") != 0 {
+		t.Error("max-CQI should starve the weak UE")
+	}
+	if e.ServedBits("ue1") == 0 {
+		t.Error("best UE should be served")
+	}
+}
+
+func TestProportionalFairServesBoth(t *testing.T) {
+	e := rig(t, 2, ProportionalFair)
+	e.ReportSNR("ue0", 8)
+	e.ReportSNR("ue1", 25)
+	for i := 0; i < 2000; i++ {
+		e.RunTTI()
+	}
+	b0, b1 := e.ServedBits("ue0"), e.ServedBits("ue1")
+	if b0 == 0 || b1 == 0 {
+		t.Fatalf("PF starved a UE: %v, %v", b0, b1)
+	}
+	if b1 <= b0 {
+		t.Error("PF should still favour the better channel")
+	}
+}
+
+func TestReportSNRUnknownIgnored(t *testing.T) {
+	e := rig(t, 1, RoundRobin)
+	e.ReportSNR("ghost", 20) // must not panic
+}
+
+func TestResetAccounting(t *testing.T) {
+	e := rig(t, 1, RoundRobin)
+	e.ReportSNR("ue0", 20)
+	e.RunTTI()
+	if e.ServedBits("ue0") == 0 {
+		t.Fatal("no bits served")
+	}
+	e.ResetAccounting()
+	if e.ServedBits("ue0") != 0 || e.TTIs() != 0 {
+		t.Error("reset incomplete")
+	}
+}
+
+func TestStateStrings(t *testing.T) {
+	if RRCIdle.String() != "idle" || RRCConnected.String() != "connected" {
+		t.Error("rrc strings")
+	}
+	if RoundRobin.String() != "round-robin" || MaxCQI.String() != "max-cqi" || ProportionalFair.String() != "proportional-fair" {
+		t.Error("policy strings")
+	}
+	if RRCState(9).String() == "" || SchedulerPolicy(9).String() == "" {
+		t.Error("unknown values should print")
+	}
+}
+
+func BenchmarkRunTTI(b *testing.B) {
+	hss := epc.NewHSS()
+	core := epc.NewCore(hss)
+	e := New(ltephy.LTE10MHz(), core, ProportionalFair)
+	for i := 0; i < 8; i++ {
+		imsi := epc.IMSI(fmt.Sprintf("ue%d", i))
+		hss.Provision(epc.Subscriber{IMSI: imsi, Key: key(byte(i))})
+		if _, err := e.Attach(imsi, key(byte(i)), uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+		e.ReportSNR(imsi, float64(5+3*i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.RunTTI()
+	}
+}
+
+func TestSchedulerConservationProperty(t *testing.T) {
+	// Property: over any sequence of random CQI reports, per-TTI served
+	// bits never exceed the all-PRBs-at-best-active-CQI bound, and the
+	// sum of per-UE credited bits equals the reported TTI totals.
+	e := rig(t, 5, RoundRobin)
+	rng := rand.New(rand.NewSource(42))
+	var totalTTI float64
+	for i := 0; i < 500; i++ {
+		for u := 0; u < 5; u++ {
+			e.ReportSNR(epc.IMSI(fmt.Sprintf("ue%d", u)), rng.Float64()*40-10)
+		}
+		best := 0
+		for _, ctx := range e.Connected() {
+			if ctx.CQI > best {
+				best = ctx.CQI
+			}
+		}
+		served := e.RunTTI()
+		if cap := e.bitsPerPRBTTI(best) * float64(e.Num.PRBs); served > cap+1e-6 {
+			t.Fatalf("TTI %d: served %v > cap %v", i, served, cap)
+		}
+		totalTTI += served
+	}
+	var totalUE float64
+	for u := 0; u < 5; u++ {
+		totalUE += e.ServedBits(epc.IMSI(fmt.Sprintf("ue%d", u)))
+	}
+	if math.Abs(totalTTI-totalUE) > 1e-6*totalTTI {
+		t.Errorf("bit accounting mismatch: %v vs %v", totalTTI, totalUE)
+	}
+}

@@ -1,0 +1,163 @@
+package enb
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// RRC connection management (TS 36.331, reduced to the procedures an
+// isolated SkyRAN cell needs): connection establishment with T300
+// supervision, reconfiguration, and release. The state machine is
+// deliberately explicit — each UE context transitions through the same
+// states a commercial stack logs, which makes the serving-phase traces
+// of cmd/skyranctl readable against real eNodeB logs.
+
+// RRCProcState is the fine-grained connection-procedure state.
+type RRCProcState int
+
+const (
+	// ProcIdle: no procedure running.
+	ProcIdle RRCProcState = iota
+	// ProcConnRequested: RRCConnectionRequest received, Setup sent,
+	// waiting for SetupComplete (T300 running).
+	ProcConnRequested
+	// ProcConnected: SetupComplete received; SRB1 established.
+	ProcConnected
+	// ProcReconfiguring: RRCConnectionReconfiguration outstanding.
+	ProcReconfiguring
+)
+
+// String implements fmt.Stringer.
+func (s RRCProcState) String() string {
+	switch s {
+	case ProcIdle:
+		return "idle"
+	case ProcConnRequested:
+		return "conn-requested"
+	case ProcConnected:
+		return "connected"
+	case ProcReconfiguring:
+		return "reconfiguring"
+	default:
+		return fmt.Sprintf("RRCProcState(%d)", int(s))
+	}
+}
+
+// RRCFSM supervises one UE's connection procedures. The zero value is
+// an idle FSM.
+type RRCFSM struct {
+	mu    sync.Mutex
+	state RRCProcState
+	// t300Deadline is the simulated-time deadline for SetupComplete;
+	// zero when T300 is not running. Time is supplied by the caller so
+	// the FSM works under simulation clocks.
+	t300Deadline float64
+	// T300Seconds is the supervision timeout (default 1 s, the 36.331
+	// upper range for small cells).
+	T300Seconds float64
+
+	// Counters.
+	Establishments, Failures, Releases int
+}
+
+// Errors returned by FSM transitions.
+var (
+	ErrRRCBadState = errors.New("enb: invalid RRC transition")
+	ErrRRCT300     = errors.New("enb: T300 expired")
+)
+
+func (f *RRCFSM) t300() float64 {
+	if f.T300Seconds <= 0 {
+		return 1.0
+	}
+	return f.T300Seconds
+}
+
+// State returns the current procedure state.
+func (f *RRCFSM) State() RRCProcState {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.state
+}
+
+// ConnectionRequest handles an RRCConnectionRequest at simulated time
+// now, starting T300.
+func (f *RRCFSM) ConnectionRequest(now float64) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.state != ProcIdle {
+		return fmt.Errorf("%w: ConnectionRequest in %s", ErrRRCBadState, f.state)
+	}
+	f.state = ProcConnRequested
+	f.t300Deadline = now + f.t300()
+	return nil
+}
+
+// SetupComplete handles RRCConnectionSetupComplete. It fails if T300
+// already expired (the UE retried too late) or no request is pending.
+func (f *RRCFSM) SetupComplete(now float64) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.state != ProcConnRequested {
+		return fmt.Errorf("%w: SetupComplete in %s", ErrRRCBadState, f.state)
+	}
+	if now > f.t300Deadline {
+		f.state = ProcIdle
+		f.t300Deadline = 0
+		f.Failures++
+		return ErrRRCT300
+	}
+	f.state = ProcConnected
+	f.t300Deadline = 0
+	f.Establishments++
+	return nil
+}
+
+// Tick expires T300 if its deadline passed, returning true when the
+// pending establishment was aborted.
+func (f *RRCFSM) Tick(now float64) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.state == ProcConnRequested && now > f.t300Deadline {
+		f.state = ProcIdle
+		f.t300Deadline = 0
+		f.Failures++
+		return true
+	}
+	return false
+}
+
+// StartReconfiguration begins an RRCConnectionReconfiguration (e.g.
+// measurement-config update before a SkyRAN measurement flight).
+func (f *RRCFSM) StartReconfiguration() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.state != ProcConnected {
+		return fmt.Errorf("%w: Reconfiguration in %s", ErrRRCBadState, f.state)
+	}
+	f.state = ProcReconfiguring
+	return nil
+}
+
+// ReconfigurationComplete finishes the reconfiguration.
+func (f *RRCFSM) ReconfigurationComplete() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.state != ProcReconfiguring {
+		return fmt.Errorf("%w: ReconfigurationComplete in %s", ErrRRCBadState, f.state)
+	}
+	f.state = ProcConnected
+	return nil
+}
+
+// Release tears the connection down from any state.
+func (f *RRCFSM) Release() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.state != ProcIdle {
+		f.Releases++
+	}
+	f.state = ProcIdle
+	f.t300Deadline = 0
+}

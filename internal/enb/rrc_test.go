@@ -1,0 +1,119 @@
+package enb
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestRRCHappyPath(t *testing.T) {
+	var f RRCFSM
+	if f.State() != ProcIdle {
+		t.Fatal("fresh FSM not idle")
+	}
+	if err := f.ConnectionRequest(0); err != nil {
+		t.Fatal(err)
+	}
+	if f.State() != ProcConnRequested {
+		t.Error("state after request")
+	}
+	if err := f.SetupComplete(0.1); err != nil {
+		t.Fatal(err)
+	}
+	if f.State() != ProcConnected || f.Establishments != 1 {
+		t.Error("state after complete")
+	}
+	if err := f.StartReconfiguration(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.ReconfigurationComplete(); err != nil {
+		t.Fatal(err)
+	}
+	f.Release()
+	if f.State() != ProcIdle || f.Releases != 1 {
+		t.Error("release")
+	}
+}
+
+func TestRRCT300Expiry(t *testing.T) {
+	var f RRCFSM
+	if err := f.ConnectionRequest(0); err != nil {
+		t.Fatal(err)
+	}
+	// Too late: default T300 is 1 s.
+	if err := f.SetupComplete(2.0); !errors.Is(err, ErrRRCT300) {
+		t.Errorf("err = %v, want T300", err)
+	}
+	if f.State() != ProcIdle || f.Failures != 1 {
+		t.Error("late completion must abort to idle")
+	}
+}
+
+func TestRRCTick(t *testing.T) {
+	f := RRCFSM{T300Seconds: 0.5}
+	if err := f.ConnectionRequest(10); err != nil {
+		t.Fatal(err)
+	}
+	if f.Tick(10.4) {
+		t.Error("tick before deadline must not expire")
+	}
+	if !f.Tick(10.6) {
+		t.Error("tick after deadline must expire")
+	}
+	if f.State() != ProcIdle {
+		t.Error("expired FSM should be idle")
+	}
+	if f.Tick(11) {
+		t.Error("idle tick must be a no-op")
+	}
+}
+
+func TestRRCInvalidTransitions(t *testing.T) {
+	var f RRCFSM
+	if err := f.SetupComplete(0); !errors.Is(err, ErrRRCBadState) {
+		t.Error("SetupComplete from idle")
+	}
+	if err := f.StartReconfiguration(); !errors.Is(err, ErrRRCBadState) {
+		t.Error("Reconfiguration from idle")
+	}
+	if err := f.ReconfigurationComplete(); !errors.Is(err, ErrRRCBadState) {
+		t.Error("ReconfigurationComplete from idle")
+	}
+	if err := f.ConnectionRequest(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.ConnectionRequest(0); !errors.Is(err, ErrRRCBadState) {
+		t.Error("double request")
+	}
+}
+
+func TestRRCStateStrings(t *testing.T) {
+	for s, want := range map[RRCProcState]string{
+		ProcIdle: "idle", ProcConnRequested: "conn-requested",
+		ProcConnected: "connected", ProcReconfiguring: "reconfiguring",
+	} {
+		if s.String() != want {
+			t.Errorf("%d -> %q", int(s), s.String())
+		}
+	}
+	if RRCProcState(42).String() == "" {
+		t.Error("unknown state should print")
+	}
+}
+
+func TestRRCReleaseFromMidProcedure(t *testing.T) {
+	var f RRCFSM
+	if err := f.ConnectionRequest(0); err != nil {
+		t.Fatal(err)
+	}
+	f.Release()
+	if f.State() != ProcIdle {
+		t.Error("release mid-procedure")
+	}
+	// FSM is reusable after release.
+	if err := f.ConnectionRequest(5); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.SetupComplete(5.5); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,193 @@
+// Package epc implements the lightweight Evolved Packet Core that
+// rides on the SkyRAN UAV: subscriber database (HSS), a simplified
+// attach/authentication procedure, default-bearer management with IP
+// allocation, and GTP-style tunnel endpoint bookkeeping. The paper
+// runs the OpenAirInterface EPC on a second onboard computer (§4.1);
+// SkyCORE-style co-location means the whole core serves one cell, so a
+// single-process core with a clean API is the faithful equivalent.
+package epc
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// IMSI is the subscriber identity.
+type IMSI string
+
+// Subscriber is an HSS record: identity plus the permanent secret used
+// in the challenge-response authentication.
+type Subscriber struct {
+	IMSI IMSI
+	Key  [16]byte
+	// QoSClass is the default-bearer QCI (9 = best-effort internet).
+	QoSClass int
+}
+
+// HSS is the subscriber database. The zero value is empty; use NewHSS.
+type HSS struct {
+	mu   sync.RWMutex
+	subs map[IMSI]Subscriber
+}
+
+// NewHSS returns an empty subscriber database.
+func NewHSS() *HSS { return &HSS{subs: make(map[IMSI]Subscriber)} }
+
+// Provision adds or replaces a subscriber record.
+func (h *HSS) Provision(s Subscriber) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.subs[s.IMSI] = s
+}
+
+// Lookup returns the subscriber record for imsi.
+func (h *HSS) Lookup(imsi IMSI) (Subscriber, bool) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	s, ok := h.subs[imsi]
+	return s, ok
+}
+
+// Vector is the authentication vector the core derives for a
+// subscriber: a random challenge and the expected response.
+type Vector struct {
+	Challenge [16]byte
+	Expected  [32]byte
+}
+
+// Respond computes the UE-side response to a challenge with the
+// permanent key — the simplified stand-in for EPS-AKA's f2.
+func Respond(key [16]byte, challenge [16]byte) [32]byte {
+	mac := hmac.New(sha256.New, key[:])
+	mac.Write(challenge[:])
+	var out [32]byte
+	copy(out[:], mac.Sum(nil))
+	return out
+}
+
+// Session is an attached subscriber's core-network state.
+type Session struct {
+	IMSI IMSI
+	// IP is the PDN address allocated to the UE.
+	IP net.IP
+	// TEID is the GTP tunnel endpoint for the default bearer.
+	TEID uint32
+	// QCI of the default bearer.
+	QCI int
+}
+
+// Core is the MME+SGW+PGW collapsed into one component.
+type Core struct {
+	hss *HSS
+
+	mu       sync.Mutex
+	sessions map[IMSI]*Session
+	pending  map[IMSI]Vector
+	nextIP   uint32
+	nextTEID uint32
+	// counters for diagnostics
+	attaches, rejects int
+}
+
+// NewCore returns a core bound to the given HSS, allocating UE
+// addresses from 10.45.0.0/16 (the OAI default UE pool).
+func NewCore(hss *HSS) *Core {
+	return &Core{
+		hss:      hss,
+		sessions: make(map[IMSI]*Session),
+		pending:  make(map[IMSI]Vector),
+		nextIP:   binary.BigEndian.Uint32(net.IPv4(10, 45, 0, 2).To4()),
+		nextTEID: 1,
+	}
+}
+
+// Errors returned by the attach procedure.
+var (
+	ErrUnknownSubscriber = errors.New("epc: unknown subscriber")
+	ErrAuthFailed        = errors.New("epc: authentication failed")
+	ErrNoPendingAuth     = errors.New("epc: no pending authentication")
+)
+
+// BeginAttach starts an attach for imsi, returning the authentication
+// challenge the eNodeB forwards to the UE.
+func (c *Core) BeginAttach(imsi IMSI, challengeSeed uint64) ([16]byte, error) {
+	sub, ok := c.hss.Lookup(imsi)
+	if !ok {
+		c.mu.Lock()
+		c.rejects++
+		c.mu.Unlock()
+		return [16]byte{}, fmt.Errorf("%w: %s", ErrUnknownSubscriber, imsi)
+	}
+	var challenge [16]byte
+	binary.BigEndian.PutUint64(challenge[:8], challengeSeed)
+	binary.BigEndian.PutUint64(challenge[8:], challengeSeed^0xdeadbeefcafef00d)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.pending[imsi] = Vector{Challenge: challenge, Expected: Respond(sub.Key, challenge)}
+	return challenge, nil
+}
+
+// CompleteAttach verifies the UE's response and, on success, creates
+// the session with a default bearer.
+func (c *Core) CompleteAttach(imsi IMSI, response [32]byte) (*Session, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	vec, ok := c.pending[imsi]
+	if !ok {
+		return nil, ErrNoPendingAuth
+	}
+	delete(c.pending, imsi)
+	if !hmac.Equal(vec.Expected[:], response[:]) {
+		c.rejects++
+		return nil, ErrAuthFailed
+	}
+	sub, _ := c.hss.Lookup(imsi)
+	if s, exists := c.sessions[imsi]; exists {
+		// Re-attach keeps the session (idempotent for UE power cycles).
+		c.attaches++
+		return s, nil
+	}
+	ip := make(net.IP, 4)
+	binary.BigEndian.PutUint32(ip, c.nextIP)
+	c.nextIP++
+	s := &Session{IMSI: imsi, IP: ip, TEID: c.nextTEID, QCI: sub.QoSClass}
+	c.nextTEID++
+	c.sessions[imsi] = s
+	c.attaches++
+	return s, nil
+}
+
+// Detach tears down the session for imsi (idempotent).
+func (c *Core) Detach(imsi IMSI) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.sessions, imsi)
+	delete(c.pending, imsi)
+}
+
+// Session returns the active session for imsi, if any.
+func (c *Core) Session(imsi IMSI) (*Session, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s, ok := c.sessions[imsi]
+	return s, ok
+}
+
+// ActiveSessions returns the number of attached subscribers.
+func (c *Core) ActiveSessions() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.sessions)
+}
+
+// Stats returns (successful attaches, rejections) counters.
+func (c *Core) Stats() (attaches, rejects int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.attaches, c.rejects
+}

@@ -1,0 +1,153 @@
+package epc
+
+import (
+	"errors"
+	"testing"
+)
+
+func key(b byte) [16]byte {
+	var k [16]byte
+	for i := range k {
+		k[i] = b
+	}
+	return k
+}
+
+func TestAttachFlow(t *testing.T) {
+	hss := NewHSS()
+	hss.Provision(Subscriber{IMSI: "001010000000001", Key: key(7), QoSClass: 9})
+	core := NewCore(hss)
+
+	ch, err := core.BeginAttach("001010000000001", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := core.CompleteAttach("001010000000001", Respond(key(7), ch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.IP == nil || sess.TEID == 0 || sess.QCI != 9 {
+		t.Errorf("session = %+v", sess)
+	}
+	if got, ok := core.Session("001010000000001"); !ok || got != sess {
+		t.Error("session lookup failed")
+	}
+	if core.ActiveSessions() != 1 {
+		t.Error("active sessions")
+	}
+	a, r := core.Stats()
+	if a != 1 || r != 0 {
+		t.Errorf("stats = %d, %d", a, r)
+	}
+}
+
+func TestAttachUnknownSubscriber(t *testing.T) {
+	core := NewCore(NewHSS())
+	if _, err := core.BeginAttach("999", 1); !errors.Is(err, ErrUnknownSubscriber) {
+		t.Errorf("err = %v", err)
+	}
+	_, r := core.Stats()
+	if r != 1 {
+		t.Error("reject not counted")
+	}
+}
+
+func TestAttachWrongKey(t *testing.T) {
+	hss := NewHSS()
+	hss.Provision(Subscriber{IMSI: "1", Key: key(1)})
+	core := NewCore(hss)
+	ch, _ := core.BeginAttach("1", 1)
+	if _, err := core.CompleteAttach("1", Respond(key(2), ch)); !errors.Is(err, ErrAuthFailed) {
+		t.Errorf("err = %v", err)
+	}
+	if core.ActiveSessions() != 0 {
+		t.Error("failed auth must not create a session")
+	}
+}
+
+func TestCompleteWithoutBegin(t *testing.T) {
+	core := NewCore(NewHSS())
+	if _, err := core.CompleteAttach("1", [32]byte{}); !errors.Is(err, ErrNoPendingAuth) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestReattachIdempotent(t *testing.T) {
+	hss := NewHSS()
+	hss.Provision(Subscriber{IMSI: "1", Key: key(3)})
+	core := NewCore(hss)
+	attach := func() *Session {
+		ch, err := core.BeginAttach("1", 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := core.CompleteAttach("1", Respond(key(3), ch))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	s1 := attach()
+	s2 := attach()
+	if s1 != s2 {
+		t.Error("re-attach should keep the session")
+	}
+	if core.ActiveSessions() != 1 {
+		t.Error("duplicate sessions created")
+	}
+}
+
+func TestUniqueIPsAndTEIDs(t *testing.T) {
+	hss := NewHSS()
+	core := NewCore(hss)
+	seenIP := map[string]bool{}
+	seenTEID := map[uint32]bool{}
+	for i := 0; i < 50; i++ {
+		imsi := IMSI(string(rune('A' + i)))
+		hss.Provision(Subscriber{IMSI: imsi, Key: key(byte(i))})
+		ch, err := core.BeginAttach(imsi, uint64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := core.CompleteAttach(imsi, Respond(key(byte(i)), ch))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seenIP[s.IP.String()] {
+			t.Fatalf("duplicate IP %s", s.IP)
+		}
+		if seenTEID[s.TEID] {
+			t.Fatalf("duplicate TEID %d", s.TEID)
+		}
+		seenIP[s.IP.String()] = true
+		seenTEID[s.TEID] = true
+	}
+}
+
+func TestDetach(t *testing.T) {
+	hss := NewHSS()
+	hss.Provision(Subscriber{IMSI: "1", Key: key(1)})
+	core := NewCore(hss)
+	ch, _ := core.BeginAttach("1", 1)
+	if _, err := core.CompleteAttach("1", Respond(key(1), ch)); err != nil {
+		t.Fatal(err)
+	}
+	core.Detach("1")
+	if core.ActiveSessions() != 0 {
+		t.Error("detach did not clear session")
+	}
+	core.Detach("1") // idempotent
+}
+
+func TestRespondDeterministic(t *testing.T) {
+	var ch [16]byte
+	ch[0] = 9
+	a := Respond(key(5), ch)
+	b := Respond(key(5), ch)
+	if a != b {
+		t.Error("respond not deterministic")
+	}
+	if Respond(key(6), ch) == a {
+		t.Error("different keys should give different responses")
+	}
+}

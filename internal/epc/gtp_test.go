@@ -1,0 +1,207 @@
+package epc
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"testing"
+	"testing/quick"
+)
+
+func TestGTPURoundTrip(t *testing.T) {
+	cases := []GTPUPacket{
+		{Type: GTPUGPDU, TEID: 0xdeadbeef, Payload: []byte("hello UE")},
+		{Type: GTPUGPDU, TEID: 1, HasSeq: true, Seq: 4711, Payload: []byte{0x45, 0, 0, 0}},
+		{Type: GTPUEchoRequest, HasSeq: true, Seq: 1},
+		{Type: GTPUGPDU, TEID: 7, Payload: nil},
+	}
+	for _, c := range cases {
+		got, err := DecodeGTPU(EncodeGTPU(c))
+		if err != nil {
+			t.Fatalf("decode(%+v): %v", c, err)
+		}
+		if got.Type != c.Type || got.TEID != c.TEID || got.HasSeq != c.HasSeq || got.Seq != c.Seq {
+			t.Errorf("header mismatch: got %+v want %+v", got, c)
+		}
+		if !bytes.Equal(got.Payload, c.Payload) && len(c.Payload) > 0 {
+			t.Errorf("payload mismatch: %v vs %v", got.Payload, c.Payload)
+		}
+	}
+}
+
+func TestGTPURoundTripProperty(t *testing.T) {
+	f := func(teid uint32, seq uint16, hasSeq bool, payload []byte) bool {
+		p := GTPUPacket{Type: GTPUGPDU, TEID: teid, HasSeq: hasSeq, Payload: payload}
+		if hasSeq {
+			p.Seq = seq
+		}
+		if len(payload) > 1400 {
+			return true
+		}
+		got, err := DecodeGTPU(EncodeGTPU(p))
+		if err != nil {
+			return false
+		}
+		return got.TEID == teid && got.HasSeq == hasSeq &&
+			(!hasSeq || got.Seq == seq) && bytes.Equal(got.Payload, payload)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGTPUDecodeErrors(t *testing.T) {
+	if _, err := DecodeGTPU([]byte{1, 2, 3}); !errors.Is(err, ErrGTPUTooShort) {
+		t.Errorf("short: %v", err)
+	}
+	// Wrong version bits.
+	bad := EncodeGTPU(GTPUPacket{Type: GTPUGPDU, TEID: 1})
+	bad[0] = 0
+	if _, err := DecodeGTPU(bad); !errors.Is(err, ErrGTPUBadVersion) {
+		t.Errorf("version: %v", err)
+	}
+	// Length longer than buffer.
+	trunc := EncodeGTPU(GTPUPacket{Type: GTPUGPDU, TEID: 1, Payload: []byte("abcdef")})
+	if _, err := DecodeGTPU(trunc[:len(trunc)-3]); !errors.Is(err, ErrGTPUBadLength) {
+		t.Errorf("length: %v", err)
+	}
+}
+
+func TestTunnelEncapDecap(t *testing.T) {
+	tun := NewTunnel(99)
+	inner := []byte("ip packet bytes")
+	wire := tun.Encap(inner)
+	got, err := tun.Decap(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, inner) {
+		t.Error("payload corrupted")
+	}
+	if tun.TxPackets != 1 || tun.RxPackets != 1 || tun.TxBytes != uint64(len(inner)) {
+		t.Errorf("counters: %+v", tun)
+	}
+	// Wrong tunnel.
+	other := NewTunnel(100)
+	if _, err := other.Decap(wire); !errors.Is(err, ErrTEIDMismatch) {
+		t.Errorf("mismatch: %v", err)
+	}
+	// Non-GPDU rejected by Decap.
+	if _, err := tun.Decap(EchoRequest(1)); err == nil {
+		t.Error("echo must not decap as user data")
+	}
+}
+
+func TestTunnelSequencing(t *testing.T) {
+	tun := NewTunnel(5)
+	tun.Sequencing = true
+	p1, _ := DecodeGTPU(tun.Encap([]byte("a")))
+	p2, _ := DecodeGTPU(tun.Encap([]byte("b")))
+	if !p1.HasSeq || !p2.HasSeq || p2.Seq != p1.Seq+1 {
+		t.Errorf("sequencing wrong: %d then %d", p1.Seq, p2.Seq)
+	}
+}
+
+func TestEchoRoundTrip(t *testing.T) {
+	req, err := DecodeGTPU(EchoRequest(42))
+	if err != nil || req.Type != GTPUEchoRequest || req.Seq != 42 {
+		t.Fatalf("echo request: %+v %v", req, err)
+	}
+	resp, err := DecodeGTPU(EchoResponse(req))
+	if err != nil || resp.Type != GTPUEchoResponse || resp.Seq != 42 {
+		t.Fatalf("echo response: %+v %v", resp, err)
+	}
+}
+
+func TestS1CodecRoundTrip(t *testing.T) {
+	msg := S1Message{
+		Type:     S1ContextSetup,
+		IMSI:     "001010000000007",
+		TEID:     1234,
+		IP:       net.IPv4(10, 45, 0, 9).To4(),
+		Cause:    "ok",
+		Response: Respond(key(1), [16]byte{9}),
+	}
+	msg.Challenge[3] = 7
+	got, n, err := DecodeS1(EncodeS1(msg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(EncodeS1(msg)) {
+		t.Error("consumed length wrong")
+	}
+	if got.Type != msg.Type || got.IMSI != msg.IMSI || got.TEID != msg.TEID ||
+		!got.IP.Equal(msg.IP) || got.Cause != msg.Cause ||
+		got.Challenge != msg.Challenge || got.Response != msg.Response {
+		t.Errorf("mismatch:\n got %+v\nwant %+v", got, msg)
+	}
+}
+
+func TestS1DecodeErrors(t *testing.T) {
+	if _, _, err := DecodeS1([]byte{0}); !errors.Is(err, ErrS1Truncated) {
+		t.Error("short prefix")
+	}
+	full := EncodeS1(S1Message{Type: S1InitialUEMessage, IMSI: "1"})
+	for cut := 1; cut < len(full); cut++ {
+		if _, _, err := DecodeS1(full[:cut]); err == nil {
+			t.Fatalf("truncation at %d not detected", cut)
+		}
+	}
+	// Oversized frame.
+	huge := make([]byte, 2)
+	huge[0] = 0xff
+	huge[1] = 0xff
+	if _, _, err := DecodeS1(huge); !errors.Is(err, ErrS1TooLarge) {
+		t.Error("oversize not detected")
+	}
+}
+
+func TestAttachOverS1EndToEnd(t *testing.T) {
+	hss := NewHSS()
+	hss.Provision(Subscriber{IMSI: "001010000000042", Key: key(9), QoSClass: 9})
+	core := NewCore(hss)
+
+	enbSide, coreSide := net.Pipe()
+	defer enbSide.Close()
+	done := make(chan error, 1)
+	go func() {
+		done <- core.ServeS1(NewS1Conn(coreSide), 1)
+	}()
+
+	conn := NewS1Conn(enbSide)
+	teid, ip, err := AttachOverS1(conn, "001010000000042", key(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if teid == 0 || ip == nil {
+		t.Errorf("grant: teid=%d ip=%v", teid, ip)
+	}
+	if core.ActiveSessions() != 1 {
+		t.Error("no session after S1 attach")
+	}
+
+	// Wrong key is rejected.
+	if _, _, err := AttachOverS1(conn, "001010000000042", key(8)); err == nil {
+		t.Error("wrong key should be rejected over S1")
+	}
+
+	// Release and close down.
+	if err := conn.Send(S1Message{Type: S1ContextRelease, IMSI: "001010000000042"}); err != nil {
+		t.Fatal(err)
+	}
+	coreSide.Close()
+	if err := <-done; err != nil && !errors.Is(err, net.ErrClosed) && err.Error() != "io: read/write on closed pipe" {
+		t.Errorf("ServeS1 returned %v", err)
+	}
+}
+
+func TestAttachOverS1UnknownSubscriber(t *testing.T) {
+	core := NewCore(NewHSS())
+	enbSide, coreSide := net.Pipe()
+	defer enbSide.Close()
+	defer coreSide.Close()
+	go core.ServeS1(NewS1Conn(coreSide), 1) //nolint:errcheck
+	if _, _, err := AttachOverS1(NewS1Conn(enbSide), "ghost", key(1)); err == nil {
+		t.Error("unknown subscriber should be rejected")
+	}
+}

@@ -1,0 +1,245 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/terrain"
+)
+
+func quickOpts() Options { return Options{Seeds: 1, Quick: true} }
+
+func TestReportRendering(t *testing.T) {
+	r := &Report{
+		Figure: "Fig X",
+		Title:  "demo",
+		Header: []string{"a", "bb"},
+	}
+	r.AddRow("1", "2")
+	r.Note("hello %d", 7)
+	s := r.String()
+	for _, want := range []string{"Fig X", "a", "bb", "hello 7"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendered report missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, ok := ByID("fig20"); !ok {
+		t.Error("fig20 should exist")
+	}
+	if _, ok := ByID("fig99"); ok {
+		t.Error("fig99 should not exist")
+	}
+	// All IDs unique.
+	seen := map[string]bool{}
+	for _, s := range All {
+		if seen[s.ID] {
+			t.Errorf("duplicate id %s", s.ID)
+		}
+		seen[s.ID] = true
+		if s.Run == nil {
+			t.Errorf("%s has no runner", s.ID)
+		}
+	}
+}
+
+func TestHelpers(t *testing.T) {
+	tr := terrain.Campus(1)
+	ues := uniformUEs(tr, 5, 1)
+	if len(ues) != 5 {
+		t.Fatal("uniform placement")
+	}
+	for _, u := range ues {
+		if !tr.IsOpen(u.Pos) {
+			t.Errorf("UE %d on closed ground", u.ID)
+		}
+	}
+	cl := clusteredUEs(tr, 5, 1)
+	spread := 0.0
+	c := geom.Centroid([]geom.Vec2{cl[0].Pos, cl[1].Pos, cl[2].Pos, cl[3].Pos, cl[4].Pos})
+	for _, u := range cl {
+		spread += u.Pos.Dist(c)
+	}
+	if spread/5 > 80 {
+		t.Errorf("cluster spread %.1f too wide", spread/5)
+	}
+	cp := clonedUEs(ues)
+	cp[0].Pos = geom.V2(0, 0)
+	if ues[0].Pos == (geom.V2(0, 0)) {
+		t.Error("clonedUEs shares state")
+	}
+}
+
+// The per-figure smoke tests run each harness at minimum scale and
+// check structural validity; the shape assertions against the paper
+// live in shape_test.go (skipped in -short).
+
+func runFig(t *testing.T, id string) *Report {
+	t.Helper()
+	spec, ok := ByID(id)
+	if !ok {
+		t.Fatalf("unknown figure %s", id)
+	}
+	r, err := spec.Run(quickOpts())
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	if len(r.Rows) == 0 {
+		t.Fatalf("%s: no rows", id)
+	}
+	for _, row := range r.Rows {
+		if len(row) != len(r.Header) {
+			t.Fatalf("%s: row width %d != header %d", id, len(row), len(r.Header))
+		}
+	}
+	return r
+}
+
+func TestFig01Smoke(t *testing.T) { runFig(t, "fig01") }
+func TestFig04Smoke(t *testing.T) { runFig(t, "fig04") }
+func TestFig06Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow in -short")
+	}
+	runFig(t, "fig06")
+}
+func TestFig07Smoke(t *testing.T) { runFig(t, "fig07") }
+func TestFig08Smoke(t *testing.T) { runFig(t, "fig08") }
+func TestFig09Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow in -short")
+	}
+	runFig(t, "fig09")
+}
+func TestFig12Smoke(t *testing.T) { runFig(t, "fig12") }
+func TestFig17Smoke(t *testing.T) { runFig(t, "fig17") }
+func TestFig18Smoke(t *testing.T) { runFig(t, "fig18") }
+func TestFig19Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow in -short")
+	}
+	runFig(t, "fig19")
+}
+func TestFig20Smoke(t *testing.T) { runFig(t, "fig20") }
+func TestFig21Smoke(t *testing.T) { runFig(t, "fig21") }
+func TestFig23Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow in -short")
+	}
+	runFig(t, "fig23")
+}
+func TestFig24Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow in -short")
+	}
+	runFig(t, "fig24")
+}
+func TestFig26Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow in -short")
+	}
+	runFig(t, "fig26")
+}
+func TestFig27Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow in -short")
+	}
+	runFig(t, "fig27")
+}
+func TestFig28Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow in -short")
+	}
+	runFig(t, "fig28")
+}
+func TestFig29Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow in -short")
+	}
+	runFig(t, "fig29")
+}
+func TestFig30Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow in -short")
+	}
+	runFig(t, "fig30")
+}
+func TestFig31Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow in -short")
+	}
+	runFig(t, "fig31")
+}
+
+func runExt(t *testing.T, id string) *Report {
+	t.Helper()
+	spec, ok := ExtensionByID(id)
+	if !ok {
+		t.Fatalf("unknown extension %s", id)
+	}
+	r, err := spec.Run(quickOpts())
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	if len(r.Rows) == 0 {
+		t.Fatalf("%s: no rows", id)
+	}
+	return r
+}
+
+func TestExtensionsRegistry(t *testing.T) {
+	seen := map[string]bool{}
+	for _, s := range Extensions {
+		if seen[s.ID] {
+			t.Errorf("duplicate extension id %s", s.ID)
+		}
+		seen[s.ID] = true
+		if s.Run == nil {
+			t.Errorf("%s has no runner", s.ID)
+		}
+		if _, clash := ByID(s.ID); clash {
+			t.Errorf("extension id %s clashes with a figure", s.ID)
+		}
+	}
+	if _, ok := ExtensionByID("nope"); ok {
+		t.Error("unknown extension should miss")
+	}
+}
+
+func TestExtMultiUAVSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow in -short")
+	}
+	runExt(t, "ext-multiuav")
+}
+
+func TestAblInterpSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow in -short")
+	}
+	runExt(t, "abl-interp")
+}
+
+func TestAblLocalSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow in -short")
+	}
+	runExt(t, "abl-local")
+}
+
+func TestAblMaskSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow in -short")
+	}
+	runExt(t, "abl-mask")
+}
+
+func TestAblPlannerSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow in -short")
+	}
+	runExt(t, "abl-planner")
+}

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Report export: the text tables are for humans; CSV and JSON feed
+// plotting scripts, so regenerated figures can be drawn next to the
+// paper's originals without screen-scraping.
+
+// WriteCSV renders the report's table as CSV (header row first).
+// Notes are emitted as trailing comment rows ("# ...") which most CSV
+// consumers skip and humans still see.
+func (r *Report) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(r.Header); err != nil {
+		return fmt.Errorf("experiments: csv header: %w", err)
+	}
+	for _, row := range r.Rows {
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("experiments: csv row: %w", err)
+		}
+	}
+	for _, n := range r.Notes {
+		if err := cw.Write([]string{"# " + n}); err != nil {
+			return fmt.Errorf("experiments: csv note: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// jsonReport is the exported JSON shape.
+type jsonReport struct {
+	Figure string     `json:"figure"`
+	Title  string     `json:"title"`
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
+	Notes  []string   `json:"notes,omitempty"`
+}
+
+// WriteJSON renders the report as an indented JSON object.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(jsonReport{
+		Figure: r.Figure, Title: r.Title,
+		Header: r.Header, Rows: r.Rows, Notes: r.Notes,
+	})
+}
+
+// Write renders the report in the named format: "text" (default),
+// "csv" or "json".
+func (r *Report) Write(w io.Writer, format string) error {
+	switch format {
+	case "", "text":
+		_, err := r.WriteTo(w)
+		return err
+	case "csv":
+		return r.WriteCSV(w)
+	case "json":
+		return r.WriteJSON(w)
+	default:
+		return fmt.Errorf("experiments: unknown format %q", format)
+	}
+}

@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func demoReport() *Report {
+	r := &Report{
+		Figure: "Fig X",
+		Title:  "demo",
+		Header: []string{"a", "b"},
+	}
+	r.AddRow("1", "2.5")
+	r.AddRow("3", "4.5")
+	r.Note("shape holds")
+	return r
+}
+
+func TestWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := demoReport().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// The note row has a single field, so read leniently.
+	rd := csv.NewReader(strings.NewReader(buf.String()))
+	rd.FieldsPerRecord = -1
+	rows, err := rd.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 || rows[0][0] != "a" || rows[2][1] != "4.5" {
+		t.Errorf("csv rows: %v", rows)
+	}
+	if !strings.HasPrefix(rows[3][0], "# ") {
+		t.Errorf("note row: %v", rows[3])
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := demoReport().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		Figure string     `json:"figure"`
+		Rows   [][]string `json:"rows"`
+		Notes  []string   `json:"notes"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Figure != "Fig X" || len(got.Rows) != 2 || got.Notes[0] != "shape holds" {
+		t.Errorf("json: %+v", got)
+	}
+}
+
+func TestWriteDispatch(t *testing.T) {
+	var buf bytes.Buffer
+	for _, f := range []string{"", "text", "csv", "json"} {
+		buf.Reset()
+		if err := demoReport().Write(&buf, f); err != nil {
+			t.Errorf("format %q: %v", f, err)
+		}
+		if buf.Len() == 0 {
+			t.Errorf("format %q produced nothing", f)
+		}
+	}
+	if err := demoReport().Write(&buf, "xml"); err == nil {
+		t.Error("unknown format should fail")
+	}
+}

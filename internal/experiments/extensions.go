@@ -1,0 +1,261 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/rem"
+	"repro/internal/terrain"
+)
+
+// Extensions are studies beyond the paper's figures: ablations of the
+// design choices DESIGN.md calls out, and the multi-UAV deployment the
+// paper sketches as future work (§7/§8). cmd/experiments runs them via
+// -ext.
+var Extensions = []Spec{
+	{"ext-multiuav", "Multi-UAV fleet: time to cover LARGE with 1-3 cooperating UAVs (§7 future work)", RunExtMultiUAV},
+	{"abl-interp", "Ablation: IDW vs ordinary kriging vs prior-blended IDW for REM estimation", RunAblInterp},
+	{"abl-local", "Ablation: localization design (loop vs walk, refinement on/off)", RunAblLocal},
+	{"abl-mask", "Ablation: placement confidence mask on/off", RunAblMask},
+	{"abl-planner", "Ablation: K-means cluster range in trajectory planning", RunAblPlanner},
+}
+
+// ExtensionByID returns the extension spec with the given id.
+func ExtensionByID(id string) (Spec, bool) {
+	for _, s := range Extensions {
+		if s.ID == id {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}
+
+// RunExtMultiUAV measures fleet scaling: mean relative throughput and
+// wall-clock probing overhead on the 1 km² LARGE terrain with 1, 2 and
+// 3 cooperating UAVs sharing a REM store.
+func RunExtMultiUAV(opts Options) (*Report, error) {
+	opts.defaults()
+	r := &Report{
+		Figure: "Ext multi-UAV",
+		Title:  "Fleet scaling on LARGE (12 UEs, 700 m budget per UAV)",
+		Header: []string{"n_uavs", "rel_throughput", "probing_min"},
+	}
+	counts := []int{1, 2, 3}
+	if opts.Quick {
+		counts = []int{1, 2}
+	}
+	for _, n := range counts {
+		var rels, times []float64
+		for seed := 0; seed < opts.Seeds; seed++ {
+			t := terrain.Large(uint64(seed + 1))
+			ues := uniformUEs(t, 12, int64(seed+1))
+			fleet, err := core.NewFleet(n, t, core.Config{
+				Seed:               int64(seed)*19 + int64(n),
+				FixedAltitudeM:     60,
+				MeasurementBudgetM: 700,
+				Objective:          rem.MaxMean,
+				REMCellM:           4,
+			}, uint64(seed+1), true)
+			if err != nil {
+				return nil, err
+			}
+			res, err := fleet.RunEpoch(ues)
+			if err != nil {
+				return nil, err
+			}
+			rels = append(rels, res.MeanRelativeThroughput(evalCellFor(t, opts.Quick)))
+			times = append(times, res.MaxFlightS/60)
+		}
+		r.AddRow(f0(float64(n)), f(metrics.Mean(rels)), f(metrics.Mean(times)))
+	}
+	r.Note("expected: relative throughput rises with fleet size at ~constant wall-clock overhead (sectors shrink)")
+	return r, nil
+}
+
+// RunAblInterp compares REM interpolators at a fixed measurement
+// budget: pure IDW (paper default), ordinary kriging, and
+// prior-blended IDW. The paper's footnote 3 claims kriging buys little
+// over IDW; the blend trades whole-map accuracy for model fallback.
+func RunAblInterp(opts Options) (*Report, error) {
+	opts.defaults()
+	r := &Report{
+		Figure: "Abl interp",
+		Title:  "REM interpolator ablation (campus, 7 UEs, 600 m budget)",
+		Header: []string{"interpolator", "median_err_dB"},
+	}
+	const alt, budget = 35.0, 600.0
+	variants := []string{"idw", "kriging", "idw+prior"}
+	errsBy := map[string][]float64{}
+	for seed := 0; seed < opts.Seeds; seed++ {
+		t := terrain.Campus(uint64(seed + 1))
+		baseUEs := uniformUEs(t, 7, int64(seed+1))
+		evalCell := evalCellFor(t, opts.Quick)
+		w, err := newWorld("CAMPUS", uint64(seed+1), clonedUEs(baseUEs), true)
+		if err != nil {
+			return nil, err
+		}
+		s := core.NewSkyRAN(core.Config{
+			Seed: int64(seed)*7 + 1, FixedAltitudeM: alt, MeasurementBudgetM: budget,
+		})
+		res, err := s.RunEpochWithEstimates(w, truePositions(w))
+		if err != nil {
+			return nil, err
+		}
+		truths := w.GroundTruthREMs(alt, evalCell)
+		for _, variant := range variants {
+			var meds []float64
+			for i, m := range res.REMs {
+				mm := m.Clone()
+				switch variant {
+				case "kriging":
+					err = mm.InterpolateKriging(12)
+				case "idw+prior":
+					mm.BlendPrior = true
+					err = mm.Interpolate()
+				default:
+					err = mm.Interpolate()
+				}
+				if err != nil {
+					return nil, fmt.Errorf("ablation %s: %w", variant, err)
+				}
+				meds = append(meds, rem.MedianAbsError(mm, truths[i]))
+			}
+			errsBy[variant] = append(errsBy[variant], metrics.Median(meds))
+		}
+	}
+	for _, v := range variants {
+		r.AddRow(v, f(metrics.Mean(errsBy[v])))
+	}
+	r.Note("paper footnote 3 (citing Molinari et al.): kriging offers only marginal improvement over IDW")
+	return r, nil
+}
+
+// RunAblLocal quantifies the two localization design choices this
+// reproduction documents: the closed-loop flight shape and the free
+// measurement-flight refinement.
+func RunAblLocal(opts Options) (*Report, error) {
+	opts.defaults()
+	r := &Report{
+		Figure: "Abl localization",
+		Title:  "Localization design ablation (NYC, 6 UEs, mean error m)",
+		Header: []string{"variant", "mean_err_m"},
+	}
+	type variant struct {
+		name     string
+		noRefine bool
+	}
+	variants := []variant{
+		{"loop+refine (default)", false},
+		{"loop only", true},
+	}
+	for _, v := range variants {
+		var errs []float64
+		for seed := 0; seed < opts.Seeds; seed++ {
+			t := terrain.NYC(uint64(seed + 1))
+			ues := uniformUEs(t, 6, int64(seed+1))
+			w, err := newWorld("NYC", uint64(seed+1), ues, true)
+			if err != nil {
+				return nil, err
+			}
+			s := core.NewSkyRAN(core.Config{
+				Seed: int64(seed) * 3, FixedAltitudeM: 60, MeasurementBudgetM: 500,
+				NoLocationRefine: v.noRefine,
+			})
+			res, err := s.RunEpoch(w)
+			if err != nil {
+				return nil, err
+			}
+			for i, est := range res.UEEstimates {
+				errs = append(errs, est.Dist(w.UEs[i].Pos))
+			}
+		}
+		r.AddRow(v.name, f(metrics.Mean(errs)))
+	}
+	r.Note("refinement reuses SRS from the measurement flight: same flight metres, far larger aperture")
+	return r, nil
+}
+
+// RunAblMask compares placement with and without the measurement-
+// confidence mask.
+func RunAblMask(opts Options) (*Report, error) {
+	opts.defaults()
+	r := &Report{
+		Figure: "Abl mask",
+		Title:  "Placement confidence mask ablation (NYC, 6 UEs, 250 m budget)",
+		Header: []string{"mask_m", "rel_throughput"},
+	}
+	for _, maskM := range []float64{-1, 30, 80} {
+		var rels []float64
+		for seed := 0; seed < opts.Seeds; seed++ {
+			t := terrain.NYC(uint64(seed + 1))
+			ues := uniformUEs(t, 6, int64(seed+1))
+			w, err := newWorld("NYC", uint64(seed+1), ues, true)
+			if err != nil {
+				return nil, err
+			}
+			cfg := core.Config{
+				Seed: int64(seed) * 5, FixedAltitudeM: 60, MeasurementBudgetM: 250,
+				Objective: rem.MaxMean,
+			}
+			if maskM > 0 {
+				cfg.PlacementMaskM = maskM
+			} else {
+				cfg.PlacementMaskM = 1e6 // effectively no mask
+			}
+			s := core.NewSkyRAN(cfg)
+			res, err := s.RunEpoch(w)
+			if err != nil {
+				return nil, err
+			}
+			rels = append(rels, metrics.Clamp01(relMeanThroughput(w, res.Position, evalCellFor(t, opts.Quick))))
+		}
+		label := fmt.Sprintf("%.0f", maskM)
+		if maskM <= 0 {
+			label = "off"
+		}
+		r.AddRow(label, f(metrics.Mean(rels)))
+	}
+	r.Note("with pure-IDW REMs the mask is cost-free insurance (identical means); it was load-bearing when prior-blended maps could hallucinate good cells far from data")
+	return r, nil
+}
+
+// RunAblPlanner sweeps the planner's K-means cluster budget.
+func RunAblPlanner(opts Options) (*Report, error) {
+	opts.defaults()
+	r := &Report{
+		Figure: "Abl planner",
+		Title:  "Trajectory planner cluster-range ablation (campus, 7 UEs, 600 m)",
+		Header: []string{"kmin-kmax", "rel_throughput", "rem_err_dB"},
+	}
+	ranges := [][2]int{{2, 4}, {4, 12}, {12, 24}}
+	for _, kr := range ranges {
+		var rels, errs []float64
+		for seed := 0; seed < opts.Seeds; seed++ {
+			t := terrain.Campus(uint64(seed + 1))
+			ues := uniformUEs(t, 7, int64(seed+1))
+			evalCell := evalCellFor(t, opts.Quick)
+			w, err := newWorld("CAMPUS", uint64(seed+1), ues, true)
+			if err != nil {
+				return nil, err
+			}
+			cfg := core.Config{
+				Seed: int64(seed) * 11, FixedAltitudeM: 35, MeasurementBudgetM: 600,
+				Objective: rem.MaxMean,
+			}
+			cfg.Planner.KMin, cfg.Planner.KMax = kr[0], kr[1]
+			cfg.Planner.IMaxM = 200
+			cfg.Planner.SampleStepM = 5
+			s := core.NewSkyRAN(cfg)
+			res, err := s.RunEpoch(w)
+			if err != nil {
+				return nil, err
+			}
+			rels = append(rels, metrics.Clamp01(relMeanThroughput(w, res.Position, evalCell)))
+			errs = append(errs, medianREMError(w, res.REMs, 35, evalCell))
+		}
+		r.AddRow(fmt.Sprintf("%d-%d", kr[0], kr[1]), f(metrics.Mean(rels)), f(metrics.Mean(errs)))
+	}
+	r.Note("too few clusters under-cover; too many degenerate into an unordered sweep")
+	return r, nil
+}

@@ -1,0 +1,243 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/locate"
+	"repro/internal/ltephy"
+	"repro/internal/metrics"
+	"repro/internal/radio"
+	"repro/internal/rem"
+	"repro/internal/sim"
+	"repro/internal/terrain"
+	"repro/internal/traj"
+	"repro/internal/ue"
+)
+
+func init() {
+	Extensions = append(Extensions,
+		Spec{"ext-uemobility", "UE mobility: localization error vs UE speed (§4.3: 3-4x worse at car speeds)", RunExtUEMobility},
+		Spec{"ext-tputmap", "Throughput map vs REM as the placement substrate (§2.3)", RunExtThroughputMap},
+		Spec{"ext-fig14", "Fig 14 companion: per-UE SNR distributions during a measurement flight", RunExtFig14},
+	)
+}
+
+// RunExtUEMobility reproduces the §4.3 observation that localization
+// of fast-moving UEs deteriorates: the multilateration assumes a fixed
+// position while the UE covers metres during the flight.
+func RunExtUEMobility(opts Options) (*Report, error) {
+	opts.defaults()
+	r := &Report{
+		Figure: "Ext UE mobility",
+		Title:  "Localization error vs UE speed (campus, 20 m loop)",
+		Header: []string{"speed_ms", "median_err_m"},
+	}
+	speeds := []float64{0, 1.4, 8, 14} // static, walking, cycling, car
+	if opts.Quick {
+		speeds = []float64{0, 14}
+	}
+	for _, speed := range speeds {
+		var errs []float64
+		trials := opts.Seeds * 3
+		for trial := 0; trial < trials; trial++ {
+			t := terrain.Campus(uint64(trial + 1))
+			ues := uniformUEs(t, 3, int64(trial+1))
+			if speed > 0 {
+				for _, u := range ues {
+					u.Mobility = ue.NewRandomWaypoint(t.Bounds().Inset(20), speed, 0)
+				}
+			}
+			w, err := newWorld("CAMPUS", uint64(trial+1), ues, false)
+			if err != nil {
+				return nil, err
+			}
+			// Pre-position just above the loop altitude: the ranging
+			// window is then a short descent (which adds vertical
+			// aperture) plus the loop, not the full drop from the
+			// 120 m ceiling during which mobile UEs keep walking.
+			w.UAV.SetRoute([]geom.Vec3{geom.V3(150, 150, 78)})
+			for !w.UAV.Hovering() {
+				w.UAV.Step(1)
+			}
+			rng := rand.New(rand.NewSource(int64(trial)*23 + int64(speed)))
+			path := traj.LocalizationLoop(w.Area(), geom.V2(150, 150), 20, rng)
+			tuples, _ := w.LocalizationFlight(path, 60)
+			// Error is measured against the end-of-flight position —
+			// the operationally relevant anchor (the REM is keyed to
+			// where the UE is now).
+			anchors := truePositions(w)
+			results, err := locate.SolveJoint(tuples, locate.Options{
+				Bounds:      w.Area(),
+				GroundZ:     func(p geom.Vec2) float64 { return w.Radio.GroundZ(p) + 1.5 },
+				OffsetPrior: &locate.OffsetPrior{MeanM: w.Cfg.ProcOffsetM, SigmaM: 5},
+			})
+			if err != nil {
+				continue
+			}
+			for i := range results {
+				errs = append(errs, results[i].UE.Dist(anchors[i]))
+			}
+		}
+		r.AddRow(f1(speed), f(metrics.Median(errs)))
+	}
+	r.Note("paper §4.3: 3-4x deterioration at car speeds; our random-waypoint cars smear harder (~5-7x) since they wander rather than follow roads")
+	return r, nil
+}
+
+// RunExtThroughputMap compares placing from a REM (SNR map) against
+// placing from a throughput map built from the same flight. §2.3
+// argues REMs are the better substrate: throughput samples are
+// quantized by the CQI ladder (and in a real system corrupted by
+// MAC-layer artefacts), so the interpolated surface carries less
+// information per measurement.
+func RunExtThroughputMap(opts Options) (*Report, error) {
+	opts.defaults()
+	r := &Report{
+		Figure: "Ext throughput map",
+		Title:  "Placement substrate: REM vs throughput map (campus, 7 UEs, 400 m)",
+		Header: []string{"substrate", "rel_throughput"},
+	}
+	const alt, budget = 35.0, 400.0
+	var remRels, tputRels []float64
+	for seed := 0; seed < opts.Seeds; seed++ {
+		t := terrain.Campus(uint64(seed + 1))
+		baseUEs := uniformUEs(t, 7, int64(seed+1))
+		evalCell := evalCellFor(t, opts.Quick)
+
+		w, err := newWorld("CAMPUS", uint64(seed+1), clonedUEs(baseUEs), true)
+		if err != nil {
+			return nil, err
+		}
+		// One shared measurement flight.
+		path := zigzagPath(w.Area(), w.Area().Width()/10).Truncate(budget).Resample(1)
+		samples, _ := w.FlyMeasure(path, alt, budget)
+
+		build := func(toValue func(snr float64) float64) []*rem.Map {
+			maps := make([]*rem.Map, len(w.UEs))
+			for i := range maps {
+				maps[i] = rem.New(w.Area(), 2)
+			}
+			for _, s := range samples {
+				for i, m := range maps {
+					m.AddMeasurement(s.GPS.XY(), toValue(s.SNRs[i]))
+				}
+			}
+			for _, m := range maps {
+				if err := m.Interpolate(); err != nil {
+					panic(err)
+				}
+			}
+			return maps
+		}
+		place := func(maps []*rem.Map) float64 {
+			mask := maps[0].NearMeasurement(30)
+			pos, _, err := rem.PlaceMasked(maps, rem.MaxMean, nil, mask)
+			if err != nil {
+				panic(err)
+			}
+			return metrics.Clamp01(relMeanThroughput(w, pos.WithZ(alt), evalCell))
+		}
+
+		remRels = append(remRels, place(build(func(s float64) float64 { return s })))
+		// Throughput map: per-sample CQI-quantized rate in Mbps.
+		num := ltephy.LTE10MHz()
+		tputRels = append(tputRels, place(build(func(s float64) float64 {
+			return num.ThroughputBps(s) / 1e6
+		})))
+	}
+	r.AddRow("REM (SNR)", f(metrics.Mean(remRels)))
+	r.AddRow("throughput map", f(metrics.Mean(tputRels)))
+	r.Note("§2.3: REMs give a lower-level, higher-fidelity view; CQI quantization flattens the throughput surface")
+	return r, nil
+}
+
+// RunExtFig14 reports per-UE SNR distributions observed during a
+// measurement flight — the textual companion of Fig 14, confirming
+// that UEs see highly varying channels (tens of dB spread) while the
+// UAV moves.
+func RunExtFig14(opts Options) (*Report, error) {
+	opts.defaults()
+	r := &Report{
+		Figure: "Ext Fig 14",
+		Title:  "Per-UE SNR distribution during a measurement flight (campus)",
+		Header: []string{"ue", "p5_dB", "median_dB", "p95_dB", "spread_dB"},
+	}
+	t := terrain.Campus(1)
+	ues := uniformUEs(t, 4, 1)
+	w, err := newWorld("CAMPUS", 1, ues, true)
+	if err != nil {
+		return nil, err
+	}
+	path := zigzagPath(t.Bounds(), 40).Resample(1)
+	samples, _ := w.FlyMeasure(path, 35, 1500)
+	for i := range w.UEs {
+		var vals []float64
+		for _, s := range samples {
+			vals = append(vals, s.SNRs[i])
+		}
+		p5, med, p95 := metrics.Percentile(vals, 5), metrics.Median(vals), metrics.Percentile(vals, 95)
+		r.AddRow(f0(float64(w.UEs[i].ID)), f1(p5), f1(med), f1(p95), f1(p95-p5))
+	}
+	r.Note("paper Fig 14: SNR between roughly -20 and 50 dB during the same flight; spreads of tens of dB per UE")
+	return r, nil
+}
+
+func init() {
+	Extensions = append(Extensions,
+		Spec{"abl-antenna", "Ablation: dipole elevation pattern on/off (overhead null)", RunAblAntenna})
+}
+
+// RunAblAntenna toggles the UAV antenna's dipole elevation pattern.
+// With the overhead null enabled, hovering directly above a UE is no
+// longer free, so placements shift sideways; the controller adapts
+// because its REMs measure the pattern like any other propagation
+// effect.
+func RunAblAntenna(opts Options) (*Report, error) {
+	opts.defaults()
+	r := &Report{
+		Figure: "Abl antenna",
+		Title:  "Dipole elevation pattern ablation (campus, 5 UEs, 600 m)",
+		Header: []string{"pattern", "rel_throughput", "min_horiz_dist_m"},
+	}
+	for _, pattern := range []bool{false, true} {
+		var rels, dists []float64
+		for seed := 0; seed < opts.Seeds; seed++ {
+			t := terrain.Campus(uint64(seed + 1))
+			ues := uniformUEs(t, 5, int64(seed+1))
+			params := radio.DefaultParams()
+			params.AntennaPattern = pattern
+			w, err := sim.New(sim.Config{
+				Terrain: t, Seed: uint64(seed + 1), FastRanging: true,
+				RadioParams: params,
+			}, ues)
+			if err != nil {
+				return nil, err
+			}
+			s := core.NewSkyRAN(core.Config{
+				Seed: int64(seed) * 13, FixedAltitudeM: 35, MeasurementBudgetM: 600,
+				Objective: rem.MaxMean,
+			})
+			res, err := s.RunEpoch(w)
+			if err != nil {
+				return nil, err
+			}
+			rels = append(rels, metrics.Clamp01(relMeanThroughput(w, res.Position, evalCellFor(t, opts.Quick))))
+			nearest := 1e18
+			for _, u := range w.UEs {
+				if d := res.Position.XY().Dist(u.Pos); d < nearest {
+					nearest = d
+				}
+			}
+			dists = append(dists, nearest)
+		}
+		label := "off"
+		if pattern {
+			label = "on"
+		}
+		r.AddRow(label, f(metrics.Mean(rels)), f1(metrics.Mean(dists)))
+	}
+	r.Note("the controller measures the null like any propagation effect, so relative throughput holds while the chosen position backs away from the nearest UE")
+	return r, nil
+}

@@ -1,0 +1,224 @@
+package experiments
+
+import (
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/rem"
+	"repro/internal/terrain"
+)
+
+// RunFig20 reproduces Fig 20: median REM error vs measurement flight
+// time for the SkyRAN trajectory (gradient-guided, UE locations known)
+// vs the Uniform zigzag. Paper: SkyRAN reaches its ~3 dB floor by
+// ~82 s while Uniform is still ~7 dB at 120 s.
+func RunFig20(opts Options) (*Report, error) {
+	opts.defaults()
+	r := &Report{
+		Figure: "Fig 20",
+		Title:  "REM accuracy vs measurement flight time (campus, 7 UEs)",
+		Header: []string{"flight_s", "skyran_dB", "uniform_dB"},
+	}
+	times := []float64{20, 40, 60, 82, 100, 120}
+	if opts.Quick {
+		times = []float64{40, 100}
+	}
+	const alt = 35
+	speed := 30.0 / 3.6
+	sky := make([][]float64, len(times))
+	uni := make([][]float64, len(times))
+	for seed := 0; seed < opts.Seeds; seed++ {
+		t := terrain.Campus(uint64(seed + 1))
+		baseUEs := uniformUEs(t, 7, int64(seed+1))
+		evalCell := evalCellFor(t, opts.Quick)
+		for ti, ft := range times {
+			budget := ft * speed
+
+			wS, err := newWorld("CAMPUS", uint64(seed+1), clonedUEs(baseUEs), true)
+			if err != nil {
+				return nil, err
+			}
+			s := core.NewSkyRAN(core.Config{
+				Seed:               int64(seed)*7 + int64(ti),
+				FixedAltitudeM:     alt,
+				MeasurementBudgetM: budget,
+				Objective:          rem.MaxMean,
+			})
+			// Known UE locations, as in the paper's §4.4 methodology.
+			res, err := s.RunEpochWithEstimates(wS, truePositions(wS))
+			if err != nil {
+				return nil, err
+			}
+			sky[ti] = append(sky[ti], medianREMError(wS, res.REMs, alt, evalCell))
+
+			wU, err := newWorld("CAMPUS", uint64(seed+1), clonedUEs(baseUEs), true)
+			if err != nil {
+				return nil, err
+			}
+			u := &core.Uniform{BudgetM: budget, AltitudeM: alt, Objective: rem.MaxMean}
+			ures, err := u.RunEpoch(wU)
+			if err != nil {
+				return nil, err
+			}
+			uni[ti] = append(uni[ti], medianREMError(wU, ures.REMs, alt, evalCell))
+		}
+	}
+	for ti, ft := range times {
+		r.AddRow(f0(ft), f(metrics.Mean(sky[ti])), f(metrics.Mean(uni[ti])))
+	}
+	r.Note("paper: SkyRAN ≈3 dB by 82 s; Uniform ≈7 dB even at 120 s")
+	return r, nil
+}
+
+// RunFig21 reproduces Fig 21: average relative throughput of the
+// Centroid placement vs the number of UEs. Paper: 0.4-0.6x of
+// optimal, improving (and tightening) with more UEs.
+func RunFig21(opts Options) (*Report, error) {
+	opts.defaults()
+	r := &Report{
+		Figure: "Fig 21",
+		Title:  "Centroid placement relative throughput vs #UEs (campus)",
+		Header: []string{"n_ues", "rel_mean", "rel_std"},
+	}
+	counts := []int{2, 3, 4, 5, 6, 7}
+	if opts.Quick {
+		counts = []int{2, 5, 7}
+	}
+	for _, n := range counts {
+		var rels []float64
+		for seed := 0; seed < opts.Seeds; seed++ {
+			t := terrain.Campus(uint64(seed + 1))
+			ues := uniformUEs(t, n, int64(seed+1)*3+int64(n))
+			w, err := newWorld("CAMPUS", uint64(seed+1), ues, true)
+			if err != nil {
+				return nil, err
+			}
+			c := &core.Centroid{Seed: int64(seed) + int64(n)*100, AltitudeM: 35}
+			res, err := c.RunEpoch(w)
+			if err != nil {
+				return nil, err
+			}
+			rels = append(rels, metrics.Clamp01(relMeanThroughput(w, res.Position, evalCellFor(t, opts.Quick))))
+		}
+		r.AddRow(f0(float64(n)), f(metrics.Mean(rels)), f(metrics.Std(rels)))
+	}
+	r.Note("paper: 0.4-0.6x optimal; variance shrinks as UE count grows")
+	return r, nil
+}
+
+// topologyUEs builds topology A (uniform) or B (clustered) on the
+// campus terrain (§4.5.2 / Fig 22).
+func topologyUEs(t *terrain.Surface, topo string, n int, seed int64) []*simUE {
+	if topo == "B" {
+		return clusteredUEs(t, n, seed)
+	}
+	return uniformUEs(t, n, seed)
+}
+
+// RunFig23 reproduces Fig 23: relative throughput of SkyRAN vs Uniform
+// for measurement budgets 200-1000 m in topologies A and B. Paper:
+// SkyRAN ≈2x Uniform at small budgets, ≈0.95 by 1000 m; Uniform
+// struggles on the clustered topology.
+func RunFig23(opts Options) (*Report, error) {
+	opts.defaults()
+	r := &Report{
+		Figure: "Fig 23",
+		Title:  "Relative throughput vs measurement budget (campus, 7 UEs)",
+		Header: []string{"topology", "budget_m", "skyran", "uniform"},
+	}
+	budgets := []float64{200, 400, 600, 800, 1000}
+	if opts.Quick {
+		budgets = []float64{200, 1000}
+	}
+	const alt = 35
+	for _, topo := range []string{"A", "B"} {
+		for _, budget := range budgets {
+			var skyRels, uniRels []float64
+			for seed := 0; seed < opts.Seeds; seed++ {
+				t := terrain.Campus(uint64(seed + 1))
+				baseUEs := topologyUEs(t, topo, 7, int64(seed+1))
+				evalCell := evalCellFor(t, opts.Quick)
+
+				wS, err := newWorld("CAMPUS", uint64(seed+1), clonedUEs(baseUEs), true)
+				if err != nil {
+					return nil, err
+				}
+				s := core.NewSkyRAN(core.Config{
+					Seed:               int64(seed)*29 + int64(budget),
+					FixedAltitudeM:     alt,
+					MeasurementBudgetM: budget,
+					Objective:          rem.MaxMean,
+				})
+				sres, err := s.RunEpoch(wS)
+				if err != nil {
+					return nil, err
+				}
+				skyRels = append(skyRels, metrics.Clamp01(relMeanThroughput(wS, sres.Position, evalCell)))
+
+				wU, err := newWorld("CAMPUS", uint64(seed+1), clonedUEs(baseUEs), true)
+				if err != nil {
+					return nil, err
+				}
+				u := &core.Uniform{BudgetM: budget, AltitudeM: alt, Objective: rem.MaxMean}
+				ures, err := u.RunEpoch(wU)
+				if err != nil {
+					return nil, err
+				}
+				uniRels = append(uniRels, metrics.Clamp01(relMeanThroughput(wU, ures.Position, evalCell)))
+			}
+			r.AddRow(topo, f0(budget), f(metrics.Mean(skyRels)), f(metrics.Mean(uniRels)))
+		}
+	}
+	r.Note("paper: SkyRAN ~2x Uniform at small budgets; ~0.95 at 1000 m; topology B hardest for Uniform")
+	return r, nil
+}
+
+// RunFig24 reproduces Fig 24: median REM accuracy at the 1000 m budget
+// for topologies A and B. Paper: SkyRAN <3 dB on both; Uniform worse,
+// worst on B.
+func RunFig24(opts Options) (*Report, error) {
+	opts.defaults()
+	r := &Report{
+		Figure: "Fig 24",
+		Title:  "Median REM accuracy at 1000 m budget (campus, 7 UEs)",
+		Header: []string{"topology", "skyran_dB", "uniform_dB"},
+	}
+	const alt, budget = 35, 1000
+	for _, topo := range []string{"A", "B"} {
+		var skyErrs, uniErrs []float64
+		for seed := 0; seed < opts.Seeds; seed++ {
+			t := terrain.Campus(uint64(seed + 1))
+			baseUEs := topologyUEs(t, topo, 7, int64(seed+1))
+			evalCell := evalCellFor(t, opts.Quick)
+
+			wS, err := newWorld("CAMPUS", uint64(seed+1), clonedUEs(baseUEs), true)
+			if err != nil {
+				return nil, err
+			}
+			s := core.NewSkyRAN(core.Config{
+				Seed:               int64(seed) * 37,
+				FixedAltitudeM:     alt,
+				MeasurementBudgetM: budget,
+				Objective:          rem.MaxMean,
+			})
+			sres, err := s.RunEpoch(wS)
+			if err != nil {
+				return nil, err
+			}
+			skyErrs = append(skyErrs, medianREMError(wS, sres.REMs, alt, evalCell))
+
+			wU, err := newWorld("CAMPUS", uint64(seed+1), clonedUEs(baseUEs), true)
+			if err != nil {
+				return nil, err
+			}
+			u := &core.Uniform{BudgetM: budget, AltitudeM: alt, Objective: rem.MaxMean}
+			ures, err := u.RunEpoch(wU)
+			if err != nil {
+				return nil, err
+			}
+			uniErrs = append(uniErrs, medianREMError(wU, ures.REMs, alt, evalCell))
+		}
+		r.AddRow(topo, f(metrics.Mean(skyErrs)), f(metrics.Mean(uniErrs)))
+	}
+	r.Note("paper: SkyRAN under ~3 dB on both topologies; Uniform clearly worse on B")
+	return r, nil
+}

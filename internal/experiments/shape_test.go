@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+)
+
+// Shape tests: assert the paper's qualitative claims programmatically,
+// at reduced Monte-Carlo scale. They guard against regressions that
+// keep the harnesses running but silently invert a result. Skipped in
+// -short (each runs seconds to a minute).
+
+// cell parses a numeric table cell.
+func cell(t *testing.T, r *Report, row, col int) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(r.Rows[row][col], 64)
+	if err != nil {
+		t.Fatalf("%s row %d col %d: %v", r.Figure, row, col, err)
+	}
+	return v
+}
+
+func TestShapeFig06AwareBeatsNaive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape test")
+	}
+	r, err := RunFig06(Options{Seeds: 2, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At every probed fraction, location-aware error <= naive + slack.
+	wins := 0
+	for i := range r.Rows {
+		aware, naive := cell(t, r, i, 1), cell(t, r, i, 2)
+		if aware < naive {
+			wins++
+		}
+	}
+	if wins == 0 {
+		t.Errorf("location-aware probing never beat naive:\n%s", r)
+	}
+}
+
+func TestShapeFig20SkyRANBeatsUniformREM(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape test")
+	}
+	r, err := RunFig20(Options{Seeds: 2, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r.Rows {
+		sky, uni := cell(t, r, i, 1), cell(t, r, i, 2)
+		if sky > uni+1.5 {
+			t.Errorf("at %s s SkyRAN REM error %.2f well above Uniform %.2f:\n%s",
+				r.Rows[i][0], sky, uni, r)
+		}
+	}
+}
+
+func TestShapeFig23SkyRANWinsAtSmallBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape test")
+	}
+	r, err := RunFig23(Options{Seeds: 2, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Quick mode emits budgets {200, 1000} per topology; row 0 is
+	// topology A at 200 m, where the paper's gap is widest.
+	sky, uni := cell(t, r, 0, 2), cell(t, r, 0, 3)
+	if sky < uni-0.05 {
+		t.Errorf("topology A @200 m: SkyRAN %.2f below Uniform %.2f:\n%s", sky, uni, r)
+	}
+}
+
+func TestShapeFig08UShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape test")
+	}
+	r, err := RunFig08(Options{Seeds: 1, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The pathloss minimum must be interior to the altitude sweep.
+	minI, minV := -1, 1e18
+	for i := range r.Rows {
+		if v := cell(t, r, i, 1); v < minV {
+			minI, minV = i, v
+		}
+	}
+	if minI <= 0 || minI >= len(r.Rows)-1 {
+		t.Errorf("altitude optimum at sweep boundary (row %d):\n%s", minI, r)
+	}
+}
+
+func TestShapeFig12OrderedDecay(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape test")
+	}
+	r, err := RunFig12(Options{Seeds: 2, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// By the final sample, more movers mean no better throughput.
+	last := len(r.Rows) - 1
+	m25, m75 := cell(t, r, last, 1), cell(t, r, last, 3)
+	if m75 > m25+0.1 {
+		t.Errorf("75%% movers (%.2f) ended above 25%% movers (%.2f):\n%s", m75, m25, r)
+	}
+}

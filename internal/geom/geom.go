@@ -1,0 +1,197 @@
+// Package geom provides the small geometric vocabulary shared by every
+// SkyRAN subsystem: 2-D and 3-D vectors in a local East-North-Up metric
+// frame, axis-aligned rectangles, and helpers for distances and
+// interpolation.
+//
+// All coordinates are in metres. The X axis points east, Y north and
+// (for Vec3) Z up, matching the paper's "East - West" / "North - South"
+// figure axes. The frame origin is the south-west corner of the
+// operating area.
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Vec2 is a point or displacement in the horizontal plane.
+type Vec2 struct {
+	X, Y float64
+}
+
+// V2 constructs a Vec2. It exists to keep call sites compact.
+func V2(x, y float64) Vec2 { return Vec2{X: x, Y: y} }
+
+// Add returns v + w.
+func (v Vec2) Add(w Vec2) Vec2 { return Vec2{v.X + w.X, v.Y + w.Y} }
+
+// Sub returns v - w.
+func (v Vec2) Sub(w Vec2) Vec2 { return Vec2{v.X - w.X, v.Y - w.Y} }
+
+// Scale returns v scaled by s.
+func (v Vec2) Scale(s float64) Vec2 { return Vec2{v.X * s, v.Y * s} }
+
+// Dot returns the dot product v·w.
+func (v Vec2) Dot(w Vec2) float64 { return v.X*w.X + v.Y*w.Y }
+
+// Norm returns the Euclidean length of v.
+func (v Vec2) Norm() float64 { return math.Hypot(v.X, v.Y) }
+
+// Dist returns the Euclidean distance between v and w.
+func (v Vec2) Dist(w Vec2) float64 { return v.Sub(w).Norm() }
+
+// Unit returns v normalised to length 1. The zero vector is returned
+// unchanged so callers never divide by zero.
+func (v Vec2) Unit() Vec2 {
+	n := v.Norm()
+	if n == 0 {
+		return v
+	}
+	return v.Scale(1 / n)
+}
+
+// Lerp linearly interpolates between v (t=0) and w (t=1).
+func (v Vec2) Lerp(w Vec2, t float64) Vec2 {
+	return Vec2{v.X + (w.X-v.X)*t, v.Y + (w.Y-v.Y)*t}
+}
+
+// WithZ lifts v into 3-D at altitude z.
+func (v Vec2) WithZ(z float64) Vec3 { return Vec3{v.X, v.Y, z} }
+
+// String implements fmt.Stringer.
+func (v Vec2) String() string { return fmt.Sprintf("(%.1f, %.1f)", v.X, v.Y) }
+
+// Vec3 is a point or displacement in 3-D space (Z is altitude above the
+// frame origin's ground level).
+type Vec3 struct {
+	X, Y, Z float64
+}
+
+// V3 constructs a Vec3.
+func V3(x, y, z float64) Vec3 { return Vec3{X: x, Y: y, Z: z} }
+
+// Add returns v + w.
+func (v Vec3) Add(w Vec3) Vec3 { return Vec3{v.X + w.X, v.Y + w.Y, v.Z + w.Z} }
+
+// Sub returns v - w.
+func (v Vec3) Sub(w Vec3) Vec3 { return Vec3{v.X - w.X, v.Y - w.Y, v.Z - w.Z} }
+
+// Scale returns v scaled by s.
+func (v Vec3) Scale(s float64) Vec3 { return Vec3{v.X * s, v.Y * s, v.Z * s} }
+
+// Dot returns the dot product v·w.
+func (v Vec3) Dot(w Vec3) float64 { return v.X*w.X + v.Y*w.Y + v.Z*w.Z }
+
+// Norm returns the Euclidean length of v.
+func (v Vec3) Norm() float64 { return math.Sqrt(v.Dot(v)) }
+
+// Dist returns the Euclidean distance between v and w.
+func (v Vec3) Dist(w Vec3) float64 { return v.Sub(w).Norm() }
+
+// Unit returns v normalised to length 1; the zero vector is returned
+// unchanged.
+func (v Vec3) Unit() Vec3 {
+	n := v.Norm()
+	if n == 0 {
+		return v
+	}
+	return v.Scale(1 / n)
+}
+
+// Lerp linearly interpolates between v (t=0) and w (t=1).
+func (v Vec3) Lerp(w Vec3, t float64) Vec3 {
+	return Vec3{v.X + (w.X-v.X)*t, v.Y + (w.Y-v.Y)*t, v.Z + (w.Z-v.Z)*t}
+}
+
+// XY projects v onto the horizontal plane.
+func (v Vec3) XY() Vec2 { return Vec2{v.X, v.Y} }
+
+// String implements fmt.Stringer.
+func (v Vec3) String() string { return fmt.Sprintf("(%.1f, %.1f, %.1f)", v.X, v.Y, v.Z) }
+
+// Rect is an axis-aligned rectangle [MinX, MaxX) × [MinY, MaxY) in the
+// horizontal plane. It describes operating-area boundaries and building
+// footprints.
+type Rect struct {
+	MinX, MinY, MaxX, MaxY float64
+}
+
+// NewRect returns the rectangle spanning the two corner points in any
+// order.
+func NewRect(a, b Vec2) Rect {
+	return Rect{
+		MinX: math.Min(a.X, b.X), MinY: math.Min(a.Y, b.Y),
+		MaxX: math.Max(a.X, b.X), MaxY: math.Max(a.Y, b.Y),
+	}
+}
+
+// Width returns the east-west extent of r.
+func (r Rect) Width() float64 { return r.MaxX - r.MinX }
+
+// Height returns the north-south extent of r.
+func (r Rect) Height() float64 { return r.MaxY - r.MinY }
+
+// Area returns the area of r in square metres.
+func (r Rect) Area() float64 { return r.Width() * r.Height() }
+
+// Center returns the centre point of r.
+func (r Rect) Center() Vec2 { return Vec2{(r.MinX + r.MaxX) / 2, (r.MinY + r.MaxY) / 2} }
+
+// Contains reports whether p lies inside r (half-open on the max edges).
+func (r Rect) Contains(p Vec2) bool {
+	return p.X >= r.MinX && p.X < r.MaxX && p.Y >= r.MinY && p.Y < r.MaxY
+}
+
+// Clamp returns p moved to the nearest point inside r (inclusive of the
+// max edges, nudged in by a hair so Contains holds).
+func (r Rect) Clamp(p Vec2) Vec2 {
+	const eps = 1e-9
+	x := math.Min(math.Max(p.X, r.MinX), r.MaxX-eps)
+	y := math.Min(math.Max(p.Y, r.MinY), r.MaxY-eps)
+	return Vec2{x, y}
+}
+
+// Intersects reports whether r and s overlap.
+func (r Rect) Intersects(s Rect) bool {
+	return r.MinX < s.MaxX && s.MinX < r.MaxX && r.MinY < s.MaxY && s.MinY < r.MaxY
+}
+
+// Inset shrinks r by d on every side. A negative d grows the rectangle.
+func (r Rect) Inset(d float64) Rect {
+	return Rect{MinX: r.MinX + d, MinY: r.MinY + d, MaxX: r.MaxX - d, MaxY: r.MaxY - d}
+}
+
+// Centroid returns the arithmetic mean of the given points; the zero
+// vector for an empty slice.
+func Centroid(pts []Vec2) Vec2 {
+	if len(pts) == 0 {
+		return Vec2{}
+	}
+	var c Vec2
+	for _, p := range pts {
+		c = c.Add(p)
+	}
+	return c.Scale(1 / float64(len(pts)))
+}
+
+// Clamp01 limits t to [0, 1].
+func Clamp01(t float64) float64 {
+	if t < 0 {
+		return 0
+	}
+	if t > 1 {
+		return 1
+	}
+	return t
+}
+
+// SegmentPointDist returns the distance from point p to the segment ab.
+func SegmentPointDist(a, b, p Vec2) float64 {
+	ab := b.Sub(a)
+	den := ab.Dot(ab)
+	if den == 0 {
+		return p.Dist(a)
+	}
+	t := Clamp01(p.Sub(a).Dot(ab) / den)
+	return p.Dist(a.Add(ab.Scale(t)))
+}

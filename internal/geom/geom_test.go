@@ -1,0 +1,416 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestVec2Basics(t *testing.T) {
+	v := V2(3, 4)
+	if got := v.Norm(); got != 5 {
+		t.Errorf("Norm() = %v, want 5", got)
+	}
+	if got := v.Add(V2(1, 1)); got != (Vec2{4, 5}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := v.Sub(V2(3, 4)); got != (Vec2{}) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := v.Scale(2); got != (Vec2{6, 8}) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := v.Dot(V2(1, 2)); got != 11 {
+		t.Errorf("Dot = %v", got)
+	}
+	if got := v.Dist(V2(0, 0)); got != 5 {
+		t.Errorf("Dist = %v", got)
+	}
+}
+
+func TestVec2Unit(t *testing.T) {
+	if got := V2(0, 0).Unit(); got != (Vec2{}) {
+		t.Errorf("zero Unit = %v, want zero", got)
+	}
+	u := V2(10, 0).Unit()
+	if !almost(u.Norm(), 1, 1e-12) {
+		t.Errorf("Unit norm = %v", u.Norm())
+	}
+}
+
+func TestVec2UnitPropertyNormOne(t *testing.T) {
+	f := func(x, y float64) bool {
+		if math.IsNaN(x) || math.IsNaN(y) || math.IsInf(x, 0) || math.IsInf(y, 0) {
+			return true
+		}
+		v := V2(x, y)
+		n := v.Norm()
+		if n == 0 || math.IsInf(n, 0) {
+			return true
+		}
+		return almost(v.Unit().Norm(), 1, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVec3Basics(t *testing.T) {
+	v := V3(1, 2, 2)
+	if got := v.Norm(); got != 3 {
+		t.Errorf("Norm = %v", got)
+	}
+	if got := v.XY(); got != (Vec2{1, 2}) {
+		t.Errorf("XY = %v", got)
+	}
+	if got := V2(1, 2).WithZ(7); got != (Vec3{1, 2, 7}) {
+		t.Errorf("WithZ = %v", got)
+	}
+	if got := v.Lerp(V3(3, 4, 4), 0.5); got != (Vec3{2, 3, 3}) {
+		t.Errorf("Lerp = %v", got)
+	}
+}
+
+func TestLerpEndpoints(t *testing.T) {
+	a, b := V2(1, 1), V2(5, -3)
+	if a.Lerp(b, 0) != a || a.Lerp(b, 1) != b {
+		t.Error("Lerp endpoints wrong")
+	}
+}
+
+func TestRect(t *testing.T) {
+	r := NewRect(V2(10, 20), V2(0, 0))
+	if r.MinX != 0 || r.MinY != 0 || r.MaxX != 10 || r.MaxY != 20 {
+		t.Fatalf("NewRect = %+v", r)
+	}
+	if r.Width() != 10 || r.Height() != 20 || r.Area() != 200 {
+		t.Error("dims wrong")
+	}
+	if r.Center() != (Vec2{5, 10}) {
+		t.Error("center wrong")
+	}
+	if !r.Contains(V2(0, 0)) || r.Contains(V2(10, 5)) || r.Contains(V2(-1, 5)) {
+		t.Error("contains wrong")
+	}
+	c := r.Clamp(V2(100, -5))
+	if !r.Contains(c) {
+		t.Errorf("Clamp result %v not contained", c)
+	}
+	if !r.Intersects(Rect{5, 5, 15, 15}) || r.Intersects(Rect{11, 0, 12, 1}) {
+		t.Error("intersects wrong")
+	}
+	in := r.Inset(1)
+	if in.MinX != 1 || in.MaxX != 9 {
+		t.Error("inset wrong")
+	}
+}
+
+func TestRectClampProperty(t *testing.T) {
+	r := Rect{0, 0, 250, 250}
+	f := func(x, y float64) bool {
+		if math.IsNaN(x) || math.IsNaN(y) {
+			return true
+		}
+		return r.Contains(r.Clamp(V2(x, y)))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCentroid(t *testing.T) {
+	if Centroid(nil) != (Vec2{}) {
+		t.Error("empty centroid should be zero")
+	}
+	pts := []Vec2{{0, 0}, {10, 0}, {10, 10}, {0, 10}}
+	if got := Centroid(pts); got != (Vec2{5, 5}) {
+		t.Errorf("Centroid = %v", got)
+	}
+}
+
+func TestSegmentPointDist(t *testing.T) {
+	a, b := V2(0, 0), V2(10, 0)
+	cases := []struct {
+		p    Vec2
+		want float64
+	}{
+		{V2(5, 3), 3},
+		{V2(-4, 3), 5},
+		{V2(14, 3), 5},
+		{V2(5, 0), 0},
+	}
+	for _, c := range cases {
+		if got := SegmentPointDist(a, b, c.p); !almost(got, c.want, 1e-12) {
+			t.Errorf("SegmentPointDist(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	// Degenerate segment behaves like a point.
+	if got := SegmentPointDist(a, a, V2(3, 4)); got != 5 {
+		t.Errorf("degenerate = %v", got)
+	}
+}
+
+func TestPolylineLengthAndAt(t *testing.T) {
+	p := Polyline{{0, 0}, {10, 0}, {10, 10}}
+	if got := p.Length(); got != 20 {
+		t.Fatalf("Length = %v", got)
+	}
+	if got := p.At(0); got != (Vec2{0, 0}) {
+		t.Errorf("At(0) = %v", got)
+	}
+	if got := p.At(15); got != (Vec2{10, 5}) {
+		t.Errorf("At(15) = %v", got)
+	}
+	if got := p.At(999); got != (Vec2{10, 10}) {
+		t.Errorf("At(>len) = %v", got)
+	}
+	if got := p.At(-1); got != (Vec2{0, 0}) {
+		t.Errorf("At(-1) = %v", got)
+	}
+	if (Polyline{}).At(3) != (Vec2{}) {
+		t.Error("empty At should be zero")
+	}
+}
+
+func TestPolylineResample(t *testing.T) {
+	p := Polyline{{0, 0}, {10, 0}}
+	r := p.Resample(1)
+	if len(r) != 11 {
+		t.Fatalf("Resample len = %d, want 11", len(r))
+	}
+	for i := 1; i < len(r); i++ {
+		d := r[i].Dist(r[i-1])
+		if d > 1+1e-9 {
+			t.Errorf("step %d distance %v > 1", i, d)
+		}
+	}
+	if r[len(r)-1] != (Vec2{10, 0}) {
+		t.Error("last point missing")
+	}
+	if p.Resample(0) != nil || (Polyline{}).Resample(1) != nil {
+		t.Error("degenerate resample should be nil")
+	}
+}
+
+func TestPolylineTruncate(t *testing.T) {
+	p := Polyline{{0, 0}, {10, 0}, {10, 10}}
+	tr := p.Truncate(12)
+	if !almost(tr.Length(), 12, 1e-9) {
+		t.Fatalf("Truncate length = %v", tr.Length())
+	}
+	if tr[len(tr)-1] != (Vec2{10, 2}) {
+		t.Errorf("cut point = %v", tr[len(tr)-1])
+	}
+	long := p.Truncate(1000)
+	if !almost(long.Length(), 20, 1e-9) {
+		t.Error("over-budget truncate should return whole path")
+	}
+	if got := p.Truncate(0); len(got) != 1 || got[0] != p[0] {
+		t.Errorf("zero budget = %v", got)
+	}
+}
+
+func TestPolylineTruncatePropertyBudget(t *testing.T) {
+	p := Polyline{{0, 0}, {50, 0}, {50, 50}, {0, 50}}
+	f := func(budget float64) bool {
+		b := math.Abs(budget)
+		if math.IsNaN(b) || math.IsInf(b, 0) {
+			return true
+		}
+		b = math.Mod(b, 200)
+		got := p.Truncate(b).Length()
+		return got <= b+1e-6 && got <= p.Length()+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPolylineDistTo(t *testing.T) {
+	p := Polyline{{0, 0}, {10, 0}}
+	if got := p.DistTo(V2(5, 4)); got != 4 {
+		t.Errorf("DistTo = %v", got)
+	}
+	if got := (Polyline{{3, 4}}).DistTo(V2(0, 0)); got != 5 {
+		t.Errorf("single-point DistTo = %v", got)
+	}
+	if !math.IsInf((Polyline{}).DistTo(V2(0, 0)), 1) {
+		t.Error("empty DistTo should be +Inf")
+	}
+}
+
+func TestPolylineBounds(t *testing.T) {
+	p := Polyline{{3, 4}, {-1, 10}, {7, 2}}
+	b := p.Bounds()
+	want := Rect{-1, 2, 7, 10}
+	if b != want {
+		t.Errorf("Bounds = %+v, want %+v", b, want)
+	}
+	if (Polyline{}).Bounds() != (Rect{}) {
+		t.Error("empty bounds should be zero")
+	}
+}
+
+func TestGridIndexing(t *testing.T) {
+	g := NewGrid(V2(100, 200), 1, 250, 300)
+	cx, cy := g.CellOf(V2(100.5, 200.5))
+	if cx != 0 || cy != 0 {
+		t.Errorf("CellOf origin cell = %d,%d", cx, cy)
+	}
+	cx, cy = g.CellOf(V2(349.9, 499.9))
+	if cx != 249 || cy != 299 {
+		t.Errorf("CellOf far corner = %d,%d", cx, cy)
+	}
+	g.Set(3, 7, 42)
+	if g.At(3, 7) != 42 {
+		t.Error("Set/At roundtrip failed")
+	}
+	g.Add(3, 7, 8)
+	if g.At(3, 7) != 50 {
+		t.Error("Add failed")
+	}
+	c := g.CellCenter(0, 0)
+	if c != (Vec2{100.5, 200.5}) {
+		t.Errorf("CellCenter = %v", c)
+	}
+	if !g.InBounds(0, 0) || g.InBounds(-1, 0) || g.InBounds(250, 0) || g.InBounds(0, 300) {
+		t.Error("InBounds wrong")
+	}
+}
+
+func TestGridCellCenterRoundTrip(t *testing.T) {
+	g := NewGrid(V2(-50, -50), 2.5, 40, 60)
+	f := func(cxr, cyr uint16) bool {
+		cx := int(cxr) % g.NX
+		cy := int(cyr) % g.NY
+		gx, gy := g.CellOf(g.CellCenter(cx, cy))
+		return gx == cx && gy == cy
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGridValueAtClamps(t *testing.T) {
+	g := NewGrid(V2(0, 0), 1, 10, 10)
+	g.Set(0, 0, 7)
+	if got := g.ValueAt(V2(-100, -100)); got != 7 {
+		t.Errorf("ValueAt outside = %v, want clamped 7", got)
+	}
+}
+
+func TestGridMinMax(t *testing.T) {
+	g := NewGrid(V2(0, 0), 1, 5, 4)
+	g.Fill(1)
+	g.Set(2, 3, 9)
+	g.Set(4, 0, -3)
+	cx, cy, v := g.MaxCell()
+	if cx != 2 || cy != 3 || v != 9 {
+		t.Errorf("MaxCell = %d,%d,%v", cx, cy, v)
+	}
+	cx, cy, v = g.MinCell()
+	if cx != 4 || cy != 0 || v != -3 {
+		t.Errorf("MinCell = %d,%d,%v", cx, cy, v)
+	}
+}
+
+func TestGridOver(t *testing.T) {
+	g := GridOver(Rect{0, 0, 250, 250}, 1)
+	if g.NX != 250 || g.NY != 250 {
+		t.Errorf("GridOver dims = %dx%d", g.NX, g.NY)
+	}
+	g = GridOver(Rect{0, 0, 10.5, 3.2}, 1)
+	if g.NX != 11 || g.NY != 4 {
+		t.Errorf("GridOver ceil dims = %dx%d", g.NX, g.NY)
+	}
+	b := g.Bounds()
+	if b.MaxX != 11 || b.MaxY != 4 {
+		t.Errorf("Bounds = %+v", b)
+	}
+}
+
+func TestGridCloneIsDeep(t *testing.T) {
+	g := NewGrid(V2(0, 0), 1, 3, 3)
+	g.Set(1, 1, 5)
+	c := g.Clone()
+	c.Set(1, 1, 9)
+	if g.At(1, 1) != 5 {
+		t.Error("Clone shares storage")
+	}
+}
+
+func TestGridEachCell(t *testing.T) {
+	g := NewGrid(V2(0, 0), 1, 3, 2)
+	for i := range g.Values() {
+		g.Values()[i] = float64(i)
+	}
+	var sum float64
+	var count int
+	g.EachCell(func(cx, cy int, v float64) {
+		if g.At(cx, cy) != v {
+			t.Errorf("EachCell mismatch at %d,%d", cx, cy)
+		}
+		sum += v
+		count++
+	})
+	if count != 6 || sum != 15 {
+		t.Errorf("EachCell visited %d cells sum %v", count, sum)
+	}
+}
+
+func TestNewGridPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on zero dims")
+		}
+	}()
+	NewGrid(V2(0, 0), 1, 0, 5)
+}
+
+func TestResampleSpacingProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(6)
+		p := make(Polyline, n)
+		for i := range p {
+			p[i] = V2(rng.Float64()*100, rng.Float64()*100)
+		}
+		step := 0.5 + rng.Float64()*3
+		r := p.Resample(step)
+		if len(r) == 0 {
+			return p.Length() == 0
+		}
+		// Consecutive resampled points are never farther apart than
+		// step (they can be closer at the final vertex).
+		for i := 1; i < len(r); i++ {
+			if r[i].Dist(r[i-1]) > step+1e-9 {
+				return false
+			}
+		}
+		// Endpoints preserved.
+		return r[0] == p[0] && r[len(r)-1].Dist(p[len(p)-1]) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAtLengthConsistencyProperty(t *testing.T) {
+	p := Polyline{{0, 0}, {30, 0}, {30, 40}, {-10, 40}}
+	f := func(sr float64) bool {
+		if math.IsNaN(sr) || math.IsInf(sr, 0) {
+			return true
+		}
+		s := math.Mod(math.Abs(sr), p.Length())
+		// Walking to arc-length s and summing prefix distances agree.
+		q := p.At(s)
+		prefix := p.Truncate(s)
+		return almost(prefix.Length(), s, 1e-6) && prefix[len(prefix)-1].Dist(q) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,156 @@
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Grid is a dense 2-D scalar field over a rectangular area, quantized
+// into square cells of Cell metres (the paper uses 1 m × 1 m cells,
+// §3.3). It backs terrains, REMs, gradient maps and min-SNR maps.
+//
+// Cell (cx, cy) covers [Origin.X+cx·Cell, Origin.X+(cx+1)·Cell) ×
+// [Origin.Y+cy·Cell, ...). Values are stored row-major.
+type Grid struct {
+	Origin Vec2    // south-west corner of the gridded area
+	Cell   float64 // cell edge length in metres
+	NX, NY int     // number of cells east-west / north-south
+	vals   []float64
+}
+
+// NewGrid allocates a grid of nx × ny cells of the given cell size with
+// all values zero. It panics on non-positive dimensions, which always
+// indicate a programming error.
+func NewGrid(origin Vec2, cell float64, nx, ny int) *Grid {
+	if nx <= 0 || ny <= 0 || cell <= 0 {
+		panic(fmt.Sprintf("geom: invalid grid %dx%d cell=%g", nx, ny, cell))
+	}
+	return &Grid{Origin: origin, Cell: cell, NX: nx, NY: ny, vals: make([]float64, nx*ny)}
+}
+
+// GridOver allocates a grid covering r with the given cell size. The
+// grid is at least 1×1 and extends past r's max edges if r's extents
+// are not multiples of cell.
+func GridOver(r Rect, cell float64) *Grid {
+	nx := int(math.Ceil(r.Width() / cell))
+	ny := int(math.Ceil(r.Height() / cell))
+	if nx < 1 {
+		nx = 1
+	}
+	if ny < 1 {
+		ny = 1
+	}
+	return NewGrid(Vec2{r.MinX, r.MinY}, cell, nx, ny)
+}
+
+// Clone returns a deep copy of g.
+func (g *Grid) Clone() *Grid {
+	c := *g
+	c.vals = make([]float64, len(g.vals))
+	copy(c.vals, g.vals)
+	return &c
+}
+
+// Fill sets every cell to v.
+func (g *Grid) Fill(v float64) {
+	for i := range g.vals {
+		g.vals[i] = v
+	}
+}
+
+// InBounds reports whether the cell coordinates are inside the grid.
+func (g *Grid) InBounds(cx, cy int) bool {
+	return cx >= 0 && cx < g.NX && cy >= 0 && cy < g.NY
+}
+
+// At returns the value of cell (cx, cy). It panics out of bounds.
+func (g *Grid) At(cx, cy int) float64 { return g.vals[cy*g.NX+cx] }
+
+// Set stores v in cell (cx, cy). It panics out of bounds.
+func (g *Grid) Set(cx, cy int, v float64) { g.vals[cy*g.NX+cx] = v }
+
+// Add accumulates v into cell (cx, cy).
+func (g *Grid) Add(cx, cy int, v float64) { g.vals[cy*g.NX+cx] += v }
+
+// Values exposes the backing row-major slice. Mutating it mutates g;
+// callers that need a snapshot should Clone first.
+func (g *Grid) Values() []float64 { return g.vals }
+
+// CellOf returns the cell containing point p. The result may be out of
+// bounds; combine with InBounds when p can fall outside the area.
+func (g *Grid) CellOf(p Vec2) (cx, cy int) {
+	return int(math.Floor((p.X - g.Origin.X) / g.Cell)),
+		int(math.Floor((p.Y - g.Origin.Y) / g.Cell))
+}
+
+// CellCenter returns the centre point of cell (cx, cy).
+func (g *Grid) CellCenter(cx, cy int) Vec2 {
+	return Vec2{
+		g.Origin.X + (float64(cx)+0.5)*g.Cell,
+		g.Origin.Y + (float64(cy)+0.5)*g.Cell,
+	}
+}
+
+// ValueAt returns the value of the cell containing p; points outside
+// the grid are clamped to the border cell. This nearest-cell lookup is
+// the sampling rule used throughout the radio substrate.
+func (g *Grid) ValueAt(p Vec2) float64 {
+	cx, cy := g.CellOf(p)
+	cx = clampInt(cx, 0, g.NX-1)
+	cy = clampInt(cy, 0, g.NY-1)
+	return g.At(cx, cy)
+}
+
+// Bounds returns the rectangle covered by the grid.
+func (g *Grid) Bounds() Rect {
+	return Rect{
+		MinX: g.Origin.X, MinY: g.Origin.Y,
+		MaxX: g.Origin.X + float64(g.NX)*g.Cell,
+		MaxY: g.Origin.Y + float64(g.NY)*g.Cell,
+	}
+}
+
+// MaxCell returns the coordinates and value of the maximum cell. Ties
+// resolve to the lowest row-major index so results are deterministic.
+func (g *Grid) MaxCell() (cx, cy int, v float64) {
+	best := math.Inf(-1)
+	bi := 0
+	for i, x := range g.vals {
+		if x > best {
+			best, bi = x, i
+		}
+	}
+	return bi % g.NX, bi / g.NX, best
+}
+
+// MinCell returns the coordinates and value of the minimum cell.
+func (g *Grid) MinCell() (cx, cy int, v float64) {
+	best := math.Inf(1)
+	bi := 0
+	for i, x := range g.vals {
+		if x < best {
+			best, bi = x, i
+		}
+	}
+	return bi % g.NX, bi / g.NX, best
+}
+
+// EachCell calls fn for every cell with its coordinates and value.
+func (g *Grid) EachCell(fn func(cx, cy int, v float64)) {
+	for cy := 0; cy < g.NY; cy++ {
+		row := g.vals[cy*g.NX : (cy+1)*g.NX]
+		for cx, v := range row {
+			fn(cx, cy, v)
+		}
+	}
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,124 @@
+package geom
+
+import "math"
+
+// Polyline is an ordered sequence of 2-D waypoints describing a flight
+// trajectory in the horizontal plane. SkyRAN quantizes trajectories
+// into points ~1 m apart before flying them (§3.3.2 of the paper).
+type Polyline []Vec2
+
+// Length returns the total path length of p in metres.
+func (p Polyline) Length() float64 {
+	var l float64
+	for i := 1; i < len(p); i++ {
+		l += p[i].Dist(p[i-1])
+	}
+	return l
+}
+
+// At returns the point at arc-length s along p. s is clamped to
+// [0, Length]. An empty polyline returns the zero vector.
+func (p Polyline) At(s float64) Vec2 {
+	if len(p) == 0 {
+		return Vec2{}
+	}
+	if s <= 0 {
+		return p[0]
+	}
+	for i := 1; i < len(p); i++ {
+		d := p[i].Dist(p[i-1])
+		if s <= d {
+			if d == 0 {
+				return p[i]
+			}
+			return p[i-1].Lerp(p[i], s/d)
+		}
+		s -= d
+	}
+	return p[len(p)-1]
+}
+
+// Resample returns p quantized to points exactly step metres apart
+// along the path (the final point is always included). The result is
+// what the UAV's flight controller consumes.
+func (p Polyline) Resample(step float64) Polyline {
+	if len(p) == 0 || step <= 0 {
+		return nil
+	}
+	total := p.Length()
+	out := Polyline{p[0]}
+	for s := step; s < total; s += step {
+		out = append(out, p.At(s))
+	}
+	if last := p[len(p)-1]; len(out) == 0 || out[len(out)-1].Dist(last) > 1e-9 {
+		out = append(out, last)
+	}
+	return out
+}
+
+// Truncate returns the prefix of p whose arc length does not exceed
+// budget metres. The cut point is interpolated exactly at the budget.
+func (p Polyline) Truncate(budget float64) Polyline {
+	if len(p) == 0 || budget <= 0 {
+		if len(p) > 0 {
+			return Polyline{p[0]}
+		}
+		return nil
+	}
+	out := Polyline{p[0]}
+	remaining := budget
+	for i := 1; i < len(p); i++ {
+		d := p[i].Dist(p[i-1])
+		if d >= remaining {
+			if d > 0 {
+				out = append(out, p[i-1].Lerp(p[i], remaining/d))
+			}
+			return out
+		}
+		out = append(out, p[i])
+		remaining -= d
+	}
+	return out
+}
+
+// DistTo returns the minimum distance from point q to any segment of p.
+// It returns +Inf for an empty polyline.
+func (p Polyline) DistTo(q Vec2) float64 {
+	if len(p) == 0 {
+		return math.Inf(1)
+	}
+	if len(p) == 1 {
+		return p[0].Dist(q)
+	}
+	best := math.Inf(1)
+	for i := 1; i < len(p); i++ {
+		if d := SegmentPointDist(p[i-1], p[i], q); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// Bounds returns the axis-aligned bounding rectangle of p. An empty
+// polyline yields the zero Rect.
+func (p Polyline) Bounds() Rect {
+	if len(p) == 0 {
+		return Rect{}
+	}
+	r := Rect{MinX: p[0].X, MinY: p[0].Y, MaxX: p[0].X, MaxY: p[0].Y}
+	for _, q := range p[1:] {
+		if q.X < r.MinX {
+			r.MinX = q.X
+		}
+		if q.Y < r.MinY {
+			r.MinY = q.Y
+		}
+		if q.X > r.MaxX {
+			r.MaxX = q.X
+		}
+		if q.Y > r.MaxY {
+			r.MaxY = q.Y
+		}
+	}
+	return r
+}

@@ -1,0 +1,149 @@
+package locate
+
+import (
+	"math"
+
+	"repro/internal/geom"
+)
+
+// Tracker predicts a UE's position between epochs from its recent
+// position fixes. Between epochs a nomadic UE keeps drifting; feeding
+// the controller the *predicted* position at the next epoch start —
+// rather than the last (stale) fix — tightens REM-store association
+// and trajectory aiming for walking-speed UEs (§3.5 dynamics).
+//
+// Fixes arrive minutes apart, a regime where a Kalman constant-
+// velocity model is dominated by its own process noise, so the tracker
+// instead fits a least-squares line through a sliding window of fixes
+// (per axis) and extrapolates it, with the fit residual driving the
+// reported uncertainty. The zero value is unusable; construct with
+// NewTracker.
+type Tracker struct {
+	// Window is the number of recent fixes used in the fit (default 4).
+	Window int
+	// MaxSpeedMS clamps the fitted speed (default 2.5 m/s, brisk
+	// walking — the controller treats faster UEs as unpredictable).
+	MaxSpeedMS float64
+
+	times []float64
+	xs    []float64
+	ys    []float64
+	sigma []float64
+}
+
+// NewTracker returns a tracker with defaults applied.
+func NewTracker(window int) *Tracker {
+	if window < 2 {
+		window = 4
+	}
+	return &Tracker{Window: window, MaxSpeedMS: 2.5}
+}
+
+// Initialized reports whether at least one fix has been absorbed.
+func (t *Tracker) Initialized() bool { return len(t.times) > 0 }
+
+// Observe absorbs a position fix taken at time tm (simulated seconds)
+// with standard deviation sigmaM per axis. Fixes older than the newest
+// one are discarded.
+func (t *Tracker) Observe(fix geom.Vec2, sigmaM, tm float64) {
+	if sigmaM <= 0 {
+		sigmaM = 5
+	}
+	if n := len(t.times); n > 0 && tm <= t.times[n-1] {
+		return
+	}
+	t.times = append(t.times, tm)
+	t.xs = append(t.xs, fix.X)
+	t.ys = append(t.ys, fix.Y)
+	t.sigma = append(t.sigma, sigmaM)
+	if len(t.times) > t.Window {
+		t.times = t.times[1:]
+		t.xs = t.xs[1:]
+		t.ys = t.ys[1:]
+		t.sigma = t.sigma[1:]
+	}
+}
+
+// fitAxis least-squares fits v[i] ≈ a + b·(times[i]−t0), weighting all
+// window fixes equally. It returns the value at the newest fix time,
+// the slope (gated to zero when statistically indistinguishable from
+// noise — extrapolating a noise-fitted slope is worse than assuming a
+// static UE), and the RMS residual.
+func fitAxis(times, v []float64, sigma float64) (atNewest, slope, rms float64) {
+	n := len(times)
+	t0 := times[n-1]
+	if n == 1 {
+		return v[0], 0, 0
+	}
+	var st, sv, stt, stv float64
+	for i := 0; i < n; i++ {
+		dt := times[i] - t0
+		st += dt
+		sv += v[i]
+		stt += dt * dt
+		stv += dt * v[i]
+	}
+	fn := float64(n)
+	den := fn*stt - st*st
+	if den < 1e-9 {
+		return v[n-1], 0, 0
+	}
+	slope = (fn*stv - st*sv) / den
+	intercept := (sv - slope*st) / fn
+	var ss float64
+	for i := 0; i < n; i++ {
+		r := v[i] - (intercept + slope*(times[i]-t0))
+		ss += r * r
+	}
+	rms = math.Sqrt(ss / fn)
+	// Slope significance gate: Var(b) = σ²·n/den for per-fix noise σ.
+	noise := math.Max(rms, sigma)
+	slopeStd := noise * math.Sqrt(fn/den)
+	if math.Abs(slope) < 2*slopeStd {
+		slope = 0
+	}
+	return intercept, slope, rms
+}
+
+// PredictAt returns the predicted position at time tm and a 1-σ
+// positional uncertainty estimate (fix noise + fit residual + growth
+// with horizon).
+func (t *Tracker) PredictAt(tm float64) (geom.Vec2, float64) {
+	n := len(t.times)
+	if n == 0 {
+		return geom.Vec2{}, math.Inf(1)
+	}
+	ax, bx, rx := fitAxis(t.times, t.xs, t.sigma[n-1])
+	ay, by, ry := fitAxis(t.times, t.ys, t.sigma[n-1])
+	speed := math.Hypot(bx, by)
+	if speed > t.MaxSpeedMS {
+		scale := t.MaxSpeedMS / speed
+		bx *= scale
+		by *= scale
+	}
+	dt := tm - t.times[n-1]
+	if dt < 0 {
+		dt = 0
+	}
+	pos := geom.V2(ax+bx*dt, ay+by*dt)
+	// Uncertainty: fix noise, fit residual and a drift term for the
+	// unmodelled manoeuvres a pedestrian makes over the horizon.
+	base := t.sigma[n-1]
+	resid := math.Hypot(rx, ry)
+	drift := 0.05 * dt // ± a few metres per minute of horizon
+	return pos, math.Sqrt(base*base+resid*resid) + drift
+}
+
+// Velocity returns the fitted velocity in m/s (zero before two fixes).
+func (t *Tracker) Velocity() geom.Vec2 {
+	if len(t.times) < 2 {
+		return geom.Vec2{}
+	}
+	_, bx, _ := fitAxis(t.times, t.xs, t.sigma[len(t.sigma)-1])
+	_, by, _ := fitAxis(t.times, t.ys, t.sigma[len(t.sigma)-1])
+	v := geom.V2(bx, by)
+	if s := v.Norm(); s > t.MaxSpeedMS {
+		v = v.Scale(t.MaxSpeedMS / s)
+	}
+	return v
+}

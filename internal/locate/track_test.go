@@ -1,0 +1,89 @@
+package locate
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestTrackerUninitialised(t *testing.T) {
+	tr := NewTracker(0)
+	if tr.Initialized() {
+		t.Error("fresh tracker should be uninitialised")
+	}
+	_, sigma := tr.PredictAt(10)
+	if !math.IsInf(sigma, 1) {
+		t.Error("prediction before any fix should be infinitely uncertain")
+	}
+}
+
+func TestTrackerStaticUEConverges(t *testing.T) {
+	tr := NewTracker(4)
+	rng := rand.New(rand.NewSource(1))
+	truth := geom.V2(100, 50)
+	for epoch := 0; epoch < 10; epoch++ {
+		tm := float64(epoch) * 120
+		fix := truth.Add(geom.V2(rng.NormFloat64()*5, rng.NormFloat64()*5))
+		tr.Observe(fix, 5, tm)
+	}
+	pos, sigma := tr.PredictAt(1200)
+	if pos.Dist(truth) > 10 {
+		t.Errorf("static estimate %v, truth %v", pos, truth)
+	}
+	if sigma > 25 {
+		t.Errorf("uncertainty %v did not converge", sigma)
+	}
+	if tr.Velocity().Norm() > 0.2 {
+		t.Errorf("static UE velocity estimate %v", tr.Velocity())
+	}
+}
+
+func TestTrackerWalkerPrediction(t *testing.T) {
+	// A UE walking east at 1.2 m/s, fixed every 2 minutes with 5 m
+	// noise: predicting the next epoch's position should clearly beat
+	// using the last fix.
+	tr := NewTracker(4)
+	rng := rand.New(rand.NewSource(2))
+	vel := geom.V2(1.2, 0)
+	pos := func(tm float64) geom.Vec2 { return geom.V2(10, 100).Add(vel.Scale(tm)) }
+	var lastFix geom.Vec2
+	for epoch := 0; epoch < 8; epoch++ {
+		tm := float64(epoch) * 120
+		lastFix = pos(tm).Add(geom.V2(rng.NormFloat64()*5, rng.NormFloat64()*5))
+		tr.Observe(lastFix, 5, tm)
+	}
+	nextT := 8.0 * 120
+	pred, _ := tr.PredictAt(nextT)
+	truth := pos(nextT)
+	if predErr, staleErr := pred.Dist(truth), lastFix.Dist(truth); predErr > staleErr/2 {
+		t.Errorf("prediction error %.1f m not clearly better than stale fix %.1f m", predErr, staleErr)
+	}
+	if v := tr.Velocity(); math.Abs(v.X-1.2) > 0.4 || math.Abs(v.Y) > 0.4 {
+		t.Errorf("velocity estimate %v, want ~(1.2, 0)", v)
+	}
+}
+
+func TestTrackerUncertaintyGrowsWithHorizon(t *testing.T) {
+	tr := NewTracker(4)
+	tr.Observe(geom.V2(0, 0), 5, 0)
+	tr.Observe(geom.V2(1, 0), 5, 60)
+	_, s1 := tr.PredictAt(120)
+	_, s2 := tr.PredictAt(600)
+	if s2 <= s1 {
+		t.Errorf("uncertainty should grow with horizon: %v then %v", s1, s2)
+	}
+}
+
+func TestTrackerOutOfOrderObservationIgnoredInTime(t *testing.T) {
+	tr := NewTracker(4)
+	tr.Observe(geom.V2(0, 0), 5, 100)
+	// An observation stamped before the last one must not move time
+	// backwards (predictTo guards dt <= 0) nor corrupt the state.
+	tr.Observe(geom.V2(3, 0), 5, 50)
+	pos, _ := tr.PredictAt(100)
+	if math.IsNaN(pos.X) || math.IsNaN(pos.Y) {
+		t.Fatal("state corrupted by out-of-order fix")
+	}
+}

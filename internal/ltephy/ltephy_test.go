@@ -1,0 +1,273 @@
+package ltephy
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestNumerology(t *testing.T) {
+	n := LTE10MHz()
+	if got := n.SampleDistanceM(); math.Abs(got-19.52) > 0.02 {
+		t.Errorf("sample distance = %v, want ~19.5 (paper §3.2.2)", got)
+	}
+	if got := n.SRSRateHz(); got != 100 {
+		t.Errorf("SRS rate = %v, want 100 Hz", got)
+	}
+	if p := n.PeakThroughputBps(); p < 30e6 || p > 40e6 {
+		t.Errorf("peak throughput = %v, want ~35 Mbps", p)
+	}
+	if math.Abs(n.SamplesPerMetre()*n.SampleDistanceM()-1) > 1e-12 {
+		t.Error("SamplesPerMetre inconsistent")
+	}
+}
+
+func TestCQIMapping(t *testing.T) {
+	if CQIForSNR(-10) != 0 {
+		t.Error("deep outage should be CQI 0")
+	}
+	if CQIForSNR(-6.7) != 1 {
+		t.Error("threshold SNR should reach CQI 1")
+	}
+	if CQIForSNR(100) != 15 {
+		t.Error("high SNR should be CQI 15")
+	}
+	if EfficiencyForSNR(-20) != 0 {
+		t.Error("outage efficiency should be 0")
+	}
+	if EfficiencyForSNR(25) != 5.5547 {
+		t.Errorf("CQI15 efficiency = %v", EfficiencyForSNR(25))
+	}
+	// Monotone non-decreasing in SNR.
+	prev := -1.0
+	for snr := -15.0; snr < 30; snr += 0.25 {
+		e := EfficiencyForSNR(snr)
+		if e < prev {
+			t.Fatalf("efficiency decreased at %v dB", snr)
+		}
+		prev = e
+	}
+}
+
+func TestSNRForCQI(t *testing.T) {
+	if !math.IsInf(SNRForCQI(0), -1) || !math.IsInf(SNRForCQI(16), 1) {
+		t.Error("boundary CQIs")
+	}
+	if SNRForCQI(1) != -6.7 || SNRForCQI(15) != 22.7 {
+		t.Error("table endpoints wrong")
+	}
+	// Round trip: CQIForSNR(SNRForCQI(c)) == c.
+	for c := 1; c <= 15; c++ {
+		if got := CQIForSNR(SNRForCQI(c)); got != c {
+			t.Errorf("round trip CQI %d -> %d", c, got)
+		}
+	}
+}
+
+func TestThroughputMonotoneProperty(t *testing.T) {
+	n := LTE10MHz()
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		lo, hi := math.Min(a, b), math.Max(a, b)
+		return n.ThroughputBps(lo) <= n.ThroughputBps(hi)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewSRSValidation(t *testing.T) {
+	num := LTE10MHz()
+	if _, err := NewSRS(num, 0); err == nil {
+		t.Error("root 0 should fail")
+	}
+	if _, err := NewSRS(num, zcPrime); err == nil {
+		t.Error("root = prime should fail")
+	}
+	s, err := NewSRS(num, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Bins) != num.FFTSize {
+		t.Errorf("bins length %d", len(s.Bins))
+	}
+	// Occupied bins are unit magnitude; count equals zcPrime.
+	occupied := 0
+	for _, b := range s.Bins {
+		if b != 0 {
+			occupied++
+			if math.Abs(cmplx.Abs(b)-1) > 1e-12 {
+				t.Fatal("ZC bin not unit magnitude")
+			}
+		}
+	}
+	if occupied != zcPrime {
+		t.Errorf("occupied bins = %d, want %d", occupied, zcPrime)
+	}
+}
+
+func TestEstimateToFNoiseless(t *testing.T) {
+	num := LTE10MHz()
+	s, _ := NewSRS(num, 25)
+	rng := rand.New(rand.NewSource(1))
+	// Very high SNR, LOS: estimate should land within one K-th sample.
+	for _, d := range []float64{0, 19.52, 100, 487.3, 1000} {
+		ch := Channel{DistanceM: d, SNRdB: 60, LOS: true}
+		got, err := s.RangeOnce(ch, DefaultUpsampling, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := num.SampleDistanceM() / DefaultUpsampling
+		if math.Abs(got-d) > res {
+			t.Errorf("distance %v estimated as %v (resolution %v)", d, got, res)
+		}
+	}
+}
+
+func TestEstimateToFOffsetFoldedIn(t *testing.T) {
+	num := LTE10MHz()
+	s, _ := NewSRS(num, 7)
+	rng := rand.New(rand.NewSource(2))
+	ch := Channel{DistanceM: 200, ProcOffsetM: 75, SNRdB: 60, LOS: true}
+	got, err := s.RangeOnce(ch, DefaultUpsampling, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-275) > num.SampleDistanceM()/DefaultUpsampling {
+		t.Errorf("offset not preserved: got %v, want ~275", got)
+	}
+}
+
+func TestRangingErrorMatchesPaper(t *testing.T) {
+	// Fig 17: median ranging error ~4-5 m in realistic conditions with
+	// K=4. Run 200 LOS exchanges at moderate SNR and check the median
+	// absolute error lands in a sane band (resolution-limited).
+	num := LTE10MHz()
+	s, _ := NewSRS(num, 25)
+	rng := rand.New(rand.NewSource(3))
+	var errs []float64
+	for i := 0; i < 200; i++ {
+		d := 50 + rng.Float64()*250
+		ch := Channel{DistanceM: d, SNRdB: 12, LOS: true}
+		got, err := s.RangeOnce(ch, DefaultUpsampling, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		errs = append(errs, math.Abs(got-d))
+	}
+	sort.Float64s(errs)
+	med := errs[len(errs)/2]
+	if med > 6 {
+		t.Errorf("median LOS ranging error %.2f m, want <= 6 (paper: 4-5 m)", med)
+	}
+}
+
+func TestNLOSRangingNoisierAndLate(t *testing.T) {
+	num := LTE10MHz()
+	s, _ := NewSRS(num, 25)
+	rng := rand.New(rand.NewSource(4))
+	trials := 150
+	bias := func(los bool) (mean, std float64) {
+		var raw []float64
+		for i := 0; i < trials; i++ {
+			d := 100 + rng.Float64()*100
+			got, err := s.RangeOnce(Channel{DistanceM: d, SNRdB: 10, LOS: los}, DefaultUpsampling, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			raw = append(raw, got-d)
+		}
+		for _, e := range raw {
+			mean += e
+		}
+		mean /= float64(trials)
+		for _, e := range raw {
+			std += (e - mean) * (e - mean)
+		}
+		std = math.Sqrt(std / float64(trials))
+		return
+	}
+	losMean, losStd := bias(true)
+	nlosMean, nlosStd := bias(false)
+	if nlosStd <= losStd {
+		t.Errorf("NLOS std %.2f not noisier than LOS %.2f", nlosStd, losStd)
+	}
+	if nlosMean <= losMean-1 {
+		t.Errorf("NLOS bias %.2f should trend late vs LOS %.2f", nlosMean, losMean)
+	}
+}
+
+func TestEstimateToFErrors(t *testing.T) {
+	num := LTE10MHz()
+	s, _ := NewSRS(num, 25)
+	if _, _, err := s.EstimateToF(make([]complex128, 7), 4); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, _, err := s.EstimateToF(make([]complex128, num.FFTSize), 0); err == nil {
+		t.Error("k=0 should fail")
+	}
+}
+
+func TestEstimateToFNegativeDelayWraps(t *testing.T) {
+	// A symbol arriving "early" (negative offset) must decode as a
+	// negative distance rather than a huge positive one.
+	num := LTE10MHz()
+	s, _ := NewSRS(num, 25)
+	rng := rand.New(rand.NewSource(5))
+	ch := Channel{DistanceM: -50, SNRdB: 60, LOS: true}
+	got, err := s.RangeOnce(ch, DefaultUpsampling, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-(-50)) > num.SampleDistanceM()/DefaultUpsampling {
+		t.Errorf("negative delay decoded as %v, want ~-50", got)
+	}
+}
+
+func TestUpsamplingImprovesResolution(t *testing.T) {
+	// K=4 should bring quantization error below one full sample; K=1
+	// should show errors up to ~half a sample distance.
+	num := LTE10MHz()
+	s, _ := NewSRS(num, 25)
+	rng := rand.New(rand.NewSource(6))
+	maxErrAt := func(k int) float64 {
+		var worst float64
+		for i := 0; i < 60; i++ {
+			d := rng.Float64() * 300
+			got, err := s.RangeOnce(Channel{DistanceM: d, SNRdB: 60, LOS: true}, k, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if e := math.Abs(got - d); e > worst {
+				worst = e
+			}
+		}
+		return worst
+	}
+	e1 := maxErrAt(1)
+	e4 := maxErrAt(4)
+	if e4 >= e1 {
+		t.Errorf("K=4 worst error %.2f not better than K=1 %.2f", e4, e1)
+	}
+	if e4 > num.SampleDistanceM()/2 {
+		t.Errorf("K=4 worst error %.2f m too large", e4)
+	}
+}
+
+func BenchmarkRangeOnce(b *testing.B) {
+	num := LTE10MHz()
+	s, _ := NewSRS(num, 25)
+	rng := rand.New(rand.NewSource(1))
+	ch := Channel{DistanceM: 150, SNRdB: 15, LOS: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.RangeOnce(ch, DefaultUpsampling, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

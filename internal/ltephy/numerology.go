@@ -1,0 +1,141 @@
+// Package ltephy models the slice of the LTE physical layer SkyRAN
+// depends on: uplink Sounding Reference Signals (SRS) built from
+// Zadoff-Chu sequences, a frequency-domain channel simulator, the
+// paper's upsampled-correlation time-of-flight estimator (eq. 1-3 of
+// §3.2.2), and the SNR→CQI→throughput mapping used to score UAV
+// positions.
+package ltephy
+
+import "math"
+
+// Numerology fixes the OFDM parameters of the carrier. The paper runs
+// a 10 MHz LTE carrier sampled at 15.36 MS/s with 1024-point FFTs.
+type Numerology struct {
+	// BandwidthHz is the channel bandwidth (10 MHz).
+	BandwidthHz float64
+	// SampleRateHz is the baseband sample rate (15.36 MS/s for 10 MHz).
+	SampleRateHz float64
+	// FFTSize is the OFDM FFT length (1024 for 10 MHz).
+	FFTSize int
+	// PRBs is the number of physical resource blocks (50 for 10 MHz).
+	PRBs int
+	// SRSPeriodMs is the SRS reporting period (10 ms → 100 Hz, §3.2.1).
+	SRSPeriodMs float64
+}
+
+// LTE10MHz is the paper's configuration.
+func LTE10MHz() Numerology {
+	return Numerology{
+		BandwidthHz:  10e6,
+		SampleRateHz: 15.36e6,
+		FFTSize:      1024,
+		PRBs:         50,
+		SRSPeriodMs:  10,
+	}
+}
+
+// SpeedOfLight in m/s.
+const SpeedOfLight = 299792458.0
+
+// SampleDistanceM returns the distance light travels in one baseband
+// sample period: c / fs. For 15.36 MS/s this is ~19.5 m, the paper's
+// quoted per-sample ranging resolution.
+func (n Numerology) SampleDistanceM() float64 {
+	return SpeedOfLight / n.SampleRateHz
+}
+
+// SamplesPerMetre returns 1/SampleDistanceM.
+func (n Numerology) SamplesPerMetre() float64 { return n.SampleRateHz / SpeedOfLight }
+
+// SRSRateHz returns SRS reports per second (100 Hz in the paper).
+func (n Numerology) SRSRateHz() float64 { return 1000 / n.SRSPeriodMs }
+
+// resource accounting ------------------------------------------------
+
+const (
+	subcarriersPerPRB = 12
+	symbolsPerMs      = 14
+	// controlOverhead is the fraction of resource elements consumed by
+	// reference signals, PDCCH and broadcast channels.
+	controlOverhead = 0.25
+)
+
+// UsableREsPerSecond returns the downlink resource elements per second
+// available for user data after control overhead.
+func (n Numerology) UsableREsPerSecond() float64 {
+	return float64(n.PRBs) * subcarriersPerPRB * symbolsPerMs * 1000 * (1 - controlOverhead)
+}
+
+// PeakThroughputBps returns the throughput at the highest CQI: the
+// ~35 Mbps ceiling of a 10 MHz SISO carrier.
+func (n Numerology) PeakThroughputBps() float64 {
+	return n.UsableREsPerSecond() * cqiTable[len(cqiTable)-1].efficiency
+}
+
+// ThroughputBps maps a wideband SNR (dB) to full-buffer single-user
+// throughput in bits/s via the CQI table. SNR below the lowest CQI
+// threshold yields zero (outage).
+func (n Numerology) ThroughputBps(snrDB float64) float64 {
+	return n.UsableREsPerSecond() * EfficiencyForSNR(snrDB)
+}
+
+// cqiEntry pairs the minimum SNR at which a CQI is decodable with its
+// spectral efficiency in bits per resource element (3GPP TS 36.213
+// Table 7.2.3-1 efficiencies, thresholds from standard BLER curves).
+type cqiEntry struct {
+	minSNRdB   float64
+	efficiency float64
+}
+
+var cqiTable = []cqiEntry{
+	{-6.7, 0.1523}, // CQI 1, QPSK 78/1024
+	{-4.7, 0.2344},
+	{-2.3, 0.3770},
+	{0.2, 0.6016},
+	{2.4, 0.8770},
+	{4.3, 1.1758},
+	{5.9, 1.4766}, // 16QAM from here
+	{8.1, 1.9141},
+	{10.3, 2.4063},
+	{11.7, 2.7305}, // 64QAM from here
+	{14.1, 3.3223},
+	{16.3, 3.9023},
+	{18.7, 4.5234},
+	{21.0, 5.1152},
+	{22.7, 5.5547}, // CQI 15
+}
+
+// CQIForSNR returns the highest CQI index (1-15) decodable at the given
+// SNR, or 0 for outage.
+func CQIForSNR(snrDB float64) int {
+	cqi := 0
+	for i, e := range cqiTable {
+		if snrDB >= e.minSNRdB {
+			cqi = i + 1
+		}
+	}
+	return cqi
+}
+
+// EfficiencyForSNR returns spectral efficiency in bits per resource
+// element for the given SNR (0 in outage).
+func EfficiencyForSNR(snrDB float64) float64 {
+	cqi := CQIForSNR(snrDB)
+	if cqi == 0 {
+		return 0
+	}
+	return cqiTable[cqi-1].efficiency
+}
+
+// SNRForCQI returns the minimum SNR at which the given CQI (1-15) is
+// usable. It returns -Inf for CQI <= 0 and +Inf above 15.
+func SNRForCQI(cqi int) float64 {
+	switch {
+	case cqi <= 0:
+		return math.Inf(-1)
+	case cqi > len(cqiTable):
+		return math.Inf(1)
+	default:
+		return cqiTable[cqi-1].minSNRdB
+	}
+}

@@ -1,0 +1,136 @@
+// Package metrics provides the statistics the paper's figures report:
+// medians and percentiles, empirical CDFs, means with confidence
+// intervals, and relative-throughput helpers.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Median returns the median of xs (NaN for empty input).
+func Median(xs []float64) float64 { return Percentile(xs, 50) }
+
+// Percentile returns the p-th percentile (0-100) using linear
+// interpolation between order statistics. NaN for empty input.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	if p <= 0 {
+		return cp[0]
+	}
+	if p >= 100 {
+		return cp[len(cp)-1]
+	}
+	rank := p / 100 * float64(len(cp)-1)
+	lo := int(math.Floor(rank))
+	frac := rank - float64(lo)
+	if lo+1 >= len(cp) {
+		return cp[len(cp)-1]
+	}
+	return cp[lo]*(1-frac) + cp[lo+1]*frac
+}
+
+// Mean returns the arithmetic mean (NaN for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Std returns the population standard deviation.
+func Std(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		ss += (x - m) * (x - m)
+	}
+	return math.Sqrt(ss / float64(len(xs)))
+}
+
+// MeanCI95 returns the mean and its 95% normal-approximation
+// confidence half-width.
+func MeanCI95(xs []float64) (mean, halfWidth float64) {
+	mean = Mean(xs)
+	if len(xs) < 2 {
+		return mean, math.NaN()
+	}
+	se := Std(xs) / math.Sqrt(float64(len(xs)))
+	return mean, 1.96 * se
+}
+
+// CDF is an empirical cumulative distribution function.
+type CDF struct {
+	sorted []float64
+}
+
+// NewCDF builds a CDF from samples.
+func NewCDF(xs []float64) *CDF {
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	return &CDF{sorted: cp}
+}
+
+// At returns P(X <= x).
+func (c *CDF) At(x float64) float64 {
+	if len(c.sorted) == 0 {
+		return math.NaN()
+	}
+	i := sort.SearchFloat64s(c.sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(i) / float64(len(c.sorted))
+}
+
+// Quantile returns the q-th quantile (q in [0,1]).
+func (c *CDF) Quantile(q float64) float64 {
+	return Percentile(c.sorted, q*100)
+}
+
+// Len returns the sample count.
+func (c *CDF) Len() int { return len(c.sorted) }
+
+// Table renders the CDF at the given probe points as "x=p" pairs —
+// the textual form of the paper's CDF plots.
+func (c *CDF) Table(probes []float64) string {
+	var b strings.Builder
+	for i, x := range probes {
+		if i > 0 {
+			b.WriteString(" ")
+		}
+		fmt.Fprintf(&b, "%g=%0.2f", x, c.At(x))
+	}
+	return b.String()
+}
+
+// Relative returns value/reference, guarding zero and negative
+// references (returns 0).
+func Relative(value, reference float64) float64 {
+	if reference <= 0 {
+		return 0
+	}
+	return value / reference
+}
+
+// Clamp01 clamps x into [0, 1] — relative throughputs can exceed 1
+// marginally through measurement noise.
+func Clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

@@ -1,0 +1,122 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMedianPercentile(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	if Median(xs) != 3 {
+		t.Errorf("median = %v", Median(xs))
+	}
+	if Percentile(xs, 0) != 1 || Percentile(xs, 100) != 5 {
+		t.Error("extreme percentiles")
+	}
+	if got := Percentile(xs, 25); got != 2 {
+		t.Errorf("p25 = %v", got)
+	}
+	if !math.IsNaN(Median(nil)) {
+		t.Error("empty median should be NaN")
+	}
+	// Input must not be mutated.
+	if xs[0] != 5 {
+		t.Error("percentile sorted its input")
+	}
+}
+
+func TestPercentileInterpolates(t *testing.T) {
+	xs := []float64{0, 10}
+	if got := Percentile(xs, 50); got != 5 {
+		t.Errorf("interpolated p50 = %v", got)
+	}
+	if got := Percentile(xs, 75); got != 7.5 {
+		t.Errorf("p75 = %v", got)
+	}
+}
+
+func TestMeanStd(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if Mean(xs) != 5 {
+		t.Errorf("mean = %v", Mean(xs))
+	}
+	if Std(xs) != 2 {
+		t.Errorf("std = %v", Std(xs))
+	}
+	if !math.IsNaN(Mean(nil)) || !math.IsNaN(Std(nil)) {
+		t.Error("empty stats should be NaN")
+	}
+}
+
+func TestMeanCI95(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()*2 + 10
+	}
+	mean, hw := MeanCI95(xs)
+	if math.Abs(mean-10) > 0.3 {
+		t.Errorf("mean = %v", mean)
+	}
+	// hw ≈ 1.96*2/sqrt(1000) ≈ 0.124
+	if math.Abs(hw-0.124) > 0.03 {
+		t.Errorf("half width = %v", hw)
+	}
+	if _, hw := MeanCI95([]float64{1}); !math.IsNaN(hw) {
+		t.Error("single sample CI should be NaN")
+	}
+}
+
+func TestCDF(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 3, 4})
+	if c.Len() != 4 {
+		t.Error("len")
+	}
+	cases := []struct{ x, want float64 }{
+		{0.5, 0}, {1, 0.25}, {2.5, 0.5}, {4, 1}, {100, 1},
+	}
+	for _, cse := range cases {
+		if got := c.At(cse.x); math.Abs(got-cse.want) > 1e-12 {
+			t.Errorf("At(%v) = %v, want %v", cse.x, got, cse.want)
+		}
+	}
+	if got := c.Quantile(0.5); got != 2.5 {
+		t.Errorf("q50 = %v", got)
+	}
+	if c.Table([]float64{1, 4}) != "1=0.25 4=1.00" {
+		t.Errorf("table = %q", c.Table([]float64{1, 4}))
+	}
+}
+
+func TestCDFMonotoneProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	xs := make([]float64, 200)
+	for i := range xs {
+		xs[i] = rng.NormFloat64() * 10
+	}
+	c := NewCDF(xs)
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		lo, hi := math.Min(a, b), math.Max(a, b)
+		return c.At(lo) <= c.At(hi)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRelativeAndClamp(t *testing.T) {
+	if Relative(5, 10) != 0.5 {
+		t.Error("relative")
+	}
+	if Relative(5, 0) != 0 || Relative(5, -1) != 0 {
+		t.Error("guarded reference")
+	}
+	if Clamp01(-0.5) != 0 || Clamp01(1.5) != 1 || Clamp01(0.7) != 0.7 {
+		t.Error("clamp")
+	}
+}

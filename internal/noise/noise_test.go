@@ -1,0 +1,120 @@
+package noise
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterministic(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 100; i++ {
+		x, y, z := float64(i)*0.37, float64(i)*1.91, float64(i)*0.11
+		if a.At(x, y, z) != b.At(x, y, z) {
+			t.Fatalf("same seed differs at %v,%v,%v", x, y, z)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		x := float64(i) * 0.73
+		if a.At2(x, x) == b.At2(x, x) {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("seeds 1 and 2 agree on %d/100 samples", same)
+	}
+}
+
+func TestRangeBounded(t *testing.T) {
+	f := New(7)
+	check := func(x, y, z float64) bool {
+		if math.IsNaN(x) || math.IsNaN(y) || math.IsNaN(z) ||
+			math.Abs(x) > 1e6 || math.Abs(y) > 1e6 || math.Abs(z) > 1e6 {
+			return true
+		}
+		v := f.At(x, y, z)
+		return v >= -1.0001 && v <= 1.0001 && !math.IsNaN(v)
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestContinuity(t *testing.T) {
+	// Adjacent samples 1 cm apart must differ by a small amount: the
+	// field is C¹ so the delta is bounded by max-slope * step.
+	f := New(3)
+	for i := 0; i < 2000; i++ {
+		x := float64(i) * 0.173
+		y := float64(i) * 0.311
+		d := math.Abs(f.At2(x, y) - f.At2(x+0.01, y))
+		if d > 0.08 {
+			t.Fatalf("discontinuity at (%v,%v): delta %v", x, y, d)
+		}
+	}
+}
+
+func TestLatticeAgreesAtIntegers(t *testing.T) {
+	// At integer coordinates the interpolation weights are 0, so At
+	// must return the lattice value exactly.
+	f := New(11)
+	if got, want := f.At(3, 4, 5), f.lattice(3, 4, 5); got != want {
+		t.Errorf("At(3,4,5) = %v, lattice = %v", got, want)
+	}
+}
+
+func TestMeanNearZero(t *testing.T) {
+	f := New(99)
+	var sum float64
+	n := 10000
+	for i := 0; i < n; i++ {
+		x := float64(i%100) * 0.631
+		y := float64(i/100) * 0.631
+		sum += f.At2(x, y)
+	}
+	mean := sum / float64(n)
+	if math.Abs(mean) > 0.1 {
+		t.Errorf("mean = %v, want near 0", mean)
+	}
+}
+
+func TestFBMBounded(t *testing.T) {
+	f := New(5)
+	for i := 0; i < 1000; i++ {
+		v := f.FBM(float64(i)*0.29, float64(i)*0.53, 4)
+		if v < -1.001 || v > 1.001 {
+			t.Fatalf("FBM out of range: %v", v)
+		}
+	}
+	if f.FBM(1, 2, 0) != 0 {
+		t.Error("0 octaves should give 0")
+	}
+}
+
+func TestFBMAddsDetail(t *testing.T) {
+	// With more octaves the field has more high-frequency energy:
+	// neighbouring samples decorrelate faster.
+	f := New(21)
+	var d1, d4 float64
+	for i := 0; i < 500; i++ {
+		x, y := float64(i)*0.37, float64(i)*0.91
+		d1 += math.Abs(f.FBM(x, y, 1) - f.FBM(x+0.05, y, 1))
+		d4 += math.Abs(f.FBM(x, y, 5) - f.FBM(x+0.05, y, 5))
+	}
+	if d4 <= d1 {
+		t.Errorf("5-octave roughness %v not greater than 1-octave %v", d4, d1)
+	}
+}
+
+func BenchmarkAt(b *testing.B) {
+	f := New(1)
+	for i := 0; i < b.N; i++ {
+		f.At(float64(i)*0.01, 3.7, 1.1)
+	}
+}

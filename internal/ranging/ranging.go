@@ -1,0 +1,90 @@
+// Package ranging assembles the GPS-ToF tuple stream of §3.2.2: the
+// UAV reads its GPS at 50 Hz and receives SRS-derived ranges at 100 Hz,
+// so the M ToF values observed between consecutive GPS reports are
+// averaged and assigned to the report that opened the window, yielding
+// one (position, range) tuple per GPS sample. The multilateration
+// solver in package locate consumes these tuples.
+package ranging
+
+import "repro/internal/geom"
+
+// Tuple pairs a UAV GPS position with the mean SRS range observed
+// while the UAV was at (near) that position. Range includes the
+// unknown constant processing offset; locate solves for it.
+type Tuple struct {
+	UAVPos geom.Vec3
+	RangeM float64
+	// Samples is the number of ToF values averaged into RangeM.
+	Samples int
+}
+
+// Collector builds Tuples from interleaved GPS and ToF streams for a
+// single UE. The zero value is ready to use.
+type Collector struct {
+	tuples  []Tuple
+	curPos  geom.Vec3
+	havePos bool
+	sum     float64
+	count   int
+}
+
+// AddGPS records a new UAV GPS report, closing the previous averaging
+// window (emitting its tuple if any ToFs arrived) and opening a new
+// one at pos.
+func (c *Collector) AddGPS(pos geom.Vec3) {
+	c.flush()
+	c.curPos = pos
+	c.havePos = true
+}
+
+// AddRange records one SRS-derived range measurement (metres,
+// offset included). Measurements arriving before the first GPS report
+// are discarded: they cannot be attributed to a position.
+func (c *Collector) AddRange(rangeM float64) {
+	if !c.havePos {
+		return
+	}
+	c.sum += rangeM
+	c.count++
+}
+
+// flush emits the pending window as a tuple.
+func (c *Collector) flush() {
+	if c.havePos && c.count > 0 {
+		c.tuples = append(c.tuples, Tuple{
+			UAVPos:  c.curPos,
+			RangeM:  c.sum / float64(c.count),
+			Samples: c.count,
+		})
+	}
+	c.sum, c.count = 0, 0
+}
+
+// Tuples closes the current window and returns all tuples collected so
+// far. The collector remains usable; subsequent GPS/range calls append
+// new tuples.
+func (c *Collector) Tuples() []Tuple {
+	c.flush()
+	c.havePos = false
+	out := make([]Tuple, len(c.tuples))
+	copy(out, c.tuples)
+	return out
+}
+
+// Reset discards all state.
+func (c *Collector) Reset() {
+	*c = Collector{}
+}
+
+// Decimate returns every k-th tuple (k >= 1), used to study the impact
+// of measurement density on localization accuracy.
+func Decimate(ts []Tuple, k int) []Tuple {
+	if k <= 1 {
+		return ts
+	}
+	var out []Tuple
+	for i := 0; i < len(ts); i += k {
+		out = append(out, ts[i])
+	}
+	return out
+}

@@ -1,0 +1,111 @@
+package ranging
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestCollectorAverages(t *testing.T) {
+	var c Collector
+	c.AddGPS(geom.V3(0, 0, 50))
+	c.AddRange(100)
+	c.AddRange(102)
+	c.AddGPS(geom.V3(1, 0, 50))
+	c.AddRange(98)
+	ts := c.Tuples()
+	if len(ts) != 2 {
+		t.Fatalf("tuples = %d, want 2", len(ts))
+	}
+	if ts[0].RangeM != 101 || ts[0].Samples != 2 {
+		t.Errorf("tuple 0 = %+v", ts[0])
+	}
+	if ts[0].UAVPos != geom.V3(0, 0, 50) {
+		t.Errorf("tuple 0 pos = %v", ts[0].UAVPos)
+	}
+	if ts[1].RangeM != 98 || ts[1].Samples != 1 {
+		t.Errorf("tuple 1 = %+v", ts[1])
+	}
+}
+
+func TestCollectorDiscardsOrphanRanges(t *testing.T) {
+	var c Collector
+	c.AddRange(55) // before any GPS: dropped
+	c.AddGPS(geom.V3(0, 0, 10))
+	c.AddRange(60)
+	ts := c.Tuples()
+	if len(ts) != 1 || ts[0].RangeM != 60 {
+		t.Errorf("tuples = %+v", ts)
+	}
+}
+
+func TestCollectorEmptyWindowsSkipped(t *testing.T) {
+	var c Collector
+	c.AddGPS(geom.V3(0, 0, 10))
+	c.AddGPS(geom.V3(1, 0, 10)) // no ranges in the first window
+	c.AddRange(70)
+	ts := c.Tuples()
+	if len(ts) != 1 {
+		t.Fatalf("tuples = %d, want 1 (empty window skipped)", len(ts))
+	}
+	if ts[0].UAVPos.X != 1 {
+		t.Error("tuple should belong to the second window")
+	}
+}
+
+func TestTuplesIdempotentSnapshot(t *testing.T) {
+	var c Collector
+	c.AddGPS(geom.V3(0, 0, 1))
+	c.AddRange(10)
+	a := c.Tuples()
+	b := c.Tuples()
+	if len(a) != 1 || len(b) != 1 {
+		t.Fatalf("snapshots %d, %d", len(a), len(b))
+	}
+	a[0].RangeM = 999
+	if c.Tuples()[0].RangeM != 10 {
+		t.Error("Tuples must return a copy")
+	}
+}
+
+func TestCollectorContinuesAfterTuples(t *testing.T) {
+	var c Collector
+	c.AddGPS(geom.V3(0, 0, 1))
+	c.AddRange(10)
+	_ = c.Tuples()
+	// After snapshot, a stray range without a fresh GPS must be dropped.
+	c.AddRange(20)
+	c.AddGPS(geom.V3(2, 0, 1))
+	c.AddRange(30)
+	ts := c.Tuples()
+	if len(ts) != 2 || ts[1].RangeM != 30 {
+		t.Errorf("tuples = %+v", ts)
+	}
+}
+
+func TestReset(t *testing.T) {
+	var c Collector
+	c.AddGPS(geom.V3(0, 0, 1))
+	c.AddRange(10)
+	c.Reset()
+	if len(c.Tuples()) != 0 {
+		t.Error("reset should clear tuples")
+	}
+}
+
+func TestDecimate(t *testing.T) {
+	ts := make([]Tuple, 10)
+	for i := range ts {
+		ts[i].RangeM = float64(i)
+	}
+	d := Decimate(ts, 3)
+	if len(d) != 4 || d[1].RangeM != 3 {
+		t.Errorf("decimate = %+v", d)
+	}
+	if got := Decimate(ts, 1); len(got) != 10 {
+		t.Error("k=1 should be identity")
+	}
+	if got := Decimate(ts, 0); len(got) != 10 {
+		t.Error("k=0 should be identity")
+	}
+}

@@ -1,0 +1,90 @@
+package rem
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// Gradient computes the SNR gradient map of §3.3.2 Step 6.2: each
+// cell's gradient is the greatest absolute difference between its
+// value and those of its directly adjacent (4-neighbour) cells.
+func Gradient(g *geom.Grid) *geom.Grid {
+	out := geom.NewGrid(g.Origin, g.Cell, g.NX, g.NY)
+	v := g.Values()
+	o := out.Values()
+	for cy := 0; cy < g.NY; cy++ {
+		for cx := 0; cx < g.NX; cx++ {
+			i := cy*g.NX + cx
+			var best float64
+			if cx > 0 {
+				best = math.Max(best, math.Abs(v[i]-v[i-1]))
+			}
+			if cx < g.NX-1 {
+				best = math.Max(best, math.Abs(v[i]-v[i+1]))
+			}
+			if cy > 0 {
+				best = math.Max(best, math.Abs(v[i]-v[i-g.NX]))
+			}
+			if cy < g.NY-1 {
+				best = math.Max(best, math.Abs(v[i]-v[i+g.NX]))
+			}
+			o[i] = best
+		}
+	}
+	return out
+}
+
+// HighGradientCells partitions cells at the median gradient (§3.3.2
+// Step 6.3) and returns the centre points of the cells whose gradient
+// strictly exceeds it. When the field is completely flat (all
+// gradients equal), it returns nil: there is nothing informative to
+// prioritise.
+func HighGradientCells(grad *geom.Grid) []geom.Vec2 {
+	med := medianFloat(grad.Values())
+	var out []geom.Vec2
+	grad.EachCell(func(cx, cy int, v float64) {
+		if v > med {
+			out = append(out, grad.CellCenter(cx, cy))
+		}
+	})
+	return out
+}
+
+// MedianAbsError scores an estimated REM against ground truth: the
+// median of |estimate − truth| over the truth grid's cells ("Median
+// REM Accuracy (dB)" on the paper's y-axes). The grids may have
+// different cell sizes; truth cells are compared against the estimate
+// value at their centres.
+func MedianAbsError(est *Map, truth *geom.Grid) float64 {
+	errs := make([]float64, 0, truth.NX*truth.NY)
+	truth.EachCell(func(cx, cy int, tv float64) {
+		c := truth.CellCenter(cx, cy)
+		errs = append(errs, math.Abs(est.Value(c)-tv))
+	})
+	return medianFloat(errs)
+}
+
+// MedianAbsErrorGrid is MedianAbsError for a bare grid estimate.
+func MedianAbsErrorGrid(est, truth *geom.Grid) float64 {
+	errs := make([]float64, 0, truth.NX*truth.NY)
+	truth.EachCell(func(cx, cy int, tv float64) {
+		c := truth.CellCenter(cx, cy)
+		errs = append(errs, math.Abs(est.ValueAt(c)-tv))
+	})
+	return medianFloat(errs)
+}
+
+func medianFloat(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	n := len(cp)
+	if n%2 == 1 {
+		return cp[n/2]
+	}
+	return (cp[n/2-1] + cp[n/2]) / 2
+}

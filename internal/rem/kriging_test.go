@@ -1,0 +1,163 @@
+package rem
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestVariogramEval(t *testing.T) {
+	v := Variogram{Nugget: 1, Sill: 10, RangeM: 50}
+	if v.Eval(0) != 0 {
+		t.Error("γ(0) must be 0")
+	}
+	if got := v.Eval(1e9); math.Abs(got-11) > 1e-6 {
+		t.Errorf("γ(∞) = %v, want nugget+sill = 11", got)
+	}
+	// Monotone non-decreasing.
+	prev := 0.0
+	for d := 0.5; d < 300; d += 0.5 {
+		g := v.Eval(d)
+		if g < prev-1e-12 {
+			t.Fatalf("variogram decreased at %v", d)
+		}
+		prev = g
+	}
+}
+
+func TestFitVariogramRecoversScale(t *testing.T) {
+	// Samples from a smooth field: fitted range should be comparable
+	// to the field's correlation length and sill near the variance.
+	rng := rand.New(rand.NewSource(1))
+	var xs, ys, vs []float64
+	field := func(x, y float64) float64 {
+		return 10*math.Sin(x/40) + 10*math.Cos(y/40)
+	}
+	for i := 0; i < 300; i++ {
+		x, y := rng.Float64()*200, rng.Float64()*200
+		xs = append(xs, x)
+		ys = append(ys, y)
+		vs = append(vs, field(x, y))
+	}
+	v := FitVariogram(xs, ys, vs, 10000)
+	if v.RangeM < 5 || v.RangeM > 500 {
+		t.Errorf("fitted range %v implausible", v.RangeM)
+	}
+	if v.Sill <= 0 {
+		t.Errorf("fitted sill %v", v.Sill)
+	}
+	// Degenerate inputs fall back without panicking.
+	if got := FitVariogram(nil, nil, nil, 100); got.Sill <= 0 {
+		t.Error("fallback variogram invalid")
+	}
+}
+
+func TestKrigingExactAtSamples(t *testing.T) {
+	m := New(area100(), 1)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 100; i++ {
+		m.AddMeasurement(geom.V2(rng.Float64()*100, rng.Float64()*100), rng.NormFloat64()*5)
+	}
+	if err := m.InterpolateKriging(12); err != nil {
+		t.Fatal(err)
+	}
+	// Measured cells untouched (kriging only fills gaps).
+	m.Grid().EachCell(func(cx, cy int, v float64) {
+		if m.Measured(cx, cy) && math.IsNaN(v) {
+			t.Fatal("measured cell corrupted")
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("non-finite kriging output at %d,%d", cx, cy)
+		}
+	})
+}
+
+func TestKrigingBeatsOrMatchesIDWOnSmoothField(t *testing.T) {
+	// On a smooth anisotropy-free field both interpolators should be
+	// close; kriging must not be wildly worse (the paper's footnote-3
+	// claim is "marginal improvement" for kriging).
+	field := func(p geom.Vec2) float64 { return 20*math.Sin(p.X/35) + 15*math.Cos(p.Y/28) }
+	sample := func() *Map {
+		m := New(area100(), 1)
+		rng := rand.New(rand.NewSource(3))
+		for i := 0; i < 150; i++ {
+			p := geom.V2(rng.Float64()*100, rng.Float64()*100)
+			m.AddMeasurement(p, field(p))
+		}
+		return m
+	}
+	scoreVs := func(m *Map) float64 {
+		var sum float64
+		var n int
+		m.Grid().EachCell(func(cx, cy int, v float64) {
+			c := m.Grid().CellCenter(cx, cy)
+			sum += math.Abs(v - field(c))
+			n++
+		})
+		return sum / float64(n)
+	}
+	idw := sample()
+	if err := idw.Interpolate(); err != nil {
+		t.Fatal(err)
+	}
+	kr := sample()
+	if err := kr.InterpolateKriging(12); err != nil {
+		t.Fatal(err)
+	}
+	ei, ek := scoreVs(idw), scoreVs(kr)
+	t.Logf("IDW MAE %.3f, kriging MAE %.3f", ei, ek)
+	if ek > ei*1.5 {
+		t.Errorf("kriging MAE %.3f much worse than IDW %.3f", ek, ei)
+	}
+}
+
+func TestKrigingNoMeasurements(t *testing.T) {
+	m := New(area100(), 1)
+	if err := m.InterpolateKriging(8); err != ErrNoMeasurements {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestKrigingCoincidentPointsNoPanic(t *testing.T) {
+	m := New(area100(), 1)
+	// All measurements in one cell: the kriging matrix would be
+	// singular; must fall back, not panic.
+	for i := 0; i < 5; i++ {
+		m.AddMeasurement(geom.V2(50, 50), 7)
+	}
+	if err := m.InterpolateKriging(8); err != nil {
+		t.Fatal(err)
+	}
+	if v := m.Value(geom.V2(10, 10)); math.Abs(v-7) > 1e-6 {
+		t.Errorf("single-point kriging = %v, want 7", v)
+	}
+}
+
+func TestSolveDense(t *testing.T) {
+	// 2x2: x=3, y=-1.
+	a := []float64{2, 1, 1, 3}
+	x, ok := solveDense(a, []float64{5, 0}, 2)
+	if !ok || math.Abs(x[0]-3) > 1e-9 || math.Abs(x[1]-(-1)) > 1e-9 {
+		t.Errorf("solveDense = %v ok=%v", x, ok)
+	}
+	if _, ok := solveDense([]float64{1, 1, 1, 1}, []float64{1, 2}, 2); ok {
+		t.Error("singular must fail")
+	}
+}
+
+func BenchmarkKriging(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		m := New(geom.Rect{MinX: 0, MinY: 0, MaxX: 250, MaxY: 250}, 2)
+		for j := 0; j < 500; j++ {
+			m.AddMeasurement(geom.V2(rng.Float64()*250, rng.Float64()*250), rng.NormFloat64()*10)
+		}
+		b.StartTimer()
+		if err := m.InterpolateKriging(12); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

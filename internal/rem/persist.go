@@ -1,0 +1,122 @@
+package rem
+
+import (
+	"compress/gzip"
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"repro/internal/geom"
+)
+
+// REM store persistence: Fig 2 of the paper shows REMs being "stored
+// and historical data ... used in case UEs reappear in similar
+// locations". Persisting the store lets a UAV land, swap batteries,
+// and resume with its maps intact — or hand them to the next aircraft.
+// The format is gzip-compressed gob of a versioned snapshot.
+
+// persistVersion guards against decoding snapshots from incompatible
+// builds.
+const persistVersion = 1
+
+// mapSnapshot is the serialisable form of a Map.
+type mapSnapshot struct {
+	OriginX, OriginY float64
+	Cell             float64
+	NX, NY           int
+	Values           []float64
+	Sum              []float64
+	Count            []int
+	Prior            []float64
+	HasPrior         bool
+	PriorRangeM      float64
+	BlendPrior       bool
+}
+
+type storeSnapshot struct {
+	Version int
+	R       float64
+	Keys    []geom.Vec2
+	Maps    []mapSnapshot
+}
+
+func snapshotMap(m *Map) mapSnapshot {
+	return mapSnapshot{
+		OriginX: m.grid.Origin.X, OriginY: m.grid.Origin.Y,
+		Cell: m.grid.Cell, NX: m.grid.NX, NY: m.grid.NY,
+		Values: m.grid.Values(), Sum: m.sum, Count: m.count,
+		Prior: m.prior, HasPrior: m.hasPrior,
+		PriorRangeM: m.PriorRangeM, BlendPrior: m.BlendPrior,
+	}
+}
+
+func restoreMap(s mapSnapshot) (*Map, error) {
+	if s.NX <= 0 || s.NY <= 0 || s.Cell <= 0 {
+		return nil, fmt.Errorf("rem: corrupt snapshot grid %dx%d cell %g", s.NX, s.NY, s.Cell)
+	}
+	n := s.NX * s.NY
+	if len(s.Values) != n || len(s.Sum) != n || len(s.Count) != n {
+		return nil, fmt.Errorf("rem: snapshot array lengths do not match %d cells", n)
+	}
+	if s.HasPrior && len(s.Prior) != n {
+		return nil, fmt.Errorf("rem: snapshot prior length %d, want %d", len(s.Prior), n)
+	}
+	g := geom.NewGrid(geom.V2(s.OriginX, s.OriginY), s.Cell, s.NX, s.NY)
+	copy(g.Values(), s.Values)
+	m := &Map{
+		grid:        g,
+		sum:         append([]float64(nil), s.Sum...),
+		count:       append([]int(nil), s.Count...),
+		hasPrior:    s.HasPrior,
+		PriorRangeM: s.PriorRangeM,
+		BlendPrior:  s.BlendPrior,
+	}
+	if s.HasPrior {
+		m.prior = append([]float64(nil), s.Prior...)
+	}
+	return m, nil
+}
+
+// Save writes the store (reuse radius, keys and full map contents) to
+// w as gzip-compressed gob.
+func (s *Store) Save(w io.Writer) error {
+	zw := gzip.NewWriter(w)
+	snap := storeSnapshot{Version: persistVersion, R: s.R}
+	for _, e := range s.entries {
+		snap.Keys = append(snap.Keys, e.pos)
+		snap.Maps = append(snap.Maps, snapshotMap(e.m))
+	}
+	if err := gob.NewEncoder(zw).Encode(snap); err != nil {
+		zw.Close()
+		return fmt.Errorf("rem: encoding store: %w", err)
+	}
+	return zw.Close()
+}
+
+// LoadStore reads a store previously written with Save.
+func LoadStore(r io.Reader) (*Store, error) {
+	zr, err := gzip.NewReader(r)
+	if err != nil {
+		return nil, fmt.Errorf("rem: opening store snapshot: %w", err)
+	}
+	defer zr.Close()
+	var snap storeSnapshot
+	if err := gob.NewDecoder(zr).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("rem: decoding store: %w", err)
+	}
+	if snap.Version != persistVersion {
+		return nil, fmt.Errorf("rem: snapshot version %d, want %d", snap.Version, persistVersion)
+	}
+	if len(snap.Keys) != len(snap.Maps) {
+		return nil, fmt.Errorf("rem: snapshot has %d keys for %d maps", len(snap.Keys), len(snap.Maps))
+	}
+	st := NewStore(snap.R)
+	for i, key := range snap.Keys {
+		m, err := restoreMap(snap.Maps[i])
+		if err != nil {
+			return nil, fmt.Errorf("rem: entry %d: %w", i, err)
+		}
+		st.entries = append(st.entries, storeEntry{pos: key, m: m})
+	}
+	return st, nil
+}

@@ -1,0 +1,111 @@
+package rem
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/gob"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestStoreSaveLoadRoundTrip(t *testing.T) {
+	s := NewStore(10)
+	m1 := New(area100(), 2)
+	m1.AddMeasurement(geom.V2(10, 10), 7)
+	m1.AddMeasurement(geom.V2(10, 10), 9)
+	m1.FillFrom(func(geom.Vec2) float64 { return -3 })
+	m1.BlendPrior = true
+	m1.PriorRangeM = 42
+	s.Put(geom.V2(10, 10), m1)
+
+	m2 := New(area100(), 2)
+	m2.AddMeasurement(geom.V2(80, 80), -1)
+	s.Put(geom.V2(80, 80), m2)
+
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadStore(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.R != 10 || got.Len() != 2 {
+		t.Fatalf("store header: R=%v len=%d", got.R, got.Len())
+	}
+	r1 := got.Lookup(geom.V2(10, 10))
+	if r1 == nil {
+		t.Fatal("entry 1 missing")
+	}
+	if v := r1.Value(geom.V2(10, 10)); v != 8 { // mean of 7 and 9
+		t.Errorf("measured value = %v, want 8", v)
+	}
+	if !r1.BlendPrior || r1.PriorRangeM != 42 {
+		t.Error("prior settings lost")
+	}
+	// Measurement accumulation continues correctly after reload.
+	r1.AddMeasurement(geom.V2(10, 10), 14)
+	if v := r1.Value(geom.V2(10, 10)); v != 10 { // mean of 7, 9, 14
+		t.Errorf("post-reload mean = %v, want 10", v)
+	}
+	// Prior survives: far cells track the model after Interpolate.
+	if err := r1.Interpolate(); err != nil {
+		t.Fatal(err)
+	}
+	if v := r1.Value(geom.V2(95, 95)); v > 0 {
+		t.Errorf("far cell %v should lean to the -3 prior", v)
+	}
+}
+
+func TestLoadStoreRejectsGarbage(t *testing.T) {
+	if _, err := LoadStore(bytes.NewReader([]byte("not gzip"))); err == nil {
+		t.Error("non-gzip input should fail")
+	}
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	zw.Write([]byte("gzip but not gob")) //nolint:errcheck
+	zw.Close()
+	if _, err := LoadStore(&buf); err == nil {
+		t.Error("non-gob payload should fail")
+	}
+}
+
+func TestLoadStoreRejectsBadVersionAndShape(t *testing.T) {
+	encode := func(s storeSnapshot) *bytes.Buffer {
+		var buf bytes.Buffer
+		zw := gzip.NewWriter(&buf)
+		if err := gob.NewEncoder(zw).Encode(s); err != nil {
+			t.Fatal(err)
+		}
+		zw.Close()
+		return &buf
+	}
+	if _, err := LoadStore(encode(storeSnapshot{Version: 99})); err == nil {
+		t.Error("future version should fail")
+	}
+	if _, err := LoadStore(encode(storeSnapshot{
+		Version: persistVersion,
+		Keys:    []geom.Vec2{{X: 1, Y: 1}},
+	})); err == nil {
+		t.Error("key/map count mismatch should fail")
+	}
+	if _, err := LoadStore(encode(storeSnapshot{
+		Version: persistVersion,
+		Keys:    []geom.Vec2{{X: 1, Y: 1}},
+		Maps:    []mapSnapshot{{NX: 4, NY: 4, Cell: 1, Values: []float64{1}}},
+	})); err == nil {
+		t.Error("mismatched array lengths should fail")
+	}
+}
+
+func TestSaveEmptyStore(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewStore(5).Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadStore(&buf)
+	if err != nil || got.Len() != 0 || got.R != 5 {
+		t.Errorf("empty store roundtrip: %v len=%d", err, got.Len())
+	}
+}

@@ -1,0 +1,223 @@
+package rem
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+)
+
+// Objective selects the placement criterion applied to the per-UE
+// REMs. The paper places at the max-min SNR cell (§3.4) but notes the
+// system accommodates other objectives.
+type Objective int
+
+const (
+	// MaxMin maximises the minimum SNR across UEs (the paper default).
+	MaxMin Objective = iota
+	// MaxMean maximises the mean SNR across UEs.
+	MaxMean
+	// MaxWeighted maximises a weighted mean SNR (weights supplied to
+	// Place).
+	MaxWeighted
+)
+
+// String implements fmt.Stringer.
+func (o Objective) String() string {
+	switch o {
+	case MaxMin:
+		return "max-min"
+	case MaxMean:
+		return "max-mean"
+	case MaxWeighted:
+		return "max-weighted"
+	default:
+		return fmt.Sprintf("Objective(%d)", int(o))
+	}
+}
+
+// Place evaluates the objective over the given per-UE REMs and returns
+// the best cell centre and its objective value. weights is only used
+// by MaxWeighted and must then match len(rems). All REMs must share
+// grid geometry.
+func Place(rems []*Map, obj Objective, weights []float64) (geom.Vec2, float64, error) {
+	if len(rems) == 0 {
+		return geom.Vec2{}, 0, fmt.Errorf("rem: no REMs to place over")
+	}
+	g0 := rems[0].grid
+	for _, r := range rems[1:] {
+		if r.grid.NX != g0.NX || r.grid.NY != g0.NY {
+			return geom.Vec2{}, 0, fmt.Errorf("rem: REM grid geometry mismatch")
+		}
+	}
+	if obj == MaxWeighted {
+		if len(weights) != len(rems) {
+			return geom.Vec2{}, 0, fmt.Errorf("rem: %d weights for %d REMs", len(weights), len(rems))
+		}
+	}
+
+	score := ObjectiveMap(rems, obj, weights)
+	cx, cy, v := score.MaxCell()
+	return score.CellCenter(cx, cy), v, nil
+}
+
+// ObjectiveMap returns the per-cell objective value (min-SNR map for
+// MaxMin, mean map for MaxMean, weighted mean for MaxWeighted).
+func ObjectiveMap(rems []*Map, obj Objective, weights []float64) *geom.Grid {
+	g0 := rems[0].grid
+	out := g0.Clone()
+	ov := out.Values()
+	switch obj {
+	case MaxMin:
+		for _, r := range rems[1:] {
+			for i, v := range r.grid.Values() {
+				if v < ov[i] {
+					ov[i] = v
+				}
+			}
+		}
+	case MaxMean:
+		for _, r := range rems[1:] {
+			for i, v := range r.grid.Values() {
+				ov[i] += v
+			}
+		}
+		inv := 1 / float64(len(rems))
+		for i := range ov {
+			ov[i] *= inv
+		}
+	case MaxWeighted:
+		var wsum float64
+		for _, w := range weights {
+			wsum += w
+		}
+		if wsum == 0 {
+			wsum = 1
+		}
+		for i := range ov {
+			ov[i] *= weights[0]
+		}
+		for k, r := range rems[1:] {
+			w := weights[k+1]
+			for i, v := range r.grid.Values() {
+				ov[i] += w * v
+			}
+		}
+		for i := range ov {
+			ov[i] /= wsum
+		}
+	}
+	return out
+}
+
+// NearMeasurement returns, per cell, whether the cell lies within
+// radiusM of any directly measured cell of m — the confidence mask
+// used to keep placement away from purely extrapolated regions. It is
+// a multi-source BFS over the grid (4-connected), so cost is linear in
+// grid size.
+func (m *Map) NearMeasurement(radiusM float64) []bool {
+	nx, ny := m.grid.NX, m.grid.NY
+	maxSteps := int(radiusM / m.grid.Cell)
+	dist := make([]int, nx*ny)
+	for i := range dist {
+		dist[i] = -1
+	}
+	queue := make([]int, 0, nx*ny)
+	for i, c := range m.count {
+		if c > 0 {
+			dist[i] = 0
+			queue = append(queue, i)
+		}
+	}
+	for head := 0; head < len(queue); head++ {
+		i := queue[head]
+		if dist[i] >= maxSteps {
+			continue
+		}
+		cx, cy := i%nx, i/nx
+		for _, d := range [4][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}} {
+			x, y := cx+d[0], cy+d[1]
+			if x < 0 || x >= nx || y < 0 || y >= ny {
+				continue
+			}
+			j := y*nx + x
+			if dist[j] < 0 {
+				dist[j] = dist[i] + 1
+				queue = append(queue, j)
+			}
+		}
+	}
+	out := make([]bool, nx*ny)
+	for i, d := range dist {
+		out[i] = d >= 0
+	}
+	return out
+}
+
+// PlaceMasked is Place restricted to cells where mask is true (e.g.
+// the NearMeasurement confidence mask). When the mask excludes every
+// cell it falls back to the unmasked optimum.
+func PlaceMasked(rems []*Map, obj Objective, weights []float64, mask []bool) (geom.Vec2, float64, error) {
+	if len(rems) == 0 {
+		return geom.Vec2{}, 0, fmt.Errorf("rem: no REMs to place over")
+	}
+	g0 := rems[0].grid
+	if mask != nil && len(mask) != g0.NX*g0.NY {
+		return geom.Vec2{}, 0, fmt.Errorf("rem: mask length %d for %d cells", len(mask), g0.NX*g0.NY)
+	}
+	for _, r := range rems[1:] {
+		if r.grid.NX != g0.NX || r.grid.NY != g0.NY {
+			return geom.Vec2{}, 0, fmt.Errorf("rem: REM grid geometry mismatch")
+		}
+	}
+	if obj == MaxWeighted && len(weights) != len(rems) {
+		return geom.Vec2{}, 0, fmt.Errorf("rem: %d weights for %d REMs", len(weights), len(rems))
+	}
+	score := ObjectiveMap(rems, obj, weights)
+	bi, bv := -1, math.Inf(-1)
+	for i, v := range score.Values() {
+		if mask != nil && !mask[i] {
+			continue
+		}
+		if v > bv {
+			bi, bv = i, v
+		}
+	}
+	if bi < 0 {
+		return Place(rems, obj, weights)
+	}
+	return score.CellCenter(bi%g0.NX, bi/g0.NX), bv, nil
+}
+
+// OptimalPlacement evaluates the objective over ground-truth grids
+// (not Maps) — used to find the true optimum the paper compares
+// against.
+func OptimalPlacement(truths []*geom.Grid, obj Objective) (geom.Vec2, float64) {
+	if len(truths) == 0 {
+		return geom.Vec2{}, math.Inf(-1)
+	}
+	out := truths[0].Clone()
+	ov := out.Values()
+	switch obj {
+	case MaxMin:
+		for _, t := range truths[1:] {
+			for i, v := range t.Values() {
+				if v < ov[i] {
+					ov[i] = v
+				}
+			}
+		}
+	default: // mean
+		for _, t := range truths[1:] {
+			for i, v := range t.Values() {
+				ov[i] += v
+			}
+		}
+		inv := 1 / float64(len(truths))
+		for i := range ov {
+			ov[i] *= inv
+		}
+	}
+	cx, cy, v := out.MaxCell()
+	return out.CellCenter(cx, cy), v
+}

@@ -1,0 +1,145 @@
+package rem
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestInterpolatePriorBlending(t *testing.T) {
+	m := New(area100(), 1)
+	m.BlendPrior = true
+	m.FillFrom(func(geom.Vec2) float64 { return -10 })
+	// One measurement cluster in the south-west corner, value +20.
+	for x := 5.0; x < 15; x += 2 {
+		for y := 5.0; y < 15; y += 2 {
+			m.AddMeasurement(geom.V2(x, y), 20)
+		}
+	}
+	if err := m.Interpolate(); err != nil {
+		t.Fatal(err)
+	}
+	// Near the measurements: data dominates.
+	if v := m.Value(geom.V2(16, 16)); v < 10 {
+		t.Errorf("near-measurement value %v should track data (+20)", v)
+	}
+	// Far corner: prior dominates — without blending this would be +20
+	// pure extrapolation.
+	if v := m.Value(geom.V2(95, 95)); v > 0 {
+		t.Errorf("far-corner value %v should relax to the -10 prior", v)
+	}
+}
+
+func TestInterpolateWithoutPriorStillPureIDW(t *testing.T) {
+	m := New(area100(), 1)
+	m.AddMeasurement(geom.V2(10, 10), 5)
+	m.AddMeasurement(geom.V2(90, 90), 15)
+	if err := m.Interpolate(); err != nil {
+		t.Fatal(err)
+	}
+	m.Grid().EachCell(func(cx, cy int, v float64) {
+		if v < 5-1e-9 || v > 15+1e-9 {
+			t.Fatalf("pure IDW out of sample bounds: %v", v)
+		}
+	})
+}
+
+func TestClonePreservesPrior(t *testing.T) {
+	m := New(area100(), 10)
+	m.BlendPrior = true
+	m.FillFrom(func(geom.Vec2) float64 { return 3 })
+	c := m.Clone()
+	c.AddMeasurement(geom.V2(5, 5), 30)
+	if err := c.Interpolate(); err != nil {
+		t.Fatal(err)
+	}
+	// The clone's far cells still feel the prior.
+	if v := c.Value(geom.V2(95, 95)); math.Abs(v-3) > 10 {
+		t.Errorf("cloned prior lost: far value %v", v)
+	}
+	// Original untouched.
+	if m.MeasuredCells() != 0 {
+		t.Error("clone leaked measurements into original")
+	}
+}
+
+func TestNearMeasurementMask(t *testing.T) {
+	m := New(area100(), 1)
+	m.AddMeasurement(geom.V2(50, 50), 10)
+	mask := m.NearMeasurement(5)
+	g := m.Grid()
+	idx := func(p geom.Vec2) int {
+		cx, cy := g.CellOf(p)
+		return cy*g.NX + cx
+	}
+	if !mask[idx(geom.V2(50, 50))] {
+		t.Error("measured cell must be in mask")
+	}
+	if !mask[idx(geom.V2(53, 50))] {
+		t.Error("cell within radius must be in mask")
+	}
+	if mask[idx(geom.V2(70, 50))] {
+		t.Error("cell beyond radius must not be in mask")
+	}
+}
+
+func TestPlaceMaskedRestricts(t *testing.T) {
+	a := makeMapFill(10)
+	b := makeMapFill(20)
+	// Global best at (3,4) but it is outside the mask.
+	a.Grid().Set(3, 4, 100)
+	b.Grid().Set(3, 4, 100)
+	// A lesser peak at (1,1) inside the mask.
+	a.Grid().Set(1, 1, 50)
+	b.Grid().Set(1, 1, 50)
+	mask := make([]bool, a.Grid().NX*a.Grid().NY)
+	mask[1*a.Grid().NX+1] = true
+	pos, v, err := PlaceMasked([]*Map{a, b}, MaxMin, nil, mask)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 50 || pos != a.Grid().CellCenter(1, 1) {
+		t.Errorf("masked placement = %v at %v, want 50 at (1,1)", v, pos)
+	}
+}
+
+func TestPlaceMaskedEmptyMaskFallsBack(t *testing.T) {
+	a := makeMapFill(10)
+	a.Grid().Set(2, 2, 99)
+	mask := make([]bool, a.Grid().NX*a.Grid().NY) // all false
+	pos, v, err := PlaceMasked([]*Map{a}, MaxMin, nil, mask)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 99 || pos != a.Grid().CellCenter(2, 2) {
+		t.Errorf("fallback placement = %v at %v", v, pos)
+	}
+}
+
+func TestPlaceMaskedValidation(t *testing.T) {
+	a := makeMapFill(1)
+	if _, _, err := PlaceMasked(nil, MaxMin, nil, nil); err == nil {
+		t.Error("empty rems should fail")
+	}
+	if _, _, err := PlaceMasked([]*Map{a}, MaxMin, nil, []bool{true}); err == nil {
+		t.Error("wrong mask length should fail")
+	}
+	small := New(area100(), 50)
+	if _, _, err := PlaceMasked([]*Map{a, small}, MaxMin, nil, nil); err == nil {
+		t.Error("geometry mismatch should fail")
+	}
+	if _, _, err := PlaceMasked([]*Map{a}, MaxWeighted, nil, nil); err == nil {
+		t.Error("missing weights should fail")
+	}
+}
+
+func TestNearMeasurementEmptyMap(t *testing.T) {
+	m := New(area100(), 1)
+	mask := m.NearMeasurement(10)
+	for _, ok := range mask {
+		if ok {
+			t.Fatal("mask of empty map must be all false")
+		}
+	}
+}

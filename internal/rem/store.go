@@ -1,0 +1,67 @@
+package rem
+
+import (
+	"repro/internal/geom"
+)
+
+// Store keeps the REMs estimated in prior epochs, keyed by the UE
+// position they were measured for. When a UE reappears within radius R
+// of a stored position, the stored REM seeds its new map instead of a
+// bare free-space initialisation (§3.5 "Temporal aggregation of REMs
+// for minimizing overhead"). The paper picks R = 10 m from Fig 9.
+type Store struct {
+	// R is the reuse radius in metres.
+	R       float64
+	entries []storeEntry
+}
+
+type storeEntry struct {
+	pos geom.Vec2
+	m   *Map
+}
+
+// NewStore returns a store with the given reuse radius.
+func NewStore(r float64) *Store { return &Store{R: r} }
+
+// Put records a REM measured for a UE at pos. If an entry already
+// exists within R of pos it is replaced (newer data wins), keeping the
+// store compact under repeated visits.
+func (s *Store) Put(pos geom.Vec2, m *Map) {
+	for i := range s.entries {
+		if s.entries[i].pos.Dist(pos) <= s.R {
+			s.entries[i] = storeEntry{pos: pos, m: m}
+			return
+		}
+	}
+	s.entries = append(s.entries, storeEntry{pos: pos, m: m})
+}
+
+// Lookup returns a clone of the stored REM nearest to pos within R, or
+// nil when no prior REM is spatially relevant. Cloning keeps stored
+// history immutable while the caller refines its copy with new
+// measurements.
+func (s *Store) Lookup(pos geom.Vec2) *Map {
+	best := -1
+	bestD := s.R
+	for i := range s.entries {
+		if d := s.entries[i].pos.Dist(pos); d <= bestD {
+			best, bestD = i, d
+		}
+	}
+	if best < 0 {
+		return nil
+	}
+	return s.entries[best].m.Clone()
+}
+
+// Len returns the number of stored REMs.
+func (s *Store) Len() int { return len(s.entries) }
+
+// Positions returns the stored key positions (for diagnostics).
+func (s *Store) Positions() []geom.Vec2 {
+	out := make([]geom.Vec2, len(s.entries))
+	for i, e := range s.entries {
+		out[i] = e.pos
+	}
+	return out
+}

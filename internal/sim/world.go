@@ -1,0 +1,404 @@
+// Package sim assembles the full simulated world — terrain, radio
+// propagation, the UAV platform, ground UEs, and the LTE stack — and
+// exposes the three operations the SkyRAN controller performs against
+// reality: localization flights (SRS ranging at 100 Hz + GPS at
+// 50 Hz), measurement flights (SNR sampling into REMs), and serving
+// (hover + scheduler). It replaces the 35 real test flights of §4.2
+// with seeded, reproducible Monte-Carlo instances at the same sampling
+// rates.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/enb"
+	"repro/internal/epc"
+	"repro/internal/geom"
+	"repro/internal/ltephy"
+	"repro/internal/radio"
+	"repro/internal/ranging"
+	"repro/internal/terrain"
+	"repro/internal/trace"
+	"repro/internal/uav"
+	"repro/internal/ue"
+)
+
+// Config describes a world.
+type Config struct {
+	// Terrain is the ground environment (required).
+	Terrain *terrain.Surface
+	// Seed drives every stochastic element (shadowing field identity
+	// comes from the radio seed; measurement noise, SRS channels and
+	// mobility from derived streams).
+	Seed uint64
+	// RadioParams tunes propagation; zero value selects defaults.
+	RadioParams radio.Params
+	// UAVConfig tunes the platform; zero value selects defaults.
+	UAVConfig uav.Config
+	// MeasNoiseDB is the σ of per-sample SNR measurement noise
+	// (PHY estimation error + residual fast fading). Default 2 dB.
+	MeasNoiseDB float64
+	// ProcOffsetM is the constant SRS processing-delay offset in
+	// metres (default 58.6 m ≈ 3 samples, the kind of pipeline latency
+	// an SDR eNodeB exhibits).
+	ProcOffsetM float64
+	// FastRanging replaces the full SRS PHY chain with a calibrated
+	// error model (quantization + NLOS bias), ~100× faster. Scale-up
+	// experiments enable it; accuracy experiments keep the real chain.
+	FastRanging bool
+	// UplinkBonusDB is added to the downlink SNR to obtain the SRS
+	// (uplink) SNR: the UE transmits at 23 dBm against the payload's
+	// 10 dBm PA output, and the LNA adds receive gain (§4.1). Default
+	// 13 dB.
+	UplinkBonusDB float64
+	// Scheduler selects the serving-phase MAC policy.
+	Scheduler enb.SchedulerPolicy
+}
+
+func (c *Config) defaults() {
+	if c.RadioParams == (radio.Params{}) {
+		c.RadioParams = radio.DefaultParams()
+	}
+	if c.UAVConfig == (uav.Config{}) {
+		c.UAVConfig = uav.DefaultConfig()
+	}
+	if c.MeasNoiseDB == 0 {
+		c.MeasNoiseDB = 2
+	}
+	if c.ProcOffsetM == 0 {
+		c.ProcOffsetM = 58.6
+	}
+	if c.UplinkBonusDB == 0 {
+		c.UplinkBonusDB = 13
+	}
+}
+
+// World is the live simulation state.
+type World struct {
+	Cfg     Config
+	Terrain *terrain.Surface
+	Radio   *radio.Model
+	UAV     *uav.UAV
+	UEs     []*ue.UE
+	Num     ltephy.Numerology
+	ENB     *enb.ENodeB
+	Core    *epc.Core
+
+	// Tracer, when non-nil, receives decimated flight telemetry
+	// (every 10th GPS window) and serving statistics.
+	Tracer *trace.Recorder
+
+	Clock float64 // simulated seconds
+
+	rng  *rand.Rand // measurement noise, SRS channels
+	mrng *rand.Rand // mobility
+	srs  []*ltephy.SRS
+}
+
+// New builds a world, attaches every UE to the LTE stack, and parks
+// the UAV at the area centre at maximum altitude.
+func New(cfg Config, ues []*ue.UE) (*World, error) {
+	if cfg.Terrain == nil {
+		return nil, fmt.Errorf("sim: Config.Terrain is required")
+	}
+	cfg.defaults()
+	model := radio.NewModel(cfg.Terrain, cfg.RadioParams, cfg.Seed)
+	num := ltephy.LTE10MHz()
+	hss := epc.NewHSS()
+	core := epc.NewCore(hss)
+	e := enb.New(num, core, cfg.Scheduler)
+
+	start := cfg.Terrain.Bounds().Center().WithZ(cfg.UAVConfig.MaxAltitudeM)
+	w := &World{
+		Cfg:     cfg,
+		Terrain: cfg.Terrain,
+		Radio:   model,
+		UAV:     uav.New(cfg.UAVConfig, start, int64(cfg.Seed)+101),
+		UEs:     ues,
+		Num:     num,
+		ENB:     e,
+		Core:    core,
+		rng:     rand.New(rand.NewSource(int64(cfg.Seed) + 202)),
+		mrng:    rand.New(rand.NewSource(int64(cfg.Seed) + 303)),
+	}
+	for _, u := range ues {
+		imsi := imsiFor(u.ID)
+		var key [16]byte
+		key[0] = byte(u.ID)
+		key[15] = byte(u.ID >> 8)
+		hss.Provision(epc.Subscriber{IMSI: imsi, Key: key, QoSClass: 9})
+		if _, err := e.Attach(imsi, key, uint64(u.ID)+cfg.Seed); err != nil {
+			return nil, fmt.Errorf("sim: attaching UE %d: %w", u.ID, err)
+		}
+		root := 1 + (u.ID*37)%1019 // distinct Zadoff-Chu roots per UE
+		s, err := ltephy.NewSRS(num, root)
+		if err != nil {
+			return nil, fmt.Errorf("sim: SRS for UE %d: %w", u.ID, err)
+		}
+		w.srs = append(w.srs, s)
+	}
+	return w, nil
+}
+
+func imsiFor(id int) epc.IMSI { return epc.IMSI(fmt.Sprintf("00101%010d", id)) }
+
+// IMSIOf returns the IMSI provisioned for the i-th UE.
+func (w *World) IMSIOf(i int) epc.IMSI { return imsiFor(w.UEs[i].ID) }
+
+// Area returns the operating area.
+func (w *World) Area() geom.Rect { return w.Terrain.Bounds() }
+
+// Step advances simulated time: the UAV flies its route and UEs move.
+func (w *World) Step(dt float64) {
+	w.UAV.Step(dt)
+	for _, u := range w.UEs {
+		u.Step(dt, w.mrng)
+	}
+	w.Clock += dt
+}
+
+// TrueSNR returns the noiseless downlink SNR from the UAV's true
+// position to UE i.
+func (w *World) TrueSNR(i int) float64 {
+	return w.Radio.SNR(w.UAV.Position(), w.UEs[i].Pos)
+}
+
+// MeasuredSNR returns one 100 Hz PHY SNR report for UE i: true SNR
+// plus measurement noise.
+func (w *World) MeasuredSNR(i int) float64 {
+	return w.TrueSNR(i) + w.rng.NormFloat64()*w.Cfg.MeasNoiseDB
+}
+
+// SNRAt returns the true SNR from an arbitrary UAV position to UE i's
+// current position — used to build ground truth against current
+// topology.
+func (w *World) SNRAt(pos geom.Vec3, i int) float64 {
+	return w.Radio.SNR(pos, w.UEs[i].Pos)
+}
+
+// AvgThroughputAt returns the mean full-buffer throughput over all UEs
+// were the UAV at pos — the paper's "average throughput per UE" value
+// for a candidate position (Fig 1).
+func (w *World) AvgThroughputAt(pos geom.Vec3) float64 {
+	if len(w.UEs) == 0 {
+		return 0
+	}
+	var sum float64
+	for i := range w.UEs {
+		sum += w.Num.ThroughputBps(w.SNRAt(pos, i))
+	}
+	return sum / float64(len(w.UEs))
+}
+
+// MinSNRAt returns the minimum SNR across UEs from pos (the §3.4
+// placement objective value).
+func (w *World) MinSNRAt(pos geom.Vec3) float64 {
+	min := math.Inf(1)
+	for i := range w.UEs {
+		if s := w.SNRAt(pos, i); s < min {
+			min = s
+		}
+	}
+	return min
+}
+
+// GroundTruthREMs computes, for every UE's *current* position, the
+// true SNR grid at the given altitude and evaluation cell size.
+func (w *World) GroundTruthREMs(alt, evalCell float64) []*geom.Grid {
+	out := make([]*geom.Grid, len(w.UEs))
+	for i, u := range w.UEs {
+		out[i] = radio.GroundTruthREM(w.Radio, w.Area(), evalCell, u.Pos, alt)
+	}
+	return out
+}
+
+// gpsTick is the 50 Hz simulation step.
+const gpsTick = 0.02
+
+// MeasSample is one 50 Hz measurement-flight record: the GPS position
+// the sample is attributed to and the measured SNR to every UE
+// (average of the two 100 Hz PHY reports in the window).
+type MeasSample struct {
+	GPS  geom.Vec3
+	SNRs []float64
+}
+
+// FlyMeasure flies the 2-D path at the given altitude while recording
+// SNR samples for all UEs, stopping early when budgetM metres have
+// been covered (0 = unlimited). It returns the collected samples and
+// the distance actually flown.
+func (w *World) FlyMeasure(path geom.Polyline, alt, budgetM float64) ([]MeasSample, float64) {
+	samples, _, flown := w.flyMeasure(path, alt, budgetM, false)
+	return samples, flown
+}
+
+// FlyMeasureWithRanging is FlyMeasure plus SRS ranging: the eNodeB
+// keeps receiving SRS during measurement flights, so the same flight
+// yields a GPS-ToF tuple stream with a far larger synthetic aperture
+// than the dedicated localization loop. SkyRAN uses it to refine UE
+// position estimates at zero extra flight cost.
+func (w *World) FlyMeasureWithRanging(path geom.Polyline, alt, budgetM float64) ([]MeasSample, [][]ranging.Tuple, float64) {
+	return w.flyMeasure(path, alt, budgetM, true)
+}
+
+func (w *World) flyMeasure(path geom.Polyline, alt, budgetM float64, withRanging bool) ([]MeasSample, [][]ranging.Tuple, float64) {
+	w.UAV.SetRoute2D(path, alt)
+	var samples []MeasSample
+	var flown float64
+	collectors := make([]ranging.Collector, len(w.UEs))
+	tick := 0
+	for !w.UAV.Hovering() {
+		before := w.UAV.OdometerM()
+		w.Step(gpsTick)
+		flown += w.UAV.OdometerM() - before
+		gps := w.UAV.GPS()
+		snrs := make([]float64, len(w.UEs))
+		for i := range w.UEs {
+			// Two 100 Hz reports per 50 Hz window, averaged.
+			snrs[i] = (w.MeasuredSNR(i) + w.MeasuredSNR(i)) / 2
+			if withRanging {
+				collectors[i].AddGPS(gps)
+				for k := 0; k < 2; k++ {
+					if r, ok := w.rangeOnce(i); ok {
+						collectors[i].AddRange(r)
+					}
+				}
+			}
+		}
+		samples = append(samples, MeasSample{GPS: gps, SNRs: snrs})
+		if w.Tracer != nil && tick%10 == 0 {
+			w.Tracer.Emit(trace.Record{Kind: trace.KindGPS, T: w.Clock, X: gps.X, Y: gps.Y, Z: gps.Z})
+			for i, s := range snrs {
+				w.Tracer.Emit(trace.Record{Kind: trace.KindSNR, T: w.Clock, UE: w.UEs[i].ID, Value: s})
+			}
+		}
+		tick++
+		if budgetM > 0 && flown >= budgetM {
+			w.UAV.SetRoute(nil)
+			break
+		}
+	}
+	var tuples [][]ranging.Tuple
+	if withRanging {
+		tuples = make([][]ranging.Tuple, len(w.UEs))
+		for i := range collectors {
+			tuples[i] = collectors[i].Tuples()
+		}
+	}
+	return samples, tuples, flown
+}
+
+// LocalizationFlight flies the given (typically short, random)
+// trajectory at altitude alt while exchanging SRS with every UE, and
+// returns the GPS-ToF tuple stream per UE (§3.2). The SRS exchange
+// runs the real PHY chain unless FastRanging is configured.
+func (w *World) LocalizationFlight(path geom.Polyline, alt float64) ([][]ranging.Tuple, float64) {
+	w.UAV.SetRoute2D(path, alt)
+	collectors := make([]ranging.Collector, len(w.UEs))
+	var flown float64
+	for !w.UAV.Hovering() {
+		before := w.UAV.OdometerM()
+		w.Step(gpsTick)
+		flown += w.UAV.OdometerM() - before
+		gps := w.UAV.GPS()
+		for i := range w.UEs {
+			collectors[i].AddGPS(gps)
+			// Two SRS exchanges per GPS window (100 Hz vs 50 Hz).
+			for k := 0; k < 2; k++ {
+				if r, ok := w.rangeOnce(i); ok {
+					collectors[i].AddRange(r)
+				}
+			}
+		}
+	}
+	out := make([][]ranging.Tuple, len(w.UEs))
+	for i := range collectors {
+		out[i] = collectors[i].Tuples()
+	}
+	return out, flown
+}
+
+// rangeOnce performs one SRS ranging exchange with UE i from the
+// UAV's current true position. It returns false when the uplink is in
+// outage (SNR too low to decode the SRS).
+func (w *World) rangeOnce(i int) (float64, bool) {
+	uePoint := w.Radio.UEPoint(w.UEs[i].Pos)
+	trueDist := w.UAV.Position().Dist(uePoint)
+	snr := w.TrueSNR(i) + w.Cfg.UplinkBonusDB // UE PA + eNodeB LNA headroom
+	if snr < -8 {
+		return 0, false // below decodable SRS SNR
+	}
+	los := w.Radio.LOS(w.UAV.Position(), uePoint)
+	if w.Cfg.FastRanging {
+		return w.fastRange(trueDist, los), true
+	}
+	ch := ltephy.Channel{
+		DistanceM:   trueDist,
+		ProcOffsetM: w.Cfg.ProcOffsetM,
+		SNRdB:       math.Min(snr, 30),
+		LOS:         los,
+	}
+	d, err := w.srs[i].RangeOnce(ch, ltephy.DefaultUpsampling, w.rng)
+	if err != nil {
+		return 0, false
+	}
+	return d, true
+}
+
+// fastRange mimics the SRS estimator's error statistics without the
+// FFTs: quantization to the upsampled sample grid plus Gaussian jitter,
+// with an exponential late bias under NLOS. The parameters are fitted
+// to the full chain (see ltephy tests / Fig 17).
+func (w *World) fastRange(trueDist float64, los bool) float64 {
+	res := w.Num.SampleDistanceM() / ltephy.DefaultUpsampling
+	d := trueDist + w.Cfg.ProcOffsetM
+	if los {
+		d += w.rng.NormFloat64() * 1.5
+	} else {
+		d += w.rng.NormFloat64()*4 + w.rng.ExpFloat64()*6
+	}
+	// Quantize to the correlator grid.
+	return math.Round(d/res) * res
+}
+
+// ServeSeconds hovers at the current position serving traffic for the
+// given simulated duration: SNR reports refresh every 10 ms and the
+// scheduler runs every TTI. It returns the per-UE served bits during
+// the interval. ttiStride > 1 trades accuracy for speed by running one
+// TTI per stride milliseconds and scaling the credit.
+func (w *World) ServeSeconds(seconds float64, ttiStride int) []float64 {
+	if ttiStride < 1 {
+		ttiStride = 1
+	}
+	startBits := make([]float64, len(w.UEs))
+	for i := range w.UEs {
+		startBits[i] = w.ENB.ServedBits(w.IMSIOf(i))
+	}
+	steps := int(seconds * 1000 / float64(ttiStride))
+	for s := 0; s < steps; s++ {
+		if s%(10/minInt(10, ttiStride)) == 0 {
+			for i := range w.UEs {
+				w.ENB.ReportSNR(w.IMSIOf(i), w.MeasuredSNR(i))
+			}
+		}
+		w.ENB.RunTTI()
+		w.Clock += float64(ttiStride) / 1000
+	}
+	out := make([]float64, len(w.UEs))
+	for i := range w.UEs {
+		out[i] = (w.ENB.ServedBits(w.IMSIOf(i)) - startBits[i]) * float64(ttiStride)
+		if w.Tracer != nil {
+			w.Tracer.Emit(trace.Record{Kind: trace.KindServe, T: w.Clock, UE: w.UEs[i].ID, Value: out[i]})
+		}
+	}
+	return out
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,229 @@
+package terrain
+
+import (
+	"math/rand"
+
+	"repro/internal/geom"
+	"repro/internal/noise"
+)
+
+// The four evaluation environments from the paper. Sizes follow §4.2
+// (campus testbed, 300 m × 300 m ≈ 90 000 m²) and §5.1 (RURAL and NYC
+// 250 m × 250 m, LARGE 1 km × 1 km).
+
+// Campus generates the 300 m × 300 m testbed terrain of §4: an open
+// parking-lot region, one large office building near the centre, a few
+// smaller structures, and a heavily forested strip with 35 m trees.
+func Campus(seed uint64) *Surface {
+	s := NewSurface("CAMPUS", geom.Rect{MinX: 0, MinY: 0, MaxX: 300, MaxY: 300}, 1)
+	rng := rand.New(rand.NewSource(int64(seed)))
+	groundRelief(s, noise.New(seed), 1.5, 120)
+
+	// Large office building (the paper's UE 6 sits right beside it).
+	s.paintRect(geom.Rect{MinX: 120, MinY: 140, MaxX: 190, MaxY: 185}, 22, Building)
+	// Attached wing.
+	s.paintRect(geom.Rect{MinX: 150, MinY: 185, MaxX: 180, MaxY: 210}, 14, Building)
+	// A few outbuildings around the lot.
+	s.paintRect(geom.Rect{MinX: 40, MinY: 220, MaxX: 65, MaxY: 240}, 8, Building)
+	s.paintRect(geom.Rect{MinX: 230, MinY: 60, MaxX: 255, MaxY: 80}, 10, Building)
+	s.paintRect(geom.Rect{MinX: 210, MinY: 225, MaxX: 235, MaxY: 250}, 7, Building)
+
+	// Forested strip along the south and west edges: 35 m trees (§4.3:
+	// "heavily forested portion ... with 35 m high trees").
+	plantForest(s, rng, geom.Rect{MinX: 0, MinY: 0, MaxX: 300, MaxY: 55}, 180, 26, 35)
+	plantForest(s, rng, geom.Rect{MinX: 0, MinY: 55, MaxX: 45, MaxY: 200}, 90, 24, 34)
+	// Scattered ornamental trees near the building.
+	plantForest(s, rng, geom.Rect{MinX: 95, MinY: 120, MaxX: 210, MaxY: 230}, 18, 8, 14)
+	return s
+}
+
+// Rural generates the 250 m × 250 m RURAL terrain of §5.1: mostly open
+// space, tree clusters and a few small buildings.
+func Rural(seed uint64) *Surface {
+	s := NewSurface("RURAL", geom.Rect{MinX: 0, MinY: 0, MaxX: 250, MaxY: 250}, 1)
+	rng := rand.New(rand.NewSource(int64(seed)))
+	groundRelief(s, noise.New(seed), 3, 90)
+
+	// A handful of farm buildings.
+	for i := 0; i < 4; i++ {
+		w := 8 + rng.Float64()*10
+		h := 6 + rng.Float64()*8
+		x := 20 + rng.Float64()*200
+		y := 20 + rng.Float64()*200
+		s.paintRect(geom.Rect{MinX: x, MinY: y, MaxX: x + w, MaxY: y + h}, 4+rng.Float64()*4, Building)
+	}
+	// Tree clusters.
+	for i := 0; i < 6; i++ {
+		cx := rng.Float64() * 250
+		cy := rng.Float64() * 250
+		plantForest(s, rng,
+			geom.Rect{MinX: cx - 25, MinY: cy - 25, MaxX: cx + 25, MaxY: cy + 25},
+			20, 15, 12+rng.Float64()*8)
+	}
+	return s
+}
+
+// NYC generates the 250 m × 250 m dense-urban terrain of §5.1: a
+// Manhattan-style street grid with high-rise blocks separated by
+// street canyons.
+func NYC(seed uint64) *Surface {
+	s := NewSurface("NYC", geom.Rect{MinX: 0, MinY: 0, MaxX: 250, MaxY: 250}, 1)
+	rng := rand.New(rand.NewSource(int64(seed)))
+	groundRelief(s, noise.New(seed), 0.5, 200)
+
+	const (
+		street = 18.0 // street + sidewalk width
+		block  = 62.0 // block pitch (street to street)
+	)
+	for by := 0.0; by < 250; by += block {
+		for bx := 0.0; bx < 250; bx += block {
+			// Block interior (excluding streets), subdivided into 1-4
+			// parcels with independent tower heights.
+			b := geom.Rect{MinX: bx + street, MinY: by + street, MaxX: bx + block, MaxY: by + block}
+			if b.Width() <= 4 || b.Height() <= 4 {
+				continue
+			}
+			subdivide(s, rng, b, 2)
+		}
+	}
+	return s
+}
+
+// subdivide recursively splits a block into parcels and erects a tower
+// on each, mimicking heterogeneous Manhattan parcel heights.
+func subdivide(s *Surface, rng *rand.Rand, b geom.Rect, depth int) {
+	if depth == 0 || b.Width() < 24 || b.Height() < 24 || rng.Float64() < 0.3 {
+		// Leave a small setback so adjacent towers do not merge into
+		// one slab, preserving canyon structure.
+		setback := 1.5
+		r := b.Inset(setback)
+		if r.Width() <= 2 || r.Height() <= 2 {
+			return
+		}
+		h := towerHeight(rng)
+		s.paintRect(r, h, Building)
+		return
+	}
+	if b.Width() >= b.Height() {
+		mid := b.MinX + b.Width()*(0.35+0.3*rng.Float64())
+		subdivide(s, rng, geom.Rect{MinX: b.MinX, MinY: b.MinY, MaxX: mid, MaxY: b.MaxY}, depth-1)
+		subdivide(s, rng, geom.Rect{MinX: mid, MinY: b.MinY, MaxX: b.MaxX, MaxY: b.MaxY}, depth-1)
+	} else {
+		mid := b.MinY + b.Height()*(0.35+0.3*rng.Float64())
+		subdivide(s, rng, geom.Rect{MinX: b.MinX, MinY: b.MinY, MaxX: b.MaxX, MaxY: mid}, depth-1)
+		subdivide(s, rng, geom.Rect{MinX: b.MinX, MinY: mid, MaxX: b.MaxX, MaxY: b.MaxY}, depth-1)
+	}
+}
+
+// towerHeight draws a downtown-like height distribution: mostly 15-45 m
+// mid-rises with a heavy tail of 60-120 m towers.
+func towerHeight(rng *rand.Rand) float64 {
+	if rng.Float64() < 0.2 {
+		return 60 + rng.Float64()*60
+	}
+	return 15 + rng.Float64()*30
+}
+
+// Large generates the 1 km × 1 km semi-urban LARGE terrain of §5.1
+// (modelled on a Wisconsin township): suburban housing tracts, a small
+// commercial core, parks and wooded patches. The cell size is 2 m to
+// keep the grid at 500×500; all algorithms are cell-size agnostic.
+func Large(seed uint64) *Surface {
+	s := NewSurface("LARGE", geom.Rect{MinX: 0, MinY: 0, MaxX: 1000, MaxY: 1000}, 2)
+	rng := rand.New(rand.NewSource(int64(seed)))
+	nf := noise.New(seed)
+	groundRelief(s, nf, 6, 350)
+
+	// Commercial core near the centre: a loose grid of mid-rises.
+	for by := 380.0; by < 620; by += 55 {
+		for bx := 380.0; bx < 620; bx += 55 {
+			if rng.Float64() < 0.25 {
+				continue
+			}
+			w := 18 + rng.Float64()*22
+			d := 18 + rng.Float64()*22
+			s.paintRect(geom.Rect{MinX: bx, MinY: by, MaxX: bx + w, MaxY: by + d},
+				10+rng.Float64()*25, Building)
+		}
+	}
+	// Suburban tracts: rows of houses in four quadrant neighbourhoods.
+	for _, q := range []geom.Rect{
+		{MinX: 80, MinY: 80, MaxX: 340, MaxY: 340},
+		{MinX: 660, MinY: 80, MaxX: 920, MaxY: 340},
+		{MinX: 80, MinY: 660, MaxX: 340, MaxY: 920},
+		{MinX: 660, MinY: 660, MaxX: 920, MaxY: 920},
+	} {
+		for y := q.MinY; y < q.MaxY; y += 34 {
+			for x := q.MinX; x < q.MaxX; x += 22 {
+				if rng.Float64() < 0.3 {
+					continue
+				}
+				s.paintRect(geom.Rect{MinX: x, MinY: y, MaxX: x + 11, MaxY: y + 13},
+					5+rng.Float64()*4, Building)
+			}
+		}
+	}
+	// Wooded patches wherever the noise field says so.
+	for i := 0; i < 400; i++ {
+		p := geom.V2(rng.Float64()*1000, rng.Float64()*1000)
+		if nf.FBM(p.X/180, p.Y/180, 3) > 0.25 && s.IsOpen(p) {
+			s.paintDisk(p, 4+rng.Float64()*5, 10+rng.Float64()*10, Foliage)
+		}
+	}
+	return s
+}
+
+// Flat returns a featureless open surface, useful as a propagation
+// control (pure free-space conditions) in tests and ablations.
+func Flat(name string, size float64) *Surface {
+	return NewSurface(name, geom.Rect{MinX: 0, MinY: 0, MaxX: size, MaxY: size}, 1)
+}
+
+// ByName returns the named standard terrain ("CAMPUS", "RURAL", "NYC",
+// "LARGE", "FLAT") generated with the given seed, or nil for an unknown
+// name. Experiment harnesses use it to map paper figure axes to
+// terrains.
+func ByName(name string, seed uint64) *Surface {
+	switch name {
+	case "CAMPUS":
+		return Campus(seed)
+	case "RURAL":
+		return Rural(seed)
+	case "NYC":
+		return NYC(seed)
+	case "LARGE":
+		return Large(seed)
+	case "FLAT":
+		return Flat("FLAT", 250)
+	default:
+		return nil
+	}
+}
+
+// groundRelief applies smooth ground undulation of the given amplitude
+// and horizontal correlation length to every cell.
+func groundRelief(s *Surface, nf *noise.Field, amplitude, wavelength float64) {
+	nx, ny := s.Dims()
+	for cy := 0; cy < ny; cy++ {
+		for cx := 0; cx < nx; cx++ {
+			c := s.ground.CellCenter(cx, cy)
+			g := (nf.FBM(c.X/wavelength, c.Y/wavelength, 3) + 1) / 2 * amplitude
+			s.setCell(cx, cy, g, s.obstacle.At(cx, cy), s.material[cy*nx+cx])
+		}
+	}
+}
+
+// plantForest scatters count tree canopies uniformly over r. Canopy
+// radii are drawn around radius/4 and heights around height, both with
+// substantial jitter so the canopy outline is ragged like real forest.
+func plantForest(s *Surface, rng *rand.Rand, r geom.Rect, count int, radius, height float64) {
+	for i := 0; i < count; i++ {
+		p := geom.V2(r.MinX+rng.Float64()*r.Width(), r.MinY+rng.Float64()*r.Height())
+		rad := radius / 4 * (0.5 + rng.Float64())
+		if rad < 2 {
+			rad = 2
+		}
+		h := height * (0.7 + 0.6*rng.Float64())
+		s.paintDisk(p, rad, h, Foliage)
+	}
+}

@@ -1,0 +1,247 @@
+// Package trace records and replays SkyRAN flight telemetry: GPS
+// track points, per-UE SNR samples, localization fixes, epoch
+// decisions. The paper supplements its testbed with "trace-driven
+// simulations"; this package is the trace layer — runs are recorded as
+// line-delimited JSON so they can be archived, diffed across code
+// versions, and replayed into analysis tooling without re-simulating.
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Kind enumerates record types.
+type Kind string
+
+// Record kinds.
+const (
+	KindMeta      Kind = "meta"
+	KindGPS       Kind = "gps"
+	KindSNR       Kind = "snr"
+	KindFix       Kind = "fix"
+	KindPlacement Kind = "placement"
+	KindEpoch     Kind = "epoch"
+	KindServe     Kind = "serve"
+)
+
+// Record is one telemetry event. Fields are used according to Kind;
+// encoding/json omits the empty ones.
+type Record struct {
+	Kind Kind    `json:"kind"`
+	T    float64 `json:"t"` // simulated seconds since run start
+
+	// KindMeta
+	Scenario string `json:"scenario,omitempty"`
+	Seed     int64  `json:"seed,omitempty"`
+	Wall     string `json:"wall,omitempty"`
+
+	// Positions (gps, fix, placement): metres.
+	X float64 `json:"x,omitempty"`
+	Y float64 `json:"y,omitempty"`
+	Z float64 `json:"z,omitempty"`
+
+	// KindSNR / KindFix / KindServe
+	UE    int     `json:"ue,omitempty"`
+	Value float64 `json:"value,omitempty"`
+
+	// KindEpoch
+	Epoch         int     `json:"epoch,omitempty"`
+	LocalizationM float64 `json:"localization_m,omitempty"`
+	MeasurementM  float64 `json:"measurement_m,omitempty"`
+	Objective     float64 `json:"objective,omitempty"`
+}
+
+// Recorder appends records to a writer as JSON lines. It is safe for
+// concurrent use. The zero value discards records; construct with
+// NewRecorder.
+type Recorder struct {
+	mu  sync.Mutex
+	w   *bufio.Writer
+	n   int
+	err error
+}
+
+// NewRecorder wraps w. Call Flush before closing the underlying file.
+func NewRecorder(w io.Writer) *Recorder {
+	return &Recorder{w: bufio.NewWriter(w)}
+}
+
+// Meta writes the run header.
+func (r *Recorder) Meta(scenario string, seed int64) {
+	r.Emit(Record{Kind: KindMeta, Scenario: scenario, Seed: seed,
+		Wall: time.Now().UTC().Format(time.RFC3339)})
+}
+
+// Emit appends one record. Errors are sticky and surfaced by Flush.
+func (r *Recorder) Emit(rec Record) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.w == nil || r.err != nil {
+		return
+	}
+	b, err := json.Marshal(rec)
+	if err != nil {
+		r.err = err
+		return
+	}
+	b = append(b, '\n')
+	if _, err := r.w.Write(b); err != nil {
+		r.err = err
+		return
+	}
+	r.n++
+}
+
+// Count returns the number of records emitted so far.
+func (r *Recorder) Count() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}
+
+// Flush drains buffers and returns the first error encountered.
+func (r *Recorder) Flush() error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.err != nil {
+		return r.err
+	}
+	if r.w == nil {
+		return nil
+	}
+	return r.w.Flush()
+}
+
+// Read parses a JSONL trace. Unknown fields are ignored so traces stay
+// readable across versions; malformed lines fail with their line
+// number.
+func Read(rd io.Reader) ([]Record, error) {
+	sc := bufio.NewScanner(rd)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	var out []Record
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: read: %w", err)
+	}
+	return out, nil
+}
+
+// Summary aggregates a trace for human consumption.
+type Summary struct {
+	Scenario  string
+	Seed      int64
+	Records   int
+	Epochs    int
+	FlightM   float64 // sum over epochs of probing metres
+	GPSPoints int
+	SNRReadN  int
+	// SNRByUE maps UE id to (count, mean) of its SNR samples.
+	SNRByUE map[int]struct {
+		N    int
+		Mean float64
+	}
+	ServedBitsByUE map[int]float64
+	Placements     int
+	DurationS      float64
+}
+
+// Summarize computes a Summary from records.
+func Summarize(recs []Record) Summary {
+	s := Summary{
+		SNRByUE: make(map[int]struct {
+			N    int
+			Mean float64
+		}),
+		ServedBitsByUE: make(map[int]float64),
+	}
+	sums := map[int]float64{}
+	for _, r := range recs {
+		s.Records++
+		if r.T > s.DurationS {
+			s.DurationS = r.T
+		}
+		switch r.Kind {
+		case KindMeta:
+			s.Scenario, s.Seed = r.Scenario, r.Seed
+		case KindGPS:
+			s.GPSPoints++
+		case KindSNR:
+			s.SNRReadN++
+			e := s.SNRByUE[r.UE]
+			e.N++
+			s.SNRByUE[r.UE] = e
+			sums[r.UE] += r.Value
+		case KindEpoch:
+			s.Epochs++
+			s.FlightM += r.LocalizationM + r.MeasurementM
+		case KindPlacement:
+			s.Placements++
+		case KindServe:
+			s.ServedBitsByUE[r.UE] += r.Value
+		}
+	}
+	for ueID, e := range s.SNRByUE {
+		if e.N > 0 {
+			e.Mean = sums[ueID] / float64(e.N)
+			s.SNRByUE[ueID] = e
+		}
+	}
+	return s
+}
+
+// WriteTo renders the summary as text.
+func (s Summary) WriteTo(w io.Writer) (int64, error) {
+	var total int64
+	p := func(format string, args ...any) error {
+		n, err := fmt.Fprintf(w, format, args...)
+		total += int64(n)
+		return err
+	}
+	if err := p("trace: scenario=%s seed=%d records=%d duration=%.0fs\n",
+		s.Scenario, s.Seed, s.Records, s.DurationS); err != nil {
+		return total, err
+	}
+	if err := p("epochs=%d probing=%.0fm gps=%d snr=%d placements=%d\n",
+		s.Epochs, s.FlightM, s.GPSPoints, s.SNRReadN, s.Placements); err != nil {
+		return total, err
+	}
+	ids := make([]int, 0, len(s.SNRByUE))
+	for id := range s.SNRByUE {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		e := s.SNRByUE[id]
+		if err := p("UE%d: %d SNR samples, mean %.1f dB, served %.1f Mbit\n",
+			id, e.N, e.Mean, s.ServedBitsByUE[id]/1e6); err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}

@@ -1,0 +1,104 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRecorderRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	r := NewRecorder(&buf)
+	r.Meta("CAMPUS", 42)
+	r.Emit(Record{Kind: KindGPS, T: 0.02, X: 150, Y: 150, Z: 60})
+	r.Emit(Record{Kind: KindSNR, T: 0.02, UE: 3, Value: 17.5})
+	r.Emit(Record{Kind: KindEpoch, T: 90, Epoch: 1, LocalizationM: 35, MeasurementM: 600, Objective: 12})
+	r.Emit(Record{Kind: KindPlacement, T: 95, X: 120, Y: 80, Z: 45})
+	r.Emit(Record{Kind: KindServe, T: 100, UE: 3, Value: 5e6})
+	if err := r.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if r.Count() != 6 {
+		t.Errorf("count = %d", r.Count())
+	}
+	recs, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 6 {
+		t.Fatalf("read %d records", len(recs))
+	}
+	if recs[0].Kind != KindMeta || recs[0].Scenario != "CAMPUS" || recs[0].Seed != 42 {
+		t.Errorf("meta = %+v", recs[0])
+	}
+	if recs[2].UE != 3 || recs[2].Value != 17.5 {
+		t.Errorf("snr = %+v", recs[2])
+	}
+}
+
+func TestNilRecorderSafe(t *testing.T) {
+	var r *Recorder
+	r.Emit(Record{Kind: KindGPS}) // must not panic
+	if r.Count() != 0 || r.Flush() != nil {
+		t.Error("nil recorder should be inert")
+	}
+	var zero Recorder
+	zero.Emit(Record{Kind: KindGPS})
+	if zero.Flush() != nil {
+		t.Error("zero recorder should discard silently")
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	if _, err := Read(strings.NewReader("{bad json\n")); err == nil {
+		t.Error("malformed line should fail")
+	}
+	recs, err := Read(strings.NewReader("\n\n"))
+	if err != nil || len(recs) != 0 {
+		t.Error("blank lines should be skipped")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	recs := []Record{
+		{Kind: KindMeta, Scenario: "NYC", Seed: 7},
+		{Kind: KindGPS, T: 1},
+		{Kind: KindGPS, T: 2},
+		{Kind: KindSNR, T: 2, UE: 0, Value: 10},
+		{Kind: KindSNR, T: 2.5, UE: 0, Value: 20},
+		{Kind: KindSNR, T: 2.5, UE: 1, Value: -5},
+		{Kind: KindEpoch, T: 90, Epoch: 1, LocalizationM: 30, MeasurementM: 500},
+		{Kind: KindPlacement, T: 95},
+		{Kind: KindServe, T: 100, UE: 0, Value: 1e6},
+		{Kind: KindServe, T: 101, UE: 0, Value: 2e6},
+	}
+	s := Summarize(recs)
+	if s.Scenario != "NYC" || s.Seed != 7 || s.Records != 10 {
+		t.Errorf("header: %+v", s)
+	}
+	if s.GPSPoints != 2 || s.SNRReadN != 3 || s.Epochs != 1 || s.Placements != 1 {
+		t.Errorf("counts: %+v", s)
+	}
+	if s.FlightM != 530 {
+		t.Errorf("flight = %v", s.FlightM)
+	}
+	if e := s.SNRByUE[0]; e.N != 2 || e.Mean != 15 {
+		t.Errorf("UE0 stats: %+v", e)
+	}
+	if s.ServedBitsByUE[0] != 3e6 {
+		t.Errorf("served: %v", s.ServedBitsByUE[0])
+	}
+	if s.DurationS != 101 {
+		t.Errorf("duration: %v", s.DurationS)
+	}
+
+	var buf bytes.Buffer
+	if _, err := s.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"NYC", "UE0", "mean 15.0"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("summary text missing %q:\n%s", want, buf.String())
+		}
+	}
+}

@@ -1,0 +1,126 @@
+// Package traj plans SkyRAN measurement flight trajectories (§3.3.2):
+// K-means clustering of high-gradient cells, a travelling-salesman
+// tour through the cluster heads, and information-gain/cost selection
+// across candidate K values. It also provides the Uniform zigzag
+// baseline trajectory and random localization flights.
+package traj
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/geom"
+)
+
+// KMeans clusters points into k groups using Lloyd's algorithm with
+// k-means++ style seeding drawn from rng. It returns the cluster
+// centroids ("cluster heads" in the paper). k is clamped to
+// [1, len(points)]. The result is deterministic for a given rng state.
+func KMeans(points []geom.Vec2, k int, rng *rand.Rand) []geom.Vec2 {
+	if len(points) == 0 {
+		return nil
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k > len(points) {
+		k = len(points)
+	}
+
+	// k-means++ seeding: first centre uniform, then proportional to
+	// squared distance from the nearest chosen centre.
+	centers := make([]geom.Vec2, 0, k)
+	centers = append(centers, points[rng.Intn(len(points))])
+	d2 := make([]float64, len(points))
+	for len(centers) < k {
+		var total float64
+		for i, p := range points {
+			best := math.Inf(1)
+			for _, c := range centers {
+				if d := p.Sub(c).Dot(p.Sub(c)); d < best {
+					best = d
+				}
+			}
+			d2[i] = best
+			total += best
+		}
+		if total == 0 {
+			// All remaining points coincide with centres; duplicate.
+			centers = append(centers, points[rng.Intn(len(points))])
+			continue
+		}
+		r := rng.Float64() * total
+		idx := 0
+		for i, d := range d2 {
+			r -= d
+			if r <= 0 {
+				idx = i
+				break
+			}
+		}
+		centers = append(centers, points[idx])
+	}
+
+	assign := make([]int, len(points))
+	for iter := 0; iter < 50; iter++ {
+		changed := false
+		for i, p := range points {
+			best, bi := math.Inf(1), 0
+			for ci, c := range centers {
+				if d := p.Sub(c).Dot(p.Sub(c)); d < best {
+					best, bi = d, ci
+				}
+			}
+			if assign[i] != bi {
+				assign[i] = bi
+				changed = true
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+		sums := make([]geom.Vec2, k)
+		counts := make([]int, k)
+		for i, p := range points {
+			sums[assign[i]] = sums[assign[i]].Add(p)
+			counts[assign[i]]++
+		}
+		for ci := range centers {
+			if counts[ci] > 0 {
+				centers[ci] = sums[ci].Scale(1 / float64(counts[ci]))
+			}
+		}
+	}
+	return centers
+}
+
+// AssignClusters returns, for each point, the index of its nearest
+// centre.
+func AssignClusters(points, centers []geom.Vec2) []int {
+	out := make([]int, len(points))
+	for i, p := range points {
+		best := math.Inf(1)
+		for ci, c := range centers {
+			if d := p.Sub(c).Dot(p.Sub(c)); d < best {
+				best, out[i] = d, ci
+			}
+		}
+	}
+	return out
+}
+
+// WithinClusterSS returns the total within-cluster sum of squared
+// distances — the quantity Lloyd iterations never increase.
+func WithinClusterSS(points, centers []geom.Vec2) float64 {
+	var ss float64
+	for _, p := range points {
+		best := math.Inf(1)
+		for _, c := range centers {
+			if d := p.Sub(c).Dot(p.Sub(c)); d < best {
+				best = d
+			}
+		}
+		ss += best
+	}
+	return ss
+}

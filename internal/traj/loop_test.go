@@ -1,0 +1,87 @@
+package traj
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestLocalizationLoopClosedAndSized(t *testing.T) {
+	area := geom.Rect{MinX: 0, MinY: 0, MaxX: 300, MaxY: 300}
+	rng := rand.New(rand.NewSource(1))
+	for _, per := range []float64{20, 35, 60} {
+		p := LocalizationLoop(area, geom.V2(150, 150), per, rng)
+		if p[0] != p[len(p)-1] {
+			t.Fatalf("loop not closed: %v vs %v", p[0], p[len(p)-1])
+		}
+		got := p.Length()
+		if got < per*0.6 || got > per*1.4 {
+			t.Errorf("perimeter %v for requested %v", got, per)
+		}
+		for _, q := range p {
+			if !area.Contains(q) {
+				t.Errorf("loop point %v outside area", q)
+			}
+		}
+	}
+}
+
+func TestLocalizationLoopEnclosesArea(t *testing.T) {
+	// The loop exists to break the multilateration mirror ambiguity:
+	// it must enclose non-trivial area (unlike a straight segment).
+	area := geom.Rect{MinX: 0, MinY: 0, MaxX: 300, MaxY: 300}
+	rng := rand.New(rand.NewSource(2))
+	p := LocalizationLoop(area, geom.V2(150, 150), 30, rng)
+	// Shoelace formula over the closed polygon.
+	var a2 float64
+	for i := 0; i < len(p)-1; i++ {
+		a2 += p[i].X*p[i+1].Y - p[i+1].X*p[i].Y
+	}
+	if math.Abs(a2/2) < 10 {
+		t.Errorf("enclosed area %v m^2 too small", math.Abs(a2/2))
+	}
+}
+
+func TestLocalizationLoopDefaultPerimeter(t *testing.T) {
+	area := geom.Rect{MinX: 0, MinY: 0, MaxX: 300, MaxY: 300}
+	rng := rand.New(rand.NewSource(3))
+	p := LocalizationLoop(area, geom.V2(150, 150), 0, rng)
+	if p.Length() < 10 {
+		t.Error("zero perimeter should default to ~20 m")
+	}
+}
+
+func TestExtendToBudgetPadsShortTours(t *testing.T) {
+	area := geom.Rect{MinX: 0, MinY: 0, MaxX: 200, MaxY: 200}
+	short := geom.Polyline{geom.V2(100, 100), geom.V2(120, 100)}
+	out := ExtendToBudget(short, area, 500)
+	if math.Abs(out.Length()-500) > 1 {
+		t.Errorf("extended length = %v, want ~500", out.Length())
+	}
+	// The original prefix is preserved.
+	if out[0] != short[0] || out[1] != short[1] {
+		t.Error("extension must preserve the planned prefix")
+	}
+}
+
+func TestExtendToBudgetNoopWhenLongEnough(t *testing.T) {
+	area := geom.Rect{MinX: 0, MinY: 0, MaxX: 200, MaxY: 200}
+	long := geom.Polyline{geom.V2(0, 0), geom.V2(200, 0), geom.V2(200, 200)}
+	out := ExtendToBudget(long, area, 100)
+	if out.Length() != long.Length() {
+		t.Error("over-budget path must be returned unchanged (truncation is the caller's step)")
+	}
+	if ExtendToBudget(long, area, 0).Length() != long.Length() {
+		t.Error("zero budget should be a no-op")
+	}
+}
+
+func TestExtendToBudgetEmptyPath(t *testing.T) {
+	area := geom.Rect{MinX: 0, MinY: 0, MaxX: 200, MaxY: 200}
+	out := ExtendToBudget(nil, area, 300)
+	if math.Abs(out.Length()-300) > 1 {
+		t.Errorf("empty-path extension length = %v", out.Length())
+	}
+}

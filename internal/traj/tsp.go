@@ -1,0 +1,68 @@
+package traj
+
+import "repro/internal/geom"
+
+// Tour builds an open travelling-salesman tour: starting at start, it
+// visits every node exactly once, using nearest-neighbour construction
+// followed by 2-opt improvement (§3.3.2 Step 6.4 solves a TSP over the
+// K cluster heads). The returned polyline begins at start.
+func Tour(start geom.Vec2, nodes []geom.Vec2) geom.Polyline {
+	if len(nodes) == 0 {
+		return geom.Polyline{start}
+	}
+	remaining := append([]geom.Vec2(nil), nodes...)
+	tour := geom.Polyline{start}
+	cur := start
+	for len(remaining) > 0 {
+		bi, bd := 0, cur.Dist(remaining[0])
+		for i := 1; i < len(remaining); i++ {
+			if d := cur.Dist(remaining[i]); d < bd {
+				bi, bd = i, d
+			}
+		}
+		cur = remaining[bi]
+		tour = append(tour, cur)
+		remaining[bi] = remaining[len(remaining)-1]
+		remaining = remaining[:len(remaining)-1]
+	}
+	twoOpt(tour)
+	return tour
+}
+
+// twoOpt repeatedly reverses tour segments while doing so shortens the
+// open path. Index 0 (the start position) is pinned.
+func twoOpt(t geom.Polyline) {
+	n := len(t)
+	if n < 4 {
+		return
+	}
+	improved := true
+	for rounds := 0; improved && rounds < 50; rounds++ {
+		improved = false
+		for i := 1; i < n-2; i++ {
+			for j := i + 1; j < n-1; j++ {
+				// Reversing t[i..j] replaces edges (i-1,i) and (j,j+1)
+				// with (i-1,j) and (i,j+1).
+				oldLen := t[i-1].Dist(t[i]) + t[j].Dist(t[j+1])
+				newLen := t[i-1].Dist(t[j]) + t[i].Dist(t[j+1])
+				if newLen < oldLen-1e-9 {
+					for a, b := i, j; a < b; a, b = a+1, b-1 {
+						t[a], t[b] = t[b], t[a]
+					}
+					improved = true
+				}
+			}
+		}
+	}
+	// The final node has no successor edge; also consider reversing a
+	// tail suffix, replacing edge (i-1, i) with (i-1, n-1).
+	for i := 1; i < n-1; i++ {
+		oldLen := t[i-1].Dist(t[i])
+		newLen := t[i-1].Dist(t[n-1])
+		if newLen < oldLen-1e-9 {
+			for a, b := i, n-1; a < b; a, b = a+1, b-1 {
+				t[a], t[b] = t[b], t[a]
+			}
+		}
+	}
+}

@@ -1,0 +1,187 @@
+// Package uav models the flight platform: a kinematic waypoint-
+// following multirotor with a noisy GPS sensor, an odometer, and a
+// battery whose drain depends on motion — the three platform
+// properties SkyRAN's algorithms react to (DJI M600Pro in the paper:
+// 30 km/h survey speed, 1-5 m GPS accuracy, ~30 min endurance, higher
+// drain in forward motion, §2.5/§4.1).
+package uav
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/geom"
+)
+
+// Config describes the platform.
+type Config struct {
+	// CruiseSpeedMS is horizontal speed while surveying (8.33 m/s =
+	// 30 km/h, the speed quoted in §4.5.2).
+	CruiseSpeedMS float64
+	// ClimbRateMS is vertical speed.
+	ClimbRateMS float64
+	// MaxAltitudeM is the regulatory ceiling (120 m AGL per FAA).
+	MaxAltitudeM float64
+	// GPSSigmaM is the 1-σ horizontal GPS error (paper: 1-5 m).
+	GPSSigmaM float64
+	// GPSRateHz is the position report rate (50 Hz).
+	GPSRateHz float64
+	// BatteryWh is usable energy; HoverPowerW and CruisePowerW are the
+	// drain rates hovering vs in motion.
+	BatteryWh    float64
+	HoverPowerW  float64
+	CruisePowerW float64
+}
+
+// DefaultConfig models the paper's M600Pro with the SkyRAN payload.
+func DefaultConfig() Config {
+	return Config{
+		CruiseSpeedMS: 30.0 / 3.6,
+		ClimbRateMS:   3,
+		MaxAltitudeM:  120,
+		GPSSigmaM:     1.5,
+		GPSRateHz:     50,
+		BatteryWh:     600, // 6×97 Wh packs, ~derated
+		HoverPowerW:   900,
+		CruisePowerW:  1250,
+	}
+}
+
+// UAV is the flight platform state. Construct with New.
+type UAV struct {
+	cfg Config
+	pos geom.Vec3
+	rng *rand.Rand
+
+	route     []geom.Vec3
+	odometerM float64
+	energyWh  float64
+}
+
+// New places a UAV at pos with a seeded sensor-noise stream.
+func New(cfg Config, pos geom.Vec3, seed int64) *UAV {
+	return &UAV{cfg: cfg, pos: pos, rng: rand.New(rand.NewSource(seed)), energyWh: cfg.BatteryWh}
+}
+
+// Config returns the platform configuration.
+func (u *UAV) Config() Config { return u.cfg }
+
+// Position returns the true position (simulation-side; algorithms must
+// use GPS()).
+func (u *UAV) Position() geom.Vec3 { return u.pos }
+
+// GPS returns a noisy position reading (zero-mean Gaussian horizontal
+// error, half-σ vertical).
+func (u *UAV) GPS() geom.Vec3 {
+	return geom.V3(
+		u.pos.X+u.rng.NormFloat64()*u.cfg.GPSSigmaM,
+		u.pos.Y+u.rng.NormFloat64()*u.cfg.GPSSigmaM,
+		u.pos.Z+u.rng.NormFloat64()*u.cfg.GPSSigmaM/2,
+	)
+}
+
+// OdometerM returns total distance flown in metres.
+func (u *UAV) OdometerM() float64 { return u.odometerM }
+
+// EnergyWh returns remaining battery energy.
+func (u *UAV) EnergyWh() float64 { return u.energyWh }
+
+// EnergyFraction returns remaining energy as a fraction of capacity.
+func (u *UAV) EnergyFraction() float64 {
+	if u.cfg.BatteryWh <= 0 {
+		return 0
+	}
+	return u.energyWh / u.cfg.BatteryWh
+}
+
+// SetRoute replaces the pending waypoint queue.
+func (u *UAV) SetRoute(route []geom.Vec3) {
+	u.route = append(u.route[:0], route...)
+}
+
+// SetRoute2D sets a horizontal route flown at the given altitude.
+func (u *UAV) SetRoute2D(p geom.Polyline, altitude float64) {
+	r := make([]geom.Vec3, len(p))
+	for i, q := range p {
+		r[i] = q.WithZ(math.Min(altitude, u.cfg.MaxAltitudeM))
+	}
+	u.SetRoute(r)
+}
+
+// Hovering reports whether the waypoint queue is empty.
+func (u *UAV) Hovering() bool { return len(u.route) == 0 }
+
+// RemainingRouteM returns the length of the pending route.
+func (u *UAV) RemainingRouteM() float64 {
+	if len(u.route) == 0 {
+		return 0
+	}
+	total := u.pos.Dist(u.route[0])
+	for i := 1; i < len(u.route); i++ {
+		total += u.route[i].Dist(u.route[i-1])
+	}
+	return total
+}
+
+// Step advances the platform by dt seconds: moving toward the next
+// waypoint at cruise/climb speed (3-D velocity limited per axis class)
+// and draining the battery. It returns the distance covered.
+func (u *UAV) Step(dt float64) float64 {
+	if dt <= 0 {
+		return 0
+	}
+	moved := 0.0
+	remaining := dt
+	for remaining > 1e-12 && len(u.route) > 0 {
+		target := u.route[0]
+		target.Z = math.Min(target.Z, u.cfg.MaxAltitudeM)
+		delta := target.Sub(u.pos)
+		horiz := math.Hypot(delta.X, delta.Y)
+		vert := math.Abs(delta.Z)
+		if horiz < 1e-9 && vert < 1e-9 {
+			u.route = u.route[1:]
+			continue
+		}
+		// Time needed at the slower of the two axis classes.
+		tH, tV := 0.0, 0.0
+		if horiz > 0 {
+			tH = horiz / u.cfg.CruiseSpeedMS
+		}
+		if vert > 0 {
+			tV = vert / u.cfg.ClimbRateMS
+		}
+		tNeed := math.Max(tH, tV)
+		frac := 1.0
+		if tNeed > remaining {
+			frac = remaining / tNeed
+		}
+		step := delta.Scale(frac)
+		u.pos = u.pos.Add(step)
+		moved += step.Norm()
+		used := tNeed * frac
+		remaining -= used
+		u.energyWh -= u.cfg.CruisePowerW * used / 3600
+		if frac == 1 {
+			u.route = u.route[1:]
+		}
+	}
+	if remaining > 1e-12 {
+		u.energyWh -= u.cfg.HoverPowerW * remaining / 3600
+	}
+	if u.energyWh < 0 {
+		u.energyWh = 0
+	}
+	u.odometerM += moved
+	return moved
+}
+
+// FlightTimeFor returns the time in seconds the platform needs to fly
+// a horizontal path of the given length at cruise speed — the
+// conversion the paper uses between measurement budgets in metres and
+// flight times in seconds.
+func (c Config) FlightTimeFor(lengthM float64) float64 {
+	if c.CruiseSpeedMS <= 0 {
+		return math.Inf(1)
+	}
+	return lengthM / c.CruiseSpeedMS
+}

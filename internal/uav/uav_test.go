@@ -1,0 +1,144 @@
+package uav
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestStepTowardsWaypoint(t *testing.T) {
+	u := New(DefaultConfig(), geom.V3(0, 0, 50), 1)
+	u.SetRoute([]geom.Vec3{geom.V3(100, 0, 50)})
+	moved := u.Step(1)
+	want := DefaultConfig().CruiseSpeedMS
+	if math.Abs(moved-want) > 1e-9 {
+		t.Errorf("moved %v in 1s, want %v", moved, want)
+	}
+	if math.Abs(u.Position().X-want) > 1e-9 {
+		t.Errorf("position %v", u.Position())
+	}
+	if u.Hovering() {
+		t.Error("should still be en route")
+	}
+}
+
+func TestStepReachesAndHovers(t *testing.T) {
+	u := New(DefaultConfig(), geom.V3(0, 0, 50), 1)
+	u.SetRoute([]geom.Vec3{geom.V3(10, 0, 50)})
+	u.Step(10) // plenty of time
+	if !u.Hovering() {
+		t.Error("route should be consumed")
+	}
+	if u.Position().Dist(geom.V3(10, 0, 50)) > 1e-9 {
+		t.Errorf("final position %v", u.Position())
+	}
+	if math.Abs(u.OdometerM()-10) > 1e-9 {
+		t.Errorf("odometer = %v", u.OdometerM())
+	}
+}
+
+func TestClimbRateLimits(t *testing.T) {
+	cfg := DefaultConfig()
+	u := New(cfg, geom.V3(0, 0, 0), 1)
+	u.SetRoute([]geom.Vec3{geom.V3(0, 0, 30)})
+	u.Step(1)
+	if math.Abs(u.Position().Z-cfg.ClimbRateMS) > 1e-9 {
+		t.Errorf("climbed %v in 1s, want %v", u.Position().Z, cfg.ClimbRateMS)
+	}
+}
+
+func TestDiagonalLimitedBySlowerAxis(t *testing.T) {
+	cfg := DefaultConfig()
+	u := New(cfg, geom.V3(0, 0, 0), 1)
+	// 3 m climb at 3 m/s takes 1 s; 4 m horizontal would take ~0.48 s.
+	// The move must take the full 1 s (vertical-limited).
+	u.SetRoute([]geom.Vec3{geom.V3(4, 0, 3)})
+	u.Step(0.999)
+	if u.Hovering() {
+		t.Error("vertical-limited move finished too early")
+	}
+	u.Step(0.002)
+	if !u.Hovering() {
+		t.Error("move should have completed")
+	}
+}
+
+func TestAltitudeCeiling(t *testing.T) {
+	cfg := DefaultConfig()
+	u := New(cfg, geom.V3(0, 0, 100), 1)
+	u.SetRoute([]geom.Vec3{geom.V3(0, 0, 500)})
+	u.Step(1000)
+	if u.Position().Z > cfg.MaxAltitudeM+1e-9 {
+		t.Errorf("altitude %v exceeds ceiling", u.Position().Z)
+	}
+}
+
+func TestSetRoute2D(t *testing.T) {
+	u := New(DefaultConfig(), geom.V3(0, 0, 60), 1)
+	u.SetRoute2D(geom.Polyline{geom.V2(10, 10), geom.V2(20, 10)}, 60)
+	if got := u.RemainingRouteM(); math.Abs(got-(math.Hypot(10, 10)+10)) > 1e-9 {
+		t.Errorf("remaining route %v", got)
+	}
+}
+
+func TestBatteryDrainsFasterInMotion(t *testing.T) {
+	cfg := DefaultConfig()
+	hover := New(cfg, geom.V3(0, 0, 50), 1)
+	hover.Step(60)
+	cruise := New(cfg, geom.V3(0, 0, 50), 1)
+	cruise.SetRoute([]geom.Vec3{geom.V3(10000, 0, 50)})
+	cruise.Step(60)
+	if cruise.EnergyWh() >= hover.EnergyWh() {
+		t.Errorf("cruise energy %v not below hover %v", cruise.EnergyWh(), hover.EnergyWh())
+	}
+	if hover.EnergyFraction() >= 1 || hover.EnergyFraction() <= 0 {
+		t.Errorf("hover energy fraction %v", hover.EnergyFraction())
+	}
+}
+
+func TestBatteryFloorsAtZero(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.BatteryWh = 0.001
+	u := New(cfg, geom.V3(0, 0, 50), 1)
+	u.Step(3600)
+	if u.EnergyWh() != 0 {
+		t.Errorf("energy = %v, want 0", u.EnergyWh())
+	}
+}
+
+func TestGPSNoiseStatistics(t *testing.T) {
+	cfg := DefaultConfig()
+	u := New(cfg, geom.V3(100, 100, 60), 42)
+	var sumSq float64
+	n := 5000
+	for i := 0; i < n; i++ {
+		g := u.GPS()
+		dx, dy := g.X-100, g.Y-100
+		sumSq += dx*dx + dy*dy
+	}
+	// E[dx²+dy²] = 2σ².
+	rms := math.Sqrt(sumSq / float64(n) / 2)
+	if math.Abs(rms-cfg.GPSSigmaM) > 0.15 {
+		t.Errorf("GPS sigma = %v, want ~%v", rms, cfg.GPSSigmaM)
+	}
+}
+
+func TestFlightTimeFor(t *testing.T) {
+	cfg := DefaultConfig()
+	// 833 m at 30 km/h ≈ 100 s (the §5.2 conversion).
+	if got := cfg.FlightTimeFor(833); math.Abs(got-100) > 0.5 {
+		t.Errorf("FlightTimeFor(833) = %v, want ~100 s", got)
+	}
+	bad := Config{}
+	if !math.IsInf(bad.FlightTimeFor(10), 1) {
+		t.Error("zero speed should be infinite time")
+	}
+}
+
+func TestStepZeroDt(t *testing.T) {
+	u := New(DefaultConfig(), geom.V3(0, 0, 50), 1)
+	if u.Step(0) != 0 || u.Step(-5) != 0 {
+		t.Error("non-positive dt should be a no-op")
+	}
+}

@@ -1,0 +1,84 @@
+package ue
+
+import (
+	"math/rand"
+
+	"repro/internal/geom"
+)
+
+// StreetWalk is a mobility model for gridded urban terrain: the UE
+// walks along open corridors (streets), picking a new direction at
+// each blocked step or with a small turn probability — pedestrians in
+// a Manhattan grid rather than the open-field random waypoint. The
+// model only needs an isOpen predicate, so it works on any terrain.
+type StreetWalk struct {
+	// Area bounds the walk.
+	Area geom.Rect
+	// IsOpen reports whether a point is walkable.
+	IsOpen func(geom.Vec2) bool
+	// SpeedMS is walking speed (default 1.4).
+	SpeedMS float64
+	// TurnProb is the per-step probability of turning at an
+	// intersection even when the way ahead is clear (default 0.02 per
+	// metre walked).
+	TurnProb float64
+
+	dir geom.Vec2
+}
+
+// NewStreetWalk returns the model with defaults applied.
+func NewStreetWalk(area geom.Rect, isOpen func(geom.Vec2) bool, speedMS float64) *StreetWalk {
+	if speedMS <= 0 {
+		speedMS = 1.4
+	}
+	return &StreetWalk{Area: area, IsOpen: isOpen, SpeedMS: speedMS, TurnProb: 0.02}
+}
+
+// cardinal directions, axis-aligned like street grids.
+var cardinals = [4]geom.Vec2{{X: 1}, {X: -1}, {Y: 1}, {Y: -1}}
+
+// Step implements Mobility.
+func (s *StreetWalk) Step(dt float64, cur geom.Vec2, rng *rand.Rand) geom.Vec2 {
+	if s.IsOpen == nil {
+		return cur
+	}
+	remaining := s.SpeedMS * dt
+	const stride = 1.0 // probe the street one metre at a time
+	for remaining > 0 {
+		step := stride
+		if remaining < stride {
+			step = remaining
+		}
+		if s.dir == (geom.Vec2{}) || rng.Float64() < s.TurnProb*step {
+			s.pickDirection(cur, rng)
+		}
+		next := cur.Add(s.dir.Scale(step))
+		if !s.Area.Contains(next) || !s.IsOpen(next) {
+			// Blocked: choose a new open direction; if every way is
+			// shut, stay put for this tick.
+			if !s.pickDirection(cur, rng) {
+				return cur
+			}
+			continue
+		}
+		cur = next
+		remaining -= step
+	}
+	return cur
+}
+
+// pickDirection chooses a random cardinal whose next few metres are
+// walkable. It reports whether any direction was viable.
+func (s *StreetWalk) pickDirection(cur geom.Vec2, rng *rand.Rand) bool {
+	offset := rng.Intn(4)
+	for k := 0; k < 4; k++ {
+		d := cardinals[(offset+k)%4]
+		probe := cur.Add(d.Scale(3))
+		if s.Area.Contains(probe) && s.IsOpen(probe) {
+			s.dir = d
+			return true
+		}
+	}
+	s.dir = geom.Vec2{}
+	return false
+}

@@ -1,0 +1,88 @@
+package ue
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/terrain"
+)
+
+func TestStreetWalkStaysOnStreets(t *testing.T) {
+	tr := terrain.NYC(1)
+	sw := NewStreetWalk(tr.Bounds(), tr.IsOpen, 1.4)
+	u := New(0, geom.V2(9, 9)) // a street intersection
+	u.Mobility = sw
+	rng := rand.New(rand.NewSource(1))
+	var travelled float64
+	prev := u.Pos
+	for i := 0; i < 600; i++ {
+		u.Step(1, rng)
+		if !tr.IsOpen(u.Pos) {
+			t.Fatalf("walker entered a building at %v (step %d)", u.Pos, i)
+		}
+		travelled += u.Pos.Dist(prev)
+		prev = u.Pos
+	}
+	// 600 s at 1.4 m/s should cover most of the nominal distance
+	// (turns at blocked corners may stall the odd tick).
+	if travelled < 500 {
+		t.Errorf("walker covered only %.0f m in 600 s", travelled)
+	}
+}
+
+func TestStreetWalkSpeedBound(t *testing.T) {
+	tr := terrain.NYC(2)
+	sw := NewStreetWalk(tr.Bounds(), tr.IsOpen, 2)
+	u := New(0, geom.V2(9, 130))
+	u.Mobility = sw
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 300; i++ {
+		prev := u.Pos
+		u.Step(1, rng)
+		if d := u.Pos.Dist(prev); d > 2+1e-9 {
+			t.Fatalf("moved %v m in 1 s at 2 m/s", d)
+		}
+	}
+}
+
+func TestStreetWalkTrappedStaysPut(t *testing.T) {
+	// No open ground anywhere: the walker must not loop forever or
+	// escape.
+	sw := NewStreetWalk(geom.Rect{MinX: 0, MinY: 0, MaxX: 10, MaxY: 10},
+		func(geom.Vec2) bool { return false }, 1.4)
+	u := New(0, geom.V2(5, 5))
+	u.Mobility = sw
+	rng := rand.New(rand.NewSource(3))
+	u.Step(10, rng)
+	if u.Pos != geom.V2(5, 5) {
+		t.Errorf("trapped walker moved to %v", u.Pos)
+	}
+}
+
+func TestStreetWalkNilPredicate(t *testing.T) {
+	sw := &StreetWalk{Area: geom.Rect{MinX: 0, MinY: 0, MaxX: 10, MaxY: 10}, SpeedMS: 1}
+	u := New(0, geom.V2(5, 5))
+	u.Mobility = sw
+	u.Step(5, rand.New(rand.NewSource(4)))
+	if u.Pos != geom.V2(5, 5) {
+		t.Error("nil predicate should freeze the walker, not panic")
+	}
+}
+
+func TestStreetWalkAxisAligned(t *testing.T) {
+	// On a fully open area the walk still moves in cardinal segments.
+	area := geom.Rect{MinX: 0, MinY: 0, MaxX: 100, MaxY: 100}
+	sw := NewStreetWalk(area, func(geom.Vec2) bool { return true }, 1)
+	u := New(0, geom.V2(50, 50))
+	u.Mobility = sw
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 50; i++ {
+		prev := u.Pos
+		u.Step(1, rng)
+		d := u.Pos.Sub(prev)
+		if d.X != 0 && d.Y != 0 {
+			t.Fatalf("diagonal move %v", d)
+		}
+	}
+}

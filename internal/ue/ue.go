@@ -1,0 +1,213 @@
+// Package ue models the ground user equipment: identity, position and
+// mobility. The paper evaluates static UEs on the testbed (§4.2),
+// scripted routes "closely mimicking human mobility" for the epoch
+// study (Fig 12), and random per-epoch repositioning for the scale-up
+// study (§5.2).
+package ue
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/geom"
+)
+
+// UE is one ground terminal.
+type UE struct {
+	// ID is a stable identifier (also the SRS root seed in the PHY).
+	ID int
+	// Pos is the current true ground position.
+	Pos geom.Vec2
+	// Mobility drives position updates; nil means static.
+	Mobility Mobility
+}
+
+// New returns a static UE.
+func New(id int, pos geom.Vec2) *UE { return &UE{ID: id, Pos: pos} }
+
+// Step advances the UE by dt seconds.
+func (u *UE) Step(dt float64, rng *rand.Rand) {
+	if u.Mobility != nil {
+		u.Pos = u.Mobility.Step(dt, u.Pos, rng)
+	}
+}
+
+// String implements fmt.Stringer.
+func (u *UE) String() string { return fmt.Sprintf("UE%d@%s", u.ID, u.Pos) }
+
+// Mobility advances a position by dt seconds.
+type Mobility interface {
+	Step(dt float64, cur geom.Vec2, rng *rand.Rand) geom.Vec2
+}
+
+// Static never moves. The zero value is ready to use.
+type Static struct{}
+
+// Step implements Mobility.
+func (Static) Step(_ float64, cur geom.Vec2, _ *rand.Rand) geom.Vec2 { return cur }
+
+// Route walks a scripted waypoint list at pedestrian speed, the
+// "predefined routes (scripted to closely mimic human mobility)" of
+// Fig 12. When Loop is set the route repeats; otherwise the UE stops
+// at the final waypoint.
+type Route struct {
+	Waypoints []geom.Vec2
+	SpeedMS   float64
+	Loop      bool
+
+	next int
+}
+
+// NewRoute returns a route mobility at the given walking speed
+// (default 1.4 m/s if speed <= 0).
+func NewRoute(waypoints []geom.Vec2, speedMS float64, loop bool) *Route {
+	if speedMS <= 0 {
+		speedMS = 1.4
+	}
+	return &Route{Waypoints: waypoints, SpeedMS: speedMS, Loop: loop}
+}
+
+// Step implements Mobility.
+func (r *Route) Step(dt float64, cur geom.Vec2, _ *rand.Rand) geom.Vec2 {
+	remaining := r.SpeedMS * dt
+	for remaining > 1e-12 && r.next < len(r.Waypoints) {
+		target := r.Waypoints[r.next]
+		d := cur.Dist(target)
+		if d <= remaining {
+			cur = target
+			remaining -= d
+			r.next++
+			if r.next >= len(r.Waypoints) && r.Loop {
+				r.next = 0
+			}
+		} else {
+			cur = cur.Add(target.Sub(cur).Unit().Scale(remaining))
+			remaining = 0
+		}
+	}
+	return cur
+}
+
+// RandomWaypoint implements the classic random-waypoint model within
+// an area: pick a uniform destination, walk to it at SpeedMS, pause,
+// repeat.
+type RandomWaypoint struct {
+	Area    geom.Rect
+	SpeedMS float64
+	PauseS  float64
+
+	target    geom.Vec2
+	hasTarget bool
+	pausing   float64
+}
+
+// NewRandomWaypoint returns the model with sane defaults (1.4 m/s, 5 s
+// pause) applied to non-positive parameters.
+func NewRandomWaypoint(area geom.Rect, speedMS, pauseS float64) *RandomWaypoint {
+	if speedMS <= 0 {
+		speedMS = 1.4
+	}
+	if pauseS < 0 {
+		pauseS = 0
+	}
+	return &RandomWaypoint{Area: area, SpeedMS: speedMS, PauseS: pauseS}
+}
+
+// Step implements Mobility.
+func (m *RandomWaypoint) Step(dt float64, cur geom.Vec2, rng *rand.Rand) geom.Vec2 {
+	remaining := dt
+	for remaining > 1e-12 {
+		if m.pausing > 0 {
+			p := math.Min(m.pausing, remaining)
+			m.pausing -= p
+			remaining -= p
+			continue
+		}
+		if !m.hasTarget {
+			m.target = geom.V2(
+				m.Area.MinX+rng.Float64()*m.Area.Width(),
+				m.Area.MinY+rng.Float64()*m.Area.Height(),
+			)
+			m.hasTarget = true
+		}
+		d := cur.Dist(m.target)
+		canMove := m.SpeedMS * remaining
+		if d <= canMove {
+			cur = m.target
+			if m.SpeedMS > 0 {
+				remaining -= d / m.SpeedMS
+			} else {
+				remaining = 0
+			}
+			m.hasTarget = false
+			m.pausing = m.PauseS
+		} else {
+			cur = cur.Add(m.target.Sub(cur).Unit().Scale(canMove))
+			remaining = 0
+		}
+	}
+	return cur
+}
+
+// PlaceRandomOpen places n UEs uniformly at random on open terrain
+// cells (UEs cannot stand inside buildings), at least minSep apart.
+// isOpen reports whether a point is standable. It panics only if the
+// area is so constrained that no placement exists after many tries —
+// a scenario-configuration error.
+func PlaceRandomOpen(n int, area geom.Rect, isOpen func(geom.Vec2) bool, minSep float64, rng *rand.Rand) []*UE {
+	ues := make([]*UE, 0, n)
+	positions := make([]geom.Vec2, 0, n)
+	for id := 0; id < n; id++ {
+		placed := false
+		for try := 0; try < 10000; try++ {
+			p := geom.V2(area.MinX+rng.Float64()*area.Width(), area.MinY+rng.Float64()*area.Height())
+			if !isOpen(p) {
+				continue
+			}
+			ok := true
+			for _, q := range positions {
+				if p.Dist(q) < minSep {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			ues = append(ues, New(id, p))
+			positions = append(positions, p)
+			placed = true
+			break
+		}
+		if !placed {
+			panic(fmt.Sprintf("ue: cannot place UE %d: area too constrained", id))
+		}
+	}
+	return ues
+}
+
+// PlaceClustered places n UEs in a Gaussian cluster around center with
+// the given spread, on open cells — the paper's Topology B (§4.5.2).
+func PlaceClustered(n int, center geom.Vec2, spreadM float64, area geom.Rect, isOpen func(geom.Vec2) bool, rng *rand.Rand) []*UE {
+	ues := make([]*UE, 0, n)
+	for id := 0; id < n; id++ {
+		placed := false
+		for try := 0; try < 10000; try++ {
+			p := area.Clamp(geom.V2(
+				center.X+rng.NormFloat64()*spreadM,
+				center.Y+rng.NormFloat64()*spreadM,
+			))
+			if !isOpen(p) {
+				continue
+			}
+			ues = append(ues, New(id, p))
+			placed = true
+			break
+		}
+		if !placed {
+			panic(fmt.Sprintf("ue: cannot place clustered UE %d", id))
+		}
+	}
+	return ues
+}

@@ -1,0 +1,171 @@
+package ue
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestStaticUE(t *testing.T) {
+	u := New(1, geom.V2(10, 10))
+	rng := rand.New(rand.NewSource(1))
+	u.Step(100, rng)
+	if u.Pos != geom.V2(10, 10) {
+		t.Error("static UE moved")
+	}
+	u.Mobility = Static{}
+	u.Step(100, rng)
+	if u.Pos != geom.V2(10, 10) {
+		t.Error("Static mobility moved")
+	}
+	if u.String() == "" {
+		t.Error("stringer empty")
+	}
+}
+
+func TestRouteWalksAtSpeed(t *testing.T) {
+	r := NewRoute([]geom.Vec2{geom.V2(10, 0), geom.V2(10, 10)}, 2, false)
+	u := New(1, geom.V2(0, 0))
+	u.Mobility = r
+	rng := rand.New(rand.NewSource(1))
+	u.Step(1, rng) // 2 m along +x
+	if u.Pos.Dist(geom.V2(2, 0)) > 1e-9 {
+		t.Errorf("pos = %v, want (2,0)", u.Pos)
+	}
+	u.Step(5, rng) // 10 more metres: reach (10,0) then 2 up
+	if u.Pos.Dist(geom.V2(10, 2)) > 1e-9 {
+		t.Errorf("pos = %v, want (10,2)", u.Pos)
+	}
+	u.Step(100, rng) // finish and stop (no loop)
+	if u.Pos != geom.V2(10, 10) {
+		t.Errorf("final pos = %v", u.Pos)
+	}
+}
+
+func TestRouteLoops(t *testing.T) {
+	r := NewRoute([]geom.Vec2{geom.V2(10, 0), geom.V2(0, 0)}, 1, true)
+	u := New(1, geom.V2(0, 0))
+	u.Mobility = r
+	rng := rand.New(rand.NewSource(1))
+	u.Step(20, rng) // one full loop: back at origin
+	if u.Pos.Dist(geom.V2(0, 0)) > 1e-9 {
+		t.Errorf("after one loop pos = %v", u.Pos)
+	}
+	u.Step(5, rng)
+	if u.Pos.Dist(geom.V2(5, 0)) > 1e-9 {
+		t.Errorf("mid second loop pos = %v", u.Pos)
+	}
+}
+
+func TestRouteDefaultSpeed(t *testing.T) {
+	r := NewRoute([]geom.Vec2{geom.V2(100, 0)}, 0, false)
+	if r.SpeedMS != 1.4 {
+		t.Errorf("default speed = %v", r.SpeedMS)
+	}
+}
+
+func TestRandomWaypointStaysInArea(t *testing.T) {
+	area := geom.Rect{MinX: 0, MinY: 0, MaxX: 50, MaxY: 50}
+	m := NewRandomWaypoint(area, 3, 1)
+	u := New(1, geom.V2(25, 25))
+	u.Mobility = m
+	rng := rand.New(rand.NewSource(2))
+	moved := false
+	for i := 0; i < 500; i++ {
+		prev := u.Pos
+		u.Step(1, rng)
+		if !area.Contains(u.Pos) && u.Pos != area.Clamp(u.Pos) {
+			t.Fatalf("UE escaped area: %v", u.Pos)
+		}
+		if u.Pos != prev {
+			moved = true
+		}
+	}
+	if !moved {
+		t.Error("random waypoint never moved")
+	}
+}
+
+func TestRandomWaypointSpeedBound(t *testing.T) {
+	area := geom.Rect{MinX: 0, MinY: 0, MaxX: 1000, MaxY: 1000}
+	m := NewRandomWaypoint(area, 2, 0)
+	u := New(1, geom.V2(500, 500))
+	u.Mobility = m
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 200; i++ {
+		prev := u.Pos
+		u.Step(1, rng)
+		if d := u.Pos.Dist(prev); d > 2+1e-9 {
+			t.Fatalf("moved %v m in 1 s at 2 m/s", d)
+		}
+	}
+}
+
+func TestRandomWaypointPause(t *testing.T) {
+	area := geom.Rect{MinX: 0, MinY: 0, MaxX: 10, MaxY: 10}
+	m := NewRandomWaypoint(area, 100, 1000) // fast walk, long pause
+	u := New(1, geom.V2(5, 5))
+	u.Mobility = m
+	rng := rand.New(rand.NewSource(4))
+	u.Step(1, rng) // reaches first target, starts pausing
+	p := u.Pos
+	u.Step(10, rng) // still pausing
+	if u.Pos != p {
+		t.Error("UE moved during pause")
+	}
+}
+
+func TestPlaceRandomOpen(t *testing.T) {
+	area := geom.Rect{MinX: 0, MinY: 0, MaxX: 100, MaxY: 100}
+	// Only the western half is open.
+	isOpen := func(p geom.Vec2) bool { return p.X < 50 }
+	rng := rand.New(rand.NewSource(5))
+	ues := PlaceRandomOpen(10, area, isOpen, 5, rng)
+	if len(ues) != 10 {
+		t.Fatalf("placed %d", len(ues))
+	}
+	for i, u := range ues {
+		if u.Pos.X >= 50 {
+			t.Errorf("UE %d on closed ground: %v", i, u.Pos)
+		}
+		if u.ID != i {
+			t.Errorf("UE %d has ID %d", i, u.ID)
+		}
+		for j := 0; j < i; j++ {
+			if u.Pos.Dist(ues[j].Pos) < 5 {
+				t.Errorf("UEs %d and %d closer than minSep", i, j)
+			}
+		}
+	}
+}
+
+func TestPlaceRandomOpenPanicsWhenImpossible(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for unplaceable scenario")
+		}
+	}()
+	area := geom.Rect{MinX: 0, MinY: 0, MaxX: 10, MaxY: 10}
+	PlaceRandomOpen(1, area, func(geom.Vec2) bool { return false }, 0, rand.New(rand.NewSource(1)))
+}
+
+func TestPlaceClustered(t *testing.T) {
+	area := geom.Rect{MinX: 0, MinY: 0, MaxX: 300, MaxY: 300}
+	rng := rand.New(rand.NewSource(6))
+	center := geom.V2(150, 150)
+	ues := PlaceClustered(8, center, 20, area, func(geom.Vec2) bool { return true }, rng)
+	if len(ues) != 8 {
+		t.Fatalf("placed %d", len(ues))
+	}
+	var meanDist float64
+	for _, u := range ues {
+		meanDist += u.Pos.Dist(center)
+	}
+	meanDist /= 8
+	// Mean distance of a 2-D Gaussian with σ=20 is ~25; allow slack.
+	if meanDist > 60 || math.IsNaN(meanDist) {
+		t.Errorf("cluster spread %v too large", meanDist)
+	}
+}
