@@ -1,0 +1,25 @@
+# Test tiers for the SkyRAN reproduction.
+#
+#   make tier1   build + full test suite (the acceptance gate)
+#   make race    vet + race-detector suite (concurrency gate)
+#   make short   quick signal while iterating
+#   make bench   one bench per paper figure + hot-path micro-benches
+
+GO ?= go
+
+.PHONY: tier1 race short bench fmt
+
+tier1:
+	$(GO) build ./... && $(GO) test -timeout 60m ./...
+
+race:
+	$(GO) vet ./... && $(GO) test -race -timeout 120m ./...
+
+short:
+	$(GO) build ./... && $(GO) test -short ./...
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem .
+
+fmt:
+	gofmt -l .

@@ -11,6 +11,7 @@ package skyran
 // harness still produces rows.
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/experiments"
@@ -54,6 +55,29 @@ func BenchmarkFig28REMOverhead(b *testing.B)        { benchFigure(b, "fig28") }
 func BenchmarkFig29BudgetTerrain(b *testing.B)      { benchFigure(b, "fig29") }
 func BenchmarkFig30REMTerrain(b *testing.B)         { benchFigure(b, "fig30") }
 func BenchmarkFig31UEScaling(b *testing.B)          { benchFigure(b, "fig31") }
+
+// BenchmarkParallelSeeds measures the Monte-Carlo engine's scaling:
+// the same mid-weight figure (Fig 20, a sweepSeeds harness running two
+// controllers per task) at 1 and 8 workers. On a multi-core host the
+// 8-worker run should finish several times faster with byte-identical
+// rows; on a single core the two are equivalent. BENCH_parallel.json
+// records measured numbers.
+func BenchmarkParallelSeeds(b *testing.B) {
+	for _, workers := range []int{1, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			opts := experiments.Options{Seeds: 3, Quick: true, Workers: workers}
+			for i := 0; i < b.N; i++ {
+				r, err := experiments.RunFig20(opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(r.Rows) == 0 {
+					b.Fatal("fig20 produced no rows")
+				}
+			}
+		})
+	}
+}
 
 // BenchmarkEpochSkyRAN measures one full SkyRAN epoch (localization +
 // altitude search skipped via fixed altitude + planning + measurement

@@ -22,17 +22,18 @@ import (
 
 func main() {
 	var (
-		list   = flag.Bool("list", false, "list available figures and extensions, then exit")
-		fig    = flag.String("fig", "", "run a single figure or extension by id (e.g. fig20, abl-interp)")
-		all    = flag.Bool("all", false, "run every paper figure")
-		ext    = flag.Bool("ext", false, "run every extension/ablation study")
-		seeds  = flag.Int("seeds", 5, "Monte-Carlo instances per configuration")
-		quick  = flag.Bool("quick", false, "reduced sweeps and grid resolution")
-		format = flag.String("format", "text", "output format: text, csv or json")
+		list    = flag.Bool("list", false, "list available figures and extensions, then exit")
+		fig     = flag.String("fig", "", "run a single figure or extension by id (e.g. fig20, abl-interp)")
+		all     = flag.Bool("all", false, "run every paper figure")
+		ext     = flag.Bool("ext", false, "run every extension/ablation study")
+		seeds   = flag.Int("seeds", 5, "Monte-Carlo instances per configuration")
+		quick   = flag.Bool("quick", false, "reduced sweeps and grid resolution")
+		workers = flag.Int("workers", 0, "parallel Monte-Carlo tasks (0 = all CPUs, 1 = sequential; output is identical either way)")
+		format  = flag.String("format", "text", "output format: text, csv or json")
 	)
 	flag.Parse()
 
-	opts := experiments.Options{Seeds: *seeds, Quick: *quick}
+	opts := experiments.Options{Seeds: *seeds, Quick: *quick, Workers: *workers}
 
 	switch {
 	case *list:

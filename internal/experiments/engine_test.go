@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sync/atomic"
+	"testing"
+)
+
+func TestParallelMapOrderPreserved(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 100} {
+		out, err := parallelMap(workers, 37, func(i int) (int, error) {
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d]=%d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestParallelMapLowestIndexError(t *testing.T) {
+	errAt := func(i int) error { return fmt.Errorf("task %d failed", i) }
+	// Multiple failing tasks: regardless of scheduling, the error for
+	// the lowest failing index must be reported.
+	for _, workers := range []int{1, 4, 16} {
+		_, err := parallelMap(workers, 20, func(i int) (int, error) {
+			if i == 7 || i == 13 {
+				return 0, errAt(i)
+			}
+			return i, nil
+		})
+		if err == nil {
+			t.Fatalf("workers=%d: expected error", workers)
+		}
+		if got := err.Error(); got != "task 7 failed" {
+			t.Fatalf("workers=%d: got %q, want the lowest-index error", workers, got)
+		}
+	}
+}
+
+func TestParallelMapEmptyAndSmall(t *testing.T) {
+	out, err := parallelMap(8, 0, func(i int) (int, error) { return 0, errors.New("never") })
+	if err != nil || len(out) != 0 {
+		t.Fatalf("n=0: out=%v err=%v", out, err)
+	}
+	out, err = parallelMap(8, 1, func(i int) (int, error) { return 42, nil })
+	if err != nil || len(out) != 1 || out[0] != 42 {
+		t.Fatalf("n=1: out=%v err=%v", out, err)
+	}
+}
+
+func TestParallelMapRunsEveryTask(t *testing.T) {
+	var calls atomic.Int64
+	_, err := parallelMap(4, 50, func(i int) (int, error) {
+		calls.Add(1)
+		return i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 50 {
+		t.Fatalf("body ran %d times, want 50", calls.Load())
+	}
+}
+
+func TestSweepTrialsShape(t *testing.T) {
+	opts := Options{Seeds: 3, Workers: 4}
+	res, err := sweepTrials(opts, 5, 7, func(point, trial int) ([2]int, error) {
+		return [2]int{point, trial}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 5 {
+		t.Fatalf("points: got %d, want 5", len(res))
+	}
+	for p := range res {
+		if len(res[p]) != 7 {
+			t.Fatalf("point %d: got %d trials, want 7", p, len(res[p]))
+		}
+		for tr, v := range res[p] {
+			if v != [2]int{p, tr} {
+				t.Fatalf("res[%d][%d]=%v", p, tr, v)
+			}
+		}
+	}
+}
+
+func TestWorkerCount(t *testing.T) {
+	o := &Options{}
+	if o.workerCount() < 1 {
+		t.Fatalf("default workerCount %d < 1", o.workerCount())
+	}
+	o.Workers = 3
+	if o.workerCount() != 3 {
+		t.Fatalf("explicit workerCount: got %d, want 3", o.workerCount())
+	}
+}
+
+// figureRows runs a figure at the given worker count and returns its
+// rows.
+func figureRows(t *testing.T, run func(Options) (*Report, error), workers int) [][]string {
+	t.Helper()
+	r, err := run(Options{Seeds: 3, Quick: true, Workers: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r.Rows
+}
+
+// TestDeterminismFig01 is the golden determinism check: a figure run
+// with 8 workers must produce byte-identical rows to the sequential
+// run. Fig 1 exercises runSeeds.
+func TestDeterminismFig01(t *testing.T) {
+	seq := figureRows(t, RunFig01, 1)
+	par := figureRows(t, RunFig01, 8)
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("fig01 rows differ:\nworkers=1: %v\nworkers=8: %v", seq, par)
+	}
+}
+
+// TestDeterminismFig20 covers sweepSeeds with two worlds per task.
+func TestDeterminismFig20(t *testing.T) {
+	if testing.Short() || raceEnabled {
+		t.Skip("heavy figure; skipped in -short and under -race (TestDeterminismFig01 covers the parallel path)")
+	}
+	seq := figureRows(t, RunFig20, 1)
+	par := figureRows(t, RunFig20, 8)
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("fig20 rows differ:\nworkers=1: %v\nworkers=8: %v", seq, par)
+	}
+}
+
+// TestDeterminismFig23 covers the flattened (topology, budget) combo
+// sweep.
+func TestDeterminismFig23(t *testing.T) {
+	if testing.Short() || raceEnabled {
+		t.Skip("heavy figure; skipped in -short and under -race (TestDeterminismFig01 covers the parallel path)")
+	}
+	seq := figureRows(t, RunFig23, 1)
+	par := figureRows(t, RunFig23, 8)
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("fig23 rows differ:\nworkers=1: %v\nworkers=8: %v", seq, par)
+	}
+}

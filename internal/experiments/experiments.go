@@ -32,6 +32,11 @@ type Options struct {
 	Seeds int
 	// Quick shrinks sweeps and grid resolutions for CI runs.
 	Quick bool
+	// Workers bounds how many Monte-Carlo tasks (seed instances and
+	// independent sweep points) run concurrently. 0 uses every CPU;
+	// 1 forces the sequential order. Results are merged in task order,
+	// so output is identical for every worker count.
+	Workers int
 }
 
 func (o *Options) defaults() {

@@ -45,27 +45,38 @@ func RunExtMultiUAV(opts Options) (*Report, error) {
 	if opts.Quick {
 		counts = []int{1, 2}
 	}
-	for _, n := range counts {
+	type fleetCell struct{ rel, min float64 }
+	res, err := sweepSeeds(opts, len(counts), func(ni, seed int) (fleetCell, error) {
+		n := counts[ni]
+		t := terrain.Large(uint64(seed + 1))
+		ues := uniformUEs(t, 12, int64(seed+1))
+		fleet, err := core.NewFleet(n, t, core.Config{
+			Seed:               int64(seed)*19 + int64(n),
+			FixedAltitudeM:     60,
+			MeasurementBudgetM: 700,
+			Objective:          rem.MaxMean,
+			REMCellM:           4,
+		}, uint64(seed+1), true)
+		if err != nil {
+			return fleetCell{}, err
+		}
+		fres, err := fleet.RunEpoch(ues)
+		if err != nil {
+			return fleetCell{}, err
+		}
+		return fleetCell{
+			rel: fres.MeanRelativeThroughput(evalCellFor(t, opts.Quick)),
+			min: fres.MaxFlightS / 60,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ni, n := range counts {
 		var rels, times []float64
-		for seed := 0; seed < opts.Seeds; seed++ {
-			t := terrain.Large(uint64(seed + 1))
-			ues := uniformUEs(t, 12, int64(seed+1))
-			fleet, err := core.NewFleet(n, t, core.Config{
-				Seed:               int64(seed)*19 + int64(n),
-				FixedAltitudeM:     60,
-				MeasurementBudgetM: 700,
-				Objective:          rem.MaxMean,
-				REMCellM:           4,
-			}, uint64(seed+1), true)
-			if err != nil {
-				return nil, err
-			}
-			res, err := fleet.RunEpoch(ues)
-			if err != nil {
-				return nil, err
-			}
-			rels = append(rels, res.MeanRelativeThroughput(evalCellFor(t, opts.Quick)))
-			times = append(times, res.MaxFlightS/60)
+		for _, c := range res[ni] {
+			rels = append(rels, c.rel)
+			times = append(times, c.min)
 		}
 		r.AddRow(f0(float64(n)), f(metrics.Mean(rels)), f(metrics.Mean(times)))
 	}
@@ -86,8 +97,9 @@ func RunAblInterp(opts Options) (*Report, error) {
 	}
 	const alt, budget = 35.0, 600.0
 	variants := []string{"idw", "kriging", "idw+prior"}
-	errsBy := map[string][]float64{}
-	for seed := 0; seed < opts.Seeds; seed++ {
+	// One task per seed: the expensive epoch is shared across all three
+	// interpolator variants, which re-interpolate clones of its maps.
+	perSeed, err := runSeeds(opts, func(seed int) ([]float64, error) {
 		t := terrain.Campus(uint64(seed + 1))
 		baseUEs := uniformUEs(t, 7, int64(seed+1))
 		evalCell := evalCellFor(t, opts.Quick)
@@ -103,7 +115,8 @@ func RunAblInterp(opts Options) (*Report, error) {
 			return nil, err
 		}
 		truths := w.GroundTruthREMs(alt, evalCell)
-		for _, variant := range variants {
+		out := make([]float64, len(variants))
+		for vi, variant := range variants {
 			var meds []float64
 			for i, m := range res.REMs {
 				mm := m.Clone()
@@ -121,11 +134,19 @@ func RunAblInterp(opts Options) (*Report, error) {
 				}
 				meds = append(meds, rem.MedianAbsError(mm, truths[i]))
 			}
-			errsBy[variant] = append(errsBy[variant], metrics.Median(meds))
+			out[vi] = metrics.Median(meds)
 		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	for _, v := range variants {
-		r.AddRow(v, f(metrics.Mean(errsBy[v])))
+	for vi, v := range variants {
+		var vals []float64
+		for _, sv := range perSeed {
+			vals = append(vals, sv[vi])
+		}
+		r.AddRow(v, f(metrics.Mean(vals)))
 	}
 	r.Note("paper footnote 3 (citing Molinari et al.): kriging offers only marginal improvement over IDW")
 	return r, nil
@@ -149,26 +170,35 @@ func RunAblLocal(opts Options) (*Report, error) {
 		{"loop+refine (default)", false},
 		{"loop only", true},
 	}
-	for _, v := range variants {
+	res, err := sweepSeeds(opts, len(variants), func(vi, seed int) ([]float64, error) {
+		v := variants[vi]
+		t := terrain.NYC(uint64(seed + 1))
+		ues := uniformUEs(t, 6, int64(seed+1))
+		w, err := newWorld("NYC", uint64(seed+1), ues, true)
+		if err != nil {
+			return nil, err
+		}
+		s := core.NewSkyRAN(core.Config{
+			Seed: int64(seed) * 3, FixedAltitudeM: 60, MeasurementBudgetM: 500,
+			NoLocationRefine: v.noRefine,
+		})
+		eres, err := s.RunEpoch(w)
+		if err != nil {
+			return nil, err
+		}
 		var errs []float64
-		for seed := 0; seed < opts.Seeds; seed++ {
-			t := terrain.NYC(uint64(seed + 1))
-			ues := uniformUEs(t, 6, int64(seed+1))
-			w, err := newWorld("NYC", uint64(seed+1), ues, true)
-			if err != nil {
-				return nil, err
-			}
-			s := core.NewSkyRAN(core.Config{
-				Seed: int64(seed) * 3, FixedAltitudeM: 60, MeasurementBudgetM: 500,
-				NoLocationRefine: v.noRefine,
-			})
-			res, err := s.RunEpoch(w)
-			if err != nil {
-				return nil, err
-			}
-			for i, est := range res.UEEstimates {
-				errs = append(errs, est.Dist(w.UEs[i].Pos))
-			}
+		for i, est := range eres.UEEstimates {
+			errs = append(errs, est.Dist(w.UEs[i].Pos))
+		}
+		return errs, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for vi, v := range variants {
+		var errs []float64
+		for _, seedErrs := range res[vi] {
+			errs = append(errs, seedErrs...)
 		}
 		r.AddRow(v.name, f(metrics.Mean(errs)))
 	}
@@ -185,36 +215,40 @@ func RunAblMask(opts Options) (*Report, error) {
 		Title:  "Placement confidence mask ablation (NYC, 6 UEs, 250 m budget)",
 		Header: []string{"mask_m", "rel_throughput"},
 	}
-	for _, maskM := range []float64{-1, 30, 80} {
-		var rels []float64
-		for seed := 0; seed < opts.Seeds; seed++ {
-			t := terrain.NYC(uint64(seed + 1))
-			ues := uniformUEs(t, 6, int64(seed+1))
-			w, err := newWorld("NYC", uint64(seed+1), ues, true)
-			if err != nil {
-				return nil, err
-			}
-			cfg := core.Config{
-				Seed: int64(seed) * 5, FixedAltitudeM: 60, MeasurementBudgetM: 250,
-				Objective: rem.MaxMean,
-			}
-			if maskM > 0 {
-				cfg.PlacementMaskM = maskM
-			} else {
-				cfg.PlacementMaskM = 1e6 // effectively no mask
-			}
-			s := core.NewSkyRAN(cfg)
-			res, err := s.RunEpoch(w)
-			if err != nil {
-				return nil, err
-			}
-			rels = append(rels, metrics.Clamp01(relMeanThroughput(w, res.Position, evalCellFor(t, opts.Quick))))
+	masks := []float64{-1, 30, 80}
+	res, err := sweepSeeds(opts, len(masks), func(mi, seed int) (float64, error) {
+		maskM := masks[mi]
+		t := terrain.NYC(uint64(seed + 1))
+		ues := uniformUEs(t, 6, int64(seed+1))
+		w, err := newWorld("NYC", uint64(seed+1), ues, true)
+		if err != nil {
+			return 0, err
 		}
+		cfg := core.Config{
+			Seed: int64(seed) * 5, FixedAltitudeM: 60, MeasurementBudgetM: 250,
+			Objective: rem.MaxMean,
+		}
+		if maskM > 0 {
+			cfg.PlacementMaskM = maskM
+		} else {
+			cfg.PlacementMaskM = 1e6 // effectively no mask
+		}
+		s := core.NewSkyRAN(cfg)
+		eres, err := s.RunEpoch(w)
+		if err != nil {
+			return 0, err
+		}
+		return metrics.Clamp01(relMeanThroughput(w, eres.Position, evalCellFor(t, opts.Quick))), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for mi, maskM := range masks {
 		label := fmt.Sprintf("%.0f", maskM)
 		if maskM <= 0 {
 			label = "off"
 		}
-		r.AddRow(label, f(metrics.Mean(rels)))
+		r.AddRow(label, f(metrics.Mean(res[mi])))
 	}
 	r.Note("with pure-IDW REMs the mask is cost-free insurance (identical means); it was load-bearing when prior-blended maps could hallucinate good cells far from data")
 	return r, nil
@@ -229,30 +263,41 @@ func RunAblPlanner(opts Options) (*Report, error) {
 		Header: []string{"kmin-kmax", "rel_throughput", "rem_err_dB"},
 	}
 	ranges := [][2]int{{2, 4}, {4, 12}, {12, 24}}
-	for _, kr := range ranges {
+	type plannerCell struct{ rel, err float64 }
+	res, err := sweepSeeds(opts, len(ranges), func(ri, seed int) (plannerCell, error) {
+		kr := ranges[ri]
+		t := terrain.Campus(uint64(seed + 1))
+		ues := uniformUEs(t, 7, int64(seed+1))
+		evalCell := evalCellFor(t, opts.Quick)
+		w, err := newWorld("CAMPUS", uint64(seed+1), ues, true)
+		if err != nil {
+			return plannerCell{}, err
+		}
+		cfg := core.Config{
+			Seed: int64(seed) * 11, FixedAltitudeM: 35, MeasurementBudgetM: 600,
+			Objective: rem.MaxMean,
+		}
+		cfg.Planner.KMin, cfg.Planner.KMax = kr[0], kr[1]
+		cfg.Planner.IMaxM = 200
+		cfg.Planner.SampleStepM = 5
+		s := core.NewSkyRAN(cfg)
+		eres, err := s.RunEpoch(w)
+		if err != nil {
+			return plannerCell{}, err
+		}
+		return plannerCell{
+			rel: metrics.Clamp01(relMeanThroughput(w, eres.Position, evalCell)),
+			err: medianREMError(w, eres.REMs, 35, evalCell),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ri, kr := range ranges {
 		var rels, errs []float64
-		for seed := 0; seed < opts.Seeds; seed++ {
-			t := terrain.Campus(uint64(seed + 1))
-			ues := uniformUEs(t, 7, int64(seed+1))
-			evalCell := evalCellFor(t, opts.Quick)
-			w, err := newWorld("CAMPUS", uint64(seed+1), ues, true)
-			if err != nil {
-				return nil, err
-			}
-			cfg := core.Config{
-				Seed: int64(seed) * 11, FixedAltitudeM: 35, MeasurementBudgetM: 600,
-				Objective: rem.MaxMean,
-			}
-			cfg.Planner.KMin, cfg.Planner.KMax = kr[0], kr[1]
-			cfg.Planner.IMaxM = 200
-			cfg.Planner.SampleStepM = 5
-			s := core.NewSkyRAN(cfg)
-			res, err := s.RunEpoch(w)
-			if err != nil {
-				return nil, err
-			}
-			rels = append(rels, metrics.Clamp01(relMeanThroughput(w, res.Position, evalCell)))
-			errs = append(errs, medianREMError(w, res.REMs, 35, evalCell))
+		for _, c := range res[ri] {
+			rels = append(rels, c.rel)
+			errs = append(errs, c.err)
 		}
 		r.AddRow(fmt.Sprintf("%d-%d", kr[0], kr[1]), f(metrics.Mean(rels)), f(metrics.Mean(errs)))
 	}

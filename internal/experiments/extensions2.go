@@ -38,47 +38,55 @@ func RunExtUEMobility(opts Options) (*Report, error) {
 	if opts.Quick {
 		speeds = []float64{0, 14}
 	}
-	for _, speed := range speeds {
+	res, err := sweepTrials(opts, len(speeds), opts.Seeds*3, func(si, trial int) ([]float64, error) {
+		speed := speeds[si]
+		t := terrain.Campus(uint64(trial + 1))
+		ues := uniformUEs(t, 3, int64(trial+1))
+		if speed > 0 {
+			for _, u := range ues {
+				u.Mobility = ue.NewRandomWaypoint(t.Bounds().Inset(20), speed, 0)
+			}
+		}
+		w, err := newWorld("CAMPUS", uint64(trial+1), ues, false)
+		if err != nil {
+			return nil, err
+		}
+		// Pre-position just above the loop altitude: the ranging
+		// window is then a short descent (which adds vertical
+		// aperture) plus the loop, not the full drop from the
+		// 120 m ceiling during which mobile UEs keep walking.
+		w.UAV.SetRoute([]geom.Vec3{geom.V3(150, 150, 78)})
+		for !w.UAV.Hovering() {
+			w.UAV.Step(1)
+		}
+		rng := rand.New(rand.NewSource(int64(trial)*23 + int64(speed)))
+		path := traj.LocalizationLoop(w.Area(), geom.V2(150, 150), 20, rng)
+		tuples, _ := w.LocalizationFlight(path, 60)
+		// Error is measured against the end-of-flight position —
+		// the operationally relevant anchor (the REM is keyed to
+		// where the UE is now).
+		anchors := truePositions(w)
+		results, err := locate.SolveJoint(tuples, locate.Options{
+			Bounds:      w.Area(),
+			GroundZ:     func(p geom.Vec2) float64 { return w.Radio.GroundZ(p) + 1.5 },
+			OffsetPrior: &locate.OffsetPrior{MeanM: w.Cfg.ProcOffsetM, SigmaM: 5},
+		})
+		if err != nil {
+			return nil, nil // failed flight → no samples
+		}
+		errs := make([]float64, len(results))
+		for i := range results {
+			errs[i] = results[i].UE.Dist(anchors[i])
+		}
+		return errs, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for si, speed := range speeds {
 		var errs []float64
-		trials := opts.Seeds * 3
-		for trial := 0; trial < trials; trial++ {
-			t := terrain.Campus(uint64(trial + 1))
-			ues := uniformUEs(t, 3, int64(trial+1))
-			if speed > 0 {
-				for _, u := range ues {
-					u.Mobility = ue.NewRandomWaypoint(t.Bounds().Inset(20), speed, 0)
-				}
-			}
-			w, err := newWorld("CAMPUS", uint64(trial+1), ues, false)
-			if err != nil {
-				return nil, err
-			}
-			// Pre-position just above the loop altitude: the ranging
-			// window is then a short descent (which adds vertical
-			// aperture) plus the loop, not the full drop from the
-			// 120 m ceiling during which mobile UEs keep walking.
-			w.UAV.SetRoute([]geom.Vec3{geom.V3(150, 150, 78)})
-			for !w.UAV.Hovering() {
-				w.UAV.Step(1)
-			}
-			rng := rand.New(rand.NewSource(int64(trial)*23 + int64(speed)))
-			path := traj.LocalizationLoop(w.Area(), geom.V2(150, 150), 20, rng)
-			tuples, _ := w.LocalizationFlight(path, 60)
-			// Error is measured against the end-of-flight position —
-			// the operationally relevant anchor (the REM is keyed to
-			// where the UE is now).
-			anchors := truePositions(w)
-			results, err := locate.SolveJoint(tuples, locate.Options{
-				Bounds:      w.Area(),
-				GroundZ:     func(p geom.Vec2) float64 { return w.Radio.GroundZ(p) + 1.5 },
-				OffsetPrior: &locate.OffsetPrior{MeanM: w.Cfg.ProcOffsetM, SigmaM: 5},
-			})
-			if err != nil {
-				continue
-			}
-			for i := range results {
-				errs = append(errs, results[i].UE.Dist(anchors[i]))
-			}
+		for _, trialErrs := range res[si] {
+			errs = append(errs, trialErrs...)
 		}
 		r.AddRow(f1(speed), f(metrics.Median(errs)))
 	}
@@ -100,15 +108,15 @@ func RunExtThroughputMap(opts Options) (*Report, error) {
 		Header: []string{"substrate", "rel_throughput"},
 	}
 	const alt, budget = 35.0, 400.0
-	var remRels, tputRels []float64
-	for seed := 0; seed < opts.Seeds; seed++ {
+	type substratePair struct{ rem, tput float64 }
+	perSeed, err := runSeeds(opts, func(seed int) (substratePair, error) {
 		t := terrain.Campus(uint64(seed + 1))
 		baseUEs := uniformUEs(t, 7, int64(seed+1))
 		evalCell := evalCellFor(t, opts.Quick)
 
 		w, err := newWorld("CAMPUS", uint64(seed+1), clonedUEs(baseUEs), true)
 		if err != nil {
-			return nil, err
+			return substratePair{}, err
 		}
 		// One shared measurement flight.
 		path := zigzagPath(w.Area(), w.Area().Width()/10).Truncate(budget).Resample(1)
@@ -140,12 +148,21 @@ func RunExtThroughputMap(opts Options) (*Report, error) {
 			return metrics.Clamp01(relMeanThroughput(w, pos.WithZ(alt), evalCell))
 		}
 
-		remRels = append(remRels, place(build(func(s float64) float64 { return s })))
+		remRel := place(build(func(s float64) float64 { return s }))
 		// Throughput map: per-sample CQI-quantized rate in Mbps.
 		num := ltephy.LTE10MHz()
-		tputRels = append(tputRels, place(build(func(s float64) float64 {
+		tputRel := place(build(func(s float64) float64 {
 			return num.ThroughputBps(s) / 1e6
-		})))
+		}))
+		return substratePair{rem: remRel, tput: tputRel}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var remRels, tputRels []float64
+	for _, p := range perSeed {
+		remRels = append(remRels, p.rem)
+		tputRels = append(tputRels, p.tput)
 	}
 	r.AddRow("REM (SNR)", f(metrics.Mean(remRels)))
 	r.AddRow("throughput map", f(metrics.Mean(tputRels)))
@@ -201,36 +218,48 @@ func RunAblAntenna(opts Options) (*Report, error) {
 		Title:  "Dipole elevation pattern ablation (campus, 5 UEs, 600 m)",
 		Header: []string{"pattern", "rel_throughput", "min_horiz_dist_m"},
 	}
-	for _, pattern := range []bool{false, true} {
+	patterns := []bool{false, true}
+	type antennaCell struct{ rel, dist float64 }
+	res, err := sweepSeeds(opts, len(patterns), func(pi, seed int) (antennaCell, error) {
+		pattern := patterns[pi]
+		t := terrain.Campus(uint64(seed + 1))
+		ues := uniformUEs(t, 5, int64(seed+1))
+		params := radio.DefaultParams()
+		params.AntennaPattern = pattern
+		w, err := sim.New(sim.Config{
+			Terrain: t, Seed: uint64(seed + 1), FastRanging: true,
+			RadioParams: params,
+		}, ues)
+		if err != nil {
+			return antennaCell{}, err
+		}
+		s := core.NewSkyRAN(core.Config{
+			Seed: int64(seed) * 13, FixedAltitudeM: 35, MeasurementBudgetM: 600,
+			Objective: rem.MaxMean,
+		})
+		eres, err := s.RunEpoch(w)
+		if err != nil {
+			return antennaCell{}, err
+		}
+		nearest := 1e18
+		for _, u := range w.UEs {
+			if d := eres.Position.XY().Dist(u.Pos); d < nearest {
+				nearest = d
+			}
+		}
+		return antennaCell{
+			rel:  metrics.Clamp01(relMeanThroughput(w, eres.Position, evalCellFor(t, opts.Quick))),
+			dist: nearest,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for pi, pattern := range patterns {
 		var rels, dists []float64
-		for seed := 0; seed < opts.Seeds; seed++ {
-			t := terrain.Campus(uint64(seed + 1))
-			ues := uniformUEs(t, 5, int64(seed+1))
-			params := radio.DefaultParams()
-			params.AntennaPattern = pattern
-			w, err := sim.New(sim.Config{
-				Terrain: t, Seed: uint64(seed + 1), FastRanging: true,
-				RadioParams: params,
-			}, ues)
-			if err != nil {
-				return nil, err
-			}
-			s := core.NewSkyRAN(core.Config{
-				Seed: int64(seed) * 13, FixedAltitudeM: 35, MeasurementBudgetM: 600,
-				Objective: rem.MaxMean,
-			})
-			res, err := s.RunEpoch(w)
-			if err != nil {
-				return nil, err
-			}
-			rels = append(rels, metrics.Clamp01(relMeanThroughput(w, res.Position, evalCellFor(t, opts.Quick))))
-			nearest := 1e18
-			for _, u := range w.UEs {
-				if d := res.Position.XY().Dist(u.Pos); d < nearest {
-					nearest = d
-				}
-			}
-			dists = append(dists, nearest)
+		for _, c := range res[pi] {
+			rels = append(rels, c.rel)
+			dists = append(dists, c.dist)
 		}
 		label := "off"
 		if pattern {

@@ -37,12 +37,15 @@ func RunFig09(opts Options) (*Report, error) {
 	// short refresh, so placement quality is dominated by whether the
 	// store lookups resolve correctly.
 	const alt = 35
-	vals := make([][]float64, len(errorsM))
-	for seed := 0; seed < opts.Seeds; seed++ {
+	// One task per seed (not per error level): the displacement RNG
+	// stream runs across the whole error sweep, so splitting it would
+	// change the drawn directions.
+	perSeed, err := runSeeds(opts, func(seed int) ([]float64, error) {
 		t := terrain.Campus(uint64(seed + 1))
 		baseUEs := uniformUEs(t, 5, int64(seed+1))
 		evalCell := evalCellFor(t, opts.Quick)
 		rng := rand.New(rand.NewSource(int64(seed) * 31))
+		out := make([]float64, len(errorsM))
 		for ei, e := range errorsM {
 			w, err := newWorld("CAMPUS", uint64(seed+1), clonedUEs(baseUEs), true)
 			if err != nil {
@@ -76,11 +79,19 @@ func RunFig09(opts Options) (*Report, error) {
 			if err != nil {
 				return nil, err
 			}
-			vals[ei] = append(vals[ei], metrics.Clamp01(relMeanThroughput(w, res.Position, evalCell)))
+			out[ei] = metrics.Clamp01(relMeanThroughput(w, res.Position, evalCell))
 		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	for ei, e := range errorsM {
-		r.AddRow(f0(e), f(metrics.Mean(vals[ei])))
+		var vals []float64
+		for _, sv := range perSeed {
+			vals = append(vals, sv[ei])
+		}
+		r.AddRow(f0(e), f(metrics.Mean(vals)))
 	}
 	r.Note("paper: ~0.9-0.95 at ≤5 m, −10%% at 10 m, −50%% at ≥20 m")
 	r.Note("DIVERGENCE: this reproduction stays ~flat. The paper's controller trusts store-reused REMs " +
@@ -117,21 +128,31 @@ func RunFig17(opts Options) (*Report, error) {
 		Title:  "ToF ranging error CDF (20 m flight, K=4)",
 		Header: []string{"environment", "p25_m", "median_m", "p75_m", "p95_m"},
 	}
-	for _, env := range campusEnvironments() {
+	envs := campusEnvironments()
+	res, err := sweepSeeds(opts, len(envs), func(envI, seed int) ([]float64, error) {
+		env := envs[envI]
+		w, err := newWorld("CAMPUS", uint64(seed+1), []*simUE{newUE(0, env.pos)}, false)
+		if err != nil {
+			return nil, err
+		}
+		rng := rand.New(rand.NewSource(int64(seed) + 71))
+		path := traj.LocalizationLoop(w.Area(), geom.V2(150, 150), 20, rng)
+		tuples, _ := w.LocalizationFlight(path, 60)
+		uePt := w.Radio.UEPoint(env.pos)
 		var errs []float64
-		for seed := 0; seed < opts.Seeds; seed++ {
-			w, err := newWorld("CAMPUS", uint64(seed+1), []*simUE{newUE(0, env.pos)}, false)
-			if err != nil {
-				return nil, err
-			}
-			rng := rand.New(rand.NewSource(int64(seed) + 71))
-			path := traj.LocalizationLoop(w.Area(), geom.V2(150, 150), 20, rng)
-			tuples, _ := w.LocalizationFlight(path, 60)
-			uePt := w.Radio.UEPoint(env.pos)
-			for _, tp := range tuples[0] {
-				trueD := tp.UAVPos.Dist(uePt)
-				errs = append(errs, math.Abs(tp.RangeM-w.Cfg.ProcOffsetM-trueD))
-			}
+		for _, tp := range tuples[0] {
+			trueD := tp.UAVPos.Dist(uePt)
+			errs = append(errs, math.Abs(tp.RangeM-w.Cfg.ProcOffsetM-trueD))
+		}
+		return errs, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for envI, env := range envs {
+		var errs []float64
+		for _, seedErrs := range res[envI] {
+			errs = append(errs, seedErrs...)
 		}
 		r.AddRow(env.name,
 			f(metrics.Percentile(errs, 25)), f(metrics.Median(errs)),
@@ -152,9 +173,7 @@ func RunFig18(opts Options) (*Report, error) {
 		Header: []string{"environment", "p25_m", "median_m", "p75_m"},
 	}
 	envs := campusEnvironments()
-	errsByEnv := make([][]float64, len(envs))
-	trials := opts.Seeds * 4
-	for trial := 0; trial < trials; trial++ {
+	perTrial, err := runTrials(opts, opts.Seeds*4, func(trial int) ([]float64, error) {
 		ues := make([]*simUE, len(envs))
 		for i, env := range envs {
 			ues[i] = newUE(i, env.pos)
@@ -172,10 +191,21 @@ func RunFig18(opts Options) (*Report, error) {
 			OffsetPrior: &locate.OffsetPrior{MeanM: w.Cfg.ProcOffsetM, SigmaM: 5},
 		})
 		if err != nil {
-			continue // a failed flight counts as no sample, as in the field
+			return nil, nil // a failed flight counts as no sample, as in the field
 		}
+		errs := make([]float64, len(envs))
 		for i := range envs {
-			errsByEnv[i] = append(errsByEnv[i], results[i].UE.Dist(envs[i].pos))
+			errs[i] = results[i].UE.Dist(envs[i].pos)
+		}
+		return errs, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	errsByEnv := make([][]float64, len(envs))
+	for _, errs := range perTrial {
+		for i := range errs {
+			errsByEnv[i] = append(errsByEnv[i], errs[i])
 		}
 	}
 	for i, env := range envs {
@@ -201,32 +231,40 @@ func RunFig19(opts Options) (*Report, error) {
 		lengths = []float64{5, 20, 30}
 	}
 	envs := campusEnvironments()
-	for _, L := range lengths {
+	res, err := sweepTrials(opts, len(lengths), opts.Seeds*2, func(li, trial int) ([]float64, error) {
+		L := lengths[li]
+		ues := make([]*simUE, len(envs))
+		for i, env := range envs {
+			ues[i] = newUE(i, env.pos)
+		}
+		w, err := newWorld("CAMPUS", uint64(trial+1), ues, false)
+		if err != nil {
+			return nil, err
+		}
+		rng := rand.New(rand.NewSource(int64(trial)*17 + int64(L)))
+		path := traj.LocalizationLoop(w.Area(), geom.V2(150, 150), L, rng)
+		tuples, _ := w.LocalizationFlight(path, 60)
+		results, err := locate.SolveJoint(tuples, locate.Options{
+			Bounds:      w.Area(),
+			GroundZ:     func(p geom.Vec2) float64 { return w.Radio.GroundZ(p) + 1.5 },
+			OffsetPrior: &locate.OffsetPrior{MeanM: w.Cfg.ProcOffsetM, SigmaM: 5},
+		})
+		if err != nil {
+			return nil, nil // failed flight → no samples
+		}
+		errs := make([]float64, len(envs))
+		for i := range envs {
+			errs[i] = results[i].UE.Dist(envs[i].pos)
+		}
+		return errs, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for li, L := range lengths {
 		var errs []float64
-		trials := opts.Seeds * 2
-		for trial := 0; trial < trials; trial++ {
-			ues := make([]*simUE, len(envs))
-			for i, env := range envs {
-				ues[i] = newUE(i, env.pos)
-			}
-			w, err := newWorld("CAMPUS", uint64(trial+1), ues, false)
-			if err != nil {
-				return nil, err
-			}
-			rng := rand.New(rand.NewSource(int64(trial)*17 + int64(L)))
-			path := traj.LocalizationLoop(w.Area(), geom.V2(150, 150), L, rng)
-			tuples, _ := w.LocalizationFlight(path, 60)
-			results, err := locate.SolveJoint(tuples, locate.Options{
-				Bounds:      w.Area(),
-				GroundZ:     func(p geom.Vec2) float64 { return w.Radio.GroundZ(p) + 1.5 },
-				OffsetPrior: &locate.OffsetPrior{MeanM: w.Cfg.ProcOffsetM, SigmaM: 5},
-			})
-			if err != nil {
-				continue
-			}
-			for i := range envs {
-				errs = append(errs, results[i].UE.Dist(envs[i].pos))
-			}
+		for _, trialErrs := range res[li] {
+			errs = append(errs, trialErrs...)
 		}
 		r.AddRow(f0(L), f(metrics.Median(errs)))
 	}

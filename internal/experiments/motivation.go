@@ -24,15 +24,17 @@ func RunFig01(opts Options) (*Report, error) {
 		Title:  "UAV positioning value map, NYC, 20 clustered UEs",
 		Header: []string{"seed", "median_mbps", "best_mbps", "p95_mbps", "frac_good_%"},
 	}
-	var fracs, gains []float64
-	for seed := 0; seed < opts.Seeds; seed++ {
+	type seedResult struct {
+		med, best, p95, frac float64
+	}
+	results, err := runSeeds(opts, func(seed int) (seedResult, error) {
 		t := terrain.NYC(uint64(seed + 1))
 		// UEs in 4 pockets ("concentrated in few pockets of
 		// locations/roads").
 		all := pocketUEs(t, 20, int64(seed+1))
 		w, err := newWorld("NYC", uint64(seed+1), all, true)
 		if err != nil {
-			return nil, err
+			return seedResult{}, err
 		}
 		const alt = 60
 		evalCell := evalCellFor(t, opts.Quick)
@@ -63,9 +65,16 @@ func RunFig01(opts Options) (*Report, error) {
 			}
 		}
 		frac := 100 * float64(good) / float64(len(sv))
-		fracs = append(fracs, frac)
-		gains = append(gains, best/med)
-		r.AddRow(f0(float64(seed)), f1(med), f1(best), f1(p95), f1(frac))
+		return seedResult{med: med, best: best, p95: p95, frac: frac}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var fracs, gains []float64
+	for seed, sr := range results {
+		fracs = append(fracs, sr.frac)
+		gains = append(gains, sr.best/sr.med)
+		r.AddRow(f0(float64(seed)), f1(sr.med), f1(sr.best), f1(sr.p95), f1(sr.frac))
 	}
 	r.Note("paper: only ~5%% of positions are ≥52%% above the median; measured mean frac_good = %.1f%%", metrics.Mean(fracs))
 	r.Note("best-position gain over median: %.2fx (paper: ~1.7x)", metrics.Mean(gains))
@@ -106,30 +115,39 @@ func RunFig04(opts Options) (*Report, error) {
 	if opts.Quick {
 		terrains = []string{"RURAL", "NYC"}
 	}
-	for _, tn := range terrains {
+	type errPair struct{ data, model float64 }
+	results, err := sweepSeeds(opts, len(terrains), func(ti, seed int) (errPair, error) {
+		tn := terrains[ti]
+		t := terrain.ByName(tn, uint64(seed+1))
+		ues := uniformUEs(t, 3, int64(seed+1))
+		w, err := newWorld(tn, uint64(seed+1), ues, true)
+		if err != nil {
+			return errPair{}, err
+		}
+		const alt = 60
+		evalCell := evalCellFor(t, opts.Quick)
+
+		// Data-driven: dense zigzag measurement + IDW.
+		maps := measureZigzag(w, alt, t.Bounds().Width()/12, 0)
+		dataErr := medianREMError(w, maps, alt, evalCell)
+
+		// Model: FSPL given the true UE location.
+		truths := w.GroundTruthREMs(alt, evalCell)
+		var modelMeds []float64
+		for i, u := range w.UEs {
+			fspl := radio.FSPLREM(w.Radio, w.Area(), evalCell, u.Pos, alt)
+			modelMeds = append(modelMeds, rem.MedianAbsErrorGrid(fspl, truths[i]))
+		}
+		return errPair{data: dataErr, model: metrics.Median(modelMeds)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ti, tn := range terrains {
 		var dataErrs, modelErrs []float64
-		for seed := 0; seed < opts.Seeds; seed++ {
-			t := terrain.ByName(tn, uint64(seed+1))
-			ues := uniformUEs(t, 3, int64(seed+1))
-			w, err := newWorld(tn, uint64(seed+1), ues, true)
-			if err != nil {
-				return nil, err
-			}
-			const alt = 60
-			evalCell := evalCellFor(t, opts.Quick)
-
-			// Data-driven: dense zigzag measurement + IDW.
-			maps := measureZigzag(w, alt, t.Bounds().Width()/12, 0)
-			dataErrs = append(dataErrs, medianREMError(w, maps, alt, evalCell))
-
-			// Model: FSPL given the true UE location.
-			truths := w.GroundTruthREMs(alt, evalCell)
-			var modelMeds []float64
-			for i, u := range w.UEs {
-				fspl := radio.FSPLREM(w.Radio, w.Area(), evalCell, u.Pos, alt)
-				modelMeds = append(modelMeds, rem.MedianAbsErrorGrid(fspl, truths[i]))
-			}
-			modelErrs = append(modelErrs, metrics.Median(modelMeds))
+		for _, p := range results[ti] {
+			dataErrs = append(dataErrs, p.data)
+			modelErrs = append(modelErrs, p.model)
 		}
 		d, m := metrics.Mean(dataErrs), metrics.Mean(modelErrs)
 		r.AddRow(tn, f(d), f(m), f(m/math.Max(d, 1e-9)))
@@ -178,9 +196,8 @@ func RunFig06(opts Options) (*Report, error) {
 	if opts.Quick {
 		fractions = []float64{10, 25}
 	}
-	type acc struct{ aware, naive []float64 }
-	res := make([]acc, len(fractions))
-	for seed := 0; seed < opts.Seeds; seed++ {
+	type errPair struct{ aware, naive float64 }
+	res, err := sweepSeeds(opts, len(fractions), func(fi, seed int) (errPair, error) {
 		t := terrain.NYC(uint64(seed + 1))
 		ues := clusteredUEs(t, 3, int64(seed+1))
 		const alt = 60
@@ -193,27 +210,33 @@ func RunFig06(opts Options) (*Report, error) {
 		spacing := area.Width() / 12
 		fullLen := zigzagPath(area, spacing).Length()
 
-		for fi, frac := range fractions {
-			budget := fullLen * frac / 50 // 50 % probed ≈ full sweep at this spacing
-			// Naive: corner-start zigzag truncated at budget.
-			wNaive, err := newWorld("NYC", uint64(seed+1), clonedUEs(ues), true)
-			if err != nil {
-				return nil, err
-			}
-			naiveMaps := measureZigzag(wNaive, alt, spacing, budget)
-			res[fi].naive = append(res[fi].naive, medianREMError(wNaive, naiveMaps, alt, evalCell))
-
-			// Aware: serpentine sweep of the UE neighbourhood first.
-			wAware, err := newWorld("NYC", uint64(seed+1), clonedUEs(ues), true)
-			if err != nil {
-				return nil, err
-			}
-			awareMaps := measureAware(wAware, alt, budget)
-			res[fi].aware = append(res[fi].aware, medianREMError(wAware, awareMaps, alt, evalCell))
+		budget := fullLen * fractions[fi] / 50 // 50 % probed ≈ full sweep at this spacing
+		// Naive: corner-start zigzag truncated at budget.
+		wNaive, err := newWorld("NYC", uint64(seed+1), clonedUEs(ues), true)
+		if err != nil {
+			return errPair{}, err
 		}
+		naiveMaps := measureZigzag(wNaive, alt, spacing, budget)
+		naive := medianREMError(wNaive, naiveMaps, alt, evalCell)
+
+		// Aware: serpentine sweep of the UE neighbourhood first.
+		wAware, err := newWorld("NYC", uint64(seed+1), clonedUEs(ues), true)
+		if err != nil {
+			return errPair{}, err
+		}
+		awareMaps := measureAware(wAware, alt, budget)
+		return errPair{aware: medianREMError(wAware, awareMaps, alt, evalCell), naive: naive}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	for fi, frac := range fractions {
-		r.AddRow(f0(frac), f(metrics.Mean(res[fi].aware)), f(metrics.Mean(res[fi].naive)))
+		var aware, naive []float64
+		for _, p := range res[fi] {
+			aware = append(aware, p.aware)
+			naive = append(naive, p.naive)
+		}
+		r.AddRow(f0(frac), f(metrics.Mean(aware)), f(metrics.Mean(naive)))
 	}
 	r.Note("paper: at 15%% probed, location-aware ≈5 dB vs naive ≈16 dB (12.5x)")
 	return r, nil

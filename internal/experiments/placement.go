@@ -24,46 +24,51 @@ func RunFig20(opts Options) (*Report, error) {
 	}
 	const alt = 35
 	speed := 30.0 / 3.6
-	sky := make([][]float64, len(times))
-	uni := make([][]float64, len(times))
-	for seed := 0; seed < opts.Seeds; seed++ {
+	type errPair struct{ sky, uni float64 }
+	res, err := sweepSeeds(opts, len(times), func(ti, seed int) (errPair, error) {
 		t := terrain.Campus(uint64(seed + 1))
 		baseUEs := uniformUEs(t, 7, int64(seed+1))
 		evalCell := evalCellFor(t, opts.Quick)
-		for ti, ft := range times {
-			budget := ft * speed
+		budget := times[ti] * speed
 
-			wS, err := newWorld("CAMPUS", uint64(seed+1), clonedUEs(baseUEs), true)
-			if err != nil {
-				return nil, err
-			}
-			s := core.NewSkyRAN(core.Config{
-				Seed:               int64(seed)*7 + int64(ti),
-				FixedAltitudeM:     alt,
-				MeasurementBudgetM: budget,
-				Objective:          rem.MaxMean,
-			})
-			// Known UE locations, as in the paper's §4.4 methodology.
-			res, err := s.RunEpochWithEstimates(wS, truePositions(wS))
-			if err != nil {
-				return nil, err
-			}
-			sky[ti] = append(sky[ti], medianREMError(wS, res.REMs, alt, evalCell))
-
-			wU, err := newWorld("CAMPUS", uint64(seed+1), clonedUEs(baseUEs), true)
-			if err != nil {
-				return nil, err
-			}
-			u := &core.Uniform{BudgetM: budget, AltitudeM: alt, Objective: rem.MaxMean}
-			ures, err := u.RunEpoch(wU)
-			if err != nil {
-				return nil, err
-			}
-			uni[ti] = append(uni[ti], medianREMError(wU, ures.REMs, alt, evalCell))
+		wS, err := newWorld("CAMPUS", uint64(seed+1), clonedUEs(baseUEs), true)
+		if err != nil {
+			return errPair{}, err
 		}
+		s := core.NewSkyRAN(core.Config{
+			Seed:               int64(seed)*7 + int64(ti),
+			FixedAltitudeM:     alt,
+			MeasurementBudgetM: budget,
+			Objective:          rem.MaxMean,
+		})
+		// Known UE locations, as in the paper's §4.4 methodology.
+		sres, err := s.RunEpochWithEstimates(wS, truePositions(wS))
+		if err != nil {
+			return errPair{}, err
+		}
+		skyErr := medianREMError(wS, sres.REMs, alt, evalCell)
+
+		wU, err := newWorld("CAMPUS", uint64(seed+1), clonedUEs(baseUEs), true)
+		if err != nil {
+			return errPair{}, err
+		}
+		u := &core.Uniform{BudgetM: budget, AltitudeM: alt, Objective: rem.MaxMean}
+		ures, err := u.RunEpoch(wU)
+		if err != nil {
+			return errPair{}, err
+		}
+		return errPair{sky: skyErr, uni: medianREMError(wU, ures.REMs, alt, evalCell)}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	for ti, ft := range times {
-		r.AddRow(f0(ft), f(metrics.Mean(sky[ti])), f(metrics.Mean(uni[ti])))
+		var sky, uni []float64
+		for _, p := range res[ti] {
+			sky = append(sky, p.sky)
+			uni = append(uni, p.uni)
+		}
+		r.AddRow(f0(ft), f(metrics.Mean(sky)), f(metrics.Mean(uni)))
 	}
 	r.Note("paper: SkyRAN ≈3 dB by 82 s; Uniform ≈7 dB even at 120 s")
 	return r, nil
@@ -83,22 +88,26 @@ func RunFig21(opts Options) (*Report, error) {
 	if opts.Quick {
 		counts = []int{2, 5, 7}
 	}
-	for _, n := range counts {
-		var rels []float64
-		for seed := 0; seed < opts.Seeds; seed++ {
-			t := terrain.Campus(uint64(seed + 1))
-			ues := uniformUEs(t, n, int64(seed+1)*3+int64(n))
-			w, err := newWorld("CAMPUS", uint64(seed+1), ues, true)
-			if err != nil {
-				return nil, err
-			}
-			c := &core.Centroid{Seed: int64(seed) + int64(n)*100, AltitudeM: 35}
-			res, err := c.RunEpoch(w)
-			if err != nil {
-				return nil, err
-			}
-			rels = append(rels, metrics.Clamp01(relMeanThroughput(w, res.Position, evalCellFor(t, opts.Quick))))
+	res, err := sweepSeeds(opts, len(counts), func(ni, seed int) (float64, error) {
+		n := counts[ni]
+		t := terrain.Campus(uint64(seed + 1))
+		ues := uniformUEs(t, n, int64(seed+1)*3+int64(n))
+		w, err := newWorld("CAMPUS", uint64(seed+1), ues, true)
+		if err != nil {
+			return 0, err
 		}
+		c := &core.Centroid{Seed: int64(seed) + int64(n)*100, AltitudeM: 35}
+		cres, err := c.RunEpoch(w)
+		if err != nil {
+			return 0, err
+		}
+		return metrics.Clamp01(relMeanThroughput(w, cres.Position, evalCellFor(t, opts.Quick))), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ni, n := range counts {
+		rels := res[ni]
 		r.AddRow(f0(float64(n)), f(metrics.Mean(rels)), f(metrics.Std(rels)))
 	}
 	r.Note("paper: 0.4-0.6x optimal; variance shrinks as UE count grows")
@@ -130,43 +139,60 @@ func RunFig23(opts Options) (*Report, error) {
 		budgets = []float64{200, 1000}
 	}
 	const alt = 35
+	type combo struct {
+		topo   string
+		budget float64
+	}
+	var combos []combo
 	for _, topo := range []string{"A", "B"} {
 		for _, budget := range budgets {
-			var skyRels, uniRels []float64
-			for seed := 0; seed < opts.Seeds; seed++ {
-				t := terrain.Campus(uint64(seed + 1))
-				baseUEs := topologyUEs(t, topo, 7, int64(seed+1))
-				evalCell := evalCellFor(t, opts.Quick)
-
-				wS, err := newWorld("CAMPUS", uint64(seed+1), clonedUEs(baseUEs), true)
-				if err != nil {
-					return nil, err
-				}
-				s := core.NewSkyRAN(core.Config{
-					Seed:               int64(seed)*29 + int64(budget),
-					FixedAltitudeM:     alt,
-					MeasurementBudgetM: budget,
-					Objective:          rem.MaxMean,
-				})
-				sres, err := s.RunEpoch(wS)
-				if err != nil {
-					return nil, err
-				}
-				skyRels = append(skyRels, metrics.Clamp01(relMeanThroughput(wS, sres.Position, evalCell)))
-
-				wU, err := newWorld("CAMPUS", uint64(seed+1), clonedUEs(baseUEs), true)
-				if err != nil {
-					return nil, err
-				}
-				u := &core.Uniform{BudgetM: budget, AltitudeM: alt, Objective: rem.MaxMean}
-				ures, err := u.RunEpoch(wU)
-				if err != nil {
-					return nil, err
-				}
-				uniRels = append(uniRels, metrics.Clamp01(relMeanThroughput(wU, ures.Position, evalCell)))
-			}
-			r.AddRow(topo, f0(budget), f(metrics.Mean(skyRels)), f(metrics.Mean(uniRels)))
+			combos = append(combos, combo{topo, budget})
 		}
+	}
+	type relPair struct{ sky, uni float64 }
+	res, err := sweepSeeds(opts, len(combos), func(ci, seed int) (relPair, error) {
+		topo, budget := combos[ci].topo, combos[ci].budget
+		t := terrain.Campus(uint64(seed + 1))
+		baseUEs := topologyUEs(t, topo, 7, int64(seed+1))
+		evalCell := evalCellFor(t, opts.Quick)
+
+		wS, err := newWorld("CAMPUS", uint64(seed+1), clonedUEs(baseUEs), true)
+		if err != nil {
+			return relPair{}, err
+		}
+		s := core.NewSkyRAN(core.Config{
+			Seed:               int64(seed)*29 + int64(budget),
+			FixedAltitudeM:     alt,
+			MeasurementBudgetM: budget,
+			Objective:          rem.MaxMean,
+		})
+		sres, err := s.RunEpoch(wS)
+		if err != nil {
+			return relPair{}, err
+		}
+		sky := metrics.Clamp01(relMeanThroughput(wS, sres.Position, evalCell))
+
+		wU, err := newWorld("CAMPUS", uint64(seed+1), clonedUEs(baseUEs), true)
+		if err != nil {
+			return relPair{}, err
+		}
+		u := &core.Uniform{BudgetM: budget, AltitudeM: alt, Objective: rem.MaxMean}
+		ures, err := u.RunEpoch(wU)
+		if err != nil {
+			return relPair{}, err
+		}
+		return relPair{sky: sky, uni: metrics.Clamp01(relMeanThroughput(wU, ures.Position, evalCell))}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ci, c := range combos {
+		var skyRels, uniRels []float64
+		for _, p := range res[ci] {
+			skyRels = append(skyRels, p.sky)
+			uniRels = append(uniRels, p.uni)
+		}
+		r.AddRow(c.topo, f0(c.budget), f(metrics.Mean(skyRels)), f(metrics.Mean(uniRels)))
 	}
 	r.Note("paper: SkyRAN ~2x Uniform at small budgets; ~0.95 at 1000 m; topology B hardest for Uniform")
 	return r, nil
@@ -183,39 +209,49 @@ func RunFig24(opts Options) (*Report, error) {
 		Header: []string{"topology", "skyran_dB", "uniform_dB"},
 	}
 	const alt, budget = 35, 1000
-	for _, topo := range []string{"A", "B"} {
+	topos := []string{"A", "B"}
+	type errPair struct{ sky, uni float64 }
+	res, err := sweepSeeds(opts, len(topos), func(ti, seed int) (errPair, error) {
+		topo := topos[ti]
+		t := terrain.Campus(uint64(seed + 1))
+		baseUEs := topologyUEs(t, topo, 7, int64(seed+1))
+		evalCell := evalCellFor(t, opts.Quick)
+
+		wS, err := newWorld("CAMPUS", uint64(seed+1), clonedUEs(baseUEs), true)
+		if err != nil {
+			return errPair{}, err
+		}
+		s := core.NewSkyRAN(core.Config{
+			Seed:               int64(seed) * 37,
+			FixedAltitudeM:     alt,
+			MeasurementBudgetM: budget,
+			Objective:          rem.MaxMean,
+		})
+		sres, err := s.RunEpoch(wS)
+		if err != nil {
+			return errPair{}, err
+		}
+		skyErr := medianREMError(wS, sres.REMs, alt, evalCell)
+
+		wU, err := newWorld("CAMPUS", uint64(seed+1), clonedUEs(baseUEs), true)
+		if err != nil {
+			return errPair{}, err
+		}
+		u := &core.Uniform{BudgetM: budget, AltitudeM: alt, Objective: rem.MaxMean}
+		ures, err := u.RunEpoch(wU)
+		if err != nil {
+			return errPair{}, err
+		}
+		return errPair{sky: skyErr, uni: medianREMError(wU, ures.REMs, alt, evalCell)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ti, topo := range topos {
 		var skyErrs, uniErrs []float64
-		for seed := 0; seed < opts.Seeds; seed++ {
-			t := terrain.Campus(uint64(seed + 1))
-			baseUEs := topologyUEs(t, topo, 7, int64(seed+1))
-			evalCell := evalCellFor(t, opts.Quick)
-
-			wS, err := newWorld("CAMPUS", uint64(seed+1), clonedUEs(baseUEs), true)
-			if err != nil {
-				return nil, err
-			}
-			s := core.NewSkyRAN(core.Config{
-				Seed:               int64(seed) * 37,
-				FixedAltitudeM:     alt,
-				MeasurementBudgetM: budget,
-				Objective:          rem.MaxMean,
-			})
-			sres, err := s.RunEpoch(wS)
-			if err != nil {
-				return nil, err
-			}
-			skyErrs = append(skyErrs, medianREMError(wS, sres.REMs, alt, evalCell))
-
-			wU, err := newWorld("CAMPUS", uint64(seed+1), clonedUEs(baseUEs), true)
-			if err != nil {
-				return nil, err
-			}
-			u := &core.Uniform{BudgetM: budget, AltitudeM: alt, Objective: rem.MaxMean}
-			ures, err := u.RunEpoch(wU)
-			if err != nil {
-				return nil, err
-			}
-			uniErrs = append(uniErrs, medianREMError(wU, ures.REMs, alt, evalCell))
+		for _, p := range res[ti] {
+			skyErrs = append(skyErrs, p.sky)
+			uniErrs = append(uniErrs, p.uni)
 		}
 		r.AddRow(topo, f(metrics.Mean(skyErrs)), f(metrics.Mean(uniErrs)))
 	}

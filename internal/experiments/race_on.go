@@ -1,0 +1,9 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports whether the race detector is compiled in. The
+// heavyweight determinism golden tests consult it: under the detector
+// they would run for tens of minutes while the same parallel code path
+// is already exercised by the cheap Workers=8 tests.
+const raceEnabled = true

@@ -31,55 +31,58 @@ func RunFig12(opts Options) (*Report, error) {
 	if opts.Quick {
 		sampleMins = []int{0, 10, 30}
 	}
-	series := make([][][]float64, len(fractions)) // [frac][sample][seed]
-	for fi := range fractions {
-		series[fi] = make([][]float64, len(sampleMins))
-	}
-	for seed := 0; seed < opts.Seeds; seed++ {
-		for fi, frac := range fractions {
-			t := terrain.Campus(uint64(seed + 1))
-			ues := uniformUEs(t, 8, int64(seed+1))
-			// The paper scripts movers along predefined routes that
-			// mimic human mobility: they drift steadily away from
-			// where the REM was measured, so degradation accumulates
-			// with time (a random-waypoint walker is ergodic and would
-			// flatten out instead).
-			movers := int(frac * float64(len(ues)))
-			mrng := rand.New(rand.NewSource(int64(seed)*7 + int64(fi)))
-			for i := 0; i < movers; i++ {
-				ues[i].Mobility = departingRoute(t, ues[i].Pos, mrng)
-			}
-			w, err := newWorld("CAMPUS", uint64(seed+1), ues, true)
-			if err != nil {
-				return nil, err
-			}
-			const alt = 35
-			evalCell := evalCellFor(t, opts.Quick)
-			// Park at the initially optimal position. The decay is
-			// measured against the *initial* optimum (the paper's
-			// y-axis starts at 1.0 and the UAV never repositions), not
-			// against a re-optimised denominator that would shrink as
-			// the UEs spread out.
-			best, bestVal := bestMeanThroughput(w, alt, evalCell)
-			w.UAV.SetRoute([]geom.Vec3{best.WithZ(alt)})
-			for !w.UAV.Hovering() {
-				w.Step(1)
-			}
-			si := 0
-			for min := 0; min <= sampleMins[len(sampleMins)-1]; min++ {
-				if si < len(sampleMins) && min == sampleMins[si] {
-					rel := metrics.Clamp01(metrics.Relative(w.AvgThroughputAt(w.UAV.Position()), bestVal))
-					series[fi][si] = append(series[fi][si], rel)
-					si++
-				}
-				w.Step(60)
-			}
+	res, err := sweepSeeds(opts, len(fractions), func(fi, seed int) ([]float64, error) {
+		frac := fractions[fi]
+		t := terrain.Campus(uint64(seed + 1))
+		ues := uniformUEs(t, 8, int64(seed+1))
+		// The paper scripts movers along predefined routes that
+		// mimic human mobility: they drift steadily away from
+		// where the REM was measured, so degradation accumulates
+		// with time (a random-waypoint walker is ergodic and would
+		// flatten out instead).
+		movers := int(frac * float64(len(ues)))
+		mrng := rand.New(rand.NewSource(int64(seed)*7 + int64(fi)))
+		for i := 0; i < movers; i++ {
+			ues[i].Mobility = departingRoute(t, ues[i].Pos, mrng)
 		}
+		w, err := newWorld("CAMPUS", uint64(seed+1), ues, true)
+		if err != nil {
+			return nil, err
+		}
+		const alt = 35
+		evalCell := evalCellFor(t, opts.Quick)
+		// Park at the initially optimal position. The decay is
+		// measured against the *initial* optimum (the paper's
+		// y-axis starts at 1.0 and the UAV never repositions), not
+		// against a re-optimised denominator that would shrink as
+		// the UEs spread out.
+		best, bestVal := bestMeanThroughput(w, alt, evalCell)
+		w.UAV.SetRoute([]geom.Vec3{best.WithZ(alt)})
+		for !w.UAV.Hovering() {
+			w.Step(1)
+		}
+		rels := make([]float64, 0, len(sampleMins))
+		si := 0
+		for min := 0; min <= sampleMins[len(sampleMins)-1]; min++ {
+			if si < len(sampleMins) && min == sampleMins[si] {
+				rels = append(rels, metrics.Clamp01(metrics.Relative(w.AvgThroughputAt(w.UAV.Position()), bestVal)))
+				si++
+			}
+			w.Step(60)
+		}
+		return rels, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	for si, min := range sampleMins {
 		row := []string{f0(float64(min))}
 		for fi := range fractions {
-			row = append(row, f(metrics.Mean(series[fi][si])))
+			var vals []float64
+			for _, seedRels := range res[fi] {
+				vals = append(vals, seedRels[si])
+			}
+			row = append(row, f(metrics.Mean(vals)))
 		}
 		r.AddRow(row...)
 	}
@@ -202,41 +205,58 @@ func RunFig26(opts Options) (*Report, error) {
 	if opts.Quick {
 		ladder = ladder[:2]
 	}
-	for _, scenario := range []string{"STATIC", "DYNAMIC"} {
-		dynamic := scenario == "DYNAMIC"
-		stats := map[string]*struct {
-			times []float64
-			hits  int
-		}{"SkyRAN": {}, "Uniform": {}}
-		for seed := 0; seed < opts.Seeds; seed++ {
-			for _, ctrl := range []string{"SkyRAN", "Uniform"} {
-				st := stats[ctrl]
-				if dynamic {
-					// Epochs of 450 m with half the UEs moving in
-					// between; flight time accumulates across epochs.
-					tt, ok, err := timeToTarget("NYC", 6, seed, true, ctrl, 450, 6, opts, succeed)
-					if err != nil {
-						return nil, err
-					}
-					st.times = append(st.times, tt/60)
-					if ok {
-						st.hits++
-					}
-					continue
+	scenarios := []string{"STATIC", "DYNAMIC"}
+	type cell struct {
+		skyT, uniT     float64
+		skyHit, uniHit bool
+	}
+	res, err := sweepSeeds(opts, len(scenarios), func(si, seed int) (cell, error) {
+		dynamic := scenarios[si] == "DYNAMIC"
+		var c cell
+		for _, ctrl := range []string{"SkyRAN", "Uniform"} {
+			var tt float64
+			var ok bool
+			if dynamic {
+				// Epochs of 450 m with half the UEs moving in
+				// between; flight time accumulates across epochs.
+				var err error
+				tt, ok, err = timeToTarget("NYC", 6, seed, true, ctrl, 450, 6, opts, succeed)
+				if err != nil {
+					return cell{}, err
 				}
+			} else {
 				// Static: smallest single-epoch budget reaching the
 				// target, charged at its flight time.
-				tt, ok := climbLadder("NYC", 6, seed, ctrl, ladder, opts, succeed)
-				st.times = append(st.times, tt/60)
-				if ok {
-					st.hits++
-				}
+				tt, ok = climbLadder("NYC", 6, seed, ctrl, ladder, opts, succeed)
+			}
+			if ctrl == "SkyRAN" {
+				c.skyT, c.skyHit = tt/60, ok
+			} else {
+				c.uniT, c.uniHit = tt/60, ok
+			}
+		}
+		return c, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for si, scenario := range scenarios {
+		var skyT, uniT []float64
+		skyHits, uniHits := 0, 0
+		for _, c := range res[si] {
+			skyT = append(skyT, c.skyT)
+			uniT = append(uniT, c.uniT)
+			if c.skyHit {
+				skyHits++
+			}
+			if c.uniHit {
+				uniHits++
 			}
 		}
 		r.AddRow(scenario,
-			f(metrics.Mean(stats["SkyRAN"].times)), f(metrics.Mean(stats["Uniform"].times)),
-			f0(100*float64(stats["SkyRAN"].hits)/float64(opts.Seeds)),
-			f0(100*float64(stats["Uniform"].hits)/float64(opts.Seeds)))
+			f(metrics.Mean(skyT)), f(metrics.Mean(uniT)),
+			f0(100*float64(skyHits)/float64(opts.Seeds)),
+			f0(100*float64(uniHits)/float64(opts.Seeds)))
 	}
 	r.Note("paper: static ≈100 s (1.7 min) both; dynamic: SkyRAN ≈6 min vs Uniform ≈12 min")
 	return r, nil
@@ -280,7 +300,9 @@ func RunFig27(opts Options) (*Report, error) {
 	if opts.Quick {
 		terrains = []string{"RURAL", "NYC"}
 	}
-	for _, tn := range terrains {
+	type timePair struct{ sky, uni float64 }
+	res, err := sweepSeeds(opts, len(terrains), func(ti, seed int) (timePair, error) {
+		tn := terrains[ti]
 		// Budget ladder: smallest budget whose epoch reaches 0.9.
 		ladder := []float64{200, 400, 600, 850, 1200, 1700}
 		if tn == "LARGE" {
@@ -289,15 +311,20 @@ func RunFig27(opts Options) (*Report, error) {
 		if opts.Quick {
 			ladder = ladder[:3]
 		}
-		find := func(ctrl string) float64 {
-			var times []float64
-			for seed := 0; seed < opts.Seeds; seed++ {
-				tt, _ := climbLadder(tn, 6, seed, ctrl, ladder, opts, succeed)
-				times = append(times, tt/60)
-			}
-			return metrics.Mean(times)
+		st, _ := climbLadder(tn, 6, seed, "SkyRAN", ladder, opts, succeed)
+		ut, _ := climbLadder(tn, 6, seed, "Uniform", ladder, opts, succeed)
+		return timePair{sky: st / 60, uni: ut / 60}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ti, tn := range terrains {
+		var skyT, uniT []float64
+		for _, p := range res[ti] {
+			skyT = append(skyT, p.sky)
+			uniT = append(uniT, p.uni)
 		}
-		r.AddRow(tn, f(find("SkyRAN")), f(find("Uniform")))
+		r.AddRow(tn, f(metrics.Mean(skyT)), f(metrics.Mean(uniT)))
 	}
 	r.Note("paper: SkyRAN flat-ish across terrains; Uniform grows sharply on LARGE (16x area)")
 	return r, nil
@@ -320,25 +347,33 @@ func RunFig28(opts Options) (*Report, error) {
 		}
 		return medianREMError(w, res.REMs, alt, evalCell) <= 5
 	}
-	for _, scenario := range []string{"STATIC", "DYNAMIC"} {
-		dynamic := scenario == "DYNAMIC"
+	scenarios := []string{"STATIC", "DYNAMIC"}
+	type timePair struct{ sky, uni float64 }
+	res, err := sweepSeeds(opts, len(scenarios), func(si, seed int) (timePair, error) {
+		dynamic := scenarios[si] == "DYNAMIC"
 		maxEpochs := 1
 		budget := 850.0
 		if dynamic {
 			maxEpochs, budget = 5, 450
 		}
+		st, _, err := timeToTarget("NYC", 6, seed, dynamic, "SkyRAN", budget, maxEpochs, opts, succeed)
+		if err != nil {
+			return timePair{}, err
+		}
+		ut, _, err := timeToTarget("NYC", 6, seed, dynamic, "Uniform", budget, maxEpochs, opts, succeed)
+		if err != nil {
+			return timePair{}, err
+		}
+		return timePair{sky: st / 60, uni: ut / 60}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for si, scenario := range scenarios {
 		var skyT, uniT []float64
-		for seed := 0; seed < opts.Seeds; seed++ {
-			st, _, err := timeToTarget("NYC", 6, seed, dynamic, "SkyRAN", budget, maxEpochs, opts, succeed)
-			if err != nil {
-				return nil, err
-			}
-			ut, _, err := timeToTarget("NYC", 6, seed, dynamic, "Uniform", budget, maxEpochs, opts, succeed)
-			if err != nil {
-				return nil, err
-			}
-			skyT = append(skyT, st/60)
-			uniT = append(uniT, ut/60)
+		for _, p := range res[si] {
+			skyT = append(skyT, p.sky)
+			uniT = append(uniT, p.uni)
 		}
 		r.AddRow(scenario, f(metrics.Mean(skyT)), f(metrics.Mean(uniT)))
 	}
@@ -409,21 +444,29 @@ func budgetedFigure(opts Options, figure, title string, header []string,
 		terrains = []string{"RURAL", "NYC"}
 	}
 	const epochs = 5
-	for _, tn := range terrains {
+	type valPair struct{ sky, uni float64 }
+	res, err := sweepSeeds(opts, len(terrains), func(ti, seed int) (valPair, error) {
+		tn := terrains[ti]
+		t := terrain.ByName(tn, uint64(seed+1))
+		evalCell := evalCellFor(t, opts.Quick)
+		wS, sres, err := budgetedRun(tn, 6, seed, "SkyRAN", 5000, epochs, opts)
+		if err != nil {
+			return valPair{}, err
+		}
+		wU, ures, err := budgetedRun(tn, 6, seed, "Uniform", 5000, epochs, opts)
+		if err != nil {
+			return valPair{}, err
+		}
+		return valPair{sky: metric(wS, sres, evalCell), uni: metric(wU, ures, evalCell)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ti, tn := range terrains {
 		var sky, uni []float64
-		for seed := 0; seed < opts.Seeds; seed++ {
-			t := terrain.ByName(tn, uint64(seed+1))
-			evalCell := evalCellFor(t, opts.Quick)
-			wS, sres, err := budgetedRun(tn, 6, seed, "SkyRAN", 5000, epochs, opts)
-			if err != nil {
-				return nil, err
-			}
-			sky = append(sky, metric(wS, sres, evalCell))
-			wU, ures, err := budgetedRun(tn, 6, seed, "Uniform", 5000, epochs, opts)
-			if err != nil {
-				return nil, err
-			}
-			uni = append(uni, metric(wU, ures, evalCell))
+		for _, p := range res[ti] {
+			sky = append(sky, p.sky)
+			uni = append(uni, p.uni)
 		}
 		s, u := metrics.Mean(sky), metrics.Mean(uni)
 		ratio := 0.0
@@ -452,21 +495,32 @@ func RunFig31(opts Options) (*Report, error) {
 		counts = []int{2, 6, 10}
 	}
 	const epochs = 5
-	for _, n := range counts {
+	type relPair struct{ sky, uni float64 }
+	res, err := sweepSeeds(opts, len(counts), func(ni, seed int) (relPair, error) {
+		n := counts[ni]
+		t := terrain.NYC(uint64(seed + 1))
+		evalCell := evalCellFor(t, opts.Quick)
+		wS, sres, err := budgetedRun("NYC", n, seed, "SkyRAN", 5000, epochs, opts)
+		if err != nil {
+			return relPair{}, err
+		}
+		wU, ures, err := budgetedRun("NYC", n, seed, "Uniform", 5000, epochs, opts)
+		if err != nil {
+			return relPair{}, err
+		}
+		return relPair{
+			sky: metrics.Clamp01(relMeanThroughput(wS, sres.Position, evalCell)),
+			uni: metrics.Clamp01(relMeanThroughput(wU, ures.Position, evalCell)),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ni, n := range counts {
 		var sky, uni []float64
-		for seed := 0; seed < opts.Seeds; seed++ {
-			t := terrain.NYC(uint64(seed + 1))
-			evalCell := evalCellFor(t, opts.Quick)
-			wS, sres, err := budgetedRun("NYC", n, seed, "SkyRAN", 5000, epochs, opts)
-			if err != nil {
-				return nil, err
-			}
-			sky = append(sky, metrics.Clamp01(relMeanThroughput(wS, sres.Position, evalCell)))
-			wU, ures, err := budgetedRun("NYC", n, seed, "Uniform", 5000, epochs, opts)
-			if err != nil {
-				return nil, err
-			}
-			uni = append(uni, metrics.Clamp01(relMeanThroughput(wU, ures.Position, evalCell)))
+		for _, p := range res[ni] {
+			sky = append(sky, p.sky)
+			uni = append(uni, p.uni)
 		}
 		r.AddRow(f0(float64(n)), f(metrics.Mean(sky)), f(metrics.Mean(uni)))
 	}

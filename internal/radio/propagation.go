@@ -23,6 +23,9 @@ type Model struct {
 	Budget LinkBudget
 
 	shadow *noise.Field
+	// obs memoizes the ray-obstruction integral; shared between models
+	// with identical terrain content and loss constants (see obscache.go).
+	obs *obsCache
 
 	// Flattened terrain arrays for fast ray sampling.
 	nx, ny   int
@@ -107,6 +110,18 @@ func NewModel(t *terrain.Surface, p Params, seed uint64) *Model {
 			m.material[i] = t.MaterialAt(c)
 		}
 	}
+	m.obs = obsCacheFor(modelKey{
+		terrainHash: terrainFingerprint(m.height, m.material),
+		nx:          nx,
+		ny:          ny,
+		originX:     m.originX,
+		originY:     m.originY,
+		invCell:     m.invCell,
+		rayStepM:    p.RayStepM,
+		buildingDB:  p.BuildingLossDBPerM,
+		foliageDB:   p.FoliageLossDBPerM,
+		maxObsDB:    p.MaxObstructionDB,
+	})
 	return m
 }
 
@@ -131,9 +146,27 @@ func (m *Model) cellIndex(x, y float64) int {
 // GroundZ returns the terrain ground elevation under p.
 func (m *Model) GroundZ(p geom.Vec2) float64 { return m.ground[m.cellIndex(p.X, p.Y)] }
 
-// Obstruction integrates material losses along the ray a→b and returns
-// the total obstruction loss in dB (capped at MaxObstructionDB).
+// Obstruction returns the total obstruction loss in dB along the ray
+// a→b (capped at MaxObstructionDB), memoized per exact endpoint pair.
+// The loss is a pure function of terrain geometry, so cached values are
+// bit-identical to fresh evaluations and safe to share across
+// goroutines and across models built over equal terrain.
 func (m *Model) Obstruction(a, b geom.Vec3) float64 {
+	if m.obs == nil {
+		return m.obstructionRay(a, b)
+	}
+	k := rayKey{a.X, a.Y, a.Z, b.X, b.Y, b.Z}
+	if v, ok := m.obs.get(k); ok {
+		return v
+	}
+	v := m.obstructionRay(a, b)
+	m.obs.put(k, v)
+	return v
+}
+
+// obstructionRay integrates material losses along the ray a→b — the
+// uncached evaluation behind Obstruction.
+func (m *Model) obstructionRay(a, b geom.Vec3) float64 {
 	d := b.Sub(a)
 	length := d.Norm()
 	if length < 1e-9 {

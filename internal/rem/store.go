@@ -1,6 +1,8 @@
 package rem
 
 import (
+	"sync"
+
 	"repro/internal/geom"
 )
 
@@ -9,9 +11,14 @@ import (
 // of a stored position, the stored REM seeds its new map instead of a
 // bare free-space initialisation (§3.5 "Temporal aggregation of REMs
 // for minimizing overhead"). The paper picks R = 10 m from Fig 9.
+//
+// A Store is safe for concurrent use: parallel epoch runs (e.g. a
+// multi-UAV fleet sharing one store) may Put and Lookup from multiple
+// goroutines. R must be set before the store is shared.
 type Store struct {
 	// R is the reuse radius in metres.
 	R       float64
+	mu      sync.RWMutex
 	entries []storeEntry
 }
 
@@ -27,6 +34,8 @@ func NewStore(r float64) *Store { return &Store{R: r} }
 // exists within R of pos it is replaced (newer data wins), keeping the
 // store compact under repeated visits.
 func (s *Store) Put(pos geom.Vec2, m *Map) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	for i := range s.entries {
 		if s.entries[i].pos.Dist(pos) <= s.R {
 			s.entries[i] = storeEntry{pos: pos, m: m}
@@ -41,6 +50,8 @@ func (s *Store) Put(pos geom.Vec2, m *Map) {
 // history immutable while the caller refines its copy with new
 // measurements.
 func (s *Store) Lookup(pos geom.Vec2) *Map {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	best := -1
 	bestD := s.R
 	for i := range s.entries {
@@ -55,10 +66,16 @@ func (s *Store) Lookup(pos geom.Vec2) *Map {
 }
 
 // Len returns the number of stored REMs.
-func (s *Store) Len() int { return len(s.entries) }
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.entries)
+}
 
 // Positions returns the stored key positions (for diagnostics).
 func (s *Store) Positions() []geom.Vec2 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	out := make([]geom.Vec2, len(s.entries))
 	for i, e := range s.entries {
 		out[i] = e.pos

@@ -1,0 +1,84 @@
+package rem
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// TestStoreConcurrentAccess hammers one Store from many goroutines.
+// Run with -race: the store is documented as safe for concurrent use
+// (a fleet of UAVs shares one store), and this is the test that keeps
+// that claim honest.
+func TestStoreConcurrentAccess(t *testing.T) {
+	s := NewStore(10)
+	area := geom.NewRect(geom.V2(0, 0), geom.V2(100, 100))
+
+	const goroutines = 8
+	const opsPer = 200
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < opsPer; i++ {
+				pos := geom.V2(rng.Float64()*100, rng.Float64()*100)
+				switch i % 4 {
+				case 0:
+					m := New(area, 10)
+					m.AddMeasurement(pos, rng.Float64()*30)
+					s.Put(pos, m)
+				case 1:
+					if m := s.Lookup(pos); m != nil {
+						// The clone must be privately mutable.
+						m.AddMeasurement(pos, 1)
+					}
+				case 2:
+					_ = s.Len()
+				default:
+					_ = s.Positions()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	if s.Len() == 0 {
+		t.Fatal("store empty after concurrent puts")
+	}
+	if got := len(s.Positions()); got != s.Len() {
+		t.Fatalf("Positions()=%d entries, Len()=%d", got, s.Len())
+	}
+}
+
+// TestStoreLookupClonesUnderConcurrency checks that two concurrent
+// lookups of the same entry get independent clones.
+func TestStoreLookupClonesUnderConcurrency(t *testing.T) {
+	s := NewStore(10)
+	area := geom.NewRect(geom.V2(0, 0), geom.V2(50, 50))
+	key := geom.V2(25, 25)
+	m := New(area, 5)
+	m.AddMeasurement(key, 12)
+	s.Put(key, m)
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c := s.Lookup(key)
+			if c == nil {
+				t.Error("lookup returned nil for stored key")
+				return
+			}
+			// Mutating the clone must not race with other clones.
+			for i := 0; i < 50; i++ {
+				c.AddMeasurement(geom.V2(float64(g), float64(i%50)), float64(i))
+			}
+		}(g)
+	}
+	wg.Wait()
+}

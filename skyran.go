@@ -203,9 +203,27 @@ func Figures() []experiments.Spec { return experiments.All }
 // Extensions lists the ablation/extension studies.
 func Extensions() []experiments.Spec { return experiments.Extensions }
 
+// FigureOptions tunes a figure run.
+type FigureOptions struct {
+	// Seeds is the number of Monte-Carlo instances per configuration
+	// (0 means the default of 5).
+	Seeds int
+	// Quick shrinks sweeps and grid resolutions.
+	Quick bool
+	// Workers bounds concurrent Monte-Carlo tasks: 0 uses every CPU,
+	// 1 forces sequential execution. Rows are identical either way.
+	Workers int
+}
+
 // RunFigure reproduces a single figure or extension at the given
 // Monte-Carlo scale.
 func RunFigure(id string, seeds int, quick bool) (*Report, error) {
+	return RunFigureWith(id, FigureOptions{Seeds: seeds, Quick: quick})
+}
+
+// RunFigureWith reproduces a single figure or extension with full
+// control over scale and parallelism.
+func RunFigureWith(id string, opts FigureOptions) (*Report, error) {
 	spec, ok := experiments.ByID(id)
 	if !ok {
 		spec, ok = experiments.ExtensionByID(id)
@@ -213,5 +231,5 @@ func RunFigure(id string, seeds int, quick bool) (*Report, error) {
 	if !ok {
 		return nil, fmt.Errorf("skyran: unknown figure %q", id)
 	}
-	return spec.Run(experiments.Options{Seeds: seeds, Quick: quick})
+	return spec.Run(experiments.Options{Seeds: opts.Seeds, Quick: opts.Quick, Workers: opts.Workers})
 }
