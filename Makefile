@@ -2,12 +2,13 @@
 #
 #   make tier1   build + full test suite (the acceptance gate)
 #   make race    vet + race-detector suite (concurrency gate)
-#   make short   quick signal while iterating
-#   make bench   one bench per paper figure + hot-path micro-benches
+#   make short        quick signal while iterating
+#   make bench        one bench per paper figure + hot-path micro-benches
+#   make serve-smoke  end-to-end skyrand daemon vs skyranctl -json diff
 
 GO ?= go
 
-.PHONY: tier1 race short bench fmt
+.PHONY: tier1 race short bench fmt serve-smoke
 
 tier1:
 	$(GO) build ./... && $(GO) test -timeout 60m ./...
@@ -23,3 +24,6 @@ bench:
 
 fmt:
 	gofmt -l .
+
+serve-smoke:
+	sh scripts/serve_smoke.sh

@@ -3,27 +3,30 @@
 // more controller epochs with UE mobility, and report per-epoch
 // placement quality and LTE serving statistics.
 //
+// The scenario itself is built and run by internal/scenario — the same
+// package the skyrand daemon serves jobs from — so a CLI run and the
+// equivalent daemon job produce identical results. With -json the
+// result is emitted in exactly the wire form the daemon's
+// /v1/jobs/{id}/result endpoint returns.
+//
 // Usage:
 //
 //	skyranctl -terrain NYC -ues 6 -epochs 3 -controller skyran
 //	skyranctl -terrain CAMPUS -ues 7 -topology clustered -controller uniform -budget 800
+//	skyranctl -terrain FLAT -ues 3 -json
 //	skyranctl -xyz scan.xyz -ues 5
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
-	"math/rand"
 	"os"
 
-	"repro/internal/core"
-	"repro/internal/geom"
 	"repro/internal/metrics"
-	"repro/internal/rem"
-	"repro/internal/sim"
+	"repro/internal/scenario"
 	"repro/internal/terrain"
 	"repro/internal/trace"
-	"repro/internal/ue"
 )
 
 func main() {
@@ -39,36 +42,33 @@ func main() {
 		seed      = flag.Int64("seed", 1, "scenario seed")
 		serveSecs = flag.Float64("serve", 5, "seconds of LTE serving to simulate per epoch")
 		traceOut  = flag.String("trace", "", "record flight telemetry to this JSONL file (view with traceview)")
+		jsonOut   = flag.Bool("json", false, "emit the result as JSON (the skyrand wire format) instead of text")
 	)
 	flag.Parse()
-	if err := run(*terrName, *xyz, *esri, *nUEs, *topology, *ctrlName, *budget, *epochs, *seed, *serveSecs, *traceOut); err != nil {
+	spec := scenario.Spec{
+		Terrain:    *terrName,
+		UEs:        *nUEs,
+		Topology:   *topology,
+		Controller: *ctrlName,
+		BudgetM:    *budget,
+		Epochs:     *epochs,
+		Seed:       *seed,
+		ServeS:     *serveSecs,
+	}
+	if err := run(spec, *xyz, *esri, *traceOut, *jsonOut); err != nil {
 		fmt.Fprintln(os.Stderr, "skyranctl:", err)
 		os.Exit(1)
 	}
 }
 
-func run(terrName, xyz, esri string, nUEs int, topology, ctrlName string, budget float64, epochs int, seed int64, serveSecs float64, traceOut string) error {
-	t, err := buildTerrain(terrName, xyz, esri, uint64(seed))
+func run(spec scenario.Spec, xyz, esri, traceOut string, jsonOut bool) error {
+	opts := scenario.Options{}
+	t, err := buildTerrain(xyz, esri)
 	if err != nil {
 		return err
 	}
-	st := t.Stats()
-	fmt.Printf("terrain %s: %.0fx%.0f m, %.0f%% open, %.0f%% building, %.0f%% foliage, tallest %.0f m\n",
-		t.Name, t.Bounds().Width(), t.Bounds().Height(),
-		100*st.OpenFrac, 100*st.BuildingFrac, 100*st.FoliageFrac, st.MaxObstacleHeight)
+	opts.Terrain = t
 
-	rng := rand.New(rand.NewSource(seed))
-	var ues []*ue.UE
-	if topology == "clustered" {
-		center := ue.PlaceRandomOpen(1, t.Bounds().Inset(40), t.IsOpen, 0, rng)[0].Pos
-		ues = ue.PlaceClustered(nUEs, center, t.Bounds().Width()*0.06, t.Bounds(), t.IsOpen, rng)
-	} else {
-		ues = ue.PlaceRandomOpen(nUEs, t.Bounds().Inset(t.Bounds().Width()*0.08), t.IsOpen, 15, rng)
-	}
-	w, err := sim.New(sim.Config{Terrain: t, Seed: uint64(seed), FastRanging: true}, ues)
-	if err != nil {
-		return err
-	}
 	if traceOut != "" {
 		f, err := os.Create(traceOut)
 		if err != nil {
@@ -76,65 +76,40 @@ func run(terrName, xyz, esri string, nUEs int, topology, ctrlName string, budget
 		}
 		defer f.Close()
 		rec := trace.NewRecorder(f)
-		rec.Meta(t.Name, seed)
 		defer func() {
 			if err := rec.Flush(); err != nil {
 				fmt.Fprintln(os.Stderr, "skyranctl: trace:", err)
 			}
 		}()
-		w.Tracer = rec
+		opts.Tracer = rec
 	}
-	fmt.Printf("%d UEs attached (EPC sessions: %d)\n", nUEs, w.Core.ActiveSessions())
 
-	ctrl, err := makeController(ctrlName, budget, seed)
+	if !jsonOut {
+		var ctrlName string
+		opts.OnStart = func(res *scenario.Result) {
+			ctrlName = res.Controller
+			printHeader(res)
+		}
+		opts.OnEpoch = func(rep scenario.EpochReport) { printEpoch(ctrlName, spec.ServeS, rep) }
+	}
+	res, _, err := scenario.Run(context.Background(), spec, opts)
 	if err != nil {
 		return err
 	}
-
-	for e := 0; e < epochs; e++ {
-		if e > 0 {
-			relocateHalf(w, rng)
-			fmt.Printf("\n-- epoch %d (half the UEs relocated) --\n", e+1)
-		} else {
-			fmt.Printf("\n-- epoch %d --\n", e+1)
-		}
-		res, err := ctrl.RunEpoch(w)
+	if jsonOut {
+		b, err := scenario.MarshalResult(res)
 		if err != nil {
-			return fmt.Errorf("epoch %d: %w", e+1, err)
+			return err
 		}
-		fmt.Printf("%s placed UAV at %s\n", ctrl.Name(), res.Position)
-		fmt.Printf("flight: localization %.0f m, measurement %.0f m (%.0f s total)\n",
-			res.LocalizationM, res.MeasurementM, res.TotalFlightS)
-		if len(res.UEEstimates) == len(w.UEs) {
-			var errs []float64
-			for i, est := range res.UEEstimates {
-				errs = append(errs, est.Dist(w.UEs[i].Pos))
-			}
-			fmt.Printf("localization: median error %.1f m\n", metrics.Median(errs))
-		}
-
-		// Quality vs ground truth in the serving plane.
-		bestPos, bestVal := core.BestPosition(w, res.Position.Z, 5, rem.MaxMean)
-		got := w.AvgThroughputAt(res.Position)
-		fmt.Printf("avg throughput: %.1f Mbps (optimal %.1f Mbps at %s) -> relative %.2f\n",
-			got/1e6, bestVal/1e6, bestPos, metrics.Relative(got, bestVal))
-
-		if serveSecs > 0 {
-			bits := w.ServeSeconds(serveSecs, 10)
-			var total float64
-			for i, b := range bits {
-				fmt.Printf("  UE%d served %.1f Mbps\n", w.UEs[i].ID, b/serveSecs/1e6)
-				total += b
-			}
-			fmt.Printf("cell served %.1f Mbps aggregate over %.0f s\n", total/serveSecs/1e6, serveSecs)
-		}
-		fmt.Printf("battery: %.0f%% remaining, odometer %.0f m\n",
-			100*w.UAV.EnergyFraction(), w.UAV.OdometerM())
+		_, err = os.Stdout.Write(b)
+		return err
 	}
 	return nil
 }
 
-func buildTerrain(name, xyz, esri string, seed uint64) (*terrain.Surface, error) {
+// buildTerrain handles the CLI-only file-backed terrains; a nil result
+// defers to Spec.Terrain's procedural surface.
+func buildTerrain(xyz, esri string) (*terrain.Surface, error) {
 	if esri != "" {
 		f, err := os.Open(esri)
 		if err != nil {
@@ -155,41 +130,38 @@ func buildTerrain(name, xyz, esri string, seed uint64) (*terrain.Surface, error)
 		}
 		return terrain.FromPointCloud("XYZ", pc, 1)
 	}
-	t := terrain.ByName(name, seed)
-	if t == nil {
-		return nil, fmt.Errorf("unknown terrain %q", name)
-	}
-	return t, nil
+	return nil, nil
 }
 
-func makeController(name string, budget float64, seed int64) (core.Controller, error) {
-	switch name {
-	case "skyran":
-		return core.NewSkyRAN(core.Config{Seed: seed, MeasurementBudgetM: budget}), nil
-	case "uniform":
-		return &core.Uniform{BudgetM: budget}, nil
-	case "centroid":
-		return &core.Centroid{Seed: seed}, nil
-	case "random":
-		return &core.Random{Seed: seed}, nil
-	case "oracle":
-		return &core.Oracle{}, nil
-	default:
-		return nil, fmt.Errorf("unknown controller %q", name)
-	}
+func printHeader(res *scenario.Result) {
+	ti := res.Terrain
+	fmt.Printf("terrain %s: %.0fx%.0f m, %.0f%% open, %.0f%% building, %.0f%% foliage, tallest %.0f m\n",
+		ti.Name, ti.WidthM, ti.HeightM,
+		100*ti.OpenFrac, 100*ti.BuildingFrac, 100*ti.FoliageFrac, ti.MaxObstacleHeightM)
+	fmt.Printf("%d UEs attached (EPC sessions: %d)\n", res.Spec.UEs, res.ActiveSessions)
 }
 
-func relocateHalf(w *sim.World, rng *rand.Rand) {
-	t := w.Terrain
-	area := t.Bounds().Inset(t.Bounds().Width() * 0.08)
-	for i := 0; i < len(w.UEs)/2; i++ {
-		idx := rng.Intn(len(w.UEs))
-		for try := 0; try < 5000; try++ {
-			p := geom.V2(area.MinX+rng.Float64()*area.Width(), area.MinY+rng.Float64()*area.Height())
-			if t.IsOpen(p) {
-				w.UEs[idx].Pos = p
-				break
-			}
+func printEpoch(ctrlName string, serveSecs float64, rep scenario.EpochReport) {
+	if rep.Relocated {
+		fmt.Printf("\n-- epoch %d (half the UEs relocated) --\n", rep.Epoch)
+	} else {
+		fmt.Printf("\n-- epoch %d --\n", rep.Epoch)
+	}
+	fmt.Printf("%s placed UAV at %s\n", ctrlName, rep.Position)
+	fmt.Printf("flight: localization %.0f m, measurement %.0f m (%.0f s total)\n",
+		rep.LocalizationM, rep.MeasurementM, rep.TotalFlightS)
+	if rep.MedianLocErrM != nil {
+		fmt.Printf("localization: median error %.1f m\n", *rep.MedianLocErrM)
+	}
+	fmt.Printf("avg throughput: %.1f Mbps (optimal %.1f Mbps at %s) -> relative %.2f\n",
+		rep.ThroughputBps/1e6, rep.OptimalBps/1e6, rep.OptimalPos,
+		metrics.Relative(rep.ThroughputBps, rep.OptimalBps))
+	if len(rep.Served) > 0 {
+		for _, s := range rep.Served {
+			fmt.Printf("  UE%d served %.1f Mbps\n", s.UE, s.ServedBps/1e6)
 		}
+		fmt.Printf("cell served %.1f Mbps aggregate over %.0f s\n", rep.AggregateServedBps/1e6, serveSecs)
 	}
+	fmt.Printf("battery: %.0f%% remaining, odometer %.0f m\n",
+		100*rep.BatteryFrac, rep.OdometerM)
 }

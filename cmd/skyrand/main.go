@@ -1,0 +1,95 @@
+// Command skyrand is the SkyRAN control-plane daemon: it serves
+// scenarios as managed jobs over HTTP. Submit the same knobs skyranctl
+// takes as flags, poll the job, stream its telemetry, and download the
+// REM store the flight built — results are byte-identical to the
+// equivalent `skyranctl -json` run.
+//
+// Usage:
+//
+//	skyrand -addr :7643 -queue 16 -workers 4 -job-timeout 10m
+//
+//	curl -s localhost:7643/v1/jobs -d '{"terrain":"FLAT","ues":3,"serve_s":1,"seed":7}'
+//	curl -s localhost:7643/v1/jobs/j1
+//	curl -s localhost:7643/v1/jobs/j1/events        # live JSONL telemetry
+//	curl -s localhost:7643/v1/jobs/j1/result        # skyranctl -json bytes
+//	curl -s localhost:7643/v1/jobs/j1/rem -o j1.rem.gz
+//	curl -s 'localhost:7643/v1/jobs/j1/rem/query?x=120&y=85'
+//	curl -s localhost:7643/metrics
+//
+// SIGINT/SIGTERM starts a graceful drain: readiness flips to 503, new
+// submissions are rejected, queued and running jobs finish, then the
+// process exits. A second signal (or -drain-grace expiring) cancels
+// in-flight jobs instead of waiting for them.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:7643", "listen address (use :0 for an ephemeral port)")
+		queueCap   = flag.Int("queue", 16, "job queue capacity; submissions beyond it get 429")
+		workers    = flag.Int("workers", 0, "concurrent scenario runners (0 = CPU count)")
+		jobTimeout = flag.Duration("job-timeout", 10*time.Minute, "per-job run-time cap")
+		drainGrace = flag.Duration("drain-grace", 30*time.Second, "how long a drain waits before canceling in-flight jobs")
+	)
+	flag.Parse()
+	if err := run(*addr, *queueCap, *workers, *jobTimeout, *drainGrace); err != nil {
+		fmt.Fprintln(os.Stderr, "skyrand:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, queueCap, workers int, jobTimeout, drainGrace time.Duration) error {
+	srv := server.New(server.Config{
+		QueueCap:   queueCap,
+		Workers:    workers,
+		JobTimeout: jobTimeout,
+	})
+	srv.Start()
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	fmt.Printf("skyrand: listening on http://%s (queue %d, %s per job)\n",
+		ln.Addr(), queueCap, jobTimeout)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills the process the default way
+
+	fmt.Println("skyrand: draining (queued and running jobs will finish)")
+	drainCtx, cancel := context.WithTimeout(context.Background(), drainGrace)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "skyrand: drain grace expired; in-flight jobs canceled")
+	}
+	httpCtx, cancelHTTP := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancelHTTP()
+	if err := hs.Shutdown(httpCtx); err != nil {
+		return fmt.Errorf("http shutdown: %w", err)
+	}
+	fmt.Println("skyrand: drained, exiting")
+	return nil
+}

@@ -8,6 +8,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -47,6 +48,35 @@ type Controller interface {
 	// RunEpoch performs one epoch of probing and moves the UAV to its
 	// chosen serving position.
 	RunEpoch(w *sim.World) (EpochResult, error)
+}
+
+// ContextController is implemented by controllers whose epochs can be
+// cancelled mid-flight. The serving path (skyrand's job workers) runs
+// epochs through this interface so job timeouts and client
+// cancellations abort between flight phases instead of blocking a
+// worker for the rest of the epoch.
+type ContextController interface {
+	Controller
+	// RunEpochCtx is RunEpoch with cooperative cancellation: it checks
+	// ctx at phase boundaries (localization, altitude search, planning,
+	// measurement flight, interpolation, placement) and returns
+	// ctx.Err() wrapped in the epoch's context if cancelled. The world
+	// is left consistent — the UAV simply stays wherever the last
+	// completed phase put it.
+	RunEpochCtx(ctx context.Context, w *sim.World) (EpochResult, error)
+}
+
+// RunEpochCtx runs ctrl's epoch under ctx: controllers that implement
+// ContextController get true mid-epoch cancellation, the rest get a
+// single up-front check.
+func RunEpochCtx(ctx context.Context, ctrl Controller, w *sim.World) (EpochResult, error) {
+	if cc, ok := ctrl.(ContextController); ok {
+		return cc.RunEpochCtx(ctx, w)
+	}
+	if err := ctx.Err(); err != nil {
+		return EpochResult{}, err
+	}
+	return ctrl.RunEpoch(w)
 }
 
 // Config tunes the SkyRAN controller. Zero values select the paper's
@@ -99,6 +129,11 @@ type Config struct {
 	// their measured maps (§7: "the REM are cooperatively constructed
 	// and shared amongst multiple SkyRAN UAVs").
 	SharedStore *rem.Store
+	// Workers bounds how many fleet sectors run their epochs
+	// concurrently (read by Fleet, ignored by the single-UAV
+	// controller): 0 uses one worker per CPU, 1 forces the sequential
+	// order. Results are identical at any worker count.
+	Workers int
 }
 
 func (c *Config) defaults() {
@@ -192,12 +227,21 @@ func (s *SkyRAN) SetMeasurementBudget(m float64) { s.cfg.MeasurementBudgetM = m 
 
 // RunEpoch implements Controller, executing steps 1-8 of Fig 10.
 func (s *SkyRAN) RunEpoch(w *sim.World) (EpochResult, error) {
+	return s.RunEpochCtx(context.Background(), w)
+}
+
+// RunEpochCtx implements ContextController: RunEpoch with cooperative
+// cancellation at phase boundaries.
+func (s *SkyRAN) RunEpochCtx(ctx context.Context, w *sim.World) (EpochResult, error) {
+	if err := ctx.Err(); err != nil {
+		return EpochResult{}, fmt.Errorf("core: epoch cancelled: %w", err)
+	}
 	// Steps 1-4: UE localization flight + multilateration.
 	ests, locM, err := s.localize(w)
 	if err != nil {
 		return EpochResult{}, err
 	}
-	return s.runWithEstimates(w, ests, locM)
+	return s.runWithEstimates(ctx, w, ests, locM)
 }
 
 // RunEpochWithEstimates runs an epoch with externally supplied UE
@@ -208,11 +252,17 @@ func (s *SkyRAN) RunEpochWithEstimates(w *sim.World, ests []geom.Vec2) (EpochRes
 	if len(ests) != len(w.UEs) {
 		return EpochResult{}, fmt.Errorf("core: %d estimates for %d UEs", len(ests), len(w.UEs))
 	}
-	return s.runWithEstimates(w, ests, 0)
+	return s.runWithEstimates(context.Background(), w, ests, 0)
 }
 
-func (s *SkyRAN) runWithEstimates(w *sim.World, ests []geom.Vec2, locM float64) (EpochResult, error) {
+func (s *SkyRAN) runWithEstimates(ctx context.Context, w *sim.World, ests []geom.Vec2, locM float64) (EpochResult, error) {
 	var res EpochResult
+	cancelled := func() error {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("core: epoch cancelled: %w", err)
+		}
+		return nil
+	}
 	res.LocalizationM = locM
 	res.UEEstimates = ests
 
@@ -226,6 +276,10 @@ func (s *SkyRAN) runWithEstimates(w *sim.World, ests []geom.Vec2, locM float64) 
 			s.targetAlt = alt
 			res.LocalizationM += climbM
 		}
+	}
+
+	if err := cancelled(); err != nil {
+		return res, err
 	}
 
 	// REM initialisation: store reuse within R, else FSPL model fill.
@@ -255,6 +309,9 @@ func (s *SkyRAN) runWithEstimates(w *sim.World, ests []geom.Vec2, locM float64) 
 			w.Area(), s.cfg.MeasurementBudgetM)
 	}
 	path = path.Resample(1)
+	if err := cancelled(); err != nil {
+		return res, err
+	}
 
 	// Step 7: fly, measure, update and interpolate REMs. SRS ranging
 	// continues during the flight; its much larger synthetic aperture
@@ -272,6 +329,9 @@ func (s *SkyRAN) runWithEstimates(w *sim.World, ests []geom.Vec2, locM float64) 
 		for i, m := range maps {
 			m.AddMeasurement(smp.GPS.XY(), smp.SNRs[i])
 		}
+	}
+	if err := cancelled(); err != nil {
+		return res, err
 	}
 	for _, m := range maps {
 		if err := m.Interpolate(); err != nil {
@@ -296,6 +356,9 @@ func (s *SkyRAN) runWithEstimates(w *sim.World, ests []geom.Vec2, locM float64) 
 		tr.Observe(ests[i], 4, w.Clock)
 	}
 	res.REMs = maps
+	if err := cancelled(); err != nil {
+		return res, err
+	}
 
 	// Step 8: max-min placement and move. Candidates are restricted to
 	// cells near actual measurements: far cells hold only prior/IDW

@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
+	"repro/internal/engine"
 	"repro/internal/geom"
 	"repro/internal/rem"
 	"repro/internal/sim"
@@ -71,6 +73,18 @@ func NewFleet(n int, t *terrain.Surface, cfg Config, seed uint64, fastRanging bo
 // subsets, so propagation is identical to a single-world simulation of
 // the same links.
 func (f *Fleet) RunEpoch(ues []*ue.UE) (*FleetResult, error) {
+	return f.RunEpochCtx(context.Background(), ues)
+}
+
+// RunEpochCtx is RunEpoch with cooperative cancellation. Sector epochs
+// fan out over the deterministic parallel engine (Config.Workers
+// bounds the concurrency; members fly concurrently in the real
+// deployment anyway): every member starts from a snapshot of the
+// epoch-start shared store — a concurrently-flying UAV cannot see maps
+// its peers are still measuring — and the members' new maps are merged
+// back in sector order once all have landed. Per-sector results and
+// the merged store are therefore byte-identical at any worker count.
+func (f *Fleet) RunEpochCtx(ctx context.Context, ues []*ue.UE) (*FleetResult, error) {
 	if len(ues) == 0 {
 		return nil, fmt.Errorf("core: fleet epoch without UEs")
 	}
@@ -94,12 +108,15 @@ func (f *Fleet) RunEpoch(ues []*ue.UE) (*FleetResult, error) {
 		sectors[assign[i]] = append(sectors[assign[i]], ue.New(u.ID, u.Pos))
 	}
 
-	res := &FleetResult{Sectors: sectors}
-	for s, sector := range sectors {
+	base := f.shared.Snapshot()
+	type sectorOut struct {
+		er EpochResult
+		w  *sim.World
+	}
+	outs, err := engine.ParallelMap(engine.WorkerCount(f.cfg.Workers), k, func(s int) (sectorOut, error) {
+		sector := sectors[s]
 		if len(sector) == 0 {
-			res.PerUAV = append(res.PerUAV, EpochResult{})
-			res.Worlds = append(res.Worlds, nil)
-			continue
+			return sectorOut{}, nil
 		}
 		w, err := sim.New(sim.Config{
 			Terrain:     f.terrain,
@@ -107,20 +124,36 @@ func (f *Fleet) RunEpoch(ues []*ue.UE) (*FleetResult, error) {
 			FastRanging: f.fast,
 		}, sector)
 		if err != nil {
-			return nil, fmt.Errorf("core: fleet sector %d: %w", s, err)
+			return sectorOut{}, fmt.Errorf("core: fleet sector %d: %w", s, err)
 		}
 		cfg := f.cfg
 		cfg.Seed = f.cfg.Seed + int64(s)*1000
-		cfg.SharedStore = f.shared
+		cfg.SharedStore = base.Snapshot()
 		ctrl := NewSkyRAN(cfg)
-		er, err := ctrl.RunEpoch(w)
+		er, err := ctrl.RunEpochCtx(ctx, w)
 		if err != nil {
-			return nil, fmt.Errorf("core: fleet sector %d epoch: %w", s, err)
+			return sectorOut{}, fmt.Errorf("core: fleet sector %d epoch: %w", s, err)
 		}
-		res.PerUAV = append(res.PerUAV, er)
-		res.Worlds = append(res.Worlds, w)
-		if t := er.TotalFlightS; t > res.MaxFlightS {
+		return sectorOut{er: er, w: w}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &FleetResult{Sectors: sectors}
+	for _, o := range outs {
+		res.PerUAV = append(res.PerUAV, o.er)
+		res.Worlds = append(res.Worlds, o.w)
+		if t := o.er.TotalFlightS; t > res.MaxFlightS {
 			res.MaxFlightS = t
+		}
+		// Merge the member's contributions into the fleet store in
+		// sector order (newer sectors win within the reuse radius, as
+		// the sequential loop's Puts did).
+		for i, m := range o.er.REMs {
+			if m != nil && i < len(o.er.UEEstimates) {
+				f.shared.Put(o.er.UEEstimates[i], m)
+			}
 		}
 	}
 	return res, nil

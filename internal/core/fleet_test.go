@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"reflect"
 	"testing"
 
 	"repro/internal/terrain"
@@ -55,6 +57,58 @@ func TestFleetPartitionsAndPlaces(t *testing.T) {
 	}
 	if f.SharedStore().Len() == 0 {
 		t.Error("shared store empty after epoch")
+	}
+}
+
+// TestFleetParallelDeterminism: per-sector epochs fan out over the
+// parallel engine; results and the merged shared store must be
+// byte-identical at any worker count.
+func TestFleetParallelDeterminism(t *testing.T) {
+	tr := terrain.Campus(5)
+	ues := ue.PlaceRandomOpen(6, tr.Bounds().Inset(60), tr.IsOpen, 25, newTestRNG(5))
+	run := func(workers int) (*FleetResult, *Fleet) {
+		f, err := NewFleet(3, tr, Config{
+			Seed:               5,
+			FixedAltitudeM:     60,
+			MeasurementBudgetM: 300,
+			Workers:            workers,
+		}, 5, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := f.RunEpoch(ues)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, f
+	}
+	seq, fseq := run(1)
+	par, fpar := run(8)
+	if !reflect.DeepEqual(seq.PerUAV, par.PerUAV) {
+		t.Fatal("per-UAV epoch results differ between 1 and 8 workers")
+	}
+	if seq.MaxFlightS != par.MaxFlightS {
+		t.Fatalf("MaxFlightS %v vs %v", seq.MaxFlightS, par.MaxFlightS)
+	}
+	if !reflect.DeepEqual(fseq.SharedStore().Positions(), fpar.SharedStore().Positions()) {
+		t.Fatal("merged shared stores differ between 1 and 8 workers")
+	}
+}
+
+func TestFleetEpochCancellation(t *testing.T) {
+	tr := terrain.Campus(6)
+	ues := ue.PlaceRandomOpen(4, tr.Bounds().Inset(60), tr.IsOpen, 25, newTestRNG(6))
+	f, err := NewFleet(2, tr, Config{Seed: 6, FixedAltitudeM: 60, MeasurementBudgetM: 300}, 6, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := f.RunEpochCtx(ctx, ues); err == nil {
+		t.Fatal("cancelled fleet epoch should fail")
+	}
+	if f.SharedStore().Len() != 0 {
+		t.Error("cancelled epoch should not have merged maps into the store")
 	}
 }
 

@@ -10,6 +10,7 @@ package enb
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 
 	"repro/internal/epc"
@@ -207,6 +208,12 @@ func (e *ENodeB) RunTTI() float64 {
 	if len(active) == 0 {
 		return 0
 	}
+	// Map iteration order is randomized per process; the PRB allocation
+	// below reads slice positions (round-robin rotation, max-CQI and PF
+	// tie-breaks), so schedule in RNTI order to keep served bits
+	// byte-identical across runs — the serving API's determinism
+	// guarantee extends through the scheduler.
+	sort.Slice(active, func(i, j int) bool { return active[i].RNTI < active[j].RNTI })
 	prbs := e.Num.PRBs
 	var total float64
 	credit := func(ctx *UEContext, nPRB int) {

@@ -1,0 +1,81 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestParallelMapOrderPreserved(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 100} {
+		out, err := ParallelMap(workers, 37, func(i int) (int, error) {
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d]=%d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestParallelMapLowestIndexError(t *testing.T) {
+	errAt := func(i int) error { return fmt.Errorf("task %d failed", i) }
+	// Multiple failing tasks: regardless of scheduling, the error for
+	// the lowest failing index must be reported.
+	for _, workers := range []int{1, 4, 16} {
+		_, err := ParallelMap(workers, 20, func(i int) (int, error) {
+			if i == 7 || i == 13 {
+				return 0, errAt(i)
+			}
+			return i, nil
+		})
+		if err == nil {
+			t.Fatalf("workers=%d: expected error", workers)
+		}
+		if got := err.Error(); got != "task 7 failed" {
+			t.Fatalf("workers=%d: got %q, want the lowest-index error", workers, got)
+		}
+	}
+}
+
+func TestParallelMapEmptyAndSmall(t *testing.T) {
+	out, err := ParallelMap(8, 0, func(i int) (int, error) { return 0, errors.New("never") })
+	if err != nil || len(out) != 0 {
+		t.Fatalf("n=0: out=%v err=%v", out, err)
+	}
+	out, err = ParallelMap(8, 1, func(i int) (int, error) { return 42, nil })
+	if err != nil || len(out) != 1 || out[0] != 42 {
+		t.Fatalf("n=1: out=%v err=%v", out, err)
+	}
+}
+
+func TestParallelMapRunsEveryTask(t *testing.T) {
+	var calls atomic.Int64
+	_, err := ParallelMap(4, 50, func(i int) (int, error) {
+		calls.Add(1)
+		return i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 50 {
+		t.Fatalf("body ran %d times, want 50", calls.Load())
+	}
+}
+
+func TestWorkerCount(t *testing.T) {
+	if WorkerCount(0) < 1 {
+		t.Fatalf("default WorkerCount %d < 1", WorkerCount(0))
+	}
+	if WorkerCount(-2) < 1 {
+		t.Fatalf("negative WorkerCount %d < 1", WorkerCount(-2))
+	}
+	if WorkerCount(3) != 3 {
+		t.Fatalf("explicit WorkerCount: got %d, want 3", WorkerCount(3))
+	}
+}

@@ -1,85 +1,30 @@
 package experiments
 
-import (
-	"runtime"
-	"sync"
-)
+import "repro/internal/engine"
 
 // The deterministic parallel Monte-Carlo engine. Every figure harness
 // is a fold over independent (sweep point, seed) tasks: each task
 // builds its own terrain, world and controller from the task indices
-// alone, so tasks can run on any goroutine in any order. The engine
-// fans tasks out over a bounded worker pool and hands results back in
-// index order, which makes the merged report rows byte-identical to a
-// sequential run — scheduling can change only *when* a task runs,
-// never what it computes or where its result lands.
+// alone, so tasks can run on any goroutine in any order. The generic
+// fan-out primitive lives in internal/engine (it is shared with the
+// multi-UAV fleet and the skyrand server); this file binds it to
+// Options and the (point, seed) task shapes the harnesses use.
 //
-// Determinism contract for task bodies:
-//   - derive every RNG from the task indices (seed, point), never from
-//     shared or ambient state;
-//   - build worlds/terrains fresh inside the body (they are cheap next
-//     to the epochs they host);
-//   - return values, do not append to captured slices.
-
-// parallelMap evaluates body(i) for i in [0, n) across up to workers
-// goroutines and returns the results in index order. With one worker
-// it degenerates to the plain sequential loop (stopping at the first
-// error, as the pre-engine harnesses did). With more, every task runs
-// to completion and the lowest-index error is returned, so the
-// reported error does not depend on goroutine scheduling.
-func parallelMap[T any](workers, n int, body func(i int) (T, error)) ([]T, error) {
-	out := make([]T, n)
-	if n == 0 {
-		return out, nil
-	}
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			v, err := body(i)
-			if err != nil {
-				return nil, err
-			}
-			out[i] = v
-		}
-		return out, nil
-	}
-	errs := make([]error, n)
-	idx := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range idx {
-				out[i], errs[i] = body(i)
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		idx <- i
-	}
-	close(idx)
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return out, nil
-}
+// The engine hands results back in index order, which makes the merged
+// report rows byte-identical to a sequential run — scheduling can
+// change only *when* a task runs, never what it computes or where its
+// result lands. See the determinism contract in package engine.
 
 // runSeeds evaluates body for every Monte-Carlo seed and returns the
 // per-seed results in seed order.
 func runSeeds[T any](opts Options, body func(seed int) (T, error)) ([]T, error) {
-	return parallelMap(opts.workerCount(), opts.Seeds, body)
+	return engine.ParallelMap(opts.workerCount(), opts.Seeds, body)
 }
 
 // runTrials is runSeeds with an explicit trial count (harnesses that
 // run a multiple of opts.Seeds trials).
 func runTrials[T any](opts Options, trials int, body func(trial int) (T, error)) ([]T, error) {
-	return parallelMap(opts.workerCount(), trials, body)
+	return engine.ParallelMap(opts.workerCount(), trials, body)
 }
 
 // sweepSeeds fans out every (sweep point, seed) pair — sweep points
@@ -91,7 +36,7 @@ func sweepSeeds[T any](opts Options, points int, body func(point, seed int) (T, 
 
 // sweepTrials is sweepSeeds with an explicit per-point trial count.
 func sweepTrials[T any](opts Options, points, trials int, body func(point, trial int) (T, error)) ([][]T, error) {
-	flat, err := parallelMap(opts.workerCount(), points*trials, func(i int) (T, error) {
+	flat, err := engine.ParallelMap(opts.workerCount(), points*trials, func(i int) (T, error) {
 		return body(i/trials, i%trials)
 	})
 	if err != nil {
@@ -106,8 +51,5 @@ func sweepTrials[T any](opts Options, points, trials int, body func(point, trial
 
 // workerCount resolves Options.Workers: 0 means one worker per CPU.
 func (o *Options) workerCount() int {
-	if o.Workers > 0 {
-		return o.Workers
-	}
-	return runtime.GOMAXPROCS(0)
+	return engine.WorkerCount(o.Workers)
 }

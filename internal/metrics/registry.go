@@ -1,0 +1,250 @@
+package metrics
+
+// A minimal operational-metrics registry for the serving path: the
+// skyrand daemon exposes job counters, queue gauges and epoch-latency
+// histograms in Prometheus text exposition format without pulling in a
+// client library. Counters, gauges and histograms are lock-free on the
+// hot path (atomic CAS over float bits) so instrumented code can be
+// exercised under -race from many goroutines.
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing float64.
+type Counter struct {
+	bits atomic.Uint64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add increases the counter by d (negative deltas are ignored —
+// counters only go up).
+func (c *Counter) Add(d float64) {
+	if d < 0 {
+		return
+	}
+	addFloat(&c.bits, d)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() float64 { return math.Float64frombits(c.bits.Load()) }
+
+// Gauge is a float64 that can go up and down.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add increases (or, with negative d, decreases) the gauge.
+func (g *Gauge) Add(d float64) { addFloat(&g.bits, d) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// addFloat atomically adds d to a float64 stored as bits.
+func addFloat(bits *atomic.Uint64, d float64) {
+	for {
+		old := bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Histogram counts observations into cumulative buckets with fixed
+// upper bounds, plus a +Inf overflow bucket, a sum and a count — the
+// Prometheus histogram shape.
+type Histogram struct {
+	bounds []float64 // strictly increasing upper bounds, +Inf excluded
+	counts []atomic.Uint64
+	inf    atomic.Uint64
+	sum    atomic.Uint64 // float bits
+	n      atomic.Uint64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	// First bucket whose upper bound contains v (le semantics).
+	i := sort.SearchFloat64s(h.bounds, v)
+	if i < len(h.bounds) {
+		h.counts[i].Add(1)
+	} else {
+		h.inf.Add(1)
+	}
+	addFloat(&h.sum, v)
+	h.n.Add(1)
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 { return h.n.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// BucketCounts returns the cumulative count per bound, ending with the
+// +Inf bucket (== Count()).
+func (h *Histogram) BucketCounts() []uint64 {
+	out := make([]uint64, 0, len(h.bounds)+1)
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		out = append(out, cum)
+	}
+	out = append(out, cum+h.inf.Load())
+	return out
+}
+
+// DefBuckets is a general-purpose latency bucket layout in seconds.
+var DefBuckets = []float64{0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60}
+
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+type registered struct {
+	name string
+	help string
+	kind metricKind
+	c    *Counter
+	g    *Gauge
+	h    *Histogram
+}
+
+// Registry holds named metrics and renders them in Prometheus text
+// exposition format. Get-or-create accessors make registration
+// idempotent; names must stay consistent with one kind.
+type Registry struct {
+	mu      sync.Mutex
+	byName  map[string]*registered
+	ordered []*registered // sorted by name on write
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*registered)}
+}
+
+func (r *Registry) lookup(name, help string, kind metricKind) *registered {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.byName[name]; ok {
+		if m.kind != kind {
+			panic(fmt.Sprintf("metrics: %q re-registered as a different kind", name))
+		}
+		return m
+	}
+	m := &registered{name: name, help: help, kind: kind}
+	switch kind {
+	case kindCounter:
+		m.c = &Counter{}
+	case kindGauge:
+		m.g = &Gauge{}
+	case kindHistogram:
+		m.h = &Histogram{}
+	}
+	r.byName[name] = m
+	r.ordered = append(r.ordered, m)
+	sort.Slice(r.ordered, func(i, j int) bool { return r.ordered[i].name < r.ordered[j].name })
+	return m
+}
+
+// Counter returns the counter registered under name, creating it on
+// first use.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.lookup(name, help, kindCounter).c
+}
+
+// Gauge returns the gauge registered under name, creating it on first
+// use.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.lookup(name, help, kindGauge).g
+}
+
+// Histogram returns the histogram registered under name, creating it
+// with the given bucket upper bounds on first use (bounds must be
+// strictly increasing; nil selects DefBuckets). Bounds are fixed at
+// creation — later calls return the existing histogram unchanged.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	m := r.lookup(name, help, kindHistogram)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m.h.counts == nil {
+		if bounds == nil {
+			bounds = DefBuckets
+		}
+		for i := 1; i < len(bounds); i++ {
+			if bounds[i] <= bounds[i-1] {
+				panic(fmt.Sprintf("metrics: histogram %q bounds not strictly increasing", name))
+			}
+		}
+		m.h.bounds = append([]float64(nil), bounds...)
+		m.h.counts = make([]atomic.Uint64, len(bounds))
+	}
+	return m.h
+}
+
+// fmtFloat renders a metric value the way Prometheus does.
+func fmtFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteText renders every registered metric in Prometheus text
+// exposition format, sorted by metric name.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	ms := append([]*registered(nil), r.ordered...)
+	r.mu.Unlock()
+	for _, m := range ms {
+		if m.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.name, m.help); err != nil {
+				return err
+			}
+		}
+		var err error
+		switch m.kind {
+		case kindCounter:
+			_, err = fmt.Fprintf(w, "# TYPE %s counter\n%s %s\n", m.name, m.name, fmtFloat(m.c.Value()))
+		case kindGauge:
+			_, err = fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", m.name, m.name, fmtFloat(m.g.Value()))
+		case kindHistogram:
+			if _, err = fmt.Fprintf(w, "# TYPE %s histogram\n", m.name); err != nil {
+				return err
+			}
+			cum := m.h.BucketCounts()
+			for i, b := range m.h.bounds {
+				if _, err = fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", m.name, fmtFloat(b), cum[i]); err != nil {
+					return err
+				}
+			}
+			if _, err = fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", m.name, cum[len(cum)-1]); err != nil {
+				return err
+			}
+			_, err = fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", m.name, fmtFloat(m.h.Sum()), m.name, m.h.Count())
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

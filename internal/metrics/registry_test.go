@@ -1,0 +1,162 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// Satellite guard: the figure statistics return NaN (never panic, never
+// zero) on empty input, and the serving path relies on that staying
+// true when a job completes with no samples.
+func TestEmptyInputsAreNaN(t *testing.T) {
+	if !math.IsNaN(Percentile(nil, 50)) || !math.IsNaN(Percentile([]float64{}, 99)) {
+		t.Error("Percentile on empty input should be NaN")
+	}
+	if !math.IsNaN(Median(nil)) || !math.IsNaN(Median([]float64{})) {
+		t.Error("Median on empty input should be NaN")
+	}
+	if !math.IsNaN(Mean(nil)) || !math.IsNaN(Mean([]float64{})) {
+		t.Error("Mean on empty input should be NaN")
+	}
+	if !math.IsNaN(Std(nil)) {
+		t.Error("Std on empty input should be NaN")
+	}
+	if m, hw := MeanCI95(nil); !math.IsNaN(m) || !math.IsNaN(hw) {
+		t.Error("MeanCI95 on empty input should be NaN")
+	}
+	if !math.IsNaN(NewCDF(nil).At(0)) {
+		t.Error("empty CDF should evaluate to NaN")
+	}
+	// One sample is enough for a value (just not a CI).
+	if Median([]float64{7}) != 7 || Percentile([]float64{7}, 90) != 7 {
+		t.Error("singleton percentile should return the sample")
+	}
+}
+
+func TestCounterGaugeBasics(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(2.5)
+	c.Add(-1) // ignored: counters only go up
+	if c.Value() != 3.5 {
+		t.Errorf("counter = %v, want 3.5", c.Value())
+	}
+	var g Gauge
+	g.Set(10)
+	g.Add(-4)
+	if g.Value() != 6 {
+		t.Errorf("gauge = %v, want 6", g.Value())
+	}
+}
+
+// TestRegistryConcurrentIncrements hammers one counter, one gauge and
+// one histogram from many goroutines; run under -race this is the
+// lock-freedom proof, and the totals must still be exact.
+func TestRegistryConcurrentIncrements(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("jobs_total", "jobs")
+	g := r.Gauge("depth", "queue depth")
+	h := r.Histogram("lat", "latency", []float64{1, 2, 4})
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i % 5))
+				// Concurrent get-or-create must return the same metric.
+				if r.Counter("jobs_total", "jobs") != c {
+					t.Error("Counter lookup returned a different instance")
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Value() != workers*perWorker {
+		t.Errorf("counter = %v, want %d", c.Value(), workers*perWorker)
+	}
+	if g.Value() != workers*perWorker {
+		t.Errorf("gauge = %v, want %d", g.Value(), workers*perWorker)
+	}
+	if h.Count() != workers*perWorker {
+		t.Errorf("histogram count = %d, want %d", h.Count(), workers*perWorker)
+	}
+}
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", "", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 2, 3, 4, 5, 100} {
+		h.Observe(v)
+	}
+	// le-semantics: a sample equal to a bound lands in that bucket.
+	want := []uint64{2, 4, 6, 8} // le=1, le=2, le=4, +Inf (cumulative)
+	got := h.BucketCounts()
+	if len(got) != len(want) {
+		t.Fatalf("bucket count %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("bucket[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+	if h.Sum() != 117 {
+		t.Errorf("sum = %v, want 117", h.Sum())
+	}
+	if h.Count() != 8 {
+		t.Errorf("count = %d, want 8", h.Count())
+	}
+}
+
+func TestRegistryExpositionFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("skyrand_jobs_accepted_total", "Jobs accepted.").Add(3)
+	r.Gauge("skyrand_queue_depth", "Queued jobs.").Set(2)
+	h := r.Histogram("skyrand_epoch_latency_seconds", "Epoch wall latency.", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(10)
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE skyrand_epoch_latency_seconds histogram",
+		`skyrand_epoch_latency_seconds_bucket{le="0.1"} 1`,
+		`skyrand_epoch_latency_seconds_bucket{le="1"} 2`,
+		`skyrand_epoch_latency_seconds_bucket{le="+Inf"} 3`,
+		"skyrand_epoch_latency_seconds_sum 10.55",
+		"skyrand_epoch_latency_seconds_count 3",
+		"# TYPE skyrand_jobs_accepted_total counter",
+		"skyrand_jobs_accepted_total 3",
+		"# TYPE skyrand_queue_depth gauge",
+		"skyrand_queue_depth 2",
+		"# HELP skyrand_queue_depth Queued jobs.",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition output missing %q:\n%s", want, out)
+		}
+	}
+	// Sorted by name: the histogram (epoch...) precedes jobs_accepted.
+	if strings.Index(out, "epoch_latency") > strings.Index(out, "jobs_accepted") {
+		t.Error("metrics not sorted by name")
+	}
+}
+
+func TestRegistryKindClashPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x", "")
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering a counter as a gauge should panic")
+		}
+	}()
+	r.Gauge("x", "")
+}

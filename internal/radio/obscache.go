@@ -3,6 +3,7 @@ package radio
 import (
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/terrain"
 )
@@ -68,11 +69,28 @@ func (c *obsCache) shardOf(k rayKey) *obsShard {
 	return &c.shards[h%obsShardCount]
 }
 
+// Process-wide hit/miss totals across every model's cache — the
+// serving daemon surfaces these on /metrics, where the hit rate is the
+// cheapest proxy for "are jobs re-tracing rays the cache already
+// holds".
+var obsHits, obsMisses atomic.Uint64
+
+// ObsCacheStats returns the process-wide obstruction-cache lookup
+// totals since start.
+func ObsCacheStats() (hits, misses uint64) {
+	return obsHits.Load(), obsMisses.Load()
+}
+
 func (c *obsCache) get(k rayKey) (float64, bool) {
 	s := c.shardOf(k)
 	s.mu.RLock()
 	v, ok := s.m[k]
 	s.mu.RUnlock()
+	if ok {
+		obsHits.Add(1)
+	} else {
+		obsMisses.Add(1)
+	}
 	return v, ok
 }
 

@@ -82,10 +82,12 @@ func restoreMap(s mapSnapshot) (*Map, error) {
 func (s *Store) Save(w io.Writer) error {
 	zw := gzip.NewWriter(w)
 	snap := storeSnapshot{Version: persistVersion, R: s.R}
+	s.mu.RLock()
 	for _, e := range s.entries {
 		snap.Keys = append(snap.Keys, e.pos)
 		snap.Maps = append(snap.Maps, snapshotMap(e.m))
 	}
+	s.mu.RUnlock()
 	if err := gob.NewEncoder(zw).Encode(snap); err != nil {
 		zw.Close()
 		return fmt.Errorf("rem: encoding store: %w", err)

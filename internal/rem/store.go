@@ -65,11 +65,47 @@ func (s *Store) Lookup(pos geom.Vec2) *Map {
 	return s.entries[best].m.Clone()
 }
 
+// Snapshot returns an independent copy of the store with the same
+// reuse radius and entries. The stored maps themselves are shared, not
+// copied: entries are immutable once stored (Lookup clones, Put
+// replaces whole entries), so a snapshot is a cheap point-in-time view.
+// The fleet hands each concurrently-flying member a snapshot of the
+// epoch-start store and merges their contributions back in sector
+// order, keeping parallel epochs deterministic.
+func (s *Store) Snapshot() *Store {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	cp := NewStore(s.R)
+	cp.entries = append([]storeEntry(nil), s.entries...)
+	return cp
+}
+
 // Len returns the number of stored REMs.
 func (s *Store) Len() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return len(s.entries)
+}
+
+// PointValue is one stored REM evaluated at a query point.
+type PointValue struct {
+	// Key is the UE position the map was measured for.
+	Key geom.Vec2 `json:"key"`
+	// SNRDB is the map's estimate at the query point (clamped to the
+	// map bounds).
+	SNRDB float64 `json:"snr_db"`
+}
+
+// At evaluates every stored REM at p in insertion order — the skyrand
+// daemon's REM point-lookup endpoint.
+func (s *Store) At(p geom.Vec2) []PointValue {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]PointValue, 0, len(s.entries))
+	for _, e := range s.entries {
+		out = append(out, PointValue{Key: e.pos, SNRDB: e.m.Value(p)})
+	}
+	return out
 }
 
 // Positions returns the stored key positions (for diagnostics).

@@ -1,0 +1,326 @@
+// Package scenario runs a full SkyRAN scenario end-to-end — build a
+// terrain, drop UEs, run controller epochs with UE mobility, score the
+// placements — and reports the outcome as plain data. It is the one
+// implementation behind both entry points: the skyranctl CLI prints a
+// Result (or emits it as JSON with -json), and the skyrand daemon
+// serves the very same Result from its job API. Because both paths
+// call Run with the same Spec, a job submitted over HTTP is
+// byte-identical to the equivalent CLI run.
+package scenario
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/metrics"
+	"repro/internal/rem"
+	"repro/internal/sim"
+	"repro/internal/terrain"
+	"repro/internal/trace"
+	"repro/internal/ue"
+)
+
+// Spec is a scenario description — the same knobs skyranctl exposes as
+// flags, in the wire shape the skyrand job API accepts.
+type Spec struct {
+	// Terrain names a procedural terrain: CAMPUS, RURAL, NYC, LARGE or
+	// FLAT.
+	Terrain string `json:"terrain"`
+	// UEs is the number of ground terminals.
+	UEs int `json:"ues"`
+	// Topology places the UEs: "uniform" or "clustered".
+	Topology string `json:"topology"`
+	// Controller selects the placement strategy: skyran, uniform,
+	// centroid, random or oracle.
+	Controller string `json:"controller"`
+	// BudgetM is the measurement budget per epoch in metres.
+	BudgetM float64 `json:"budget_m"`
+	// Epochs is how many controller epochs to run; half the UEs
+	// relocate between epochs.
+	Epochs int `json:"epochs"`
+	// Seed drives every stochastic element of the scenario.
+	Seed int64 `json:"seed"`
+	// ServeS is how many seconds of LTE serving to simulate per epoch
+	// (0 skips the serving phase).
+	ServeS float64 `json:"serve_s"`
+}
+
+// Normalize fills defaults (matching skyranctl's flag defaults, except
+// ServeS which stays as given) and validates enumerated fields.
+func (s *Spec) Normalize() error {
+	if s.Terrain == "" {
+		s.Terrain = "CAMPUS"
+	}
+	if s.UEs <= 0 {
+		s.UEs = 6
+	}
+	if s.Topology == "" {
+		s.Topology = "uniform"
+	}
+	if s.Topology != "uniform" && s.Topology != "clustered" {
+		return fmt.Errorf("scenario: unknown topology %q", s.Topology)
+	}
+	if s.Controller == "" {
+		s.Controller = "skyran"
+	}
+	switch s.Controller {
+	case "skyran", "uniform", "centroid", "random", "oracle":
+	default:
+		return fmt.Errorf("scenario: unknown controller %q", s.Controller)
+	}
+	if s.BudgetM == 0 {
+		s.BudgetM = 800
+	}
+	if s.BudgetM < 0 {
+		return fmt.Errorf("scenario: negative budget %g", s.BudgetM)
+	}
+	if s.Epochs <= 0 {
+		s.Epochs = 1
+	}
+	if s.Epochs > 100 {
+		return fmt.Errorf("scenario: %d epochs exceeds the per-job cap of 100", s.Epochs)
+	}
+	if s.UEs > 200 {
+		return fmt.Errorf("scenario: %d UEs exceeds the per-job cap of 200", s.UEs)
+	}
+	if s.ServeS < 0 || s.ServeS > 600 {
+		return fmt.Errorf("scenario: serve_s %g outside [0, 600]", s.ServeS)
+	}
+	return nil
+}
+
+// TerrainInfo summarises the built terrain.
+type TerrainInfo struct {
+	Name               string  `json:"name"`
+	WidthM             float64 `json:"width_m"`
+	HeightM            float64 `json:"height_m"`
+	OpenFrac           float64 `json:"open_frac"`
+	BuildingFrac       float64 `json:"building_frac"`
+	FoliageFrac        float64 `json:"foliage_frac"`
+	MaxObstacleHeightM float64 `json:"max_obstacle_height_m"`
+}
+
+// UEServed is one UE's serving-phase outcome.
+type UEServed struct {
+	UE        int     `json:"ue"`
+	ServedBps float64 `json:"served_bps"`
+}
+
+// EpochReport is one controller epoch, scored against ground truth.
+type EpochReport struct {
+	Epoch     int  `json:"epoch"`
+	Relocated bool `json:"relocated"`
+
+	Position       geom.Vec3 `json:"position"`
+	ObjectiveValue float64   `json:"objective_value"`
+	LocalizationM  float64   `json:"localization_m"`
+	MeasurementM   float64   `json:"measurement_m"`
+	TotalFlightS   float64   `json:"total_flight_s"`
+
+	// MedianLocErrM is the median UE localization error; nil for
+	// controllers that do not localize.
+	MedianLocErrM *float64 `json:"median_loc_err_m,omitempty"`
+
+	// Throughput at the chosen position vs the ground-truth optimum in
+	// the same altitude plane.
+	ThroughputBps      float64   `json:"throughput_bps"`
+	OptimalBps         float64   `json:"optimal_bps"`
+	OptimalPos         geom.Vec2 `json:"optimal_pos"`
+	RelativeThroughput float64   `json:"relative_throughput"`
+
+	// Serving-phase statistics (empty when Spec.ServeS is 0).
+	Served             []UEServed `json:"served,omitempty"`
+	AggregateServedBps float64    `json:"aggregate_served_bps"`
+
+	BatteryFrac float64 `json:"battery_frac"`
+	OdometerM   float64 `json:"odometer_m"`
+}
+
+// Result is a completed scenario run.
+type Result struct {
+	Spec           Spec          `json:"spec"`
+	Terrain        TerrainInfo   `json:"terrain"`
+	Controller     string        `json:"controller"`
+	ActiveSessions int           `json:"active_sessions"`
+	Epochs         []EpochReport `json:"epochs"`
+}
+
+// MarshalResult renders a Result in the canonical wire form — indented
+// JSON with a trailing newline. skyranctl -json writes exactly these
+// bytes and the skyrand daemon serves exactly these bytes, so the two
+// outputs diff clean.
+func MarshalResult(r *Result) ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("scenario: encoding result: %w", err)
+	}
+	return append(b, '\n'), nil
+}
+
+// Options tunes a Run beyond the Spec.
+type Options struct {
+	// Terrain, when non-nil, overrides Spec.Terrain with a pre-built
+	// surface (skyranctl's -xyz / -esri paths).
+	Terrain *terrain.Surface
+	// Tracer, when non-nil, receives the run's flight telemetry.
+	Tracer *trace.Recorder
+	// OnStart is called once the world is built, with the Result's
+	// header fields (Spec, Terrain, ActiveSessions) populated and
+	// Epochs still empty.
+	OnStart func(*Result)
+	// OnEpoch is called after each epoch with its finished report.
+	OnEpoch func(EpochReport)
+}
+
+// Run executes the scenario and returns its Result plus the
+// controller's REM store (nil for controllers that keep no store).
+// Cancelling ctx aborts between epochs and, for the SkyRAN controller,
+// between flight phases; the error then wraps ctx.Err().
+func Run(ctx context.Context, spec Spec, opts Options) (*Result, *rem.Store, error) {
+	if err := spec.Normalize(); err != nil {
+		return nil, nil, err
+	}
+	t := opts.Terrain
+	if t == nil {
+		t = terrain.ByName(spec.Terrain, uint64(spec.Seed))
+		if t == nil {
+			return nil, nil, fmt.Errorf("scenario: unknown terrain %q", spec.Terrain)
+		}
+	}
+
+	rng := rand.New(rand.NewSource(spec.Seed))
+	var ues []*ue.UE
+	if spec.Topology == "clustered" {
+		center := ue.PlaceRandomOpen(1, t.Bounds().Inset(40), t.IsOpen, 0, rng)[0].Pos
+		ues = ue.PlaceClustered(spec.UEs, center, t.Bounds().Width()*0.06, t.Bounds(), t.IsOpen, rng)
+	} else {
+		ues = ue.PlaceRandomOpen(spec.UEs, t.Bounds().Inset(t.Bounds().Width()*0.08), t.IsOpen, 15, rng)
+	}
+	w, err := sim.New(sim.Config{Terrain: t, Seed: uint64(spec.Seed), FastRanging: true}, ues)
+	if err != nil {
+		return nil, nil, err
+	}
+	w.Tracer = opts.Tracer
+	if opts.Tracer != nil {
+		opts.Tracer.Meta(t.Name, spec.Seed)
+	}
+
+	ctrl, err := makeController(spec.Controller, spec.BudgetM, spec.Seed)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	st := t.Stats()
+	res := &Result{
+		Spec: spec,
+		Terrain: TerrainInfo{
+			Name: t.Name, WidthM: t.Bounds().Width(), HeightM: t.Bounds().Height(),
+			OpenFrac: st.OpenFrac, BuildingFrac: st.BuildingFrac, FoliageFrac: st.FoliageFrac,
+			MaxObstacleHeightM: st.MaxObstacleHeight,
+		},
+		Controller:     ctrl.Name(),
+		ActiveSessions: w.Core.ActiveSessions(),
+	}
+	if opts.OnStart != nil {
+		opts.OnStart(res)
+	}
+
+	for e := 0; e < spec.Epochs; e++ {
+		if err := ctx.Err(); err != nil {
+			return res, storeOf(ctrl), fmt.Errorf("scenario: epoch %d: %w", e+1, err)
+		}
+		relocated := e > 0
+		if relocated {
+			relocateHalf(w, rng)
+		}
+		er, err := core.RunEpochCtx(ctx, ctrl, w)
+		if err != nil {
+			return res, storeOf(ctrl), fmt.Errorf("scenario: epoch %d: %w", e+1, err)
+		}
+		rep := EpochReport{
+			Epoch:          e + 1,
+			Relocated:      relocated,
+			Position:       er.Position,
+			ObjectiveValue: er.ObjectiveValue,
+			LocalizationM:  er.LocalizationM,
+			MeasurementM:   er.MeasurementM,
+			TotalFlightS:   er.TotalFlightS,
+		}
+		if len(er.UEEstimates) == len(w.UEs) {
+			var errs []float64
+			for i, est := range er.UEEstimates {
+				errs = append(errs, est.Dist(w.UEs[i].Pos))
+			}
+			med := metrics.Median(errs)
+			rep.MedianLocErrM = &med
+		}
+
+		// Quality vs ground truth in the serving plane.
+		bestPos, bestVal := core.BestPosition(w, er.Position.Z, 5, rem.MaxMean)
+		rep.ThroughputBps = w.AvgThroughputAt(er.Position)
+		rep.OptimalBps = bestVal
+		rep.OptimalPos = bestPos
+		rep.RelativeThroughput = metrics.Relative(rep.ThroughputBps, bestVal)
+
+		if spec.ServeS > 0 {
+			bits := w.ServeSeconds(spec.ServeS, 10)
+			for i, b := range bits {
+				rep.Served = append(rep.Served, UEServed{UE: w.UEs[i].ID, ServedBps: b / spec.ServeS})
+				rep.AggregateServedBps += b / spec.ServeS
+			}
+		}
+		rep.BatteryFrac = w.UAV.EnergyFraction()
+		rep.OdometerM = w.UAV.OdometerM()
+		res.Epochs = append(res.Epochs, rep)
+		if opts.OnEpoch != nil {
+			opts.OnEpoch(rep)
+		}
+	}
+	return res, storeOf(ctrl), nil
+}
+
+// storeOf exposes the controller's REM store when it keeps one.
+func storeOf(ctrl core.Controller) *rem.Store {
+	if s, ok := ctrl.(*core.SkyRAN); ok {
+		return s.Store()
+	}
+	return nil
+}
+
+func makeController(name string, budget float64, seed int64) (core.Controller, error) {
+	switch name {
+	case "skyran":
+		return core.NewSkyRAN(core.Config{Seed: seed, MeasurementBudgetM: budget}), nil
+	case "uniform":
+		return &core.Uniform{BudgetM: budget}, nil
+	case "centroid":
+		return &core.Centroid{Seed: seed}, nil
+	case "random":
+		return &core.Random{Seed: seed}, nil
+	case "oracle":
+		return &core.Oracle{}, nil
+	default:
+		return nil, fmt.Errorf("scenario: unknown controller %q", name)
+	}
+}
+
+// relocateHalf moves half the UEs to fresh open positions between
+// epochs — the paper's dynamic-UE workload.
+func relocateHalf(w *sim.World, rng *rand.Rand) {
+	t := w.Terrain
+	area := t.Bounds().Inset(t.Bounds().Width() * 0.08)
+	for i := 0; i < len(w.UEs)/2; i++ {
+		idx := rng.Intn(len(w.UEs))
+		for try := 0; try < 5000; try++ {
+			p := geom.V2(area.MinX+rng.Float64()*area.Width(), area.MinY+rng.Float64()*area.Height())
+			if t.IsOpen(p) {
+				w.UEs[idx].Pos = p
+				break
+			}
+		}
+	}
+}

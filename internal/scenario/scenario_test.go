@@ -1,0 +1,98 @@
+package scenario
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func flatSpec() Spec {
+	return Spec{Terrain: "FLAT", UEs: 3, BudgetM: 200, Epochs: 1, Seed: 7, ServeS: 1}
+}
+
+func TestRunDeterministicBytes(t *testing.T) {
+	run := func() []byte {
+		res, store, err := Run(context.Background(), flatSpec(), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if store == nil || store.Len() == 0 {
+			t.Fatal("skyran run should leave a populated REM store")
+		}
+		b, err := MarshalResult(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		t.Fatal("identical specs produced different result bytes")
+	}
+	if !strings.HasSuffix(string(a), "\n") {
+		t.Error("canonical wire form should end in a newline")
+	}
+}
+
+func TestRunEmitsTelemetry(t *testing.T) {
+	rec := trace.NewRecorder(nil)
+	var kinds []trace.Kind
+	rec.Subscribe(func(r trace.Record) { kinds = append(kinds, r.Kind) })
+	spec := flatSpec()
+	spec.ServeS = 0
+	if _, _, err := Run(context.Background(), spec, Options{Tracer: rec}); err != nil {
+		t.Fatal(err)
+	}
+	if len(kinds) == 0 || kinds[0] != trace.KindMeta {
+		t.Fatalf("expected telemetry starting with meta, got %v", kinds[:min(len(kinds), 3)])
+	}
+	var epochs int
+	for _, k := range kinds {
+		if k == trace.KindEpoch {
+			epochs++
+		}
+	}
+	if epochs != 1 {
+		t.Errorf("saw %d epoch records, want 1", epochs)
+	}
+}
+
+func TestRunCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := Run(ctx, flatSpec(), Options{})
+	if err == nil || !strings.Contains(err.Error(), "context canceled") {
+		t.Fatalf("cancelled run: err = %v", err)
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	bad := []Spec{
+		{Topology: "ring"},
+		{Controller: "magic"},
+		{BudgetM: -5},
+		{Epochs: 1000},
+		{UEs: 10000},
+		{ServeS: -1},
+	}
+	for _, s := range bad {
+		if err := s.Normalize(); err == nil {
+			t.Errorf("spec %+v should fail validation", s)
+		}
+	}
+	var def Spec
+	if err := def.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if def.Terrain != "CAMPUS" || def.UEs != 6 || def.Controller != "skyran" ||
+		def.Topology != "uniform" || def.BudgetM != 800 || def.Epochs != 1 || def.ServeS != 0 {
+		t.Errorf("defaults = %+v", def)
+	}
+	unknown := Spec{Terrain: "ATLANTIS"}
+	if _, _, err := Run(context.Background(), unknown, Options{}); err == nil {
+		t.Error("unknown terrain should fail at Run")
+	}
+}

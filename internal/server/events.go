@@ -1,0 +1,59 @@
+package server
+
+import (
+	"sync"
+
+	"repro/internal/trace"
+)
+
+// eventLog buffers a job's telemetry records for streaming. Appends
+// come from the trace.Recorder subscription on the worker goroutine;
+// reads come from any number of concurrent /events handlers. Readers
+// follow the log live: snapshot hands back the records past a cursor
+// plus a channel that closes on the next change, so a streamer can
+// replay history and then block until more arrives or the log closes.
+type eventLog struct {
+	mu     sync.Mutex
+	recs   []trace.Record
+	closed bool
+	change chan struct{}
+}
+
+func newEventLog() *eventLog {
+	return &eventLog{change: make(chan struct{})}
+}
+
+// append adds one record and wakes all waiting readers.
+func (l *eventLog) append(r trace.Record) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return
+	}
+	l.recs = append(l.recs, r)
+	close(l.change)
+	l.change = make(chan struct{})
+}
+
+// close marks the log complete (job finished) and releases readers.
+// Idempotent.
+func (l *eventLog) close() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return
+	}
+	l.closed = true
+	close(l.change)
+}
+
+// snapshot returns the records at index >= from, whether the log is
+// complete, and a channel that closes when either changes again.
+func (l *eventLog) snapshot(from int) (recs []trace.Record, closed bool, change <-chan struct{}) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if from < len(l.recs) {
+		recs = l.recs[from:len(l.recs):len(l.recs)]
+	}
+	return recs, l.closed, l.change
+}

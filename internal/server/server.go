@@ -1,0 +1,390 @@
+// Package server implements skyrand, the SkyRAN control-plane daemon:
+// an HTTP API that accepts scenario specs as jobs, runs them on a
+// bounded worker pool over internal/scenario, and serves job status,
+// results, live JSONL telemetry, REM snapshots and operational
+// metrics. The serving path is deterministic: a job's result bytes are
+// exactly what `skyranctl -json` prints for the same spec, regardless
+// of worker count or queue order, because every job runs scenario.Run
+// with state derived only from its own spec.
+package server
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/metrics"
+	"repro/internal/radio"
+	"repro/internal/rem"
+	"repro/internal/scenario"
+	"repro/internal/trace"
+)
+
+// Config tunes the daemon.
+type Config struct {
+	// QueueCap bounds the number of jobs waiting to run. Submissions
+	// beyond it are rejected with 429 + Retry-After (backpressure, not
+	// buffering). Default 16.
+	QueueCap int
+	// Workers is the number of concurrent scenario runners. 0 selects
+	// the CPU count. Each worker additionally inherits the spec-level
+	// parallelism inside core (fleet sectors, experiment fan-out).
+	Workers int
+	// JobTimeout caps one job's run time; past it the job is canceled.
+	// Default 10 minutes.
+	JobTimeout time.Duration
+	// Registry receives operational metrics; nil creates a private one.
+	Registry *metrics.Registry
+}
+
+// JobState is a job's lifecycle state. Transitions are linear:
+// queued -> running -> {succeeded, failed, canceled}; a queued job can
+// also go straight to canceled (DELETE before a worker picks it up).
+type JobState string
+
+// Job states.
+const (
+	JobQueued    JobState = "queued"
+	JobRunning   JobState = "running"
+	JobSucceeded JobState = "succeeded"
+	JobFailed    JobState = "failed"
+	JobCanceled  JobState = "canceled"
+)
+
+// Job is one managed scenario run.
+type Job struct {
+	id   string
+	spec scenario.Spec
+
+	events *eventLog
+	done   chan struct{} // closed when the job reaches a terminal state
+
+	mu         sync.Mutex
+	state      JobState
+	errMsg     string
+	resultJSON []byte // canonical scenario.MarshalResult bytes
+	store      *rem.Store
+	remSnap    []byte // rem.Store.Save output, frozen at completion
+	cancel     context.CancelFunc
+	submitted  time.Time
+	started    time.Time
+	finished   time.Time
+}
+
+// ID returns the job identifier.
+func (j *Job) ID() string { return j.id }
+
+// State returns the job's current lifecycle state.
+func (j *Job) State() JobState {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Done returns a channel closed once the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// terminal reports whether s is an end state.
+func terminal(s JobState) bool {
+	return s == JobSucceeded || s == JobFailed || s == JobCanceled
+}
+
+// Server owns the job queue, worker pool and metrics. Create with New,
+// start the workers with Start, expose Handler over HTTP, and drain
+// with Shutdown.
+type Server struct {
+	cfg Config
+	reg *metrics.Registry
+
+	runCtx    context.Context // parent of every job context
+	runCancel context.CancelFunc
+
+	mu       sync.RWMutex // guards jobs/order/draining and queue sends
+	jobs     map[string]*Job
+	order    []string
+	nextID   int
+	draining bool
+
+	queue chan *Job
+	wg    sync.WaitGroup
+
+	mAccepted  *metrics.Counter
+	mRejected  *metrics.Counter
+	mCompleted *metrics.Counter
+	mFailed    *metrics.Counter
+	mCanceled  *metrics.Counter
+	gDepth     *metrics.Gauge
+	gRunning   *metrics.Gauge
+	hEpoch     *metrics.Histogram
+}
+
+// New builds a server; call Start to launch the workers.
+func New(cfg Config) *Server {
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = 16
+	}
+	cfg.Workers = engine.WorkerCount(cfg.Workers)
+	if cfg.JobTimeout <= 0 {
+		cfg.JobTimeout = 10 * time.Minute
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:       cfg,
+		reg:       reg,
+		runCtx:    ctx,
+		runCancel: cancel,
+		jobs:      make(map[string]*Job),
+		queue:     make(chan *Job, cfg.QueueCap),
+
+		mAccepted:  reg.Counter("skyrand_jobs_accepted_total", "Jobs admitted to the queue."),
+		mRejected:  reg.Counter("skyrand_jobs_rejected_total", "Jobs rejected with 429 (queue full) or 503 (draining)."),
+		mCompleted: reg.Counter("skyrand_jobs_completed_total", "Jobs that reached a terminal state."),
+		mFailed:    reg.Counter("skyrand_jobs_failed_total", "Jobs that finished in error."),
+		mCanceled:  reg.Counter("skyrand_jobs_canceled_total", "Jobs canceled by request, timeout or shutdown."),
+		gDepth:     reg.Gauge("skyrand_queue_depth", "Jobs currently waiting in the queue."),
+		gRunning:   reg.Gauge("skyrand_jobs_running", "Jobs currently executing."),
+		hEpoch:     reg.Histogram("skyrand_epoch_latency_seconds", "Wall-clock latency per controller epoch.", nil),
+	}
+	return s
+}
+
+// Start launches the worker pool. It must be called exactly once.
+func (s *Server) Start() {
+	for i := 0; i < s.cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+}
+
+// ErrDraining is returned by Submit once Shutdown has begun.
+var ErrDraining = errors.New("server: draining, not accepting jobs")
+
+// ErrQueueFull is returned by Submit when the queue is at capacity;
+// the HTTP layer maps it to 429 + Retry-After.
+var ErrQueueFull = errors.New("server: job queue full")
+
+// Submit validates spec and enqueues it as a new job. The returned job
+// is already visible under its ID. Backpressure is immediate: a full
+// queue rejects rather than blocks, so clients always get a prompt
+// accept-or-retry answer.
+func (s *Server) Submit(spec scenario.Spec) (*Job, error) {
+	if err := spec.Normalize(); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.mRejected.Inc()
+		return nil, ErrDraining
+	}
+	job := &Job{
+		id:        fmt.Sprintf("j%d", s.nextID+1),
+		spec:      spec,
+		state:     JobQueued,
+		events:    newEventLog(),
+		done:      make(chan struct{}),
+		submitted: time.Now(),
+	}
+	select {
+	case s.queue <- job:
+	default:
+		s.mu.Unlock()
+		s.mRejected.Inc()
+		return nil, ErrQueueFull
+	}
+	s.nextID++
+	s.jobs[job.id] = job
+	s.order = append(s.order, job.id)
+	s.mu.Unlock()
+	s.mAccepted.Inc()
+	return job, nil
+}
+
+// Get returns the job with the given ID.
+func (s *Server) Get(id string) (*Job, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Jobs returns all jobs in submission order.
+func (s *Server) Jobs() []*Job {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]*Job, len(s.order))
+	for i, id := range s.order {
+		out[i] = s.jobs[id]
+	}
+	return out
+}
+
+// Cancel stops the job: queued jobs go terminal immediately (the
+// worker skips them when they surface), running jobs get their context
+// canceled and go terminal once the runner observes it. Canceling a
+// finished job is a no-op. It reports whether the job existed.
+func (s *Server) Cancel(id string) bool {
+	j, ok := s.Get(id)
+	if !ok {
+		return false
+	}
+	j.mu.Lock()
+	switch j.state {
+	case JobQueued:
+		j.state = JobCanceled
+		j.errMsg = "canceled before start"
+		j.finished = time.Now()
+		j.mu.Unlock()
+		j.events.close()
+		close(j.done)
+		s.mCanceled.Inc()
+		s.mCompleted.Inc()
+	case JobRunning:
+		cancel := j.cancel
+		j.mu.Unlock()
+		if cancel != nil {
+			cancel()
+		}
+	default:
+		j.mu.Unlock()
+	}
+	return true
+}
+
+// Draining reports whether Shutdown has begun.
+func (s *Server) Draining() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.draining
+}
+
+// Shutdown drains the server: no new submissions are accepted, queued
+// jobs still run (workers empty the closed queue), and Shutdown
+// returns when every worker has exited. If ctx expires first, all
+// in-flight job contexts are canceled and Shutdown waits for the
+// runners to observe that (scenario epochs check cancellation at phase
+// boundaries), returning ctx.Err().
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	already := s.draining
+	s.draining = true
+	if !already {
+		close(s.queue)
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.runCancel()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// worker drains the queue until it is closed and empty.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for job := range s.queue {
+		s.runJob(job)
+	}
+}
+
+// runJob executes one job through scenario.Run and records the
+// outcome. All result bytes are produced by scenario.MarshalResult, so
+// they are identical to the skyranctl -json output for the same spec.
+func (s *Server) runJob(job *Job) {
+	job.mu.Lock()
+	if job.state != JobQueued { // canceled while waiting
+		job.mu.Unlock()
+		return
+	}
+	ctx, cancel := context.WithTimeout(s.runCtx, s.cfg.JobTimeout)
+	defer cancel()
+	job.state = JobRunning
+	job.cancel = cancel
+	job.started = time.Now()
+	job.mu.Unlock()
+	s.gRunning.Add(1)
+	defer s.gRunning.Add(-1)
+
+	rec := trace.NewRecorder(nil)
+	unsub := rec.Subscribe(job.events.append)
+	epochStart := time.Now()
+	res, store, err := scenario.Run(ctx, job.spec, scenario.Options{
+		Tracer: rec,
+		OnEpoch: func(scenario.EpochReport) {
+			s.hEpoch.Observe(time.Since(epochStart).Seconds())
+			epochStart = time.Now()
+		},
+	})
+	unsub()
+
+	var resultJSON, remSnap []byte
+	if err == nil {
+		resultJSON, err = scenario.MarshalResult(res)
+	}
+	if err == nil && store != nil && store.Len() > 0 {
+		var buf bytes.Buffer
+		if serr := store.Save(&buf); serr == nil {
+			remSnap = buf.Bytes()
+		} else {
+			err = serr
+		}
+	}
+
+	job.mu.Lock()
+	job.finished = time.Now()
+	switch {
+	case err == nil:
+		job.state = JobSucceeded
+		job.resultJSON = resultJSON
+		job.store = store
+		job.remSnap = remSnap
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		job.state = JobCanceled
+		job.errMsg = err.Error()
+	default:
+		job.state = JobFailed
+		job.errMsg = err.Error()
+	}
+	st := job.state
+	job.mu.Unlock()
+	job.events.close()
+	close(job.done)
+
+	s.mCompleted.Inc()
+	switch st {
+	case JobFailed:
+		s.mFailed.Inc()
+	case JobCanceled:
+		s.mCanceled.Inc()
+	}
+}
+
+// scrape refreshes the sampled gauges just before exposition.
+func (s *Server) scrape() {
+	s.gDepth.Set(float64(len(s.queue)))
+	hits, misses := radio.ObsCacheStats()
+	s.reg.Gauge("skyrand_obscache_hits", "Obstruction-cache hits since process start.").Set(float64(hits))
+	s.reg.Gauge("skyrand_obscache_misses", "Obstruction-cache misses since process start.").Set(float64(misses))
+	ratio := 0.0
+	if hits+misses > 0 {
+		ratio = float64(hits) / float64(hits+misses)
+	}
+	s.reg.Gauge("skyrand_obscache_hit_ratio", "Obstruction-cache hit fraction since process start.").Set(ratio)
+}

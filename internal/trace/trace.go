@@ -57,19 +57,52 @@ type Record struct {
 	Objective     float64 `json:"objective,omitempty"`
 }
 
-// Recorder appends records to a writer as JSON lines. It is safe for
-// concurrent use. The zero value discards records; construct with
-// NewRecorder.
+// Recorder appends records to a writer as JSON lines and fans them out
+// to any subscribed sinks. It is safe for concurrent use. The zero
+// value discards records; construct with NewRecorder.
 type Recorder struct {
-	mu  sync.Mutex
-	w   *bufio.Writer
-	n   int
-	err error
+	mu   sync.Mutex
+	w    *bufio.Writer
+	n    int
+	err  error
+	subs map[int]func(Record)
+	next int
 }
 
 // NewRecorder wraps w. Call Flush before closing the underlying file.
+// A nil writer is allowed: the recorder then only counts records and
+// feeds subscribers — the skyrand server bridges live telemetry this
+// way without ever touching a file.
 func NewRecorder(w io.Writer) *Recorder {
-	return &Recorder{w: bufio.NewWriter(w)}
+	r := &Recorder{}
+	if w != nil {
+		r.w = bufio.NewWriter(w)
+	}
+	return r
+}
+
+// Subscribe registers fn to receive every record emitted after the
+// call and returns a cancel function. fn runs synchronously on the
+// emitting goroutine with the recorder's lock held: keep it fast, and
+// never call back into the recorder from it. Subscribers see records
+// in emission order.
+func (r *Recorder) Subscribe(fn func(Record)) (cancel func()) {
+	if r == nil {
+		return func() {}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.subs == nil {
+		r.subs = make(map[int]func(Record))
+	}
+	id := r.next
+	r.next++
+	r.subs[id] = fn
+	return func() {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		delete(r.subs, id)
+	}
 }
 
 // Meta writes the run header.
@@ -78,27 +111,33 @@ func (r *Recorder) Meta(scenario string, seed int64) {
 		Wall: time.Now().UTC().Format(time.RFC3339)})
 }
 
-// Emit appends one record. Errors are sticky and surfaced by Flush.
+// Emit appends one record: it is written to the underlying writer (if
+// any), counted, and fanned out to subscribers. Write errors are
+// sticky and surfaced by Flush; subscribers keep receiving records
+// even after a write error.
 func (r *Recorder) Emit(rec Record) {
 	if r == nil {
 		return
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if r.w == nil || r.err != nil {
+	if r.w == nil && len(r.subs) == 0 {
 		return
 	}
-	b, err := json.Marshal(rec)
-	if err != nil {
-		r.err = err
-		return
-	}
-	b = append(b, '\n')
-	if _, err := r.w.Write(b); err != nil {
-		r.err = err
-		return
+	if r.w != nil && r.err == nil {
+		b, err := json.Marshal(rec)
+		if err == nil {
+			b = append(b, '\n')
+			_, err = r.w.Write(b)
+		}
+		if err != nil {
+			r.err = err
+		}
 	}
 	r.n++
+	for _, fn := range r.subs {
+		fn(rec)
+	}
 }
 
 // Count returns the number of records emitted so far.

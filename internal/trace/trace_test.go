@@ -49,6 +49,38 @@ func TestNilRecorderSafe(t *testing.T) {
 	}
 }
 
+func TestRecorderSubscribe(t *testing.T) {
+	r := NewRecorder(nil) // subscriber-only recorder: no file behind it
+	var got []Record
+	cancel := r.Subscribe(func(rec Record) { got = append(got, rec) })
+	r.Emit(Record{Kind: KindGPS, T: 1})
+	r.Emit(Record{Kind: KindSNR, T: 2, UE: 4, Value: 9})
+	if len(got) != 2 || got[0].Kind != KindGPS || got[1].UE != 4 {
+		t.Fatalf("subscriber saw %+v", got)
+	}
+	if r.Count() != 2 {
+		t.Errorf("count = %d, want 2", r.Count())
+	}
+	cancel()
+	r.Emit(Record{Kind: KindGPS, T: 3})
+	if len(got) != 2 {
+		t.Error("cancelled subscriber still receiving")
+	}
+	if r.Flush() != nil {
+		t.Error("writer-less recorder should flush cleanly")
+	}
+	// A second subscriber only sees records emitted after it joined.
+	n := 0
+	defer r.Subscribe(func(Record) { n++ })()
+	r.Emit(Record{Kind: KindGPS, T: 4})
+	if n != 1 {
+		t.Errorf("late subscriber saw %d records, want 1", n)
+	}
+
+	var nilRec *Recorder
+	nilRec.Subscribe(func(Record) {})() // must not panic
+}
+
 func TestReadErrors(t *testing.T) {
 	if _, err := Read(strings.NewReader("{bad json\n")); err == nil {
 		t.Error("malformed line should fail")

@@ -1,0 +1,79 @@
+#!/bin/sh
+# serve-smoke: end-to-end proof that the skyrand daemon serves exactly
+# what skyranctl computes. Starts skyrand on an ephemeral port, submits
+# a tiny FLAT job over HTTP, polls it to completion, and diffs the
+# /result bytes against `skyranctl -json` with the same knobs. Also
+# exercises /healthz, /metrics and the SIGTERM graceful drain.
+set -eu
+
+cd "$(dirname "$0")/.."
+tmp=$(mktemp -d)
+pid=""
+cleanup() {
+	[ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+	rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+echo "serve-smoke: building skyrand and skyranctl"
+go build -o "$tmp/skyrand" ./cmd/skyrand
+go build -o "$tmp/skyranctl" ./cmd/skyranctl
+
+"$tmp/skyrand" -addr 127.0.0.1:0 -workers 2 -queue 4 >"$tmp/skyrand.log" 2>&1 &
+pid=$!
+
+addr=""
+i=0
+while [ $i -lt 100 ]; do
+	addr=$(sed -n 's#^skyrand: listening on http://\([^ ]*\).*#\1#p' "$tmp/skyrand.log")
+	[ -n "$addr" ] && break
+	kill -0 "$pid" 2>/dev/null || { cat "$tmp/skyrand.log"; exit 1; }
+	sleep 0.1
+	i=$((i + 1))
+done
+[ -n "$addr" ] || { echo "serve-smoke: daemon never reported its address" >&2; exit 1; }
+echo "serve-smoke: daemon up at $addr"
+
+curl -fsS "http://$addr/healthz" >/dev/null
+curl -fsS "http://$addr/readyz" >/dev/null
+
+spec='{"terrain":"FLAT","ues":3,"budget_m":200,"epochs":1,"seed":7,"serve_s":1}'
+id=$(curl -fsS -d "$spec" "http://$addr/v1/jobs" | sed -n 's/.*"id": "\(j[0-9]*\)".*/\1/p')
+[ -n "$id" ] || { echo "serve-smoke: submission returned no job id" >&2; exit 1; }
+echo "serve-smoke: submitted job $id"
+
+status=""
+i=0
+while [ $i -lt 240 ]; do
+	status=$(curl -fsS "http://$addr/v1/jobs/$id" | sed -n 's/^  "status": "\([a-z]*\)".*/\1/p')
+	case "$status" in
+	succeeded) break ;;
+	failed | canceled)
+		echo "serve-smoke: job $id ended $status" >&2
+		curl -fsS "http://$addr/v1/jobs/$id" >&2
+		exit 1
+		;;
+	esac
+	sleep 0.5
+	i=$((i + 1))
+done
+[ "$status" = succeeded ] || { echo "serve-smoke: job $id stuck ($status)" >&2; exit 1; }
+
+curl -fsS "http://$addr/v1/jobs/$id/result" >"$tmp/daemon.json"
+"$tmp/skyranctl" -terrain FLAT -ues 3 -budget 200 -epochs 1 -seed 7 -serve 1 -json >"$tmp/cli.json"
+if ! diff -u "$tmp/cli.json" "$tmp/daemon.json"; then
+	echo "serve-smoke: daemon result differs from skyranctl -json" >&2
+	exit 1
+fi
+echo "serve-smoke: daemon result is byte-identical to skyranctl -json"
+
+curl -fsS "http://$addr/metrics" | grep -q '^skyrand_jobs_completed_total 1$' ||
+	{ echo "serve-smoke: metrics do not show the completed job" >&2; exit 1; }
+
+kill -TERM "$pid"
+wait "$pid" || { echo "serve-smoke: daemon exited non-zero after SIGTERM" >&2; exit 1; }
+pid=""
+grep -q "drained, exiting" "$tmp/skyrand.log" ||
+	{ echo "serve-smoke: daemon did not report a clean drain" >&2; cat "$tmp/skyrand.log"; exit 1; }
+
+echo "serve-smoke: OK"
