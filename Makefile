@@ -4,11 +4,13 @@
 #   make race    vet + race-detector suite (concurrency gate)
 #   make short        quick signal while iterating
 #   make bench        one bench per paper figure + hot-path micro-benches
+#   make bench-smoke    vet + compile-and-run every benchmark once (CI tier)
 #   make serve-smoke  end-to-end skyrand daemon vs skyranctl -json diff
+#   make bench-traffic  record BENCH_traffic.json via skyrbench vs skyrand
 
 GO ?= go
 
-.PHONY: tier1 race short bench fmt serve-smoke
+.PHONY: tier1 race short bench bench-smoke fmt serve-smoke bench-traffic
 
 tier1:
 	$(GO) build ./... && $(GO) test -timeout 60m ./...
@@ -22,8 +24,14 @@ short:
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
 
+bench-smoke:
+	$(GO) vet ./... && $(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
 fmt:
 	gofmt -l .
 
 serve-smoke:
 	sh scripts/serve_smoke.sh
+
+bench-traffic:
+	sh scripts/bench_traffic.sh

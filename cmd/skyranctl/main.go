@@ -27,6 +27,7 @@ import (
 	"repro/internal/scenario"
 	"repro/internal/terrain"
 	"repro/internal/trace"
+	"repro/internal/traffic"
 )
 
 func main() {
@@ -41,6 +42,9 @@ func main() {
 		epochs    = flag.Int("epochs", 1, "epochs to run (half the UEs relocate between epochs)")
 		seed      = flag.Int64("seed", 1, "scenario seed")
 		serveSecs = flag.Float64("serve", 5, "seconds of LTE serving to simulate per epoch")
+		trafModel = flag.String("traffic", "", "serving-phase workload: cbr, poisson, onoff, web or full-buffer (empty keeps the legacy full-buffer path)")
+		trafRate  = flag.Float64("traffic-rate", 0, "mean offered rate per UE in bit/s (0 = model default)")
+		pktBytes  = flag.Int("packet-bytes", 0, "traffic packet size in bytes (0 = model default)")
 		traceOut  = flag.String("trace", "", "record flight telemetry to this JSONL file (view with traceview)")
 		jsonOut   = flag.Bool("json", false, "emit the result as JSON (the skyrand wire format) instead of text")
 	)
@@ -54,6 +58,13 @@ func main() {
 		Epochs:     *epochs,
 		Seed:       *seed,
 		ServeS:     *serveSecs,
+	}
+	if *trafModel != "" {
+		spec.Traffic = &traffic.Spec{
+			Model:       traffic.Model(*trafModel),
+			RateBps:     *trafRate,
+			PacketBytes: *pktBytes,
+		}
 	}
 	if err := run(spec, *xyz, *esri, *traceOut, *jsonOut); err != nil {
 		fmt.Fprintln(os.Stderr, "skyranctl:", err)
@@ -156,7 +167,16 @@ func printEpoch(ctrlName string, serveSecs float64, rep scenario.EpochReport) {
 	fmt.Printf("avg throughput: %.1f Mbps (optimal %.1f Mbps at %s) -> relative %.2f\n",
 		rep.ThroughputBps/1e6, rep.OptimalBps/1e6, rep.OptimalPos,
 		metrics.Relative(rep.ThroughputBps, rep.OptimalBps))
-	if len(rep.Served) > 0 {
+	if rep.Traffic != nil && rep.Traffic.Summary.Model != traffic.ModelFullBuffer {
+		sum := rep.Traffic.Summary
+		fmt.Printf("traffic (%s): offered %.1f Mbps, delivered %.1f Mbps, loss %.2f%%, mean delay %.1f ms (p95 %.1f ms)\n",
+			sum.Model, sum.OfferedBps/1e6, sum.DeliveredBps/1e6, 100*sum.LossFrac,
+			1e3*sum.MeanDelayS, 1e3*sum.P95DelayS)
+		for _, k := range rep.Traffic.KPIs {
+			fmt.Printf("  UE%d: %.1f Mbps, delay %.1f ms, loss %.2f%%, peak queue %d\n",
+				k.UE, k.ThroughputBps/1e6, 1e3*k.MeanDelayS, 100*k.LossFrac, k.PeakQueue)
+		}
+	} else if len(rep.Served) > 0 {
 		for _, s := range rep.Served {
 			fmt.Printf("  UE%d served %.1f Mbps\n", s.UE, s.ServedBps/1e6)
 		}

@@ -1,0 +1,381 @@
+// Command skyrbench is an open-loop HTTP load generator for the
+// skyrand daemon: it schedules scenario-job submissions at a fixed
+// rate (independent of completions, so daemon slowdowns surface as
+// latency rather than reduced offered load), polls every job to a
+// terminal state, and reports submit/end-to-end latency percentiles,
+// a log-bucket latency histogram, achieved job throughput, and the
+// aggregated traffic KPIs parsed from the job results.
+//
+// Usage:
+//
+//	skyrand -addr 127.0.0.1:7643 &
+//	skyrbench -addr http://127.0.0.1:7643 -jobs 20 -rate 4 \
+//	    -traffic onoff -traffic-rate 3e6 -out BENCH_traffic.json
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/scenario"
+	"repro/internal/traffic"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "http://127.0.0.1:7643", "skyrand base URL")
+		jobs     = flag.Int("jobs", 20, "number of jobs to submit")
+		rate     = flag.Float64("rate", 4, "submission rate in jobs/second (open loop)")
+		wait     = flag.Duration("timeout", 2*time.Minute, "per-job wait for a terminal state")
+		retries  = flag.Int("retries", 50, "max 429 retries per submission")
+		outPath  = flag.String("out", "", "write the BENCH_traffic.json snapshot here")
+		terrName = flag.String("terrain", "FLAT", "scenario terrain")
+		nUEs     = flag.Int("ues", 3, "UEs per scenario")
+		ctrlName = flag.String("controller", "skyran", "scenario controller")
+		budget   = flag.Float64("budget", 200, "measurement budget per epoch (metres)")
+		epochs   = flag.Int("epochs", 1, "controller epochs per job")
+		serveS   = flag.Float64("serve", 1, "serving seconds per epoch")
+		seedBase = flag.Int64("seed-base", 1, "job i runs with seed seed-base+i")
+		model    = flag.String("traffic", "onoff", "serving workload: cbr, poisson, onoff, web, full-buffer")
+		trafRate = flag.Float64("traffic-rate", 0, "mean offered rate per UE in bit/s (0 = default)")
+		pktBytes = flag.Int("packet-bytes", 0, "traffic packet size in bytes (0 = default)")
+	)
+	flag.Parse()
+	spec := scenario.Spec{
+		Terrain:    *terrName,
+		UEs:        *nUEs,
+		Controller: *ctrlName,
+		BudgetM:    *budget,
+		Epochs:     *epochs,
+		ServeS:     *serveS,
+		Traffic: &traffic.Spec{
+			Model:       traffic.Model(*model),
+			RateBps:     *trafRate,
+			PacketBytes: *pktBytes,
+		},
+	}
+	if err := run(*addr, *jobs, *rate, *wait, *retries, *outPath, *seedBase, spec); err != nil {
+		fmt.Fprintln(os.Stderr, "skyrbench:", err)
+		os.Exit(1)
+	}
+}
+
+// outcome is one job's life as seen from the client.
+type outcome struct {
+	Job       string  `json:"job,omitempty"`
+	State     string  `json:"state"`
+	Retries   int     `json:"retries"`
+	SubmitS   float64 `json:"submit_s"`  // POST round-trip incl. 429 retries
+	EndToEndS float64 `json:"e2e_s"`     // scheduled submission -> terminal
+	ServiceS  float64 `json:"service_s"` // accepted -> terminal
+	Err       string  `json:"error,omitempty"`
+
+	traffic *traffic.Summary
+}
+
+// benchSnapshot is the BENCH_traffic.json wire format.
+type benchSnapshot struct {
+	Addr    string        `json:"addr"`
+	Spec    scenario.Spec `json:"spec"`
+	Jobs    int           `json:"jobs"`
+	RateJPS float64       `json:"rate_jobs_per_s"`
+
+	WallS        float64 `json:"wall_s"`
+	Succeeded    int     `json:"succeeded"`
+	Failed       int     `json:"failed"`
+	Rejected429  int     `json:"rejected_429_total"`
+	AchievedJPS  float64 `json:"achieved_jobs_per_s"`
+	E2ELatencyS  pctls   `json:"e2e_latency_s"`
+	ServiceTimeS pctls   `json:"service_time_s"`
+
+	// Traffic aggregates summed over every successful job's epochs.
+	OfferedBytes   uint64  `json:"offered_bytes"`
+	DeliveredBytes uint64  `json:"delivered_bytes"`
+	DroppedBytes   uint64  `json:"dropped_bytes"`
+	MeanDelayS     float64 `json:"mean_delay_s"`
+	WorstP95S      float64 `json:"worst_p95_delay_s"`
+	LossFrac       float64 `json:"loss_frac"`
+}
+
+// pctls is a latency distribution summary.
+type pctls struct {
+	P50  float64 `json:"p50"`
+	P90  float64 `json:"p90"`
+	P99  float64 `json:"p99"`
+	Mean float64 `json:"mean"`
+	Max  float64 `json:"max"`
+}
+
+func run(addr string, jobs int, rate float64, wait time.Duration, maxRetries int, outPath string, seedBase int64, spec scenario.Spec) error {
+	if rate <= 0 {
+		return fmt.Errorf("rate must be positive, got %g", rate)
+	}
+	if spec.Traffic != nil {
+		if err := spec.Traffic.Normalize(); err != nil {
+			return err
+		}
+	}
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	// Open loop: submission times are fixed at start; a slow daemon
+	// shows up as queueing latency, never as reduced offered load.
+	start := time.Now()
+	results := make([]outcome, jobs)
+	done := make(chan int, jobs)
+	for i := 0; i < jobs; i++ {
+		go func(i int) {
+			defer func() { done <- i }()
+			s := spec
+			s.Seed = seedBase + int64(i)
+			at := start.Add(time.Duration(float64(i) / rate * float64(time.Second)))
+			time.Sleep(time.Until(at))
+			results[i] = oneJob(client, addr, s, at, wait, maxRetries)
+		}(i)
+	}
+	for range results {
+		<-done
+	}
+	wall := time.Since(start)
+
+	return report(os.Stdout, addr, spec, jobs, rate, wall, results, outPath)
+}
+
+// oneJob submits a spec (retrying 429s per Retry-After) and polls it to
+// a terminal state.
+func oneJob(client *http.Client, addr string, spec scenario.Spec, scheduled time.Time, wait time.Duration, maxRetries int) outcome {
+	out := outcome{State: "error"}
+	body, err := json.Marshal(spec)
+	if err != nil {
+		out.Err = err.Error()
+		return out
+	}
+
+	var id string
+	submitStart := time.Now()
+	for try := 0; ; try++ {
+		resp, err := client.Post(addr+"/v1/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			out.Err = err.Error()
+			return out
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusTooManyRequests {
+			out.Retries++
+			if try >= maxRetries {
+				out.State = "rejected"
+				out.Err = "429 retry budget exhausted"
+				return out
+			}
+			delay := time.Second
+			if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && ra > 0 {
+				delay = time.Duration(ra) * time.Second
+			}
+			time.Sleep(delay)
+			continue
+		}
+		if resp.StatusCode != http.StatusAccepted {
+			out.Err = fmt.Sprintf("submit: status %d: %s", resp.StatusCode, strings.TrimSpace(string(b)))
+			return out
+		}
+		var env struct {
+			ID string `json:"id"`
+		}
+		if err := json.Unmarshal(b, &env); err != nil {
+			out.Err = err.Error()
+			return out
+		}
+		id = env.ID
+		break
+	}
+	accepted := time.Now()
+	out.Job = id
+	out.SubmitS = accepted.Sub(submitStart).Seconds()
+
+	deadline := time.Now().Add(wait)
+	for {
+		if time.Now().After(deadline) {
+			out.Err = "timeout waiting for terminal state"
+			return out
+		}
+		time.Sleep(150 * time.Millisecond)
+		resp, err := client.Get(addr + "/v1/jobs/" + id)
+		if err != nil {
+			out.Err = err.Error()
+			return out
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		var env struct {
+			Status string `json:"status"`
+			Error  string `json:"error"`
+			Result struct {
+				Epochs []struct {
+					Traffic *traffic.Report `json:"traffic"`
+				} `json:"epochs"`
+			} `json:"result"`
+		}
+		if err := json.Unmarshal(b, &env); err != nil {
+			out.Err = err.Error()
+			return out
+		}
+		switch env.Status {
+		case "succeeded":
+			end := time.Now()
+			out.State = "succeeded"
+			out.EndToEndS = end.Sub(scheduled).Seconds()
+			out.ServiceS = end.Sub(accepted).Seconds()
+			agg := traffic.Summary{}
+			for _, ep := range env.Result.Epochs {
+				if ep.Traffic == nil {
+					continue
+				}
+				s := ep.Traffic.Summary
+				agg.OfferedBytes += s.OfferedBytes
+				agg.DeliveredBytes += s.DeliveredBytes
+				agg.DroppedBytes += s.DroppedBytes
+				agg.MeanDelayS += s.MeanDelayS
+				if s.P95DelayS > agg.P95DelayS {
+					agg.P95DelayS = s.P95DelayS
+				}
+				agg.Seconds += s.Seconds
+			}
+			if n := len(env.Result.Epochs); n > 0 {
+				agg.MeanDelayS /= float64(n)
+			}
+			out.traffic = &agg
+			return out
+		case "failed", "canceled":
+			out.State = env.Status
+			out.Err = env.Error
+			out.EndToEndS = time.Since(scheduled).Seconds()
+			out.ServiceS = time.Since(accepted).Seconds()
+			return out
+		}
+	}
+}
+
+func summarize(vals []float64) pctls {
+	if len(vals) == 0 {
+		return pctls{}
+	}
+	s := append([]float64(nil), vals...)
+	sort.Float64s(s)
+	at := func(q float64) float64 {
+		i := int(math.Ceil(q*float64(len(s)))) - 1
+		return s[max(0, min(i, len(s)-1))]
+	}
+	var sum float64
+	for _, v := range s {
+		sum += v
+	}
+	return pctls{P50: at(0.50), P90: at(0.90), P99: at(0.99), Mean: sum / float64(len(s)), Max: s[len(s)-1]}
+}
+
+// histogram renders an ASCII log-bucket latency histogram.
+func histogram(w io.Writer, vals []float64) {
+	if len(vals) == 0 {
+		return
+	}
+	bounds := []float64{0.01, 0.03, 0.1, 0.3, 1, 3, 10, 30, 60, 120}
+	counts := make([]int, len(bounds)+1)
+	for _, v := range vals {
+		i := sort.SearchFloat64s(bounds, v)
+		counts[i]++
+	}
+	peak := 1
+	for _, c := range counts {
+		peak = max(peak, c)
+	}
+	for i, c := range counts {
+		label := fmt.Sprintf(">%gs", bounds[len(bounds)-1])
+		if i < len(bounds) {
+			label = fmt.Sprintf("<=%gs", bounds[i])
+		}
+		if c == 0 && label[0] == '>' {
+			continue
+		}
+		fmt.Fprintf(w, "  %8s %5d %s\n", label, c, strings.Repeat("#", c*40/peak))
+	}
+}
+
+func report(w io.Writer, addr string, spec scenario.Spec, jobs int, rate float64, wall time.Duration, results []outcome, outPath string) error {
+	snap := benchSnapshot{
+		Addr: addr, Spec: spec, Jobs: jobs, RateJPS: rate,
+		WallS: wall.Seconds(),
+	}
+	var e2e, service []float64
+	for _, r := range results {
+		snap.Rejected429 += r.Retries
+		switch r.State {
+		case "succeeded":
+			snap.Succeeded++
+			e2e = append(e2e, r.EndToEndS)
+			service = append(service, r.ServiceS)
+			if r.traffic != nil {
+				snap.OfferedBytes += r.traffic.OfferedBytes
+				snap.DeliveredBytes += r.traffic.DeliveredBytes
+				snap.DroppedBytes += r.traffic.DroppedBytes
+				snap.MeanDelayS += r.traffic.MeanDelayS
+				if r.traffic.P95DelayS > snap.WorstP95S {
+					snap.WorstP95S = r.traffic.P95DelayS
+				}
+			}
+		default:
+			snap.Failed++
+			if r.Err != "" {
+				fmt.Fprintf(w, "job %s %s: %s\n", r.Job, r.State, r.Err)
+			}
+		}
+	}
+	if snap.Succeeded > 0 {
+		snap.MeanDelayS /= float64(snap.Succeeded)
+		snap.AchievedJPS = float64(snap.Succeeded) / wall.Seconds()
+	}
+	if snap.OfferedBytes > 0 {
+		snap.LossFrac = float64(snap.DroppedBytes) / float64(snap.OfferedBytes)
+	}
+	snap.E2ELatencyS = summarize(e2e)
+	snap.ServiceTimeS = summarize(service)
+
+	fmt.Fprintf(w, "skyrbench: %d jobs at %.1f jobs/s against %s (%.1fs wall)\n",
+		jobs, rate, addr, snap.WallS)
+	fmt.Fprintf(w, "outcome: %d succeeded, %d failed, %d 429-retries, %.2f jobs/s achieved\n",
+		snap.Succeeded, snap.Failed, snap.Rejected429, snap.AchievedJPS)
+	fmt.Fprintf(w, "end-to-end latency: p50 %.2fs p90 %.2fs p99 %.2fs max %.2fs\n",
+		snap.E2ELatencyS.P50, snap.E2ELatencyS.P90, snap.E2ELatencyS.P99, snap.E2ELatencyS.Max)
+	fmt.Fprintf(w, "service time:       p50 %.2fs p90 %.2fs p99 %.2fs max %.2fs\n",
+		snap.ServiceTimeS.P50, snap.ServiceTimeS.P90, snap.ServiceTimeS.P99, snap.ServiceTimeS.Max)
+	fmt.Fprintln(w, "end-to-end latency histogram:")
+	histogram(w, e2e)
+	if snap.OfferedBytes > 0 {
+		fmt.Fprintf(w, "traffic: offered %.1f MB, delivered %.1f MB, dropped %.1f MB (loss %.2f%%), mean delay %.1f ms\n",
+			float64(snap.OfferedBytes)/1e6, float64(snap.DeliveredBytes)/1e6,
+			float64(snap.DroppedBytes)/1e6, 100*snap.LossFrac, 1e3*snap.MeanDelayS)
+	}
+
+	if outPath != "" {
+		b, err := json.MarshalIndent(snap, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(outPath, append(b, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "snapshot written to %s\n", outPath)
+	}
+	if snap.Succeeded == 0 {
+		return fmt.Errorf("no job succeeded")
+	}
+	return nil
+}

@@ -1,6 +1,7 @@
 package enb
 
 import (
+	"errors"
 	"sync"
 
 	"repro/internal/epc"
@@ -10,23 +11,47 @@ import (
 // the core are decapsulated into an IP packet queue, and scheduler
 // grants (bits served per TTI) drain the queue in order. It converts
 // the scheduler's abstract bit credits into byte-accurate packet
-// delivery, which the serving-phase examples report.
+// delivery with enqueue→delivery timestamps, which the traffic
+// subsystem turns into per-UE delay/loss KPIs.
 type Bearer struct {
 	mu sync.Mutex
 
 	tunnel *epc.Tunnel
-	queue  [][]byte
+	queue  []queuedPacket
 	// creditBits is the accumulated unspent scheduler grant; a packet
 	// leaves the queue only when its full size fits the credit.
 	creditBits float64
 	// Delivered counts packets and bytes handed to the UE.
 	DeliveredPackets uint64
 	DeliveredBytes   uint64
-	// Dropped counts queue-overflow discards.
-	Dropped uint64
+	// Dropped counts queue-overflow discards; DroppedBytes their
+	// payload volume.
+	Dropped      uint64
+	DroppedBytes uint64
+	// peakQueue is the maximum queue depth seen since creation.
+	peakQueue int
 	// MaxQueue bounds the queue length (default 256 packets).
 	MaxQueue int
 }
+
+// queuedPacket is one backlogged IP packet and its enqueue timestamp.
+type queuedPacket struct {
+	data []byte
+	at   float64
+}
+
+// Delivery is one packet that completed transmission: the payload plus
+// its enqueue timestamp, so callers can compute the queueing delay.
+type Delivery struct {
+	Data       []byte
+	EnqueuedAt float64
+}
+
+// ErrQueueOverflow is returned when the bearer queue is full and the
+// arriving packet is tail-dropped. The drop is already counted when
+// the error is returned; callers that only care about transport
+// validity can treat it as non-fatal.
+var ErrQueueOverflow = errors.New("enb: bearer queue overflow, packet dropped")
 
 // NewBearer returns a bearer bound to the session's GTP tunnel.
 func NewBearer(sess *epc.Session) *Bearer {
@@ -37,10 +62,14 @@ func NewBearer(sess *epc.Session) *Bearer {
 // encapsulate towards).
 func (b *Bearer) Tunnel() *epc.Tunnel { return b.tunnel }
 
-// DeliverGTPU accepts a GTP-U PDU from the core, validates it against
-// the bearer's TEID and enqueues the inner packet. Overflow drops the
-// newest packet (tail drop) and is counted.
-func (b *Bearer) DeliverGTPU(pdu []byte) error {
+// DeliverGTPU accepts a GTP-U PDU from the core with no timestamp.
+func (b *Bearer) DeliverGTPU(pdu []byte) error { return b.DeliverGTPUAt(pdu, 0) }
+
+// DeliverGTPUAt accepts a GTP-U PDU from the core, validates it
+// against the bearer's TEID and enqueues the inner packet stamped with
+// the arrival time. Overflow drops the newest packet (tail drop),
+// counts it — packets and bytes — and reports ErrQueueOverflow.
+func (b *Bearer) DeliverGTPUAt(pdu []byte, now float64) error {
 	inner, err := b.tunnel.Decap(pdu)
 	if err != nil {
 		return err
@@ -53,9 +82,13 @@ func (b *Bearer) DeliverGTPU(pdu []byte) error {
 	}
 	if len(b.queue) >= max {
 		b.Dropped++
-		return nil
+		b.DroppedBytes += uint64(len(inner))
+		return ErrQueueOverflow
 	}
-	b.queue = append(b.queue, inner)
+	b.queue = append(b.queue, queuedPacket{data: inner, at: now})
+	if len(b.queue) > b.peakQueue {
+		b.peakQueue = len(b.queue)
+	}
 	return nil
 }
 
@@ -66,11 +99,34 @@ func (b *Bearer) QueuedPackets() int {
 	return len(b.queue)
 }
 
+// PeakQueue returns the maximum queue depth observed so far.
+func (b *Bearer) PeakQueue() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.peakQueue
+}
+
 // Credit grants bits of air-interface capacity (one TTI's scheduler
-// allocation) and returns the packets that completed transmission.
+// allocation) and returns the payloads that completed transmission.
 // Unused credit carries over, but only while there is a backlog —
 // idle-cell credit does not bank up.
 func (b *Bearer) Credit(bits float64) [][]byte {
+	ds := b.CreditAt(bits, 0)
+	if ds == nil {
+		return nil
+	}
+	out := make([][]byte, len(ds))
+	for i, d := range ds {
+		out[i] = d.Data
+	}
+	return out
+}
+
+// CreditAt is Credit with delivery timestamps: each completed packet
+// carries its enqueue time so the caller can compute queueing delay
+// against now (the TTI boundary the grant belongs to).
+func (b *Bearer) CreditAt(bits, now float64) []Delivery {
+	_ = now // deliveries complete "at now"; only the enqueue side is stored
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if len(b.queue) == 0 {
@@ -78,18 +134,42 @@ func (b *Bearer) Credit(bits float64) [][]byte {
 		return nil
 	}
 	b.creditBits += bits
-	var out [][]byte
+	var out []Delivery
 	for len(b.queue) > 0 {
-		need := float64(len(b.queue[0]) * 8)
+		need := float64(len(b.queue[0].data) * 8)
 		if b.creditBits < need {
 			break
 		}
 		b.creditBits -= need
 		pkt := b.queue[0]
 		b.queue = b.queue[1:]
-		out = append(out, pkt)
+		out = append(out, Delivery{Data: pkt.data, EnqueuedAt: pkt.at})
 		b.DeliveredPackets++
-		b.DeliveredBytes += uint64(len(pkt))
+		b.DeliveredBytes += uint64(len(pkt.data))
 	}
 	return out
+}
+
+// Stats is a snapshot of the bearer's counters.
+type Stats struct {
+	Queued           int
+	PeakQueue        int
+	DeliveredPackets uint64
+	DeliveredBytes   uint64
+	DroppedPackets   uint64
+	DroppedBytes     uint64
+}
+
+// Stats returns a consistent snapshot of the bearer counters.
+func (b *Bearer) Stats() Stats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return Stats{
+		Queued:           len(b.queue),
+		PeakQueue:        b.peakQueue,
+		DeliveredPackets: b.DeliveredPackets,
+		DeliveredBytes:   b.DeliveredBytes,
+		DroppedPackets:   b.Dropped,
+		DroppedBytes:     b.DroppedBytes,
+	}
 }

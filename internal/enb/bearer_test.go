@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/epc"
+	"repro/internal/ltephy"
 )
 
 func testBearer(t *testing.T) *Bearer {
@@ -68,12 +69,114 @@ func TestBearerTailDrop(t *testing.T) {
 	b := testBearer(t)
 	b.MaxQueue = 2
 	for i := 0; i < 4; i++ {
-		if err := b.DeliverGTPU(b.Tunnel().Encap([]byte{byte(i)})); err != nil {
+		err := b.DeliverGTPU(b.Tunnel().Encap([]byte{byte(i)}))
+		if i < 2 && err != nil {
+			t.Fatal(err)
+		}
+		if i >= 2 && err != ErrQueueOverflow {
+			t.Fatalf("packet %d: want ErrQueueOverflow, got %v", i, err)
+		}
+	}
+	if b.QueuedPackets() != 2 || b.Dropped != 2 || b.DroppedBytes != 2 {
+		t.Errorf("queue=%d dropped=%d droppedBytes=%d", b.QueuedPackets(), b.Dropped, b.DroppedBytes)
+	}
+	if b.PeakQueue() != 2 {
+		t.Errorf("peak queue %d, want 2", b.PeakQueue())
+	}
+}
+
+// TestBearerOverflowKeepsOldest pins the tail-drop policy: overflow
+// discards the arriving packet, the backlog keeps its FIFO order, and
+// subsequent credit delivers the survivors oldest-first.
+func TestBearerOverflowKeepsOldest(t *testing.T) {
+	b := testBearer(t)
+	b.MaxQueue = 3
+	for i := 0; i < 5; i++ {
+		err := b.DeliverGTPUAt(b.Tunnel().Encap([]byte{byte(i)}), float64(i))
+		if i >= 3 && err != ErrQueueOverflow {
+			t.Fatalf("packet %d not tail-dropped: %v", i, err)
+		}
+	}
+	out := b.CreditAt(1e6, 10)
+	if len(out) != 3 {
+		t.Fatalf("delivered %d packets, want the 3 oldest", len(out))
+	}
+	for i, d := range out {
+		if d.Data[0] != byte(i) {
+			t.Errorf("delivery %d carries packet %d; FIFO broken", i, d.Data[0])
+		}
+		if d.EnqueuedAt != float64(i) {
+			t.Errorf("delivery %d enqueue time %g, want %d", i, d.EnqueuedAt, i)
+		}
+	}
+}
+
+// TestBearerCreditAccumulatesAcrossTTIs covers a packet larger than any
+// single TTI grant: the bearer must bank partial credit while a backlog
+// exists and release the packet once the accumulated grants cover it.
+func TestBearerCreditAccumulatesAcrossTTIs(t *testing.T) {
+	b := testBearer(t)
+	pkt := bytes.Repeat([]byte{0xcd}, 1500) // 12000 bits
+	if err := b.DeliverGTPUAt(b.Tunnel().Encap(pkt), 0); err != nil {
+		t.Fatal(err)
+	}
+	// Five TTIs at 2400 bits each: delivery only on the fifth.
+	for tti := 0; tti < 4; tti++ {
+		if out := b.CreditAt(2400, float64(tti)*1e-3); out != nil {
+			t.Fatalf("TTI %d delivered with only partial credit", tti)
+		}
+	}
+	out := b.CreditAt(2400, 4e-3)
+	if len(out) != 1 || !bytes.Equal(out[0].Data, pkt) {
+		t.Fatalf("packet not delivered after credit accumulation: %d deliveries", len(out))
+	}
+	if out[0].EnqueuedAt != 0 {
+		t.Errorf("enqueue timestamp %g, want 0", out[0].EnqueuedAt)
+	}
+}
+
+// TestZeroCQIStarvation drives the full eNodeB path: a UE whose channel
+// reports decode to CQI 0 gets no grants, so its bearer backlog only
+// grows — and starts draining as soon as the channel recovers.
+func TestZeroCQIStarvation(t *testing.T) {
+	hss := epc.NewHSS()
+	core := epc.NewCore(hss)
+	var k [16]byte
+	k[0] = 1
+	hss.Provision(epc.Subscriber{IMSI: "starved", Key: k, QoSClass: 9})
+	e := New(ltephy.LTE10MHz(), core, RoundRobin)
+	if _, err := e.Attach("starved", k, 1); err != nil {
+		t.Fatal(err)
+	}
+	e.ReportSNR("starved", -20) // deep fade → CQI 0
+	b, ok := e.Bearer("starved")
+	if !ok {
+		t.Fatal("no bearer after attach")
+	}
+	for i := 0; i < 10; i++ {
+		if err := b.DeliverGTPUAt(b.Tunnel().Encap(bytes.Repeat([]byte{1}, 100)), float64(i)*1e-3); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if b.QueuedPackets() != 2 || b.Dropped != 2 {
-		t.Errorf("queue=%d dropped=%d", b.QueuedPackets(), b.Dropped)
+	granted := 0
+	for tti := 0; tti < 5; tti++ {
+		e.RunTTIFunc(func(imsi epc.IMSI, bits float64) { granted++ })
+	}
+	if granted != 0 {
+		t.Fatalf("starved UE received %d grants", granted)
+	}
+	if b.QueuedPackets() != 10 {
+		t.Fatalf("backlog %d, want 10 (nothing drains at CQI 0)", b.QueuedPackets())
+	}
+	// Channel recovers: grants resume and the backlog drains.
+	e.ReportSNR("starved", 20)
+	for tti := 0; tti < 5; tti++ {
+		e.RunTTIFunc(func(imsi epc.IMSI, bits float64) {
+			b.CreditAt(bits, float64(tti)*1e-3)
+		})
+	}
+	if b.QueuedPackets() != 0 {
+		t.Fatalf("backlog %d after recovery, want 0", b.QueuedPackets())
 	}
 }
 

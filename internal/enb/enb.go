@@ -48,6 +48,8 @@ type UEContext struct {
 	CQI int
 	// Session is the EPC session after a successful attach.
 	Session *epc.Session
+	// bearer is the downlink user-plane queue for the default bearer.
+	bearer *Bearer
 
 	// scheduler accounting
 	servedBits float64
@@ -132,7 +134,7 @@ func (e *ENodeB) Attach(imsi epc.IMSI, key [16]byte, seed uint64) (*UEContext, e
 		ctx.Session = sess
 		return ctx, nil
 	}
-	ctx := &UEContext{RNTI: e.nextRNTI, IMSI: imsi, RRC: RRCConnected, Session: sess}
+	ctx := &UEContext{RNTI: e.nextRNTI, IMSI: imsi, RRC: RRCConnected, Session: sess, bearer: NewBearer(sess)}
 	e.nextRNTI++
 	e.byRNTI[ctx.RNTI] = ctx
 	e.byIMSI[imsi] = ctx
@@ -182,6 +184,43 @@ func (e *ENodeB) Context(imsi epc.IMSI) (*UEContext, bool) {
 	return ctx, ok
 }
 
+// Bearer returns the downlink bearer for imsi.
+func (e *ENodeB) Bearer(imsi epc.IMSI) (*Bearer, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	ctx, ok := e.byIMSI[imsi]
+	if !ok || ctx.bearer == nil {
+		return nil, false
+	}
+	return ctx.bearer, true
+}
+
+// BearerTotals aggregates every attached UE's bearer counters — the
+// cell-level drop/queue-depth view the /metrics endpoint exports.
+func (e *ENodeB) BearerTotals() Stats {
+	e.mu.Lock()
+	bearers := make([]*Bearer, 0, len(e.byIMSI))
+	for _, ctx := range e.byIMSI {
+		if ctx.bearer != nil {
+			bearers = append(bearers, ctx.bearer)
+		}
+	}
+	e.mu.Unlock()
+	var tot Stats
+	for _, b := range bearers {
+		s := b.Stats()
+		tot.Queued += s.Queued
+		if s.PeakQueue > tot.PeakQueue {
+			tot.PeakQueue = s.PeakQueue
+		}
+		tot.DeliveredPackets += s.DeliveredPackets
+		tot.DeliveredBytes += s.DeliveredBytes
+		tot.DroppedPackets += s.DroppedPackets
+		tot.DroppedBytes += s.DroppedBytes
+	}
+	return tot
+}
+
 // bitsPerPRBTTI returns the deliverable bits for one PRB in one TTI at
 // the given CQI.
 func (e *ENodeB) bitsPerPRBTTI(cqi int) float64 {
@@ -195,7 +234,16 @@ func (e *ENodeB) bitsPerPRBTTI(cqi int) float64 {
 // RunTTI executes one 1 ms scheduling interval, allocating the cell's
 // PRBs among connected UEs under the configured policy and crediting
 // served bits. It returns the total bits served this TTI.
-func (e *ENodeB) RunTTI() float64 {
+func (e *ENodeB) RunTTI() float64 { return e.RunTTIFunc(nil) }
+
+// RunTTIFunc is RunTTI with a per-grant callback: grant (when non-nil)
+// is invoked once per UE that received a non-zero allocation this TTI,
+// in ascending-RNTI order, with the UE's IMSI and granted bits. The
+// traffic subsystem uses it to drain each UE's bearer with exactly the
+// scheduler's allocation. The callback runs with the eNodeB lock held:
+// it must not call back into the eNodeB (bearer methods are fine, they
+// take their own lock).
+func (e *ENodeB) RunTTIFunc(grant func(imsi epc.IMSI, bits float64)) float64 {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.ttis++
@@ -220,6 +268,9 @@ func (e *ENodeB) RunTTI() float64 {
 		bits := e.bitsPerPRBTTI(ctx.CQI) * float64(nPRB)
 		ctx.servedBits += bits
 		total += bits
+		if grant != nil && bits > 0 {
+			grant(ctx.IMSI, bits)
+		}
 	}
 	switch e.Policy {
 	case RoundRobin:

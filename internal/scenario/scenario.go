@@ -12,6 +12,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"math"
 	"math/rand"
 
 	"repro/internal/core"
@@ -21,6 +22,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/terrain"
 	"repro/internal/trace"
+	"repro/internal/traffic"
 	"repro/internal/ue"
 )
 
@@ -47,6 +49,11 @@ type Spec struct {
 	// ServeS is how many seconds of LTE serving to simulate per epoch
 	// (0 skips the serving phase).
 	ServeS float64 `json:"serve_s"`
+	// Traffic selects the serving-phase workload. Nil keeps the
+	// pre-traffic-subsystem full-buffer behaviour (byte-identical
+	// output); non-nil routes the serving phase through the
+	// discrete-event traffic engine and adds per-UE KPIs to each epoch.
+	Traffic *traffic.Spec `json:"traffic,omitempty"`
 }
 
 // Normalize fills defaults (matching skyranctl's flag defaults, except
@@ -84,11 +91,23 @@ func (s *Spec) Normalize() error {
 	if s.Epochs > 100 {
 		return fmt.Errorf("scenario: %d epochs exceeds the per-job cap of 100", s.Epochs)
 	}
-	if s.UEs > 200 {
-		return fmt.Errorf("scenario: %d UEs exceeds the per-job cap of 200", s.UEs)
+	// Above 200 UEs the per-epoch ground-truth scan and the probing
+	// controllers become intractable, so the scale-up regime (up to
+	// 20000 UEs, used for traffic stress runs) is only reachable with
+	// the random-placement controller.
+	if s.UEs > 200 && s.Controller != "random" {
+		return fmt.Errorf("scenario: %d UEs exceeds the per-job cap of 200 (controller %q; only \"random\" may scale to 20000)", s.UEs, s.Controller)
+	}
+	if s.UEs > 20000 {
+		return fmt.Errorf("scenario: %d UEs exceeds the scale-up cap of 20000", s.UEs)
 	}
 	if s.ServeS < 0 || s.ServeS > 600 {
 		return fmt.Errorf("scenario: serve_s %g outside [0, 600]", s.ServeS)
+	}
+	if s.Traffic != nil {
+		if err := s.Traffic.Normalize(); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -135,6 +154,10 @@ type EpochReport struct {
 	// Serving-phase statistics (empty when Spec.ServeS is 0).
 	Served             []UEServed `json:"served,omitempty"`
 	AggregateServedBps float64    `json:"aggregate_served_bps"`
+
+	// Traffic is the serving-phase KPI report when the scenario ran a
+	// traffic workload (Spec.Traffic non-nil).
+	Traffic *traffic.Report `json:"traffic,omitempty"`
 
 	BatteryFrac float64 `json:"battery_frac"`
 	OdometerM   float64 `json:"odometer_m"`
@@ -198,7 +221,16 @@ func Run(ctx context.Context, spec Spec, opts Options) (*Result, *rem.Store, err
 		center := ue.PlaceRandomOpen(1, t.Bounds().Inset(40), t.IsOpen, 0, rng)[0].Pos
 		ues = ue.PlaceClustered(spec.UEs, center, t.Bounds().Width()*0.06, t.Bounds(), t.IsOpen, rng)
 	} else {
-		ues = ue.PlaceRandomOpen(spec.UEs, t.Bounds().Inset(t.Bounds().Width()*0.08), t.IsOpen, 15, rng)
+		area := t.Bounds().Inset(t.Bounds().Width() * 0.08)
+		minSep := 15.0
+		if spec.UEs > 200 {
+			// Dense scale-up populations cannot honour the default 15 m
+			// separation; shrink it so the expected packing stays
+			// feasible. Small populations keep the exact legacy value
+			// (and therefore byte-identical placements).
+			minSep = min(15, math.Sqrt(area.Width()*area.Height()/float64(4*spec.UEs)))
+		}
+		ues = ue.PlaceRandomOpen(spec.UEs, area, t.IsOpen, minSep, rng)
 	}
 	w, err := sim.New(sim.Config{Terrain: t, Seed: uint64(spec.Seed), FastRanging: true}, ues)
 	if err != nil {
@@ -259,18 +291,34 @@ func Run(ctx context.Context, spec Spec, opts Options) (*Result, *rem.Store, err
 			rep.MedianLocErrM = &med
 		}
 
-		// Quality vs ground truth in the serving plane.
-		bestPos, bestVal := core.BestPosition(w, er.Position.Z, 5, rem.MaxMean)
+		// Quality vs ground truth in the serving plane. The exhaustive
+		// grid scan is O(cells × UEs); past the probing-controller cap
+		// it would dominate the run, so scale-up populations skip it.
 		rep.ThroughputBps = w.AvgThroughputAt(er.Position)
-		rep.OptimalBps = bestVal
-		rep.OptimalPos = bestPos
-		rep.RelativeThroughput = metrics.Relative(rep.ThroughputBps, bestVal)
+		if len(w.UEs) <= 200 {
+			bestPos, bestVal := core.BestPosition(w, er.Position.Z, 5, rem.MaxMean)
+			rep.OptimalBps = bestVal
+			rep.OptimalPos = bestPos
+			rep.RelativeThroughput = metrics.Relative(rep.ThroughputBps, bestVal)
+		}
 
 		if spec.ServeS > 0 {
-			bits := w.ServeSeconds(spec.ServeS, 10)
-			for i, b := range bits {
-				rep.Served = append(rep.Served, UEServed{UE: w.UEs[i].ID, ServedBps: b / spec.ServeS})
-				rep.AggregateServedBps += b / spec.ServeS
+			if spec.Traffic != nil {
+				trep, err := w.ServeTraffic(spec.ServeS, 10, *spec.Traffic)
+				if err != nil {
+					return res, storeOf(ctrl), fmt.Errorf("scenario: epoch %d serving: %w", e+1, err)
+				}
+				rep.Traffic = trep
+				for _, k := range trep.KPIs {
+					rep.Served = append(rep.Served, UEServed{UE: k.UE, ServedBps: k.ThroughputBps})
+					rep.AggregateServedBps += k.ThroughputBps
+				}
+			} else {
+				bits := w.ServeSeconds(spec.ServeS, 10)
+				for i, b := range bits {
+					rep.Served = append(rep.Served, UEServed{UE: w.UEs[i].ID, ServedBps: b / spec.ServeS})
+					rep.AggregateServedBps += b / spec.ServeS
+				}
 			}
 		}
 		rep.BatteryFrac = w.UAV.EnergyFraction()

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/trace"
+	"repro/internal/traffic"
 )
 
 func flatSpec() Spec {
@@ -94,5 +95,89 @@ func TestSpecValidation(t *testing.T) {
 	unknown := Spec{Terrain: "ATLANTIS"}
 	if _, _, err := Run(context.Background(), unknown, Options{}); err == nil {
 		t.Error("unknown terrain should fail at Run")
+	}
+}
+
+func TestRunTrafficDeterministicBytes(t *testing.T) {
+	spec := flatSpec()
+	spec.Epochs = 2
+	spec.Traffic = &traffic.Spec{Model: traffic.ModelOnOff, RateBps: 3e6}
+	run := func() []byte {
+		res, _, err := Run(context.Background(), spec, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := MarshalResult(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		t.Fatal("identical bursty-traffic specs produced different result bytes")
+	}
+	// The report must carry per-UE KPI rows with traffic actually flowing.
+	res, _, err := Run(context.Background(), spec, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ep := range res.Epochs {
+		if ep.Traffic == nil || len(ep.Traffic.KPIs) != spec.UEs {
+			t.Fatalf("epoch %d missing traffic KPIs", ep.Epoch)
+		}
+		if ep.Traffic.Summary.OfferedBytes == 0 {
+			t.Fatalf("epoch %d offered no traffic", ep.Epoch)
+		}
+		if len(ep.Served) != spec.UEs {
+			t.Fatalf("epoch %d Served rows = %d", ep.Epoch, len(ep.Served))
+		}
+	}
+	// Different epochs must draw fresh arrival streams.
+	if res.Epochs[0].Traffic.Summary.OfferedBytes == res.Epochs[1].Traffic.Summary.OfferedBytes {
+		t.Error("both epochs offered byte-identical traffic; per-phase seeding broken")
+	}
+}
+
+func TestRunTrafficFullBufferMatchesLegacy(t *testing.T) {
+	legacy := flatSpec()
+	explicit := flatSpec()
+	explicit.Traffic = &traffic.Spec{Model: traffic.ModelFullBuffer}
+	res1, _, err := Run(context.Background(), legacy, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, _, err := Run(context.Background(), explicit, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The serving numbers must agree; only the KPI report is new.
+	for i := range res1.Epochs {
+		if res1.Epochs[i].AggregateServedBps != res2.Epochs[i].AggregateServedBps {
+			t.Fatalf("epoch %d: full-buffer traffic %g != legacy %g", i+1,
+				res2.Epochs[i].AggregateServedBps, res1.Epochs[i].AggregateServedBps)
+		}
+	}
+	if res2.Epochs[0].Traffic == nil {
+		t.Fatal("explicit full-buffer spec should attach a traffic report")
+	}
+}
+
+func TestSpecScaleUpRequiresRandomController(t *testing.T) {
+	big := Spec{UEs: 5000, Controller: "random"}
+	if err := big.Normalize(); err != nil {
+		t.Fatalf("random controller should allow 5000 UEs: %v", err)
+	}
+	tooBig := Spec{UEs: 30000, Controller: "random"}
+	if err := tooBig.Normalize(); err == nil {
+		t.Error("30000 UEs should exceed the scale-up cap")
+	}
+	bad := Spec{UEs: 5000, Controller: "skyran"}
+	if err := bad.Normalize(); err == nil {
+		t.Error("probing controller should stay capped at 200 UEs")
+	}
+	badTraffic := Spec{Traffic: &traffic.Spec{Model: "warp-drive"}}
+	if err := badTraffic.Normalize(); err == nil {
+		t.Error("invalid traffic spec should fail scenario validation")
 	}
 }

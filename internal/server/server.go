@@ -22,6 +22,7 @@ import (
 	"repro/internal/rem"
 	"repro/internal/scenario"
 	"repro/internal/trace"
+	"repro/internal/traffic"
 )
 
 // Config tunes the daemon.
@@ -120,6 +121,15 @@ type Server struct {
 	gDepth     *metrics.Gauge
 	gRunning   *metrics.Gauge
 	hEpoch     *metrics.Histogram
+
+	// Traffic-subsystem KPIs, aggregated over every traffic-driven
+	// serving phase that completes on this daemon.
+	mTrafficOffered   *metrics.Counter
+	mTrafficDelivered *metrics.Counter
+	mTrafficDropped   *metrics.Counter
+	gBearerBacklog    *metrics.Gauge
+	gBearerPeakQueue  *metrics.Gauge
+	hUEDelay          *metrics.Histogram
 }
 
 // New builds a server; call Start to launch the workers.
@@ -152,6 +162,13 @@ func New(cfg Config) *Server {
 		gDepth:     reg.Gauge("skyrand_queue_depth", "Jobs currently waiting in the queue."),
 		gRunning:   reg.Gauge("skyrand_jobs_running", "Jobs currently executing."),
 		hEpoch:     reg.Histogram("skyrand_epoch_latency_seconds", "Wall-clock latency per controller epoch.", nil),
+
+		mTrafficOffered:   reg.Counter("skyran_traffic_offered_bytes_total", "Bytes offered by traffic generators across serving phases."),
+		mTrafficDelivered: reg.Counter("skyran_traffic_delivered_bytes_total", "Bytes delivered to UEs across serving phases."),
+		mTrafficDropped:   reg.Counter("skyran_traffic_dropped_bytes_total", "Bytes tail-dropped at bearer queues across serving phases."),
+		gBearerBacklog:    reg.Gauge("skyran_bearer_backlog_packets", "Packets still queued at the end of the latest serving phase."),
+		gBearerPeakQueue:  reg.Gauge("skyran_bearer_peak_queue_depth", "Deepest bearer queue observed in the latest serving phase."),
+		hUEDelay:          reg.Histogram("skyran_traffic_ue_mean_delay_seconds", "Per-UE mean queueing delay per serving phase.", traffic.DelayBuckets),
 	}
 	return s
 }
@@ -327,9 +344,10 @@ func (s *Server) runJob(job *Job) {
 	epochStart := time.Now()
 	res, store, err := scenario.Run(ctx, job.spec, scenario.Options{
 		Tracer: rec,
-		OnEpoch: func(scenario.EpochReport) {
+		OnEpoch: func(rep scenario.EpochReport) {
 			s.hEpoch.Observe(time.Since(epochStart).Seconds())
 			epochStart = time.Now()
+			s.observeTraffic(rep.Traffic)
 		},
 	})
 	unsub()
@@ -374,6 +392,28 @@ func (s *Server) runJob(job *Job) {
 	case JobCanceled:
 		s.mCanceled.Inc()
 	}
+}
+
+// observeTraffic folds one serving phase's KPI report into the
+// daemon-wide traffic metrics.
+func (s *Server) observeTraffic(rep *traffic.Report) {
+	if rep == nil {
+		return
+	}
+	s.mTrafficOffered.Add(float64(rep.Summary.OfferedBytes))
+	s.mTrafficDelivered.Add(float64(rep.Summary.DeliveredBytes))
+	s.mTrafficDropped.Add(float64(rep.Summary.DroppedBytes))
+	s.gBearerBacklog.Set(float64(rep.Summary.BacklogPackets))
+	peak := 0
+	for _, k := range rep.KPIs {
+		if k.PeakQueue > peak {
+			peak = k.PeakQueue
+		}
+		if k.DeliveredPackets > 0 {
+			s.hUEDelay.Observe(k.MeanDelayS)
+		}
+	}
+	s.gBearerPeakQueue.Set(float64(peak))
 }
 
 // scrape refreshes the sampled gauges just before exposition.

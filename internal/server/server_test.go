@@ -17,6 +17,7 @@ import (
 	"repro/internal/rem"
 	"repro/internal/scenario"
 	"repro/internal/trace"
+	"repro/internal/traffic"
 )
 
 // tinySpec is the smallest interesting job: FLAT terrain runs in ~1 s
@@ -366,5 +367,80 @@ func TestSubmitValidation(t *testing.T) {
 	}
 	if code, _ := getBody(t, ts.URL+"/v1/jobs/nope"); code != http.StatusNotFound {
 		t.Errorf("unknown job: status %d, want 404", code)
+	}
+}
+
+// trafficSpec is tinySpec driving the bursty discrete-event workload
+// through the serving phase.
+func trafficSpec(seed int64) scenario.Spec {
+	s := tinySpec(seed)
+	s.Traffic = &traffic.Spec{Model: traffic.ModelOnOff, RateBps: 3e6}
+	return s
+}
+
+// TestTrafficJobDeterministicAcrossWorkers is the issue's golden test:
+// per-UE KPI rows from a seeded bursty scenario must be byte-identical
+// across runs and across worker counts, and the daemon must surface the
+// traffic counters on /metrics.
+func TestTrafficJobDeterministicAcrossWorkers(t *testing.T) {
+	res, _, err := scenario.Run(context.Background(), trafficSpec(7), scenario.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := scenario.MarshalResult(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Epochs[0].Traffic == nil || len(res.Epochs[0].Traffic.KPIs) == 0 {
+		t.Fatal("reference run has no traffic KPIs")
+	}
+
+	for _, workers := range []int{1, 8} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			s := New(Config{QueueCap: 8, Workers: workers, JobTimeout: time.Minute})
+			s.Start()
+			ts := httptest.NewServer(s.Handler())
+			defer ts.Close()
+
+			var jobs []*Job
+			for i := 0; i < 4; i++ {
+				resp, env := postJob(t, ts, trafficSpec(7))
+				if resp.StatusCode != http.StatusAccepted {
+					t.Fatalf("submit %d: status %d", i, resp.StatusCode)
+				}
+				j, _ := s.Get(env.ID)
+				jobs = append(jobs, j)
+			}
+			for _, j := range jobs {
+				waitDone(t, j)
+				code, body := getBody(t, ts.URL+"/v1/jobs/"+j.ID()+"/result")
+				if code != http.StatusOK {
+					t.Fatalf("result %s: status %d", j.ID(), code)
+				}
+				if !bytes.Equal(body, want) {
+					t.Fatalf("job %s result bytes differ from the reference run", j.ID())
+				}
+			}
+
+			code, body := getBody(t, ts.URL+"/metrics")
+			if code != http.StatusOK {
+				t.Fatalf("/metrics: status %d", code)
+			}
+			for _, name := range []string{
+				"skyran_traffic_offered_bytes_total",
+				"skyran_traffic_delivered_bytes_total",
+				"skyran_traffic_dropped_bytes_total",
+				"skyran_bearer_backlog_packets",
+				"skyran_bearer_peak_queue_depth",
+				"skyran_traffic_ue_mean_delay_seconds",
+			} {
+				if !strings.Contains(string(body), name) {
+					t.Errorf("/metrics missing %s", name)
+				}
+			}
+			if err := s.Shutdown(context.Background()); err != nil {
+				t.Fatal(err)
+			}
+		})
 	}
 }

@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"bytes"
+	"encoding/json"
 	"math"
 	"math/rand"
 	"sort"
@@ -9,6 +11,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/locate"
 	"repro/internal/terrain"
+	"repro/internal/traffic"
 	"repro/internal/ue"
 )
 
@@ -298,5 +301,72 @@ func TestFlyMeasureWithoutRangingSkipsTuples(t *testing.T) {
 	samples, flown := w.FlyMeasure(path, 60, 0)
 	if len(samples) == 0 || flown <= 0 {
 		t.Fatal("measurement flight failed")
+	}
+}
+
+func TestServeTrafficConservesPackets(t *testing.T) {
+	w := testWorld(t, true, campusUEs())
+	rep, err := w.ServeTraffic(2, 1, traffic.Spec{Model: traffic.ModelPoisson, RateBps: 1e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.KPIs) != len(w.UEs) {
+		t.Fatalf("KPI rows = %d, want %d", len(rep.KPIs), len(w.UEs))
+	}
+	for _, k := range rep.KPIs {
+		if k.OfferedPackets == 0 {
+			t.Fatalf("UE %d offered nothing", k.UE)
+		}
+		// Every offered packet is delivered, dropped, or still queued.
+		if k.OfferedPackets != k.DeliveredPackets+k.DroppedPackets+uint64(k.BacklogPackets) {
+			t.Fatalf("UE %d: offered %d != delivered %d + dropped %d + backlog %d",
+				k.UE, k.OfferedPackets, k.DeliveredPackets, k.DroppedPackets, k.BacklogPackets)
+		}
+		if k.DeliveredPackets > 0 && k.MeanDelayS <= 0 {
+			t.Fatalf("UE %d delivered packets with non-positive mean delay", k.UE)
+		}
+	}
+	if rep.Summary.DeliveredBytes == 0 {
+		t.Fatal("nothing delivered in 2 s of serving")
+	}
+}
+
+func TestServeTrafficDeterministicAcrossWorlds(t *testing.T) {
+	spec := traffic.Spec{Model: traffic.ModelOnOff, RateBps: 2e6}
+	run := func() []byte {
+		w := testWorld(t, true, campusUEs())
+		rep, err := w.ServeTraffic(1, 1, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	if a, b := run(), run(); !bytes.Equal(a, b) {
+		t.Fatal("identical worlds produced different traffic reports")
+	}
+}
+
+func TestServeTrafficStridedGrantScaling(t *testing.T) {
+	// With a stride the scheduler runs 1/stride as many TTIs but each
+	// grant is scaled by the stride; delivered volume must stay within
+	// a few percent of the unstrided run.
+	spec := traffic.Spec{Model: traffic.ModelCBR, RateBps: 1e6}
+	w1 := testWorld(t, true, campusUEs())
+	r1, err := w1.ServeTraffic(2, 1, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2 := testWorld(t, true, campusUEs())
+	r2, err := w2.ServeTraffic(2, 10, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1, d2 := float64(r1.Summary.DeliveredBytes), float64(r2.Summary.DeliveredBytes)
+	if d1 == 0 || math.Abs(d1-d2)/d1 > 0.05 {
+		t.Fatalf("strided delivery %g vs %g diverges", d2, d1)
 	}
 }

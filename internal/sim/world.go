@@ -21,6 +21,7 @@ import (
 	"repro/internal/ranging"
 	"repro/internal/terrain"
 	"repro/internal/trace"
+	"repro/internal/traffic"
 	"repro/internal/uav"
 	"repro/internal/ue"
 )
@@ -95,6 +96,10 @@ type World struct {
 	rng  *rand.Rand // measurement noise, SRS channels
 	mrng *rand.Rand // mobility
 	srs  []*ltephy.SRS
+
+	// servePhase counts ServeTraffic invocations so each epoch's
+	// arrival processes draw from fresh (but reproducible) streams.
+	servePhase uint64
 }
 
 // New builds a world, attaches every UE to the LTE stack, and parks
@@ -132,12 +137,17 @@ func New(cfg Config, ues []*ue.UE) (*World, error) {
 		if _, err := e.Attach(imsi, key, uint64(u.ID)+cfg.Seed); err != nil {
 			return nil, fmt.Errorf("sim: attaching UE %d: %w", u.ID, err)
 		}
-		root := 1 + (u.ID*37)%1019 // distinct Zadoff-Chu roots per UE
-		s, err := ltephy.NewSRS(num, root)
-		if err != nil {
-			return nil, fmt.Errorf("sim: SRS for UE %d: %w", u.ID, err)
+		// FastRanging never touches the SRS PHY chain, so skip building
+		// the per-UE sounding sequences (~16 KB each): that is what lets
+		// 10k-UE scale-up worlds construct in milliseconds.
+		if !cfg.FastRanging {
+			root := 1 + (u.ID*37)%1019 // distinct Zadoff-Chu roots per UE
+			s, err := ltephy.NewSRS(num, root)
+			if err != nil {
+				return nil, fmt.Errorf("sim: SRS for UE %d: %w", u.ID, err)
+			}
+			w.srs = append(w.srs, s)
 		}
-		w.srs = append(w.srs, s)
 	}
 	return w, nil
 }
@@ -378,7 +388,7 @@ func (w *World) ServeSeconds(seconds float64, ttiStride int) []float64 {
 	}
 	steps := int(seconds * 1000 / float64(ttiStride))
 	for s := 0; s < steps; s++ {
-		if s%(10/minInt(10, ttiStride)) == 0 {
+		if s%(10/min(10, ttiStride)) == 0 {
 			for i := range w.UEs {
 				w.ENB.ReportSNR(w.IMSIOf(i), w.MeasuredSNR(i))
 			}
@@ -396,9 +406,125 @@ func (w *World) ServeSeconds(seconds float64, ttiStride int) []float64 {
 	return out
 }
 
-func minInt(a, b int) int {
-	if a < b {
-		return a
+// ServeTraffic hovers at the current position serving the given
+// workload: a seeded per-UE arrival process offers downlink packets
+// through the EPC's GTP-U tunnels into each UE's bearer, the scheduler
+// runs every TTI, and its grants drain the bearers packet by packet.
+// It returns the per-UE KPI report (throughput, queueing delay, loss).
+//
+// Determinism: arrivals come from per-UE streams derived from the
+// world seed and a per-world phase counter, merged on a (time, seq)
+// event heap; the loop is single-threaded and grants fire in RNTI
+// order, so identical seeds and knobs yield byte-identical reports at
+// any host parallelism. The full-buffer model degenerates to
+// ServeSeconds with the grants reported as goodput.
+//
+// Timestamps are on the world clock, so a backlog surviving into a
+// later epoch's serving phase still yields correct queueing delays.
+func (w *World) ServeTraffic(seconds float64, ttiStride int, spec traffic.Spec) (*traffic.Report, error) {
+	if err := spec.Normalize(); err != nil {
+		return nil, err
 	}
-	return b
+	if ttiStride < 1 {
+		ttiStride = 1
+	}
+	ids := make([]int, len(w.UEs))
+	for i, u := range w.UEs {
+		ids[i] = u.ID
+	}
+	col := traffic.NewCollector(spec.Model, ids)
+
+	if spec.Model == traffic.ModelFullBuffer {
+		for i, bits := range w.ServeSeconds(seconds, ttiStride) {
+			col.FullBufferServed(i, bits)
+		}
+		rep := col.Report(seconds, nil, nil)
+		w.emitTraffic(rep, false) // ServeSeconds already emitted KindServe
+		return rep, nil
+	}
+
+	phaseSeed := w.Cfg.Seed + 0x9e3779b97f4a7c15*w.servePhase
+	w.servePhase++
+	sources := make([]traffic.Source, len(w.UEs))
+	for i, u := range w.UEs {
+		sources[i] = traffic.NewSource(spec, u.ID, phaseSeed, seconds)
+	}
+	gen := traffic.NewGenerator(sources)
+
+	bearers := make([]*enb.Bearer, len(w.UEs))
+	index := make(map[epc.IMSI]int, len(w.UEs))
+	for i := range w.UEs {
+		b, ok := w.ENB.Bearer(w.IMSIOf(i))
+		if !ok {
+			return nil, fmt.Errorf("sim: UE %d has no bearer", w.UEs[i].ID)
+		}
+		bearers[i] = b
+		index[w.IMSIOf(i)] = i
+	}
+
+	var scratch [65536]byte // zero payload template; only sizes matter
+	start := w.Clock
+	tti := float64(ttiStride) / 1000
+	steps := int(seconds * 1000 / float64(ttiStride))
+	for s := 0; s < steps; s++ {
+		now := start + float64(s)*tti
+		if s%(10/min(10, ttiStride)) == 0 {
+			for i := range w.UEs {
+				w.ENB.ReportSNR(w.IMSIOf(i), w.MeasuredSNR(i))
+			}
+		}
+		// Enqueue everything arriving during this TTI before its grants.
+		for {
+			a, ok := gen.Pop(float64(s+1) * tti)
+			if !ok {
+				break
+			}
+			col.Offered(a.UE, a.Bytes)
+			pdu := bearers[a.UE].Tunnel().Encap(scratch[:a.Bytes])
+			switch err := bearers[a.UE].DeliverGTPUAt(pdu, start+a.T); err {
+			case nil, enb.ErrQueueOverflow:
+				if err != nil {
+					col.Dropped(a.UE, a.Bytes)
+				}
+			default:
+				return nil, fmt.Errorf("sim: delivering to UE %d: %w", w.UEs[a.UE].ID, err)
+			}
+		}
+		done := now + tti
+		w.ENB.RunTTIFunc(func(imsi epc.IMSI, bits float64) {
+			i := index[imsi]
+			for _, d := range bearers[i].CreditAt(bits*float64(ttiStride), done) {
+				col.Delivered(i, len(d.Data), done-d.EnqueuedAt)
+			}
+		})
+		w.Clock += tti
+	}
+
+	backlog := make([]int, len(bearers))
+	peak := make([]int, len(bearers))
+	for i, b := range bearers {
+		backlog[i] = b.QueuedPackets()
+		peak[i] = b.PeakQueue()
+	}
+	rep := col.Report(seconds, backlog, peak)
+	w.emitTraffic(rep, true)
+	return rep, nil
+}
+
+// emitTraffic publishes per-UE traffic KPIs to the tracer. withServe
+// additionally emits the legacy KindServe records (delivered bits) for
+// paths that did not already go through ServeSeconds.
+func (w *World) emitTraffic(rep *traffic.Report, withServe bool) {
+	if w.Tracer == nil {
+		return
+	}
+	for _, k := range rep.KPIs {
+		if withServe {
+			w.Tracer.Emit(trace.Record{Kind: trace.KindServe, T: w.Clock, UE: k.UE, Value: float64(k.DeliveredBytes) * 8})
+		}
+		w.Tracer.Emit(trace.Record{
+			Kind: trace.KindTraffic, T: w.Clock, UE: k.UE,
+			Value: k.ThroughputBps, DelayS: k.MeanDelayS, LossFrac: k.LossFrac,
+		})
+	}
 }

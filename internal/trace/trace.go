@@ -28,6 +28,7 @@ const (
 	KindPlacement Kind = "placement"
 	KindEpoch     Kind = "epoch"
 	KindServe     Kind = "serve"
+	KindTraffic   Kind = "traffic"
 )
 
 // Record is one telemetry event. Fields are used according to Kind;
@@ -46,9 +47,14 @@ type Record struct {
 	Y float64 `json:"y,omitempty"`
 	Z float64 `json:"z,omitempty"`
 
-	// KindSNR / KindFix / KindServe
+	// KindSNR / KindFix / KindServe / KindTraffic
 	UE    int     `json:"ue,omitempty"`
 	Value float64 `json:"value,omitempty"`
+
+	// KindTraffic: per-UE serving-phase KPIs (Value carries the
+	// delivered throughput in bit/s).
+	DelayS   float64 `json:"delay_s,omitempty"`
+	LossFrac float64 `json:"loss_frac,omitempty"`
 
 	// KindEpoch
 	Epoch         int     `json:"epoch,omitempty"`

@@ -1,0 +1,60 @@
+package traffic
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkTrafficGenerator measures the event-heap merge across a
+// large UE population — the hot path of every traffic-driven serving
+// phase.
+func BenchmarkTrafficGenerator(b *testing.B) {
+	for _, ues := range []int{100, 1000} {
+		for _, model := range []Model{ModelPoisson, ModelOnOff, ModelWeb} {
+			b.Run(fmt.Sprintf("%s/ues=%d", model, ues), func(b *testing.B) {
+				spec := Spec{Model: model, RateBps: 1e6}
+				if err := spec.Normalize(); err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					sources := make([]Source, ues)
+					for ue := range sources {
+						sources[ue] = NewSource(spec, ue, 42, 1.0)
+					}
+					g := NewGenerator(sources)
+					n := 0
+					for {
+						if _, ok := g.Pop(1.0); !ok {
+							break
+						}
+						n++
+					}
+					if n == 0 {
+						b.Fatal("no arrivals")
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkTrafficCollector measures KPI accounting throughput.
+func BenchmarkTrafficCollector(b *testing.B) {
+	ids := make([]int, 100)
+	for i := range ids {
+		ids[i] = i
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c := NewCollector(ModelPoisson, ids)
+		for p := 0; p < 10000; p++ {
+			ue := p % len(ids)
+			c.Offered(ue, 1200)
+			c.Delivered(ue, 1200, float64(p%50)*1e-3)
+		}
+		if rep := c.Report(10, nil, nil); rep.Summary.DeliveredBytes == 0 {
+			b.Fatal("empty report")
+		}
+	}
+}

@@ -1,0 +1,299 @@
+package traffic
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Model names a per-UE downlink workload.
+type Model string
+
+// The workload catalog.
+const (
+	// ModelFullBuffer is the pre-traffic-subsystem abstraction: every
+	// UE always has data waiting, so the scheduler's grants are the
+	// throughput. It generates no packets and reports no delay/loss.
+	ModelFullBuffer Model = "full-buffer"
+	// ModelCBR emits fixed-size packets at a constant rate (voice-like,
+	// each UE phase-shifted so the cell load is smooth).
+	ModelCBR Model = "cbr"
+	// ModelPoisson emits fixed-size packets with exponential
+	// inter-arrival times at the given mean rate.
+	ModelPoisson Model = "poisson"
+	// ModelOnOff is MMPP-style bursty traffic: exponential ON/OFF
+	// periods, Poisson arrivals during ON at a peak rate chosen so the
+	// long-run mean equals RateBps.
+	ModelOnOff Model = "onoff"
+	// ModelWeb is heavy-tailed web/video traffic: flows arrive as a
+	// Poisson process, flow sizes are Pareto, and each flow's packets
+	// are paced at a server line rate.
+	ModelWeb Model = "web"
+)
+
+// Spec describes the per-UE offered load — part of the scenario knobs
+// and of the skyrand job wire format.
+type Spec struct {
+	// Model selects the arrival process.
+	Model Model `json:"model"`
+	// RateBps is the mean offered rate per UE (default 2 Mbit/s).
+	RateBps float64 `json:"rate_bps,omitempty"`
+	// PacketBytes is the IP packet size (default 1200).
+	PacketBytes int `json:"packet_bytes,omitempty"`
+	// BurstS / IdleS are the mean ON / OFF durations of the onoff
+	// model (defaults 0.2 s / 0.8 s → 5× peak-to-mean burstiness).
+	BurstS float64 `json:"burst_s,omitempty"`
+	IdleS  float64 `json:"idle_s,omitempty"`
+	// FlowKB is the mean flow size of the web model in kilobytes
+	// (default 64). ParetoAlpha is the tail index (default 1.5; lower
+	// is heavier-tailed, must stay > 1 for a finite mean).
+	FlowKB      float64 `json:"flow_kb,omitempty"`
+	ParetoAlpha float64 `json:"pareto_alpha,omitempty"`
+	// PacingBps is the in-flow packet pacing rate of the web model —
+	// the origin server's line rate (default 20 Mbit/s).
+	PacingBps float64 `json:"pacing_bps,omitempty"`
+}
+
+// Normalize fills defaults and validates the spec.
+func (s *Spec) Normalize() error {
+	if s.Model == "" {
+		s.Model = ModelFullBuffer
+	}
+	switch s.Model {
+	case ModelFullBuffer, ModelCBR, ModelPoisson, ModelOnOff, ModelWeb:
+	default:
+		return fmt.Errorf("traffic: unknown model %q", s.Model)
+	}
+	if s.RateBps == 0 {
+		s.RateBps = 2e6
+	}
+	if s.RateBps < 0 {
+		return fmt.Errorf("traffic: negative rate %g", s.RateBps)
+	}
+	if s.PacketBytes == 0 {
+		s.PacketBytes = 1200
+	}
+	if s.PacketBytes < 20 || s.PacketBytes > 65000 {
+		return fmt.Errorf("traffic: packet size %d outside [20, 65000]", s.PacketBytes)
+	}
+	if s.BurstS == 0 {
+		s.BurstS = 0.2
+	}
+	if s.IdleS == 0 {
+		s.IdleS = 0.8
+	}
+	if s.BurstS < 0 || s.IdleS < 0 {
+		return fmt.Errorf("traffic: negative on/off durations (%g, %g)", s.BurstS, s.IdleS)
+	}
+	if s.FlowKB == 0 {
+		s.FlowKB = 64
+	}
+	if s.FlowKB < 0 {
+		return fmt.Errorf("traffic: negative flow size %g", s.FlowKB)
+	}
+	if s.ParetoAlpha == 0 {
+		s.ParetoAlpha = 1.5
+	}
+	if s.ParetoAlpha <= 1 {
+		return fmt.Errorf("traffic: pareto alpha %g must be > 1 (finite mean)", s.ParetoAlpha)
+	}
+	if s.PacingBps == 0 {
+		s.PacingBps = 20e6
+	}
+	if s.PacingBps < 0 {
+		return fmt.Errorf("traffic: negative pacing rate %g", s.PacingBps)
+	}
+	return nil
+}
+
+// Source yields one UE's downlink packet arrivals in non-decreasing
+// time order. Next returns the arrival time in seconds since the
+// serving phase began and the packet size in bytes; ok=false once the
+// source has passed its horizon.
+type Source interface {
+	Next() (t float64, size int, ok bool)
+}
+
+// deriveSeed mixes the world seed with a per-UE index (splitmix64
+// finalizer) so every UE draws from an independent stream whose
+// identity does not depend on how many other UEs exist.
+func deriveSeed(seed uint64, ue int) int64 {
+	z := seed + 0x9e3779b97f4a7c15*uint64(ue+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+// NewSource builds the arrival process for one UE. The horizon bounds
+// generation: no arrival at or beyond it is ever produced. Full-buffer
+// returns nil (that model has no arrival process). The spec must be
+// normalized.
+func NewSource(spec Spec, ue int, seed uint64, horizon float64) Source {
+	rng := rand.New(rand.NewSource(deriveSeed(seed, ue)))
+	switch spec.Model {
+	case ModelCBR:
+		interval := float64(spec.PacketBytes*8) / spec.RateBps
+		return &cbrSource{
+			t:        interval * rng.Float64(), // per-UE phase shift
+			interval: interval,
+			size:     spec.PacketBytes,
+			horizon:  horizon,
+		}
+	case ModelPoisson:
+		return &poissonSource{
+			rng:     rng,
+			meanIAT: float64(spec.PacketBytes*8) / spec.RateBps,
+			size:    spec.PacketBytes,
+			horizon: horizon,
+		}
+	case ModelOnOff:
+		duty := spec.BurstS / (spec.BurstS + spec.IdleS)
+		peak := spec.RateBps / duty
+		src := &onOffSource{
+			rng:     rng,
+			meanIAT: float64(spec.PacketBytes*8) / peak,
+			burstS:  spec.BurstS,
+			idleS:   spec.IdleS,
+			size:    spec.PacketBytes,
+			horizon: horizon,
+		}
+		// Begin in OFF: the first burst starts after one idle draw.
+		src.t = rng.ExpFloat64() * spec.IdleS
+		src.onEnd = src.t + rng.ExpFloat64()*spec.BurstS
+		return src
+	case ModelWeb:
+		meanFlowBytes := spec.FlowKB * 1024
+		return &webSource{
+			rng:     rng,
+			flowIAT: meanFlowBytes * 8 / spec.RateBps,
+			xm:      meanFlowBytes * (spec.ParetoAlpha - 1) / spec.ParetoAlpha,
+			alpha:   spec.ParetoAlpha,
+			pktGap:  float64(spec.PacketBytes*8) / spec.PacingBps,
+			size:    spec.PacketBytes,
+			horizon: horizon,
+		}
+	default: // ModelFullBuffer
+		return nil
+	}
+}
+
+// cbrSource: packet every interval seconds.
+type cbrSource struct {
+	t, interval, horizon float64
+	size                 int
+}
+
+func (s *cbrSource) Next() (float64, int, bool) {
+	if s.t >= s.horizon {
+		return 0, 0, false
+	}
+	t := s.t
+	s.t += s.interval
+	return t, s.size, true
+}
+
+// poissonSource: exponential inter-arrival times.
+type poissonSource struct {
+	rng        *rand.Rand
+	t, meanIAT float64
+	horizon    float64
+	size       int
+}
+
+func (s *poissonSource) Next() (float64, int, bool) {
+	s.t += s.rng.ExpFloat64() * s.meanIAT
+	if s.t >= s.horizon {
+		return 0, 0, false
+	}
+	return s.t, s.size, true
+}
+
+// onOffSource: Poisson arrivals at peak rate during exponential ON
+// periods, silence during exponential OFF periods.
+type onOffSource struct {
+	rng                    *rand.Rand
+	t, onEnd               float64
+	meanIAT, burstS, idleS float64
+	horizon                float64
+	size                   int
+}
+
+func (s *onOffSource) Next() (float64, int, bool) {
+	for {
+		iat := s.rng.ExpFloat64() * s.meanIAT
+		if s.t+iat < s.onEnd {
+			s.t += iat
+			if s.t >= s.horizon {
+				return 0, 0, false
+			}
+			return s.t, s.size, true
+		}
+		// Burst over: jump to the next ON period.
+		s.t = s.onEnd + s.rng.ExpFloat64()*s.idleS
+		s.onEnd = s.t + s.rng.ExpFloat64()*s.burstS
+		if s.t >= s.horizon {
+			return 0, 0, false
+		}
+	}
+}
+
+// webSource: Poisson flow arrivals, Pareto flow sizes, packets within
+// a flow paced at the origin line rate; overlapping flows queue behind
+// each other. Flow sizes are capped at 10^4 × xm so a single tail draw
+// cannot swallow the whole horizon.
+type webSource struct {
+	rng       *rand.Rand
+	flowT     float64 // arrival time of the current/last flow
+	flowIAT   float64
+	xm, alpha float64
+	pktGap    float64
+	horizon   float64
+	size      int
+	remBytes  int     // unsent bytes of the current flow
+	nextPkt   float64 // emission time of the next packet in the flow
+}
+
+func (s *webSource) Next() (float64, int, bool) {
+	for {
+		if s.remBytes > 0 {
+			t := s.nextPkt
+			if t >= s.horizon {
+				return 0, 0, false
+			}
+			n := s.size
+			if s.remBytes < n {
+				n = s.remBytes
+			}
+			s.remBytes -= n
+			s.nextPkt += s.pktGap
+			return t, n, true
+		}
+		s.flowT += s.rng.ExpFloat64() * s.flowIAT
+		if s.flowT >= s.horizon {
+			return 0, 0, false
+		}
+		// A flow that arrives while the previous one is still being
+		// paced queues behind it (the origin serialises the bearer),
+		// keeping the per-UE stream monotone.
+		if s.flowT < s.nextPkt {
+			s.flowT = s.nextPkt
+			if s.flowT >= s.horizon {
+				return 0, 0, false
+			}
+		}
+		// Pareto(xm, alpha) via inverse transform, tail-capped.
+		u := s.rng.Float64()
+		if u < 1e-12 {
+			u = 1e-12
+		}
+		size := s.xm / math.Pow(u, 1/s.alpha)
+		if max := s.xm * 1e4; size > max {
+			size = max
+		}
+		s.remBytes = int(size)
+		if s.remBytes < 1 {
+			s.remBytes = 1
+		}
+		s.nextPkt = s.flowT
+	}
+}

@@ -1,0 +1,52 @@
+#!/bin/sh
+# bench-traffic: record BENCH_traffic.json with skyrbench. Starts
+# skyrand on an ephemeral port, drives it with concurrent bursty-load
+# scenario jobs (including one 10k-UE scale-up job), and writes the
+# latency/throughput snapshot to the repo root.
+set -eu
+
+cd "$(dirname "$0")/.."
+tmp=$(mktemp -d)
+pid=""
+cleanup() {
+	[ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+	rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+echo "bench-traffic: building skyrand and skyrbench"
+go build -o "$tmp/skyrand" ./cmd/skyrand
+go build -o "$tmp/skyrbench" ./cmd/skyrbench
+
+"$tmp/skyrand" -addr 127.0.0.1:0 -workers 4 -queue 32 -job-timeout 15m >"$tmp/skyrand.log" 2>&1 &
+pid=$!
+
+addr=""
+i=0
+while [ $i -lt 100 ]; do
+	addr=$(sed -n 's#^skyrand: listening on http://\([^ ]*\).*#\1#p' "$tmp/skyrand.log")
+	[ -n "$addr" ] && break
+	kill -0 "$pid" 2>/dev/null || { cat "$tmp/skyrand.log"; exit 1; }
+	sleep 0.1
+	i=$((i + 1))
+done
+[ -n "$addr" ] || { echo "bench-traffic: daemon never reported its address" >&2; exit 1; }
+echo "bench-traffic: daemon up at $addr"
+
+echo "bench-traffic: open-loop bursty-load run (16 jobs at 8 jobs/s)"
+"$tmp/skyrbench" -addr "http://$addr" -jobs 16 -rate 8 \
+	-terrain FLAT -ues 5 -epochs 2 -serve 1 \
+	-traffic onoff -traffic-rate 3e6 \
+	-timeout 5m -out BENCH_traffic.json
+
+echo "bench-traffic: 10k-UE scale-up job through the daemon"
+"$tmp/skyrbench" -addr "http://$addr" -jobs 1 -rate 1 \
+	-terrain FLAT -ues 10000 -controller random -epochs 1 -serve 1 \
+	-traffic onoff -traffic-rate 1e5 \
+	-timeout 15m -out BENCH_traffic_10k.json
+
+kill -TERM "$pid"
+wait "$pid" || true
+pid=""
+
+echo "bench-traffic: OK (BENCH_traffic.json, BENCH_traffic_10k.json)"
