@@ -6,11 +6,12 @@
 #   make bench        one bench per paper figure + hot-path micro-benches
 #   make bench-smoke    vet + compile-and-run every benchmark once (CI tier)
 #   make serve-smoke  end-to-end skyrand daemon vs skyranctl -json diff
+#   make recover-smoke  SIGKILL the daemon mid-job, restart, byte-identical finish
 #   make bench-traffic  record BENCH_traffic.json via skyrbench vs skyrand
 
 GO ?= go
 
-.PHONY: tier1 race short bench bench-smoke fmt serve-smoke bench-traffic
+.PHONY: tier1 race short bench bench-smoke fmt serve-smoke recover-smoke bench-traffic
 
 tier1:
 	$(GO) build ./... && $(GO) test -timeout 60m ./...
@@ -32,6 +33,9 @@ fmt:
 
 serve-smoke:
 	sh scripts/serve_smoke.sh
+
+recover-smoke:
+	sh scripts/recover_smoke.sh
 
 bench-traffic:
 	sh scripts/bench_traffic.sh

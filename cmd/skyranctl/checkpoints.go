@@ -1,0 +1,87 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/checkpoint"
+	"repro/internal/scenario"
+)
+
+// runCheckpoints implements `skyranctl checkpoints [dir|file...]`: it
+// lists every checkpoint, inspects its embedded scenario, and verifies
+// its integrity (magic, kind, section and trailer CRCs, spec
+// fingerprint — the same checks Resume performs). The exit status is
+// non-zero when any checkpoint fails verification, so the subcommand
+// doubles as a fsck for a checkpoint directory.
+func runCheckpoints(args []string) error {
+	fs := flag.NewFlagSet("checkpoints", flag.ExitOnError)
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: skyranctl checkpoints <dir-or-file> [...]")
+		fmt.Fprintln(os.Stderr, "list, inspect and verify checkpoint files (*"+checkpoint.FileExt+")")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args) //nolint:errcheck // ExitOnError
+	if fs.NArg() == 0 {
+		fs.Usage()
+		os.Exit(2)
+	}
+
+	var files []string
+	for _, arg := range fs.Args() {
+		info, err := os.Stat(arg)
+		if err != nil {
+			return err
+		}
+		if !info.IsDir() {
+			files = append(files, arg)
+			continue
+		}
+		listed, err := checkpoint.ListDir(arg)
+		if err != nil {
+			return err
+		}
+		if len(listed) == 0 {
+			fmt.Printf("%s: no checkpoints\n", arg)
+		}
+		files = append(files, listed...)
+	}
+
+	bad := 0
+	for _, f := range files {
+		meta, err := scenario.InspectCheckpoint(f)
+		if err != nil {
+			bad++
+			fmt.Printf("%-28s BAD: %v\n", filepath.Base(f), err)
+			continue
+		}
+		traffic := ""
+		if meta.Spec.Traffic != nil {
+			traffic = " traffic=" + string(meta.Spec.Traffic.Model)
+		}
+		fmt.Printf("%-28s OK  epoch %d/%d  %s/%s seed=%d%s  %d bytes  fp=%016x\n",
+			filepath.Base(f), meta.NextEpoch, meta.Spec.Epochs,
+			meta.Spec.Controller, meta.Spec.Terrain, meta.Spec.Seed, traffic,
+			meta.Bytes, meta.Fingerprint)
+	}
+	if bad > 0 {
+		return fmt.Errorf("%d of %d checkpoints failed verification", bad, len(files))
+	}
+	return nil
+}
+
+// validTrafficModels is the -traffic usage string.
+func validTrafficModels() string {
+	return strings.Join([]string{"cbr", "poisson", "onoff", "web", "full-buffer"}, ", ")
+}
+
+// usageError prints a message plus the flag usage and exits 2, the
+// conventional bad-usage status.
+func usageError(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "skyranctl: "+format+"\n", args...)
+	flag.Usage()
+	os.Exit(2)
+}

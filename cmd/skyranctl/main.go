@@ -15,6 +15,14 @@
 //	skyranctl -terrain CAMPUS -ues 7 -topology clustered -controller uniform -budget 800
 //	skyranctl -terrain FLAT -ues 3 -json
 //	skyranctl -xyz scan.xyz -ues 5
+//
+// Long runs can checkpoint at epoch boundaries and resume after an
+// interruption; the resumed run's output is byte-identical to an
+// uninterrupted one:
+//
+//	skyranctl -terrain NYC -epochs 50 -checkpoint-dir ckpt
+//	skyranctl checkpoints ckpt                 # list / inspect / verify
+//	skyranctl -resume ckpt/epoch-00031.ckpt -json
 package main
 
 import (
@@ -31,6 +39,13 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "checkpoints" {
+		if err := runCheckpoints(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "skyranctl:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	var (
 		terrName  = flag.String("terrain", "CAMPUS", "terrain: CAMPUS, RURAL, NYC, LARGE, FLAT")
 		xyz       = flag.String("xyz", "", "LiDAR point-cloud file (x y z class per line) instead of -terrain")
@@ -47,8 +62,23 @@ func main() {
 		pktBytes  = flag.Int("packet-bytes", 0, "traffic packet size in bytes (0 = model default)")
 		traceOut  = flag.String("trace", "", "record flight telemetry to this JSONL file (view with traceview)")
 		jsonOut   = flag.Bool("json", false, "emit the result as JSON (the skyrand wire format) instead of text")
+		ckptDir   = flag.String("checkpoint-dir", "", "write a resumable checkpoint file here at epoch boundaries")
+		ckptEvery = flag.Int("checkpoint-every", 1, "epochs between checkpoints")
+		ckptKeep  = flag.Int("checkpoint-retain", 0, "checkpoint files to keep (0 = all)")
+		resume    = flag.String("resume", "", "resume a run from this checkpoint file (scenario flags are taken from the checkpoint)")
 	)
 	flag.Parse()
+	switch *trafModel {
+	case "", "cbr", "poisson", "onoff", "web", "full-buffer":
+	default:
+		usageError("unknown -traffic model %q (valid: %s)", *trafModel, validTrafficModels())
+	}
+	if *trafRate < 0 {
+		usageError("-traffic-rate must be non-negative, got %g", *trafRate)
+	}
+	if *pktBytes < 0 {
+		usageError("-packet-bytes must be non-negative, got %d", *pktBytes)
+	}
 	spec := scenario.Spec{
 		Terrain:    *terrName,
 		UEs:        *nUEs,
@@ -66,14 +96,18 @@ func main() {
 			PacketBytes: *pktBytes,
 		}
 	}
-	if err := run(spec, *xyz, *esri, *traceOut, *jsonOut); err != nil {
+	var cp *scenario.CheckpointConfig
+	if *ckptDir != "" {
+		cp = &scenario.CheckpointConfig{Dir: *ckptDir, EveryEpochs: *ckptEvery, Retain: *ckptKeep}
+	}
+	if err := run(spec, *xyz, *esri, *traceOut, *jsonOut, *resume, cp); err != nil {
 		fmt.Fprintln(os.Stderr, "skyranctl:", err)
 		os.Exit(1)
 	}
 }
 
-func run(spec scenario.Spec, xyz, esri, traceOut string, jsonOut bool) error {
-	opts := scenario.Options{}
+func run(spec scenario.Spec, xyz, esri, traceOut string, jsonOut bool, resume string, cp *scenario.CheckpointConfig) error {
+	opts := scenario.Options{Checkpoint: cp}
 	t, err := buildTerrain(xyz, esri)
 	if err != nil {
 		return err
@@ -103,7 +137,12 @@ func run(spec scenario.Spec, xyz, esri, traceOut string, jsonOut bool) error {
 		}
 		opts.OnEpoch = func(rep scenario.EpochReport) { printEpoch(ctrlName, spec.ServeS, rep) }
 	}
-	res, _, err := scenario.Run(context.Background(), spec, opts)
+	var res *scenario.Result
+	if resume != "" {
+		res, _, err = scenario.Resume(context.Background(), resume, nil, opts)
+	} else {
+		res, _, err = scenario.Run(context.Background(), spec, opts)
+	}
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,143 @@
+package checkpoint
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func sample() *Container {
+	c := New(KindCheckpoint, 3, 0xdeadbeefcafe)
+	c.Add("spec", []byte(`{"terrain":"FLAT"}`))
+	c.Add("world", bytes.Repeat([]byte{0x5a}, 1024))
+	c.Add("empty", nil)
+	return c
+}
+
+func TestRoundTrip(t *testing.T) {
+	b, err := sample().Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	c, err := Decode(b)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if c.Kind != KindCheckpoint || c.Version != 3 || c.Fingerprint != 0xdeadbeefcafe {
+		t.Fatalf("header mismatch: %+v", c)
+	}
+	if got, ok := c.Section("spec"); !ok || string(got) != `{"terrain":"FLAT"}` {
+		t.Fatalf("spec section: %q ok=%v", got, ok)
+	}
+	if got, ok := c.Section("world"); !ok || len(got) != 1024 {
+		t.Fatalf("world section: %d bytes ok=%v", len(got), ok)
+	}
+	if _, ok := c.Section("empty"); !ok {
+		t.Fatal("empty section missing")
+	}
+	if _, ok := c.Section("nope"); ok {
+		t.Fatal("phantom section")
+	}
+}
+
+func TestBitFlipDetected(t *testing.T) {
+	b, err := sample().Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	// Flip one bit in every byte position; every single flip must be
+	// rejected (magic, header, payload, CRC bytes — all covered).
+	for i := range b {
+		mut := append([]byte(nil), b...)
+		mut[i] ^= 0x40
+		if _, err := Decode(mut); err == nil {
+			t.Fatalf("bit flip at byte %d went undetected", i)
+		}
+	}
+}
+
+func TestBitFlipInPayloadIsErrCorrupt(t *testing.T) {
+	b, _ := sample().Encode()
+	// Payload of "world" starts somewhere after the header; flipping in
+	// the middle of the file hits it.
+	mut := append([]byte(nil), b...)
+	mut[len(mut)/2] ^= 0x01
+	_, err := Decode(mut)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("payload bit flip: got %v, want ErrCorrupt", err)
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	b, _ := sample().Encode()
+	b[0] = 'X'
+	if _, err := Decode(b); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("got %v, want ErrBadMagic", err)
+	}
+	if _, err := Decode([]byte("short")); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("tiny file: got %v, want ErrTruncated", err)
+	}
+}
+
+func TestTruncationDetected(t *testing.T) {
+	b, _ := sample().Encode()
+	for _, cut := range []int{len(b) - 1, len(b) - 5, len(b) / 2, 9} {
+		if _, err := Decode(b[:cut]); err == nil {
+			t.Fatalf("truncation at %d bytes went undetected", cut)
+		}
+	}
+}
+
+func TestWriteFileAtomicAndInspect(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, EpochFileName(7))
+	n, err := WriteFileAtomic(path, sample())
+	if err != nil {
+		t.Fatalf("WriteFileAtomic: %v", err)
+	}
+	st, err := os.Stat(path)
+	if err != nil || st.Size() != n {
+		t.Fatalf("stat %v size %d want %d", err, st.Size(), n)
+	}
+	info := Inspect(path)
+	if info.Err != nil {
+		t.Fatalf("Inspect: %v", info.Err)
+	}
+	if info.Kind != KindCheckpoint || len(info.Sections) != 3 {
+		t.Fatalf("Inspect: %+v", info)
+	}
+	// No temp droppings left behind.
+	entries, _ := os.ReadDir(dir)
+	if len(entries) != 1 {
+		t.Fatalf("directory has %d entries, want 1", len(entries))
+	}
+}
+
+func TestListDirAndPrune(t *testing.T) {
+	dir := t.TempDir()
+	for _, e := range []int{3, 1, 2, 10} {
+		if _, err := WriteFileAtomic(filepath.Join(dir, EpochFileName(e)), sample()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	files, err := ListDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 4 || filepath.Base(files[0]) != EpochFileName(1) || filepath.Base(files[3]) != EpochFileName(10) {
+		t.Fatalf("ListDir order: %v", files)
+	}
+	if err := Prune(dir, 2); err != nil {
+		t.Fatal(err)
+	}
+	files, _ = ListDir(dir)
+	if len(files) != 2 || filepath.Base(files[0]) != EpochFileName(3) {
+		t.Fatalf("Prune kept %v", files)
+	}
+	// Missing directory lists as empty.
+	if files, err := ListDir(filepath.Join(dir, "nope")); err != nil || files != nil {
+		t.Fatalf("missing dir: %v %v", files, err)
+	}
+}

@@ -2,8 +2,8 @@ package core
 
 import (
 	"fmt"
-	"math/rand"
 
+	"repro/internal/detrand"
 	"repro/internal/geom"
 	"repro/internal/locate"
 	"repro/internal/ranging"
@@ -102,7 +102,7 @@ type Centroid struct {
 	// Seed drives the random localization trajectory.
 	Seed int64
 
-	rng *rand.Rand
+	rng *detrand.Rand
 }
 
 // Name implements Controller.
@@ -120,11 +120,11 @@ func (c *Centroid) RunEpoch(w *sim.World) (EpochResult, error) {
 		c.OffsetPriorSigmaM = 5
 	}
 	if c.rng == nil {
-		c.rng = rand.New(rand.NewSource(c.Seed + 11))
+		c.rng = detrand.New(c.Seed + 11)
 	}
 	var res EpochResult
 
-	path := traj.LocalizationLoop(w.Area(), w.UAV.Position().XY(), c.LocalizationFlightM, c.rng)
+	path := traj.LocalizationLoop(w.Area(), w.UAV.Position().XY(), c.LocalizationFlightM, c.rng.Rand)
 	tuples, flown := w.LocalizationFlight(path, c.AltitudeM)
 	res.LocalizationM = flown
 
@@ -166,7 +166,7 @@ func (c *Centroid) RunEpoch(w *sim.World) (EpochResult, error) {
 type Random struct {
 	AltitudeM float64
 	Seed      int64
-	rng       *rand.Rand
+	rng       *detrand.Rand
 }
 
 // Name implements Controller.
@@ -178,7 +178,7 @@ func (r *Random) RunEpoch(w *sim.World) (EpochResult, error) {
 		r.AltitudeM = 60
 	}
 	if r.rng == nil {
-		r.rng = rand.New(rand.NewSource(r.Seed + 13))
+		r.rng = detrand.New(r.Seed + 13)
 	}
 	a := w.Area()
 	pos := geom.V2(a.MinX+r.rng.Float64()*a.Width(), a.MinY+r.rng.Float64()*a.Height())

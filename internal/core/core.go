@@ -10,8 +10,8 @@ package core
 import (
 	"context"
 	"fmt"
-	"math/rand"
 
+	"repro/internal/detrand"
 	"repro/internal/geom"
 	"repro/internal/locate"
 	"repro/internal/ranging"
@@ -178,7 +178,7 @@ func (c *Config) defaults() {
 // trajectory histories).
 type SkyRAN struct {
 	cfg Config
-	rng *rand.Rand
+	rng *detrand.Rand
 
 	// Cross-epoch state (§3.5).
 	epoch       int
@@ -199,7 +199,7 @@ func NewSkyRAN(cfg Config) *SkyRAN {
 	}
 	return &SkyRAN{
 		cfg:       cfg,
-		rng:       rand.New(rand.NewSource(cfg.Seed + 7)),
+		rng:       detrand.New(cfg.Seed + 7),
 		store:     store,
 		histories: make(map[int]traj.History),
 		lastEst:   make(map[int]geom.Vec2),
@@ -296,7 +296,7 @@ func (s *SkyRAN) runWithEstimates(ctx context.Context, w *sim.World, ests []geom
 	for i, u := range w.UEs {
 		hists[i] = s.histories[u.ID]
 	}
-	path, err := s.cfg.Planner.Plan(grad, hists, w.UAV.Position().XY(), s.rng)
+	path, err := s.cfg.Planner.Plan(grad, hists, w.UAV.Position().XY(), s.rng.Rand)
 	if err != nil {
 		// Perfectly flat prior REMs (e.g. degenerate scenario): fall
 		// back to a coarse sweep.
@@ -400,7 +400,7 @@ func (s *SkyRAN) localize(w *sim.World) ([]geom.Vec2, float64, error) {
 	if alt == 0 {
 		alt = w.UAV.Config().MaxAltitudeM / 2
 	}
-	path := traj.LocalizationLoop(w.Area(), w.UAV.Position().XY(), s.cfg.LocalizationFlightM, s.rng)
+	path := traj.LocalizationLoop(w.Area(), w.UAV.Position().XY(), s.cfg.LocalizationFlightM, s.rng.Rand)
 	tuples, flown := w.LocalizationFlight(path, alt)
 	ests := s.solveTuples(w, tuples, nil)
 

@@ -3,8 +3,8 @@ package core
 import (
 	"context"
 	"fmt"
-	"math/rand"
 
+	"repro/internal/detrand"
 	"repro/internal/engine"
 	"repro/internal/geom"
 	"repro/internal/rem"
@@ -31,7 +31,8 @@ type Fleet struct {
 	seed     uint64
 	shared   *rem.Store
 	fast     bool
-	partRNG  *rand.Rand
+	partRNG  *detrand.Rand
+	epochs   int
 	sectored [][]*ue.UE
 }
 
@@ -64,7 +65,7 @@ func NewFleet(n int, t *terrain.Surface, cfg Config, seed uint64, fastRanging bo
 		seed:    seed,
 		shared:  rem.NewStore(cfg.ReuseRadiusM),
 		fast:    fastRanging,
-		partRNG: rand.New(rand.NewSource(int64(seed) + 41)),
+		partRNG: detrand.New(int64(seed) + 41),
 	}, nil
 }
 
@@ -101,7 +102,7 @@ func (f *Fleet) RunEpochCtx(ctx context.Context, ues []*ue.UE) (*FleetResult, er
 	for i, u := range ues {
 		pts[i] = u.Pos
 	}
-	centers := traj.KMeans(pts, k, f.partRNG)
+	centers := traj.KMeans(pts, k, f.partRNG.Rand)
 	assign := traj.AssignClusters(pts, centers)
 	sectors := make([][]*ue.UE, k)
 	for i, u := range ues {
@@ -156,8 +157,12 @@ func (f *Fleet) RunEpochCtx(ctx context.Context, ues []*ue.UE) (*FleetResult, er
 			}
 		}
 	}
+	f.epochs++
 	return res, nil
 }
+
+// Epochs returns the number of completed fleet epochs.
+func (f *Fleet) Epochs() int { return f.epochs }
 
 // SharedStore exposes the fleet-wide REM store.
 func (f *Fleet) SharedStore() *rem.Store { return f.shared }

@@ -1,0 +1,91 @@
+// Package detrand provides deterministic, checkpointable random
+// streams. A Rand is a drop-in *math/rand.Rand whose source counts
+// every draw: its complete state is (seed, draws), so a checkpoint
+// stores two integers instead of serializing generator internals, and
+// a restore re-derives the stream lazily — rebuild the source from the
+// seed and fast-forward past the draws already consumed. The wrapped
+// source is the stdlib one, so streams are bit-identical to
+// rand.New(rand.NewSource(seed)): swapping detrand in changes no
+// simulation output.
+package detrand
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// State is the complete serializable state of a Rand.
+type State struct {
+	// Seed is the seed the stream was created with.
+	Seed int64
+	// Draws is the number of source draws consumed so far.
+	Draws uint64
+}
+
+// source wraps the stdlib source and counts draws. Every public
+// rand.Rand method bottoms out in Int63 or Uint64, and on the stdlib
+// source both advance the generator by exactly one step, so the count
+// alone pins the stream position.
+type source struct {
+	src rand.Source64
+	n   uint64
+}
+
+func (s *source) Int63() int64 {
+	s.n++
+	return s.src.Int63()
+}
+
+func (s *source) Uint64() uint64 {
+	s.n++
+	return s.src.Uint64()
+}
+
+func (s *source) Seed(seed int64) {
+	s.src.Seed(seed)
+	s.n = 0
+}
+
+// Rand is a counting random stream. It embeds *rand.Rand, so it is
+// usable anywhere a *rand.Rand is (the embedded field passes to APIs
+// taking *rand.Rand directly). Do not call Seed or Read on it: Seed
+// breaks the seed/state correspondence and Read keeps hidden buffer
+// state outside the draw count.
+type Rand struct {
+	*rand.Rand
+	seed int64
+	src  *source
+}
+
+// New returns a counting stream seeded like rand.New(rand.NewSource(seed)).
+func New(seed int64) *Rand {
+	src := &source{src: rand.NewSource(seed).(rand.Source64)}
+	return &Rand{Rand: rand.New(src), seed: seed, src: src}
+}
+
+// Seed returns the stream's seed.
+func (r *Rand) Seed() int64 { return r.seed }
+
+// Draws returns the number of source draws consumed so far.
+func (r *Rand) Draws() uint64 { return r.src.n }
+
+// State snapshots the stream.
+func (r *Rand) State() State { return State{Seed: r.seed, Draws: r.src.n} }
+
+// Restore fast-forwards the stream to st. The stream must have been
+// created with the same seed and must not have advanced past st —
+// restore never rewinds; it is meant to be applied to a freshly
+// constructed stream (or one that has only replayed a deterministic
+// prefix of its history).
+func (r *Rand) Restore(st State) error {
+	if st.Seed != r.seed {
+		return fmt.Errorf("detrand: restoring state for seed %d into stream seeded %d", st.Seed, r.seed)
+	}
+	if st.Draws < r.src.n {
+		return fmt.Errorf("detrand: cannot rewind stream from %d to %d draws", r.src.n, st.Draws)
+	}
+	for r.src.n < st.Draws {
+		r.src.Uint64()
+	}
+	return nil
+}

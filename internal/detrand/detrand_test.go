@@ -1,0 +1,87 @@
+package detrand
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The wrapped stream must be bit-identical to the stdlib stream for the
+// same seed — detrand is a drop-in, not a new generator.
+func TestMatchesStdlibStream(t *testing.T) {
+	ref := rand.New(rand.NewSource(42))
+	r := New(42)
+	for i := 0; i < 1000; i++ {
+		switch i % 5 {
+		case 0:
+			if a, b := ref.Float64(), r.Float64(); a != b {
+				t.Fatalf("draw %d: Float64 %v != %v", i, b, a)
+			}
+		case 1:
+			if a, b := ref.NormFloat64(), r.NormFloat64(); a != b {
+				t.Fatalf("draw %d: NormFloat64 %v != %v", i, b, a)
+			}
+		case 2:
+			if a, b := ref.ExpFloat64(), r.ExpFloat64(); a != b {
+				t.Fatalf("draw %d: ExpFloat64 %v != %v", i, b, a)
+			}
+		case 3:
+			if a, b := ref.Intn(1000), r.Intn(1000); a != b {
+				t.Fatalf("draw %d: Intn %v != %v", i, b, a)
+			}
+		case 4:
+			if a, b := ref.Uint64(), r.Uint64(); a != b {
+				t.Fatalf("draw %d: Uint64 %v != %v", i, b, a)
+			}
+		}
+	}
+}
+
+func TestSnapshotRestoreResumesStream(t *testing.T) {
+	r := New(7)
+	for i := 0; i < 257; i++ {
+		r.NormFloat64()
+	}
+	st := r.State()
+	var want []float64
+	for i := 0; i < 100; i++ {
+		want = append(want, r.Float64())
+	}
+
+	fresh := New(7)
+	if err := fresh.Restore(st); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	for i, w := range want {
+		if g := fresh.Float64(); g != w {
+			t.Fatalf("resumed draw %d: %v, want %v", i, g, w)
+		}
+	}
+}
+
+func TestRestoreRejectsSeedMismatchAndRewind(t *testing.T) {
+	r := New(1)
+	if err := r.Restore(State{Seed: 2, Draws: 0}); err == nil {
+		t.Fatal("Restore accepted a state from a different seed")
+	}
+	r.Float64()
+	r.Float64()
+	if err := r.Restore(State{Seed: 1, Draws: 1}); err == nil {
+		t.Fatal("Restore accepted a rewind")
+	}
+}
+
+func TestDrawsCountsEveryMethod(t *testing.T) {
+	r := New(3)
+	if r.Draws() != 0 {
+		t.Fatalf("fresh stream has %d draws", r.Draws())
+	}
+	r.Float64()
+	if r.Draws() == 0 {
+		t.Fatal("Float64 did not count a draw")
+	}
+	before := r.Draws()
+	r.NormFloat64() // may consume several source draws (ziggurat)
+	if r.Draws() <= before {
+		t.Fatal("NormFloat64 did not count draws")
+	}
+}

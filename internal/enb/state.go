@@ -1,0 +1,154 @@
+package enb
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/epc"
+)
+
+// Checkpoint support: the eNodeB's cross-TTI state — UE contexts,
+// scheduler accounting, and each bearer's backlog (packet sizes,
+// enqueue timestamps and unspent grant credit) — snapshots into plain
+// exported structs and restores into a freshly attached eNodeB.
+// Queued payloads are captured by size only: the simulation's packets
+// are zero-filled templates whose content never matters (only len()
+// reaches the KPI path), so restoring same-size zero payloads keeps
+// the continued run byte-identical.
+
+// QueuedPacketState is one backlogged packet: its size and enqueue
+// timestamp.
+type QueuedPacketState struct {
+	Bytes int
+	At    float64
+}
+
+// BearerState is a bearer's serializable state.
+type BearerState struct {
+	Tunnel           epc.TunnelState
+	CreditBits       float64
+	MaxQueue         int
+	PeakQueue        int
+	DeliveredPackets uint64
+	DeliveredBytes   uint64
+	Dropped          uint64
+	DroppedBytes     uint64
+	Queue            []QueuedPacketState
+}
+
+// Snapshot captures the bearer state.
+func (b *Bearer) Snapshot() BearerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st := BearerState{
+		Tunnel:           b.tunnel.Snapshot(),
+		CreditBits:       b.creditBits,
+		MaxQueue:         b.MaxQueue,
+		PeakQueue:        b.peakQueue,
+		DeliveredPackets: b.DeliveredPackets,
+		DeliveredBytes:   b.DeliveredBytes,
+		Dropped:          b.Dropped,
+		DroppedBytes:     b.DroppedBytes,
+	}
+	for _, p := range b.queue {
+		st.Queue = append(st.Queue, QueuedPacketState{Bytes: len(p.data), At: p.at})
+	}
+	return st
+}
+
+// Restore reinstates a snapshot into a bearer on the same TEID.
+func (b *Bearer) Restore(st BearerState) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if err := b.tunnel.Restore(st.Tunnel); err != nil {
+		return fmt.Errorf("enb: bearer tunnel: %w", err)
+	}
+	b.creditBits = st.CreditBits
+	b.MaxQueue = st.MaxQueue
+	b.peakQueue = st.PeakQueue
+	b.DeliveredPackets = st.DeliveredPackets
+	b.DeliveredBytes = st.DeliveredBytes
+	b.Dropped = st.Dropped
+	b.DroppedBytes = st.DroppedBytes
+	b.queue = b.queue[:0]
+	for _, p := range st.Queue {
+		if p.Bytes < 0 {
+			return fmt.Errorf("enb: bearer snapshot has negative packet size %d", p.Bytes)
+		}
+		b.queue = append(b.queue, queuedPacket{data: make([]byte, p.Bytes), at: p.At})
+	}
+	return nil
+}
+
+// UEContextState is one UE context's serializable state.
+type UEContextState struct {
+	RNTI       uint16
+	IMSI       epc.IMSI
+	RRC        RRCState
+	CQI        int
+	ServedBits float64
+	AvgRateBps float64
+	Bearer     BearerState
+}
+
+// State is the eNodeB's serializable state, with UE contexts in RNTI
+// order so the encoding is deterministic.
+type State struct {
+	NextRNTI uint16
+	TTIs     uint64
+	UEs      []UEContextState
+}
+
+// Snapshot captures the eNodeB's cross-TTI state.
+func (e *ENodeB) Snapshot() State {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st := State{NextRNTI: e.nextRNTI, TTIs: e.ttis}
+	for _, ctx := range e.byIMSI {
+		cs := UEContextState{
+			RNTI: ctx.RNTI, IMSI: ctx.IMSI, RRC: ctx.RRC, CQI: ctx.CQI,
+			ServedBits: ctx.servedBits, AvgRateBps: ctx.avgRateBps,
+		}
+		if ctx.bearer != nil {
+			cs.Bearer = ctx.bearer.Snapshot()
+		}
+		st.UEs = append(st.UEs, cs)
+	}
+	sort.Slice(st.UEs, func(i, j int) bool { return st.UEs[i].RNTI < st.UEs[j].RNTI })
+	return st
+}
+
+// Restore reinstates a snapshot into an eNodeB whose UEs were attached
+// in the same order (so IMSIs and RNTIs line up); it fails loudly on
+// any identity mismatch rather than silently crossing UE state.
+func (e *ENodeB) Restore(st State) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if len(st.UEs) != len(e.byIMSI) {
+		return fmt.Errorf("enb: snapshot has %d UE contexts, eNodeB has %d", len(st.UEs), len(e.byIMSI))
+	}
+	for _, cs := range st.UEs {
+		ctx, ok := e.byIMSI[cs.IMSI]
+		if !ok {
+			return fmt.Errorf("enb: snapshot UE %s not attached", cs.IMSI)
+		}
+		if ctx.RNTI != cs.RNTI {
+			return fmt.Errorf("enb: snapshot UE %s has RNTI %d, context has %d", cs.IMSI, cs.RNTI, ctx.RNTI)
+		}
+	}
+	for _, cs := range st.UEs {
+		ctx := e.byIMSI[cs.IMSI]
+		ctx.RRC = cs.RRC
+		ctx.CQI = cs.CQI
+		ctx.servedBits = cs.ServedBits
+		ctx.avgRateBps = cs.AvgRateBps
+		if ctx.bearer != nil {
+			if err := ctx.bearer.Restore(cs.Bearer); err != nil {
+				return fmt.Errorf("enb: UE %s: %w", cs.IMSI, err)
+			}
+		}
+	}
+	e.nextRNTI = st.NextRNTI
+	e.ttis = st.TTIs
+	return nil
+}

@@ -145,6 +145,37 @@ func (t *Tunnel) Decap(b []byte) ([]byte, error) {
 	return p.Payload, nil
 }
 
+// TunnelState is a tunnel's serializable state: the sequence cursor
+// and the diagnostic counters.
+type TunnelState struct {
+	TEID                 uint32
+	Seq                  uint16
+	Sequencing           bool
+	TxPackets, RxPackets uint64
+	TxBytes, RxBytes     uint64
+}
+
+// Snapshot captures the tunnel state.
+func (t *Tunnel) Snapshot() TunnelState {
+	return TunnelState{
+		TEID: t.TEID, Seq: t.seq, Sequencing: t.Sequencing,
+		TxPackets: t.TxPackets, RxPackets: t.RxPackets,
+		TxBytes: t.TxBytes, RxBytes: t.RxBytes,
+	}
+}
+
+// Restore reinstates a snapshot into a tunnel with the same TEID.
+func (t *Tunnel) Restore(st TunnelState) error {
+	if st.TEID != t.TEID {
+		return fmt.Errorf("%w: restoring state for TEID %d into tunnel %d", ErrTEIDMismatch, st.TEID, t.TEID)
+	}
+	t.seq = st.Seq
+	t.Sequencing = st.Sequencing
+	t.TxPackets, t.RxPackets = st.TxPackets, st.RxPackets
+	t.TxBytes, t.RxBytes = st.TxBytes, st.RxBytes
+	return nil
+}
+
 // EchoRequest builds a GTP-U echo request (path keepalive).
 func EchoRequest(seq uint16) []byte {
 	return EncodeGTPU(GTPUPacket{Type: GTPUEchoRequest, HasSeq: true, Seq: seq})

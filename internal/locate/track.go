@@ -134,6 +134,42 @@ func (t *Tracker) PredictAt(tm float64) (geom.Vec2, float64) {
 	return pos, math.Sqrt(base*base+resid*resid) + drift
 }
 
+// TrackerState is a tracker's serializable state: configuration plus
+// the sliding window of fixes.
+type TrackerState struct {
+	Window     int
+	MaxSpeedMS float64
+	Times      []float64
+	Xs         []float64
+	Ys         []float64
+	Sigma      []float64
+}
+
+// Snapshot captures the tracker state.
+func (t *Tracker) Snapshot() TrackerState {
+	return TrackerState{
+		Window:     t.Window,
+		MaxSpeedMS: t.MaxSpeedMS,
+		Times:      append([]float64(nil), t.times...),
+		Xs:         append([]float64(nil), t.xs...),
+		Ys:         append([]float64(nil), t.ys...),
+		Sigma:      append([]float64(nil), t.sigma...),
+	}
+}
+
+// RestoreTracker rebuilds a tracker from a snapshot.
+func RestoreTracker(st TrackerState) *Tracker {
+	t := NewTracker(st.Window)
+	if st.MaxSpeedMS > 0 {
+		t.MaxSpeedMS = st.MaxSpeedMS
+	}
+	t.times = append([]float64(nil), st.Times...)
+	t.xs = append([]float64(nil), st.Xs...)
+	t.ys = append([]float64(nil), st.Ys...)
+	t.sigma = append([]float64(nil), st.Sigma...)
+	return t
+}
+
 // Velocity returns the fitted velocity in m/s (zero before two fixes).
 func (t *Tracker) Velocity() geom.Vec2 {
 	if len(t.times) < 2 {

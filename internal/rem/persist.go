@@ -1,11 +1,13 @@
 package rem
 
 import (
+	"bytes"
 	"compress/gzip"
 	"encoding/gob"
 	"fmt"
 	"io"
 
+	"repro/internal/checkpoint"
 	"repro/internal/geom"
 )
 
@@ -13,11 +15,24 @@ import (
 // and historical data ... used in case UEs reappear in similar
 // locations". Persisting the store lets a UAV land, swap batteries,
 // and resume with its maps intact — or hand them to the next aircraft.
-// The format is gzip-compressed gob of a versioned snapshot.
+//
+// Stores are written as a SkyRAN container (see package checkpoint)
+// whose single "store" section is the gzip-compressed gob snapshot;
+// the container adds magic, versioning and CRC protection so damaged
+// files fail loudly. LoadStore still reads the pre-container bare
+// gzip+gob layout, so stores saved by earlier builds keep working.
 
 // persistVersion guards against decoding snapshots from incompatible
 // builds.
 const persistVersion = 1
+
+// containerPayloadVersion is the container-level payload version for
+// KindREMStore files (bumped from the implicit 1 of the bare legacy
+// layout when the container wrapper was introduced).
+const containerPayloadVersion = 2
+
+// storeSection is the container section holding the snapshot bytes.
+const storeSection = "store"
 
 // mapSnapshot is the serialisable form of a Map.
 type mapSnapshot struct {
@@ -77,10 +92,10 @@ func restoreMap(s mapSnapshot) (*Map, error) {
 	return m, nil
 }
 
-// Save writes the store (reuse radius, keys and full map contents) to
-// w as gzip-compressed gob.
-func (s *Store) Save(w io.Writer) error {
-	zw := gzip.NewWriter(w)
+// snapshotBytes renders the store to the gzip+gob snapshot payload.
+func (s *Store) snapshotBytes() ([]byte, error) {
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
 	snap := storeSnapshot{Version: persistVersion, R: s.R}
 	s.mu.RLock()
 	for _, e := range s.entries {
@@ -90,14 +105,17 @@ func (s *Store) Save(w io.Writer) error {
 	s.mu.RUnlock()
 	if err := gob.NewEncoder(zw).Encode(snap); err != nil {
 		zw.Close()
-		return fmt.Errorf("rem: encoding store: %w", err)
+		return nil, fmt.Errorf("rem: encoding store: %w", err)
 	}
-	return zw.Close()
+	if err := zw.Close(); err != nil {
+		return nil, fmt.Errorf("rem: compressing store: %w", err)
+	}
+	return buf.Bytes(), nil
 }
 
-// LoadStore reads a store previously written with Save.
-func LoadStore(r io.Reader) (*Store, error) {
-	zr, err := gzip.NewReader(r)
+// restoreSnapshotBytes decodes a gzip+gob snapshot payload.
+func restoreSnapshotBytes(b []byte) (*Store, error) {
+	zr, err := gzip.NewReader(bytes.NewReader(b))
 	if err != nil {
 		return nil, fmt.Errorf("rem: opening store snapshot: %w", err)
 	}
@@ -121,4 +139,58 @@ func LoadStore(r io.Reader) (*Store, error) {
 		st.entries = append(st.entries, storeEntry{pos: key, m: m})
 	}
 	return st, nil
+}
+
+// Encode renders the store to container bytes — the form embedded in
+// simulation checkpoints and written by Save.
+func (s *Store) Encode() ([]byte, error) {
+	payload, err := s.snapshotBytes()
+	if err != nil {
+		return nil, err
+	}
+	c := checkpoint.New(checkpoint.KindREMStore, containerPayloadVersion, 0)
+	c.Add(storeSection, payload)
+	return c.Encode()
+}
+
+// DecodeStore rebuilds a store from container bytes produced by
+// Encode (or a legacy bare gzip+gob snapshot).
+func DecodeStore(b []byte) (*Store, error) {
+	if len(b) >= len(checkpoint.Magic) && bytes.Equal(b[:len(checkpoint.Magic)], checkpoint.Magic[:]) {
+		c, err := checkpoint.Decode(b)
+		if err != nil {
+			return nil, fmt.Errorf("rem: %w", err)
+		}
+		if c.Kind != checkpoint.KindREMStore {
+			return nil, fmt.Errorf("%w: %q, want %q", checkpoint.ErrKind, c.Kind, checkpoint.KindREMStore)
+		}
+		payload, ok := c.Section(storeSection)
+		if !ok {
+			return nil, fmt.Errorf("rem: container has no %q section", storeSection)
+		}
+		return restoreSnapshotBytes(payload)
+	}
+	// Legacy pre-container layout: bare gzip+gob.
+	return restoreSnapshotBytes(b)
+}
+
+// Save writes the store (reuse radius, keys and full map contents) to
+// w as a CRC-protected container.
+func (s *Store) Save(w io.Writer) error {
+	b, err := s.Encode()
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(b)
+	return err
+}
+
+// LoadStore reads a store previously written with Save, accepting both
+// the container format and the legacy bare gzip+gob layout.
+func LoadStore(r io.Reader) (*Store, error) {
+	b, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("rem: reading store snapshot: %w", err)
+	}
+	return DecodeStore(b)
 }

@@ -54,6 +54,76 @@ func TestStoreConcurrentAccess(t *testing.T) {
 	}
 }
 
+// TestStoreEncodeUnderConcurrentPuts checkpoints the store while other
+// goroutines keep writing to it. Every snapshot taken mid-stream must
+// be internally consistent: it decodes cleanly, its entry count matches
+// its position list, and it never exceeds the number of puts issued.
+// This is the property the fleet relies on when sectors checkpoint the
+// shared store concurrently with merges.
+func TestStoreEncodeUnderConcurrentPuts(t *testing.T) {
+	s := NewStore(10)
+	area := geom.NewRect(geom.V2(0, 0), geom.V2(100, 100))
+
+	const writers = 6
+	const putsPer = 100
+	var wg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g) + 100))
+			for i := 0; i < putsPer; i++ {
+				pos := geom.V2(rng.Float64()*100, rng.Float64()*100)
+				m := New(area, 10)
+				m.AddMeasurement(pos, rng.Float64()*30)
+				s.Put(pos, m)
+			}
+		}(g)
+	}
+
+	var snaps [][]byte
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			b, err := s.Encode()
+			if err != nil {
+				t.Errorf("Encode during concurrent puts: %v", err)
+				return
+			}
+			snaps = append(snaps, b)
+		}
+	}()
+	wg.Wait()
+
+	for i, b := range snaps {
+		dec, err := DecodeStore(b)
+		if err != nil {
+			t.Fatalf("snapshot %d does not decode: %v", i, err)
+		}
+		if n := dec.Len(); n != len(dec.Positions()) {
+			t.Fatalf("snapshot %d inconsistent: Len()=%d, %d positions", i, n, len(dec.Positions()))
+		}
+		if dec.Len() > writers*putsPer {
+			t.Fatalf("snapshot %d has %d entries, more than %d puts issued", i, dec.Len(), writers*putsPer)
+		}
+	}
+
+	// Quiescent determinism: once writes stop, encoding is a pure
+	// function of contents.
+	b1, err := s.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := s.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b1) != string(b2) {
+		t.Fatal("quiescent store produced two different encodings")
+	}
+}
+
 // TestStoreLookupClonesUnderConcurrency checks that two concurrent
 // lookups of the same entry get independent clones.
 func TestStoreLookupClonesUnderConcurrency(t *testing.T) {

@@ -16,6 +16,7 @@ import (
 	"math/rand"
 
 	"repro/internal/core"
+	"repro/internal/detrand"
 	"repro/internal/geom"
 	"repro/internal/metrics"
 	"repro/internal/rem"
@@ -184,6 +185,31 @@ func MarshalResult(r *Result) ([]byte, error) {
 	return append(b, '\n'), nil
 }
 
+// CheckpointConfig enables epoch-boundary checkpointing of a run.
+type CheckpointConfig struct {
+	// Dir is the directory checkpoint files are written to (created if
+	// missing).
+	Dir string
+	// EveryEpochs writes a checkpoint after every N completed epochs
+	// (default 1).
+	EveryEpochs int
+	// Retain keeps only the newest N checkpoint files (0 = keep all).
+	Retain int
+}
+
+// CheckpointEvent describes one written checkpoint (Options.
+// OnCheckpoint).
+type CheckpointEvent struct {
+	// Path is the committed checkpoint file.
+	Path string
+	// Epoch is the number of completed epochs the file captures.
+	Epoch int
+	// Bytes is the encoded file size.
+	Bytes int64
+	// Seconds is how long encoding + committing took.
+	Seconds float64
+}
+
 // Options tunes a Run beyond the Spec.
 type Options struct {
 	// Terrain, when non-nil, overrides Spec.Terrain with a pre-built
@@ -197,29 +223,42 @@ type Options struct {
 	OnStart func(*Result)
 	// OnEpoch is called after each epoch with its finished report.
 	OnEpoch func(EpochReport)
+	// Checkpoint, when non-nil, writes epoch-boundary checkpoints the
+	// run can later be resumed from. Checkpointing changes nothing
+	// about the Result: a checkpointed run and a plain run of the same
+	// Spec produce byte-identical output.
+	Checkpoint *CheckpointConfig
+	// OnCheckpoint is called after each committed checkpoint file.
+	OnCheckpoint func(CheckpointEvent)
 }
 
-// Run executes the scenario and returns its Result plus the
-// controller's REM store (nil for controllers that keep no store).
-// Cancelling ctx aborts between epochs and, for the SkyRAN controller,
-// between flight phases; the error then wraps ctx.Err().
-func Run(ctx context.Context, spec Spec, opts Options) (*Result, *rem.Store, error) {
-	if err := spec.Normalize(); err != nil {
-		return nil, nil, err
-	}
+// runEnv is a built scenario: the world, controller and scenario RNG a
+// run (or a resumed run) executes against.
+type runEnv struct {
+	spec Spec
+	rng  *detrand.Rand
+	w    *sim.World
+	ctrl core.Controller
+	res  *Result
+}
+
+// build constructs the world and controller for an already-normalized
+// spec. The scenario RNG has consumed exactly the UE-placement draws
+// on return.
+func build(spec Spec, opts Options) (*runEnv, error) {
 	t := opts.Terrain
 	if t == nil {
 		t = terrain.ByName(spec.Terrain, uint64(spec.Seed))
 		if t == nil {
-			return nil, nil, fmt.Errorf("scenario: unknown terrain %q", spec.Terrain)
+			return nil, fmt.Errorf("scenario: unknown terrain %q", spec.Terrain)
 		}
 	}
 
-	rng := rand.New(rand.NewSource(spec.Seed))
+	rng := detrand.New(spec.Seed)
 	var ues []*ue.UE
 	if spec.Topology == "clustered" {
-		center := ue.PlaceRandomOpen(1, t.Bounds().Inset(40), t.IsOpen, 0, rng)[0].Pos
-		ues = ue.PlaceClustered(spec.UEs, center, t.Bounds().Width()*0.06, t.Bounds(), t.IsOpen, rng)
+		center := ue.PlaceRandomOpen(1, t.Bounds().Inset(40), t.IsOpen, 0, rng.Rand)[0].Pos
+		ues = ue.PlaceClustered(spec.UEs, center, t.Bounds().Width()*0.06, t.Bounds(), t.IsOpen, rng.Rand)
 	} else {
 		area := t.Bounds().Inset(t.Bounds().Width() * 0.08)
 		minSep := 15.0
@@ -230,11 +269,11 @@ func Run(ctx context.Context, spec Spec, opts Options) (*Result, *rem.Store, err
 			// (and therefore byte-identical placements).
 			minSep = min(15, math.Sqrt(area.Width()*area.Height()/float64(4*spec.UEs)))
 		}
-		ues = ue.PlaceRandomOpen(spec.UEs, area, t.IsOpen, minSep, rng)
+		ues = ue.PlaceRandomOpen(spec.UEs, area, t.IsOpen, minSep, rng.Rand)
 	}
 	w, err := sim.New(sim.Config{Terrain: t, Seed: uint64(spec.Seed), FastRanging: true}, ues)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	w.Tracer = opts.Tracer
 	if opts.Tracer != nil {
@@ -243,7 +282,7 @@ func Run(ctx context.Context, spec Spec, opts Options) (*Result, *rem.Store, err
 
 	ctrl, err := makeController(spec.Controller, spec.BudgetM, spec.Seed)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 
 	st := t.Stats()
@@ -257,17 +296,38 @@ func Run(ctx context.Context, spec Spec, opts Options) (*Result, *rem.Store, err
 		Controller:     ctrl.Name(),
 		ActiveSessions: w.Core.ActiveSessions(),
 	}
-	if opts.OnStart != nil {
-		opts.OnStart(res)
-	}
+	return &runEnv{spec: spec, rng: rng, w: w, ctrl: ctrl, res: res}, nil
+}
 
-	for e := 0; e < spec.Epochs; e++ {
+// Run executes the scenario and returns its Result plus the
+// controller's REM store (nil for controllers that keep no store).
+// Cancelling ctx aborts between epochs and, for the SkyRAN controller,
+// between flight phases; the error then wraps ctx.Err().
+func Run(ctx context.Context, spec Spec, opts Options) (*Result, *rem.Store, error) {
+	if err := spec.Normalize(); err != nil {
+		return nil, nil, err
+	}
+	env, err := build(spec, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	if opts.OnStart != nil {
+		opts.OnStart(env.res)
+	}
+	return runFrom(ctx, env, len(env.res.Epochs), opts)
+}
+
+// runFrom executes epochs startEpoch..spec.Epochs-1 against a built
+// (or restored) environment.
+func runFrom(ctx context.Context, env *runEnv, startEpoch int, opts Options) (*Result, *rem.Store, error) {
+	spec, w, ctrl, rng, res := env.spec, env.w, env.ctrl, env.rng, env.res
+	for e := startEpoch; e < spec.Epochs; e++ {
 		if err := ctx.Err(); err != nil {
 			return res, storeOf(ctrl), fmt.Errorf("scenario: epoch %d: %w", e+1, err)
 		}
 		relocated := e > 0
 		if relocated {
-			relocateHalf(w, rng)
+			relocateHalf(w, rng.Rand)
 		}
 		er, err := core.RunEpochCtx(ctx, ctrl, w)
 		if err != nil {
@@ -326,6 +386,17 @@ func Run(ctx context.Context, spec Spec, opts Options) (*Result, *rem.Store, err
 		res.Epochs = append(res.Epochs, rep)
 		if opts.OnEpoch != nil {
 			opts.OnEpoch(rep)
+		}
+		if cp := opts.Checkpoint; cp != nil {
+			every := cp.EveryEpochs
+			if every <= 0 {
+				every = 1
+			}
+			if (e+1)%every == 0 {
+				if err := writeCheckpoint(env, e+1, cp, opts.OnCheckpoint); err != nil {
+					return res, storeOf(ctrl), fmt.Errorf("scenario: epoch %d: %w", e+1, err)
+				}
+			}
 		}
 	}
 	return res, storeOf(ctrl), nil

@@ -19,6 +19,7 @@ type jobEnvelope struct {
 	ID         string          `json:"id"`
 	Spec       scenario.Spec   `json:"spec"`
 	Status     JobState        `json:"status"`
+	Recovered  bool            `json:"recovered,omitempty"`
 	Error      string          `json:"error,omitempty"`
 	Submitted  string          `json:"submitted,omitempty"`
 	Started    string          `json:"started,omitempty"`
@@ -32,7 +33,7 @@ const timeLayout = "2006-01-02T15:04:05.000Z07:00"
 func (j *Job) envelope(withResult bool) jobEnvelope {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	env := jobEnvelope{ID: j.id, Spec: j.spec, Status: j.state, Error: j.errMsg}
+	env := jobEnvelope{ID: j.id, Spec: j.spec, Status: j.state, Recovered: j.recovered, Error: j.errMsg}
 	if !j.submitted.IsZero() {
 		env.Submitted = j.submitted.UTC().Format(timeLayout)
 	}

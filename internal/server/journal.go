@@ -1,0 +1,161 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/scenario"
+)
+
+// The job journal makes the daemon crash-recoverable. When Config
+// enables checkpointing, every job gets a durable record at
+// journal/<id>.json under the checkpoint dir: its spec and lifecycle
+// state, updated (atomic temp+rename) at each transition. A restarted
+// daemon scans the journal, re-enqueues every non-terminal job under
+// its original ID, and resumes each from its newest intact checkpoint
+// (jobs/<id>/epoch-*.ckpt) — falling back to older snapshots on CRC
+// failure and to a fresh run when none survive. Determinism makes the
+// fallback safe: a fresh run of the same spec produces the same bytes
+// a resumed run would.
+
+// journalEntry is the durable wire form of one job's lifecycle record.
+type journalEntry struct {
+	ID        string        `json:"id"`
+	Spec      scenario.Spec `json:"spec"`
+	State     JobState      `json:"state"`
+	Recovered bool          `json:"recovered,omitempty"`
+}
+
+// journalPath returns the journal file for a job ID.
+func (s *Server) journalPath(id string) string {
+	return filepath.Join(s.journalDir, id+".json")
+}
+
+// jobCheckpointDir returns the per-job checkpoint directory.
+func (s *Server) jobCheckpointDir(id string) string {
+	return filepath.Join(s.cfg.CheckpointDir, "jobs", id)
+}
+
+// writeJournal persists the job's current state. Best-effort after the
+// startup writability probe: a transient write failure must not take
+// down a running job, and the next transition rewrites the file.
+func (s *Server) writeJournal(j *Job) {
+	if s.journalDir == "" {
+		return
+	}
+	j.mu.Lock()
+	ent := journalEntry{ID: j.id, Spec: j.spec, State: j.state, Recovered: j.recovered}
+	j.mu.Unlock()
+	b, err := json.MarshalIndent(ent, "", "  ")
+	if err != nil {
+		return
+	}
+	writeFileAtomic(s.journalPath(ent.ID), append(b, '\n'))
+}
+
+// writeFileAtomic writes data to path via a same-directory temp file
+// and rename, so readers never observe a torn journal entry.
+func writeFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) //nolint:errcheck // no-op after rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// probeCheckpointDirs creates the checkpoint layout and proves it
+// writable, so a daemon with broken persistence fails fast at startup
+// instead of discovering the problem at the first checkpoint.
+func probeCheckpointDirs(root, journal string) error {
+	for _, dir := range []string{root, filepath.Join(root, "jobs"), journal} {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fmt.Errorf("server: checkpoint dir %s: %w", dir, err)
+		}
+	}
+	probe, err := os.CreateTemp(journal, ".probe*")
+	if err != nil {
+		return fmt.Errorf("server: checkpoint dir %s not writable: %w", journal, err)
+	}
+	probe.Close()
+	os.Remove(probe.Name()) //nolint:errcheck
+	return nil
+}
+
+// loadJournal reads every journal entry, sorted by numeric job ID.
+// Unreadable or malformed entries are skipped: recovery degrades to
+// whatever survived the crash.
+func loadJournal(dir string) []journalEntry {
+	names, err := filepath.Glob(filepath.Join(dir, "j*.json"))
+	if err != nil {
+		return nil
+	}
+	var entries []journalEntry
+	for _, name := range names {
+		b, err := os.ReadFile(name)
+		if err != nil {
+			continue
+		}
+		var ent journalEntry
+		if err := json.Unmarshal(b, &ent); err != nil || jobNum(ent.ID) < 0 {
+			continue
+		}
+		entries = append(entries, ent)
+	}
+	sort.Slice(entries, func(i, j int) bool { return jobNum(entries[i].ID) < jobNum(entries[j].ID) })
+	return entries
+}
+
+// jobNum parses the numeric part of a "j<N>" job ID, or -1.
+func jobNum(id string) int {
+	n, err := strconv.Atoi(strings.TrimPrefix(id, "j"))
+	if !strings.HasPrefix(id, "j") || err != nil || n <= 0 {
+		return -1
+	}
+	return n
+}
+
+// recoverJobs re-enqueues every non-terminal journaled job under its
+// original ID and advances nextID past every journaled job (terminal
+// ones included) so new submissions never collide with old checkpoint
+// directories. It returns the recovered jobs in submission order.
+func (s *Server) recoverJobs(entries []journalEntry) []*Job {
+	var recovered []*Job
+	for _, ent := range entries {
+		if n := jobNum(ent.ID); n > s.nextID {
+			s.nextID = n
+		}
+		if terminal(ent.State) {
+			continue
+		}
+		job := &Job{
+			id:        ent.ID,
+			spec:      ent.Spec,
+			state:     JobQueued,
+			recovered: true,
+			events:    newEventLog(),
+			done:      make(chan struct{}),
+		}
+		s.jobs[job.id] = job
+		s.order = append(s.order, job.id)
+		recovered = append(recovered, job)
+	}
+	return recovered
+}

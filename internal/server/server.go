@@ -13,9 +13,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"path/filepath"
 	"sync"
 	"time"
 
+	"repro/internal/checkpoint"
 	"repro/internal/engine"
 	"repro/internal/metrics"
 	"repro/internal/radio"
@@ -40,6 +42,20 @@ type Config struct {
 	JobTimeout time.Duration
 	// Registry receives operational metrics; nil creates a private one.
 	Registry *metrics.Registry
+
+	// CheckpointDir enables crash recovery: each job checkpoints its
+	// simulation state there at epoch boundaries (jobs/<id>/) and keeps
+	// a durable lifecycle record (journal/<id>.json). A restarted
+	// daemon pointed at the same dir re-enqueues interrupted jobs and
+	// resumes them from their newest intact checkpoint. Empty disables
+	// both. New fails fast if the dir is not writable.
+	CheckpointDir string
+	// CheckpointEvery is the epoch interval between checkpoints
+	// (default 1: every epoch boundary).
+	CheckpointEvery int
+	// CheckpointRetain bounds the checkpoint files kept per job
+	// (0 keeps all).
+	CheckpointRetain int
 }
 
 // JobState is a job's lifecycle state. Transitions are linear:
@@ -58,8 +74,9 @@ const (
 
 // Job is one managed scenario run.
 type Job struct {
-	id   string
-	spec scenario.Spec
+	id        string
+	spec      scenario.Spec
+	recovered bool // re-enqueued from the journal after a restart
 
 	events *eventLog
 	done   chan struct{} // closed when the job reaches a terminal state
@@ -98,8 +115,9 @@ func terminal(s JobState) bool {
 // start the workers with Start, expose Handler over HTTP, and drain
 // with Shutdown.
 type Server struct {
-	cfg Config
-	reg *metrics.Registry
+	cfg        Config
+	reg        *metrics.Registry
+	journalDir string // empty when checkpointing is disabled
 
 	runCtx    context.Context // parent of every job context
 	runCancel context.CancelFunc
@@ -130,10 +148,19 @@ type Server struct {
 	gBearerBacklog    *metrics.Gauge
 	gBearerPeakQueue  *metrics.Gauge
 	hUEDelay          *metrics.Histogram
+
+	// Checkpoint subsystem metrics.
+	mCkptWrites *metrics.Counter
+	mCkptBytes  *metrics.Counter
+	hCkptWrite  *metrics.Histogram
+	mRecovered  *metrics.Counter
 }
 
-// New builds a server; call Start to launch the workers.
-func New(cfg Config) *Server {
+// New builds a server; call Start to launch the workers. With
+// Config.CheckpointDir set it proves the checkpoint and journal
+// directories writable (failing fast otherwise) and re-enqueues every
+// interrupted job found in the journal.
+func New(cfg Config) (*Server, error) {
 	if cfg.QueueCap <= 0 {
 		cfg.QueueCap = 16
 	}
@@ -145,14 +172,26 @@ func New(cfg Config) *Server {
 	if reg == nil {
 		reg = metrics.NewRegistry()
 	}
+
+	var journalDir string
+	var journaled []journalEntry
+	if cfg.CheckpointDir != "" {
+		journalDir = filepath.Join(cfg.CheckpointDir, "journal")
+		if err := probeCheckpointDirs(cfg.CheckpointDir, journalDir); err != nil {
+			return nil, err
+		}
+		journaled = loadJournal(journalDir)
+	}
+
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
-		cfg:       cfg,
-		reg:       reg,
-		runCtx:    ctx,
-		runCancel: cancel,
-		jobs:      make(map[string]*Job),
-		queue:     make(chan *Job, cfg.QueueCap),
+		cfg:        cfg,
+		reg:        reg,
+		journalDir: journalDir,
+		runCtx:     ctx,
+		runCancel:  cancel,
+		jobs:       make(map[string]*Job),
+		queue:      make(chan *Job, cfg.QueueCap+len(journaled)),
 
 		mAccepted:  reg.Counter("skyrand_jobs_accepted_total", "Jobs admitted to the queue."),
 		mRejected:  reg.Counter("skyrand_jobs_rejected_total", "Jobs rejected with 429 (queue full) or 503 (draining)."),
@@ -169,8 +208,18 @@ func New(cfg Config) *Server {
 		gBearerBacklog:    reg.Gauge("skyran_bearer_backlog_packets", "Packets still queued at the end of the latest serving phase."),
 		gBearerPeakQueue:  reg.Gauge("skyran_bearer_peak_queue_depth", "Deepest bearer queue observed in the latest serving phase."),
 		hUEDelay:          reg.Histogram("skyran_traffic_ue_mean_delay_seconds", "Per-UE mean queueing delay per serving phase.", traffic.DelayBuckets),
+
+		mCkptWrites: reg.Counter("skyran_checkpoint_writes_total", "Checkpoint files written at epoch boundaries."),
+		mCkptBytes:  reg.Counter("skyran_checkpoint_bytes_total", "Total bytes written to checkpoint files."),
+		hCkptWrite:  reg.Histogram("skyran_checkpoint_write_seconds", "Wall-clock latency per checkpoint write.", nil),
+		mRecovered:  reg.Counter("skyran_checkpoint_recoveries_total", "Interrupted jobs re-enqueued from the journal after a restart."),
 	}
-	return s
+	for _, job := range s.recoverJobs(journaled) {
+		s.queue <- job
+		s.writeJournal(job)
+		s.mRecovered.Inc()
+	}
+	return s, nil
 }
 
 // Start launches the worker pool. It must be called exactly once.
@@ -222,6 +271,7 @@ func (s *Server) Submit(spec scenario.Spec) (*Job, error) {
 	s.order = append(s.order, job.id)
 	s.mu.Unlock()
 	s.mAccepted.Inc()
+	s.writeJournal(job)
 	return job, nil
 }
 
@@ -264,6 +314,7 @@ func (s *Server) Cancel(id string) bool {
 		close(j.done)
 		s.mCanceled.Inc()
 		s.mCompleted.Inc()
+		s.writeJournal(j)
 	case JobRunning:
 		cancel := j.cancel
 		j.mu.Unlock()
@@ -335,21 +386,36 @@ func (s *Server) runJob(job *Job) {
 	job.state = JobRunning
 	job.cancel = cancel
 	job.started = time.Now()
+	recovered := job.recovered
 	job.mu.Unlock()
 	s.gRunning.Add(1)
 	defer s.gRunning.Add(-1)
+	s.writeJournal(job)
 
 	rec := trace.NewRecorder(nil)
 	unsub := rec.Subscribe(job.events.append)
 	epochStart := time.Now()
-	res, store, err := scenario.Run(ctx, job.spec, scenario.Options{
+	opts := scenario.Options{
 		Tracer: rec,
 		OnEpoch: func(rep scenario.EpochReport) {
 			s.hEpoch.Observe(time.Since(epochStart).Seconds())
 			epochStart = time.Now()
 			s.observeTraffic(rep.Traffic)
 		},
-	})
+	}
+	if s.cfg.CheckpointDir != "" {
+		opts.Checkpoint = &scenario.CheckpointConfig{
+			Dir:         s.jobCheckpointDir(job.id),
+			EveryEpochs: s.cfg.CheckpointEvery,
+			Retain:      s.cfg.CheckpointRetain,
+		}
+		opts.OnCheckpoint = func(ev scenario.CheckpointEvent) {
+			s.mCkptWrites.Inc()
+			s.mCkptBytes.Add(float64(ev.Bytes))
+			s.hCkptWrite.Observe(ev.Seconds)
+		}
+	}
+	res, store, err := s.runScenario(ctx, job, recovered, opts)
 	unsub()
 
 	var resultJSON, remSnap []byte
@@ -384,6 +450,7 @@ func (s *Server) runJob(job *Job) {
 	job.mu.Unlock()
 	job.events.close()
 	close(job.done)
+	s.writeJournal(job)
 
 	s.mCompleted.Inc()
 	switch st {
@@ -392,6 +459,25 @@ func (s *Server) runJob(job *Job) {
 	case JobCanceled:
 		s.mCanceled.Inc()
 	}
+}
+
+// runScenario executes a job, resuming recovered jobs from their
+// newest intact checkpoint. Resume attempts walk checkpoints newest to
+// oldest: a snapshot that fails verification (CRC, kind, fingerprint)
+// is skipped in favor of an older one, and when none survive the job
+// reruns from scratch — determinism guarantees the rerun produces the
+// bytes the resumed run would have.
+func (s *Server) runScenario(ctx context.Context, job *Job, recovered bool, opts scenario.Options) (*scenario.Result, *rem.Store, error) {
+	if recovered && s.cfg.CheckpointDir != "" {
+		files, _ := checkpoint.ListDir(s.jobCheckpointDir(job.id))
+		for i := len(files) - 1; i >= 0; i-- {
+			res, store, err := scenario.Resume(ctx, files[i], &job.spec, opts)
+			if err == nil || ctx.Err() != nil {
+				return res, store, err
+			}
+		}
+	}
+	return scenario.Run(ctx, job.spec, opts)
 }
 
 // observeTraffic folds one serving phase's KPI report into the

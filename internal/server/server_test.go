@@ -9,16 +9,28 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"testing"
 	"time"
 
+	"repro/internal/checkpoint"
 	"repro/internal/rem"
 	"repro/internal/scenario"
 	"repro/internal/trace"
 	"repro/internal/traffic"
 )
+
+func mustNew(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
 
 // tinySpec is the smallest interesting job: FLAT terrain runs in ~1 s
 // and the skyran controller leaves a populated REM store.
@@ -89,7 +101,7 @@ func TestEndToEnd(t *testing.T) {
 	for _, workers := range []int{1, 8} {
 		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
 			const queueCap = 2
-			s := New(Config{QueueCap: queueCap, Workers: workers, JobTimeout: time.Minute})
+			s := mustNew(t, Config{QueueCap: queueCap, Workers: workers, JobTimeout: time.Minute})
 			ts := httptest.NewServer(s.Handler())
 			defer ts.Close()
 
@@ -187,7 +199,7 @@ func TestEndToEnd(t *testing.T) {
 }
 
 func TestEventsStreamAndREM(t *testing.T) {
-	s := New(Config{QueueCap: 4, Workers: 1, JobTimeout: time.Minute})
+	s := mustNew(t, Config{QueueCap: 4, Workers: 1, JobTimeout: time.Minute})
 	s.Start()
 	defer s.Shutdown(context.Background()) //nolint:errcheck
 	ts := httptest.NewServer(s.Handler())
@@ -278,7 +290,7 @@ func TestEventsStreamAndREM(t *testing.T) {
 
 func TestCancelQueuedAndRunning(t *testing.T) {
 	// Workers not started: the first job stays queued.
-	s := New(Config{QueueCap: 4, Workers: 1, JobTimeout: time.Minute})
+	s := mustNew(t, Config{QueueCap: 4, Workers: 1, JobTimeout: time.Minute})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
@@ -330,7 +342,7 @@ func TestCancelQueuedAndRunning(t *testing.T) {
 }
 
 func TestJobTimeout(t *testing.T) {
-	s := New(Config{QueueCap: 2, Workers: 1, JobTimeout: 50 * time.Millisecond})
+	s := mustNew(t, Config{QueueCap: 2, Workers: 1, JobTimeout: 50 * time.Millisecond})
 	s.Start()
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
@@ -347,7 +359,7 @@ func TestJobTimeout(t *testing.T) {
 }
 
 func TestSubmitValidation(t *testing.T) {
-	s := New(Config{QueueCap: 2, Workers: 1})
+	s := mustNew(t, Config{QueueCap: 2, Workers: 1})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
@@ -397,7 +409,7 @@ func TestTrafficJobDeterministicAcrossWorkers(t *testing.T) {
 
 	for _, workers := range []int{1, 8} {
 		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
-			s := New(Config{QueueCap: 8, Workers: workers, JobTimeout: time.Minute})
+			s := mustNew(t, Config{QueueCap: 8, Workers: workers, JobTimeout: time.Minute})
 			s.Start()
 			ts := httptest.NewServer(s.Handler())
 			defer ts.Close()
@@ -442,5 +454,187 @@ func TestTrafficJobDeterministicAcrossWorkers(t *testing.T) {
 				t.Fatal(err)
 			}
 		})
+	}
+}
+
+// recSpec is a multi-epoch job that leaves several checkpoints behind.
+func recSpec(seed int64) scenario.Spec {
+	return scenario.Spec{Terrain: "FLAT", UEs: 3, BudgetM: 200, Epochs: 3, Seed: seed, ServeS: 1}
+}
+
+// TestCheckpointDirFailFast: a daemon configured with an unusable
+// checkpoint dir must refuse to start, not fail at the first write.
+func TestCheckpointDirFailFast(t *testing.T) {
+	blocker := filepath.Join(t.TempDir(), "blocker")
+	if err := os.WriteFile(blocker, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// The parent path is a regular file, so MkdirAll must fail even for
+	// a privileged user.
+	if _, err := New(Config{CheckpointDir: filepath.Join(blocker, "ckpt")}); err == nil {
+		t.Fatal("New accepted a checkpoint dir under a regular file")
+	}
+}
+
+// TestJournalAndCheckpointLayout: a checkpointing daemon leaves the
+// on-disk layout recovery depends on — journal/<id>.json tracking the
+// lifecycle and jobs/<id>/epoch-*.ckpt snapshots — and surfaces the
+// checkpoint counters on /metrics.
+func TestJournalAndCheckpointLayout(t *testing.T) {
+	dir := t.TempDir()
+	s := mustNew(t, Config{QueueCap: 4, Workers: 1, JobTimeout: time.Minute, CheckpointDir: dir})
+	s.Start()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	_, env := postJob(t, ts, recSpec(7))
+	j, _ := s.Get(env.ID)
+	waitDone(t, j)
+	if st := j.State(); st != JobSucceeded {
+		t.Fatalf("job finished %s", st)
+	}
+
+	b, err := os.ReadFile(filepath.Join(dir, "journal", env.ID+".json"))
+	if err != nil {
+		t.Fatalf("journal entry: %v", err)
+	}
+	var ent journalEntry
+	if err := json.Unmarshal(b, &ent); err != nil {
+		t.Fatal(err)
+	}
+	if ent.ID != env.ID || ent.State != JobSucceeded {
+		t.Fatalf("journal entry %+v", ent)
+	}
+
+	files, err := checkpoint.ListDir(filepath.Join(dir, "jobs", env.ID))
+	if err != nil || len(files) != 3 {
+		t.Fatalf("checkpoint files %v, %v (want 3)", files, err)
+	}
+
+	code, body := getBody(t, ts.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	for _, want := range []string{
+		"skyran_checkpoint_writes_total 3",
+		"skyran_checkpoint_bytes_total",
+		"# TYPE skyran_checkpoint_write_seconds histogram",
+		"skyran_checkpoint_recoveries_total 0",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRecoverInterruptedJob is the in-process version of the SIGKILL
+// smoke test: given the on-disk layout a crashed daemon leaves behind
+// (a journal entry stuck in "running" plus epoch checkpoints, the
+// newest deliberately corrupted), a fresh daemon on the same dir must
+// re-enqueue the job under its original ID, resume it from the newest
+// intact checkpoint, and finish with bytes identical to an
+// uninterrupted reference run.
+func TestRecoverInterruptedJob(t *testing.T) {
+	spec := recSpec(7)
+	ref, _, err := scenario.Run(context.Background(), spec, scenario.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := scenario.MarshalResult(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Fabricate the crash leftovers: checkpoints from a partial run and
+	// a journal entry that never reached a terminal state.
+	dir := t.TempDir()
+	jobDir := filepath.Join(dir, "jobs", "j1")
+	if _, _, err := scenario.Run(context.Background(), spec, scenario.Options{
+		Checkpoint: &scenario.CheckpointConfig{Dir: jobDir},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	files, err := checkpoint.ListDir(jobDir)
+	if err != nil || len(files) != 3 {
+		t.Fatalf("checkpoint files %v, %v", files, err)
+	}
+	raw, err := os.ReadFile(files[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x40
+	if err := os.WriteFile(files[2], raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	normalized := spec
+	if err := normalized.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	entJSON, err := json.Marshal(journalEntry{ID: "j1", Spec: normalized, State: JobRunning})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(filepath.Join(dir, "journal"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "journal", "j1.json"), entJSON, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s := mustNew(t, Config{QueueCap: 4, Workers: 2, JobTimeout: time.Minute, CheckpointDir: dir})
+	j, ok := s.Get("j1")
+	if !ok {
+		t.Fatal("interrupted job not re-enqueued")
+	}
+	s.Start()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	waitDone(t, j)
+	if st := j.State(); st != JobSucceeded {
+		j.mu.Lock()
+		msg := j.errMsg
+		j.mu.Unlock()
+		t.Fatalf("recovered job finished %s: %s", st, msg)
+	}
+	code, got := getBody(t, ts.URL+"/v1/jobs/j1/result")
+	if code != http.StatusOK {
+		t.Fatalf("result status %d", code)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("recovered job's result differs from the uninterrupted reference run")
+	}
+	code, body := getBody(t, ts.URL+"/v1/jobs/j1")
+	if code != http.StatusOK {
+		t.Fatalf("job status %d", code)
+	}
+	var envl jobEnvelope
+	if err := json.Unmarshal(body, &envl); err != nil {
+		t.Fatal(err)
+	}
+	if !envl.Recovered {
+		t.Error("job envelope does not mark the job recovered")
+	}
+
+	// New submissions must not collide with the recovered job's ID.
+	_, env2 := postJob(t, ts, tinySpec(3))
+	if env2.ID != "j2" {
+		t.Errorf("post-recovery job ID = %s, want j2", env2.ID)
+	}
+	j2, _ := s.Get(env2.ID)
+	waitDone(t, j2)
+
+	code, body = getBody(t, ts.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	if !strings.Contains(string(body), "skyran_checkpoint_recoveries_total 1") {
+		t.Error("metrics missing skyran_checkpoint_recoveries_total 1")
+	}
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -11,8 +11,8 @@ package sim
 import (
 	"fmt"
 	"math"
-	"math/rand"
 
+	"repro/internal/detrand"
 	"repro/internal/enb"
 	"repro/internal/epc"
 	"repro/internal/geom"
@@ -93,8 +93,8 @@ type World struct {
 
 	Clock float64 // simulated seconds
 
-	rng  *rand.Rand // measurement noise, SRS channels
-	mrng *rand.Rand // mobility
+	rng  *detrand.Rand // measurement noise, SRS channels
+	mrng *detrand.Rand // mobility
 	srs  []*ltephy.SRS
 
 	// servePhase counts ServeTraffic invocations so each epoch's
@@ -125,8 +125,8 @@ func New(cfg Config, ues []*ue.UE) (*World, error) {
 		Num:     num,
 		ENB:     e,
 		Core:    core,
-		rng:     rand.New(rand.NewSource(int64(cfg.Seed) + 202)),
-		mrng:    rand.New(rand.NewSource(int64(cfg.Seed) + 303)),
+		rng:     detrand.New(int64(cfg.Seed) + 202),
+		mrng:    detrand.New(int64(cfg.Seed) + 303),
 	}
 	for _, u := range ues {
 		imsi := imsiFor(u.ID)
@@ -164,7 +164,7 @@ func (w *World) Area() geom.Rect { return w.Terrain.Bounds() }
 func (w *World) Step(dt float64) {
 	w.UAV.Step(dt)
 	for _, u := range w.UEs {
-		u.Step(dt, w.mrng)
+		u.Step(dt, w.mrng.Rand)
 	}
 	w.Clock += dt
 }
@@ -350,7 +350,7 @@ func (w *World) rangeOnce(i int) (float64, bool) {
 		SNRdB:       math.Min(snr, 30),
 		LOS:         los,
 	}
-	d, err := w.srs[i].RangeOnce(ch, ltephy.DefaultUpsampling, w.rng)
+	d, err := w.srs[i].RangeOnce(ch, ltephy.DefaultUpsampling, w.rng.Rand)
 	if err != nil {
 		return 0, false
 	}

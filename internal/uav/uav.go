@@ -7,9 +7,10 @@
 package uav
 
 import (
+	"fmt"
 	"math"
-	"math/rand"
 
+	"repro/internal/detrand"
 	"repro/internal/geom"
 )
 
@@ -51,7 +52,7 @@ func DefaultConfig() Config {
 type UAV struct {
 	cfg Config
 	pos geom.Vec3
-	rng *rand.Rand
+	rng *detrand.Rand
 
 	route     []geom.Vec3
 	odometerM float64
@@ -60,7 +61,42 @@ type UAV struct {
 
 // New places a UAV at pos with a seeded sensor-noise stream.
 func New(cfg Config, pos geom.Vec3, seed int64) *UAV {
-	return &UAV{cfg: cfg, pos: pos, rng: rand.New(rand.NewSource(seed)), energyWh: cfg.BatteryWh}
+	return &UAV{cfg: cfg, pos: pos, rng: detrand.New(seed), energyWh: cfg.BatteryWh}
+}
+
+// State is the platform's complete serializable flight state. The GPS
+// noise stream is captured as its (seed, draws) counter, not generator
+// internals — restore re-derives it.
+type State struct {
+	Pos       geom.Vec3
+	Route     []geom.Vec3
+	OdometerM float64
+	EnergyWh  float64
+	RNG       detrand.State
+}
+
+// Snapshot captures the platform state.
+func (u *UAV) Snapshot() State {
+	return State{
+		Pos:       u.pos,
+		Route:     append([]geom.Vec3(nil), u.route...),
+		OdometerM: u.odometerM,
+		EnergyWh:  u.energyWh,
+		RNG:       u.rng.State(),
+	}
+}
+
+// Restore reinstates a snapshot taken from a platform with the same
+// seed (the sensor stream fast-forwards to its recorded position).
+func (u *UAV) Restore(st State) error {
+	if err := u.rng.Restore(st.RNG); err != nil {
+		return fmt.Errorf("uav: %w", err)
+	}
+	u.pos = st.Pos
+	u.route = append(u.route[:0], st.Route...)
+	u.odometerM = st.OdometerM
+	u.energyWh = st.EnergyWh
+	return nil
 }
 
 // Config returns the platform configuration.

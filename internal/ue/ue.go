@@ -36,6 +36,57 @@ func (u *UE) Step(dt float64, rng *rand.Rand) {
 // String implements fmt.Stringer.
 func (u *UE) String() string { return fmt.Sprintf("UE%d@%s", u.ID, u.Pos) }
 
+// State is a UE's serializable state: identity, position, and the
+// internal cursor of its mobility model (which waypoint a Route is
+// walking toward; the current target and pause timer of a
+// RandomWaypoint). The mobility model itself is part of the scenario
+// configuration and is rebuilt, not serialized.
+type State struct {
+	ID  int
+	Pos geom.Vec2
+
+	RouteNext int
+
+	RWTarget    geom.Vec2
+	RWHasTarget bool
+	RWPausing   float64
+}
+
+// Snapshot captures the UE's state.
+func (u *UE) Snapshot() State {
+	st := State{ID: u.ID, Pos: u.Pos}
+	switch m := u.Mobility.(type) {
+	case *Route:
+		st.RouteNext = m.next
+	case *RandomWaypoint:
+		st.RWTarget = m.target
+		st.RWHasTarget = m.hasTarget
+		st.RWPausing = m.pausing
+	}
+	return st
+}
+
+// Restore reinstates a snapshot into a UE with the same identity and
+// mobility model.
+func (u *UE) Restore(st State) error {
+	if st.ID != u.ID {
+		return fmt.Errorf("ue: restoring state for UE %d into UE %d", st.ID, u.ID)
+	}
+	u.Pos = st.Pos
+	switch m := u.Mobility.(type) {
+	case *Route:
+		if st.RouteNext < 0 || st.RouteNext > len(m.Waypoints) {
+			return fmt.Errorf("ue: UE %d route cursor %d out of range", u.ID, st.RouteNext)
+		}
+		m.next = st.RouteNext
+	case *RandomWaypoint:
+		m.target = st.RWTarget
+		m.hasTarget = st.RWHasTarget
+		m.pausing = st.RWPausing
+	}
+	return nil
+}
+
 // Mobility advances a position by dt seconds.
 type Mobility interface {
 	Step(dt float64, cur geom.Vec2, rng *rand.Rand) geom.Vec2
