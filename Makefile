@@ -7,11 +7,12 @@
 #   make bench-smoke    vet + compile-and-run every benchmark once (CI tier)
 #   make serve-smoke  end-to-end skyrand daemon vs skyranctl -json diff
 #   make recover-smoke  SIGKILL the daemon mid-job, restart, byte-identical finish
+#   make chaos-smoke  aggressive fault schedule + daemon chaos under -race, byte-identical
 #   make bench-traffic  record BENCH_traffic.json via skyrbench vs skyrand
 
 GO ?= go
 
-.PHONY: tier1 race short bench bench-smoke fmt serve-smoke recover-smoke bench-traffic
+.PHONY: tier1 race short bench bench-smoke fmt serve-smoke recover-smoke chaos-smoke bench-traffic
 
 tier1:
 	$(GO) build ./... && $(GO) test -timeout 60m ./...
@@ -36,6 +37,9 @@ serve-smoke:
 
 recover-smoke:
 	sh scripts/recover_smoke.sh
+
+chaos-smoke:
+	sh scripts/chaos_smoke.sh
 
 bench-traffic:
 	sh scripts/bench_traffic.sh

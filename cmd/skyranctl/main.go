@@ -23,6 +23,18 @@
 //	skyranctl -terrain NYC -epochs 50 -checkpoint-dir ckpt
 //	skyranctl checkpoints ckpt                 # list / inspect / verify
 //	skyranctl -resume ckpt/epoch-00031.ckpt -json
+//
+// A deterministic fault schedule can be injected with the -fault-*
+// flags (SRS dropout/outliers, GTP-U loss windows, UE churn, GPS
+// drift, battery sag, aborted trajectory legs); all-zero fault flags
+// reproduce the fault-free run byte for byte:
+//
+//	skyranctl -terrain FLAT -ues 3 -fault-srs-drop 0.2 -fault-gtpu-loss 0.1 -json
+//
+// `skyranctl submit` ships the same spec to a skyrand daemon through
+// the retrying idempotent client instead of running it in-process:
+//
+//	skyranctl submit -addr http://127.0.0.1:7643 -terrain FLAT -ues 3 -wait
 package main
 
 import (
@@ -39,27 +51,25 @@ import (
 )
 
 func main() {
-	if len(os.Args) > 1 && os.Args[1] == "checkpoints" {
-		if err := runCheckpoints(os.Args[2:]); err != nil {
-			fmt.Fprintln(os.Stderr, "skyranctl:", err)
-			os.Exit(1)
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "checkpoints":
+			if err := runCheckpoints(os.Args[2:]); err != nil {
+				fmt.Fprintln(os.Stderr, "skyranctl:", err)
+				os.Exit(1)
+			}
+			return
+		case "submit":
+			if err := runSubmit(os.Args[2:]); err != nil {
+				fmt.Fprintln(os.Stderr, "skyranctl:", err)
+				os.Exit(1)
+			}
+			return
 		}
-		return
 	}
 	var (
-		terrName  = flag.String("terrain", "CAMPUS", "terrain: CAMPUS, RURAL, NYC, LARGE, FLAT")
 		xyz       = flag.String("xyz", "", "LiDAR point-cloud file (x y z class per line) instead of -terrain")
 		esri      = flag.String("esri", "", "ESRI ASCII grid DSM (.asc) instead of -terrain")
-		nUEs      = flag.Int("ues", 6, "number of UEs")
-		topology  = flag.String("topology", "uniform", "UE placement: uniform or clustered")
-		ctrlName  = flag.String("controller", "skyran", "controller: skyran, uniform, centroid, random, oracle")
-		budget    = flag.Float64("budget", 800, "measurement budget per epoch (metres)")
-		epochs    = flag.Int("epochs", 1, "epochs to run (half the UEs relocate between epochs)")
-		seed      = flag.Int64("seed", 1, "scenario seed")
-		serveSecs = flag.Float64("serve", 5, "seconds of LTE serving to simulate per epoch")
-		trafModel = flag.String("traffic", "", "serving-phase workload: cbr, poisson, onoff, web or full-buffer (empty keeps the legacy full-buffer path)")
-		trafRate  = flag.Float64("traffic-rate", 0, "mean offered rate per UE in bit/s (0 = model default)")
-		pktBytes  = flag.Int("packet-bytes", 0, "traffic packet size in bytes (0 = model default)")
 		traceOut  = flag.String("trace", "", "record flight telemetry to this JSONL file (view with traceview)")
 		jsonOut   = flag.Bool("json", false, "emit the result as JSON (the skyrand wire format) instead of text")
 		ckptDir   = flag.String("checkpoint-dir", "", "write a resumable checkpoint file here at epoch boundaries")
@@ -67,35 +77,9 @@ func main() {
 		ckptKeep  = flag.Int("checkpoint-retain", 0, "checkpoint files to keep (0 = all)")
 		resume    = flag.String("resume", "", "resume a run from this checkpoint file (scenario flags are taken from the checkpoint)")
 	)
+	buildSpec := specFlags(flag.CommandLine)
 	flag.Parse()
-	switch *trafModel {
-	case "", "cbr", "poisson", "onoff", "web", "full-buffer":
-	default:
-		usageError("unknown -traffic model %q (valid: %s)", *trafModel, validTrafficModels())
-	}
-	if *trafRate < 0 {
-		usageError("-traffic-rate must be non-negative, got %g", *trafRate)
-	}
-	if *pktBytes < 0 {
-		usageError("-packet-bytes must be non-negative, got %d", *pktBytes)
-	}
-	spec := scenario.Spec{
-		Terrain:    *terrName,
-		UEs:        *nUEs,
-		Topology:   *topology,
-		Controller: *ctrlName,
-		BudgetM:    *budget,
-		Epochs:     *epochs,
-		Seed:       *seed,
-		ServeS:     *serveSecs,
-	}
-	if *trafModel != "" {
-		spec.Traffic = &traffic.Spec{
-			Model:       traffic.Model(*trafModel),
-			RateBps:     *trafRate,
-			PacketBytes: *pktBytes,
-		}
-	}
+	spec := buildSpec()
 	var cp *scenario.CheckpointConfig
 	if *ckptDir != "" {
 		cp = &scenario.CheckpointConfig{Dir: *ckptDir, EveryEpochs: *ckptEvery, Retain: *ckptKeep}

@@ -1,0 +1,156 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/fault"
+	"repro/internal/scenario"
+	"repro/internal/traffic"
+)
+
+// specFlags registers every scenario-shaping flag on fs — terrain,
+// UEs, controller, traffic workload and the fault-injection schedule —
+// and returns a builder that validates them and assembles the Spec.
+// The local run path and the submit subcommand share it, so a spec
+// built here runs identically on either side of the daemon API.
+func specFlags(fs *flag.FlagSet) func() scenario.Spec {
+	var (
+		terrName  = fs.String("terrain", "CAMPUS", "terrain: CAMPUS, RURAL, NYC, LARGE, FLAT")
+		nUEs      = fs.Int("ues", 6, "number of UEs")
+		topology  = fs.String("topology", "uniform", "UE placement: uniform or clustered")
+		ctrlName  = fs.String("controller", "skyran", "controller: skyran, uniform, centroid, random, oracle")
+		budget    = fs.Float64("budget", 800, "measurement budget per epoch (metres)")
+		epochs    = fs.Int("epochs", 1, "epochs to run (half the UEs relocate between epochs)")
+		seed      = fs.Int64("seed", 1, "scenario seed")
+		serveSecs = fs.Float64("serve", 5, "seconds of LTE serving to simulate per epoch")
+		trafModel = fs.String("traffic", "", "serving-phase workload: cbr, poisson, onoff, web or full-buffer (empty keeps the legacy full-buffer path)")
+		trafRate  = fs.Float64("traffic-rate", 0, "mean offered rate per UE in bit/s (0 = model default)")
+		pktBytes  = fs.Int("packet-bytes", 0, "traffic packet size in bytes (0 = model default)")
+
+		// Fault-injection schedule (all zero = fault-free, byte-identical
+		// to a run without any fault flags).
+		fSRSDrop    = fs.Float64("fault-srs-drop", 0, "probability an SRS ranging exchange is dropped [0,1]")
+		fSRSOutlier = fs.Float64("fault-srs-outlier", 0, "probability an SRS range picks up heavy-tailed excess error [0,1]")
+		fSRSOutM    = fs.Float64("fault-srs-outlier-m", 0, "mean excess metres of an SRS outlier (0 = default)")
+		fGTPULoss   = fs.Float64("fault-gtpu-loss", 0, "long-run GTP-U downlink loss fraction from bursty windows [0,1)")
+		fGTPUDup    = fs.Float64("fault-gtpu-dup", 0, "probability a GTP-U packet is duplicated [0,1]")
+		fChurn      = fs.Float64("fault-ue-churn", 0, "per-UE probability of a mid-epoch leave/rejoin per serving phase [0,1]")
+		fChurnOutS  = fs.Float64("fault-ue-churn-out", 0, "mean seconds a churned UE stays out (0 = default)")
+		fGPSDrift   = fs.Float64("fault-gps-drift", 0, "UAV GPS random-walk drift magnitude in metres per sqrt-minute")
+		fBattery    = fs.Float64("fault-battery-sag", 0, "fractional extra battery drain (0.1 = 10% worse)")
+		fAbort      = fs.Float64("fault-abort-leg", 0, "probability a trajectory leg is aborted partway [0,1]")
+	)
+	return func() scenario.Spec {
+		switch *trafModel {
+		case "", "cbr", "poisson", "onoff", "web", "full-buffer":
+		default:
+			usageError("unknown -traffic model %q (valid: %s)", *trafModel, validTrafficModels())
+		}
+		if *trafRate < 0 {
+			usageError("-traffic-rate must be non-negative, got %g", *trafRate)
+		}
+		if *pktBytes < 0 {
+			usageError("-packet-bytes must be non-negative, got %d", *pktBytes)
+		}
+		spec := scenario.Spec{
+			Terrain:    *terrName,
+			UEs:        *nUEs,
+			Topology:   *topology,
+			Controller: *ctrlName,
+			BudgetM:    *budget,
+			Epochs:     *epochs,
+			Seed:       *seed,
+			ServeS:     *serveSecs,
+		}
+		if *trafModel != "" {
+			spec.Traffic = &traffic.Spec{
+				Model:       traffic.Model(*trafModel),
+				RateBps:     *trafRate,
+				PacketBytes: *pktBytes,
+			}
+		}
+		sched := &fault.Schedule{
+			SRSDropRate:    *fSRSDrop,
+			SRSOutlierRate: *fSRSOutlier,
+			SRSOutlierM:    *fSRSOutM,
+			GTPULossRate:   *fGTPULoss,
+			GTPUDupRate:    *fGTPUDup,
+			UEChurnRate:    *fChurn,
+			UEChurnOutS:    *fChurnOutS,
+			GPSDriftM:      *fGPSDrift,
+			BatterySagFrac: *fBattery,
+			LegAbortRate:   *fAbort,
+		}
+		if err := sched.Normalize(); err != nil {
+			usageError("%v", err)
+		}
+		if sched.Active() {
+			spec.Faults = sched
+		}
+		return spec
+	}
+}
+
+// runSubmit implements `skyranctl submit`: ship the spec to a skyrand
+// daemon through the shared retrying client, optionally wait for the
+// result. Submissions carry an idempotency key, so rerunning the same
+// command against a daemon that already accepted it (or restarted
+// mid-flight) replays the existing job instead of double-running it.
+func runSubmit(args []string) error {
+	fs := flag.NewFlagSet("skyranctl submit", flag.ExitOnError)
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: skyranctl submit -addr http://127.0.0.1:7643 [scenario flags]")
+		fs.PrintDefaults()
+	}
+	var (
+		addr    = fs.String("addr", "http://127.0.0.1:7643", "skyrand base URL")
+		idemKey = fs.String("idem-key", "", "idempotency key (empty derives one from the spec)")
+		wait    = fs.Bool("wait", false, "poll the job to a terminal state and print its result JSON")
+		timeout = fs.Duration("timeout", 10*time.Minute, "overall wait budget with -wait")
+	)
+	buildSpec := specFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	spec := buildSpec()
+
+	key := *idemKey
+	if key == "" {
+		key = client.IdempotencyKey(spec, "")
+	}
+	cl := client.New(*addr)
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	res, err := cl.Submit(ctx, spec, key)
+	if err != nil {
+		return err
+	}
+	if res.Replayed {
+		fmt.Fprintf(os.Stderr, "skyranctl: job %s replayed from idempotency key %s\n", res.ID, key)
+	} else {
+		fmt.Fprintf(os.Stderr, "skyranctl: submitted job %s (idempotency key %s)\n", res.ID, key)
+	}
+	if !*wait {
+		fmt.Println(res.ID)
+		return nil
+	}
+	st, err := cl.Await(ctx, res.ID, 0)
+	if err != nil {
+		return err
+	}
+	if st.Status != "succeeded" {
+		return fmt.Errorf("job %s %s: %s", res.ID, st.Status, st.Error)
+	}
+	body, err := cl.Result(ctx, res.ID)
+	if err != nil {
+		return err
+	}
+	_, err = os.Stdout.Write(body)
+	return err
+}

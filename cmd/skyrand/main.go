@@ -55,6 +55,15 @@ func main() {
 		ckptDir    = flag.String("checkpoint-dir", "", "enable crash recovery: checkpoint jobs and journal their state here")
 		ckptEvery  = flag.Int("checkpoint-every", 1, "epochs between checkpoints")
 		ckptRetain = flag.Int("checkpoint-retain", 0, "checkpoint files kept per job (0 = all)")
+
+		readTimeout = flag.Duration("read-timeout", 30*time.Second, "HTTP request read timeout (header + body)")
+
+		chaosSeed    = flag.Int64("chaos-seed", 0, "chaos RNG seed (0 = fixed default)")
+		chaosSlow    = flag.Float64("chaos-slow-rate", 0, "probability an HTTP request is artificially delayed [0,1]")
+		chaosSlowMax = flag.Duration("chaos-slow-max", 0, "max injected handler delay (0 = default)")
+		chaosCrash   = flag.Float64("chaos-crash-rate", 0, "probability a worker simulates a crash mid-job [0,1]")
+		chaosAfter   = flag.Duration("chaos-crash-after", 0, "how long a doomed job runs before the simulated crash (0 = default)")
+		chaosMax     = flag.Int("chaos-max-crashes", 0, "total simulated crashes allowed (0 = default)")
 	)
 	flag.Parse()
 	cfg := server.Config{
@@ -65,13 +74,23 @@ func main() {
 		CheckpointEvery:  *ckptEvery,
 		CheckpointRetain: *ckptRetain,
 	}
-	if err := run(*addr, cfg, *drainGrace); err != nil {
+	if *chaosSlow > 0 || *chaosCrash > 0 {
+		cfg.Chaos = &server.ChaosConfig{
+			Seed:            *chaosSeed,
+			SlowHandlerRate: *chaosSlow,
+			SlowHandlerMax:  *chaosSlowMax,
+			WorkerCrashRate: *chaosCrash,
+			CrashAfter:      *chaosAfter,
+			MaxCrashes:      *chaosMax,
+		}
+	}
+	if err := run(*addr, cfg, *drainGrace, *readTimeout); err != nil {
 		fmt.Fprintln(os.Stderr, "skyrand:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, cfg server.Config, drainGrace time.Duration) error {
+func run(addr string, cfg server.Config, drainGrace, readTimeout time.Duration) error {
 	srv, err := server.New(cfg)
 	if err != nil {
 		return err
@@ -82,7 +101,15 @@ func run(addr string, cfg server.Config, drainGrace time.Duration) error {
 	if err != nil {
 		return err
 	}
-	hs := &http.Server{Handler: srv.Handler()}
+	// Read timeouts bound how long a slow or stalled client can hold a
+	// connection open mid-request; submission bodies are additionally
+	// size-capped in the handler. The events endpoint streams
+	// responses, so no WriteTimeout.
+	hs := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       readTimeout,
+	}
 	fmt.Printf("skyrand: listening on http://%s (queue %d, %s per job)\n",
 		ln.Addr(), cfg.QueueCap, cfg.JobTimeout)
 	if cfg.CheckpointDir != "" {

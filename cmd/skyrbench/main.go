@@ -14,19 +14,20 @@
 package main
 
 import (
-	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"math"
-	"net/http"
 	"os"
 	"sort"
 	"strconv"
 	"strings"
 	"time"
 
+	"repro/internal/client"
+	"repro/internal/fault"
 	"repro/internal/scenario"
 	"repro/internal/traffic"
 )
@@ -49,6 +50,7 @@ func main() {
 		model    = flag.String("traffic", "onoff", "serving workload: cbr, poisson, onoff, web, full-buffer")
 		trafRate = flag.Float64("traffic-rate", 0, "mean offered rate per UE in bit/s (0 = default)")
 		pktBytes = flag.Int("packet-bytes", 0, "traffic packet size in bytes (0 = default)")
+		faultsJS = flag.String("faults", "", `fault schedule as JSON, e.g. '{"srs_drop_rate":0.2,"gtpu_loss_rate":0.1}'`)
 	)
 	flag.Parse()
 	spec := scenario.Spec{
@@ -63,6 +65,14 @@ func main() {
 			RateBps:     *trafRate,
 			PacketBytes: *pktBytes,
 		},
+	}
+	if *faultsJS != "" {
+		var sched fault.Schedule
+		if err := json.Unmarshal([]byte(*faultsJS), &sched); err != nil {
+			fmt.Fprintln(os.Stderr, "skyrbench: parsing -faults:", err)
+			os.Exit(1)
+		}
+		spec.Faults = &sched
 	}
 	if err := run(*addr, *jobs, *rate, *wait, *retries, *outPath, *seedBase, spec); err != nil {
 		fmt.Fprintln(os.Stderr, "skyrbench:", err)
@@ -105,6 +115,10 @@ type benchSnapshot struct {
 	MeanDelayS     float64 `json:"mean_delay_s"`
 	WorstP95S      float64 `json:"worst_p95_delay_s"`
 	LossFrac       float64 `json:"loss_frac"`
+
+	// Fault-injection splits (present only under a fault schedule).
+	FaultDroppedBytes uint64 `json:"fault_dropped_bytes,omitempty"`
+	DuplicatedBytes   uint64 `json:"duplicated_bytes,omitempty"`
 }
 
 // pctls is a latency distribution summary.
@@ -125,7 +139,6 @@ func run(addr string, jobs int, rate float64, wait time.Duration, maxRetries int
 			return err
 		}
 	}
-	client := &http.Client{Timeout: 30 * time.Second}
 
 	// Open loop: submission times are fixed at start; a slow daemon
 	// shows up as queueing latency, never as reduced offered load.
@@ -139,7 +152,7 @@ func run(addr string, jobs int, rate float64, wait time.Duration, maxRetries int
 			s.Seed = seedBase + int64(i)
 			at := start.Add(time.Duration(float64(i) / rate * float64(time.Second)))
 			time.Sleep(time.Until(at))
-			results[i] = oneJob(client, addr, s, at, wait, maxRetries)
+			results[i] = oneJob(addr, s, i, at, wait, maxRetries)
 		}(i)
 	}
 	for range results {
@@ -150,118 +163,81 @@ func run(addr string, jobs int, rate float64, wait time.Duration, maxRetries int
 	return report(os.Stdout, addr, spec, jobs, rate, wall, results, outPath)
 }
 
-// oneJob submits a spec (retrying 429s per Retry-After) and polls it to
-// a terminal state.
-func oneJob(client *http.Client, addr string, spec scenario.Spec, scheduled time.Time, wait time.Duration, maxRetries int) outcome {
+// oneJob submits a spec through the shared daemon client — capped
+// exponential backoff with deterministic jitter, plus an idempotency
+// key derived from (spec, job index) so a retry that races a daemon
+// restart never double-runs the job — and polls it to a terminal
+// state.
+func oneJob(addr string, spec scenario.Spec, idx int, scheduled time.Time, wait time.Duration, maxRetries int) outcome {
 	out := outcome{State: "error"}
-	body, err := json.Marshal(spec)
+	cl := client.New(addr)
+	cl.MaxRetries = maxRetries
+	cl.OnRetry = func(int, string, time.Duration) { out.Retries++ }
+
+	submitStart := time.Now()
+	res, err := cl.Submit(context.Background(), spec, client.IdempotencyKey(spec, strconv.Itoa(idx)))
+	out.Retries = res.Retries
 	if err != nil {
+		if strings.Contains(err.Error(), "retries exhausted") {
+			out.State = "rejected"
+		}
 		out.Err = err.Error()
 		return out
 	}
-
-	var id string
-	submitStart := time.Now()
-	for try := 0; ; try++ {
-		resp, err := client.Post(addr+"/v1/jobs", "application/json", bytes.NewReader(body))
-		if err != nil {
-			out.Err = err.Error()
-			return out
-		}
-		b, _ := io.ReadAll(resp.Body)
-		resp.Body.Close()
-		if resp.StatusCode == http.StatusTooManyRequests {
-			out.Retries++
-			if try >= maxRetries {
-				out.State = "rejected"
-				out.Err = "429 retry budget exhausted"
-				return out
-			}
-			delay := time.Second
-			if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && ra > 0 {
-				delay = time.Duration(ra) * time.Second
-			}
-			time.Sleep(delay)
-			continue
-		}
-		if resp.StatusCode != http.StatusAccepted {
-			out.Err = fmt.Sprintf("submit: status %d: %s", resp.StatusCode, strings.TrimSpace(string(b)))
-			return out
-		}
-		var env struct {
-			ID string `json:"id"`
-		}
-		if err := json.Unmarshal(b, &env); err != nil {
-			out.Err = err.Error()
-			return out
-		}
-		id = env.ID
-		break
-	}
 	accepted := time.Now()
-	out.Job = id
+	out.Job = res.ID
 	out.SubmitS = accepted.Sub(submitStart).Seconds()
 
-	deadline := time.Now().Add(wait)
-	for {
-		if time.Now().After(deadline) {
-			out.Err = "timeout waiting for terminal state"
-			return out
+	ctx, cancel := context.WithTimeout(context.Background(), wait)
+	defer cancel()
+	st, err := cl.Await(ctx, res.ID, 150*time.Millisecond)
+	if err != nil {
+		out.Err = "waiting for terminal state: " + err.Error()
+		return out
+	}
+	switch st.Status {
+	case "succeeded":
+		end := time.Now()
+		out.State = "succeeded"
+		out.EndToEndS = end.Sub(scheduled).Seconds()
+		out.ServiceS = end.Sub(accepted).Seconds()
+		var result struct {
+			Epochs []struct {
+				Traffic *traffic.Report `json:"traffic"`
+			} `json:"epochs"`
 		}
-		time.Sleep(150 * time.Millisecond)
-		resp, err := client.Get(addr + "/v1/jobs/" + id)
-		if err != nil {
+		if err := json.Unmarshal(st.Result, &result); err != nil {
 			out.Err = err.Error()
 			return out
 		}
-		b, _ := io.ReadAll(resp.Body)
-		resp.Body.Close()
-		var env struct {
-			Status string `json:"status"`
-			Error  string `json:"error"`
-			Result struct {
-				Epochs []struct {
-					Traffic *traffic.Report `json:"traffic"`
-				} `json:"epochs"`
-			} `json:"result"`
-		}
-		if err := json.Unmarshal(b, &env); err != nil {
-			out.Err = err.Error()
-			return out
-		}
-		switch env.Status {
-		case "succeeded":
-			end := time.Now()
-			out.State = "succeeded"
-			out.EndToEndS = end.Sub(scheduled).Seconds()
-			out.ServiceS = end.Sub(accepted).Seconds()
-			agg := traffic.Summary{}
-			for _, ep := range env.Result.Epochs {
-				if ep.Traffic == nil {
-					continue
-				}
-				s := ep.Traffic.Summary
-				agg.OfferedBytes += s.OfferedBytes
-				agg.DeliveredBytes += s.DeliveredBytes
-				agg.DroppedBytes += s.DroppedBytes
-				agg.MeanDelayS += s.MeanDelayS
-				if s.P95DelayS > agg.P95DelayS {
-					agg.P95DelayS = s.P95DelayS
-				}
-				agg.Seconds += s.Seconds
+		agg := traffic.Summary{}
+		for _, ep := range result.Epochs {
+			if ep.Traffic == nil {
+				continue
 			}
-			if n := len(env.Result.Epochs); n > 0 {
-				agg.MeanDelayS /= float64(n)
+			s := ep.Traffic.Summary
+			agg.OfferedBytes += s.OfferedBytes
+			agg.DeliveredBytes += s.DeliveredBytes
+			agg.DroppedBytes += s.DroppedBytes
+			agg.FaultDroppedBytes += s.FaultDroppedBytes
+			agg.DuplicatedBytes += s.DuplicatedBytes
+			agg.MeanDelayS += s.MeanDelayS
+			if s.P95DelayS > agg.P95DelayS {
+				agg.P95DelayS = s.P95DelayS
 			}
-			out.traffic = &agg
-			return out
-		case "failed", "canceled":
-			out.State = env.Status
-			out.Err = env.Error
-			out.EndToEndS = time.Since(scheduled).Seconds()
-			out.ServiceS = time.Since(accepted).Seconds()
-			return out
+			agg.Seconds += s.Seconds
 		}
+		if n := len(result.Epochs); n > 0 {
+			agg.MeanDelayS /= float64(n)
+		}
+		out.traffic = &agg
+		return out
+	default:
+		out.State = st.Status
+		out.Err = st.Error
+		out.EndToEndS = time.Since(scheduled).Seconds()
+		out.ServiceS = time.Since(accepted).Seconds()
+		return out
 	}
 }
 
@@ -326,6 +302,8 @@ func report(w io.Writer, addr string, spec scenario.Spec, jobs int, rate float64
 				snap.OfferedBytes += r.traffic.OfferedBytes
 				snap.DeliveredBytes += r.traffic.DeliveredBytes
 				snap.DroppedBytes += r.traffic.DroppedBytes
+				snap.FaultDroppedBytes += r.traffic.FaultDroppedBytes
+				snap.DuplicatedBytes += r.traffic.DuplicatedBytes
 				snap.MeanDelayS += r.traffic.MeanDelayS
 				if r.traffic.P95DelayS > snap.WorstP95S {
 					snap.WorstP95S = r.traffic.P95DelayS
@@ -362,6 +340,10 @@ func report(w io.Writer, addr string, spec scenario.Spec, jobs int, rate float64
 		fmt.Fprintf(w, "traffic: offered %.1f MB, delivered %.1f MB, dropped %.1f MB (loss %.2f%%), mean delay %.1f ms\n",
 			float64(snap.OfferedBytes)/1e6, float64(snap.DeliveredBytes)/1e6,
 			float64(snap.DroppedBytes)/1e6, 100*snap.LossFrac, 1e3*snap.MeanDelayS)
+	}
+	if snap.FaultDroppedBytes > 0 || snap.DuplicatedBytes > 0 {
+		fmt.Fprintf(w, "faults: %.1f MB injected loss, %.1f MB duplicated\n",
+			float64(snap.FaultDroppedBytes)/1e6, float64(snap.DuplicatedBytes)/1e6)
 	}
 
 	if outPath != "" {

@@ -134,6 +134,24 @@ type Config struct {
 	// controller): 0 uses one worker per CPU, 1 forces the sequential
 	// order. Results are identical at any worker count.
 	Workers int
+
+	// Graceful-degradation thresholds, consulted only when the world
+	// has an active fault schedule (fault-free epochs take the exact
+	// legacy path).
+
+	// MinYieldFrac is the fraction of the measurement budget that must
+	// actually be flown before the epoch accepts its samples; below it
+	// (an aborted leg) the controller replans once and spends the
+	// remaining budget on a uniform sweep (default 0.5).
+	MinYieldFrac float64
+	// MinMeasuredCells is the minimum number of directly measured REM
+	// cells for a fresh map to be trusted; a sparser map falls back to
+	// the densest stored map near the UE's estimate (default 24).
+	MinMeasuredCells int
+	// MinConfidence is the robust-localization confidence below which
+	// a fix is discarded in favour of the fallback ladder
+	// (default 0.35).
+	MinConfidence float64
 }
 
 func (c *Config) defaults() {
@@ -170,6 +188,15 @@ func (c *Config) defaults() {
 	}
 	if c.AssociationRadiusM == 0 {
 		c.AssociationRadiusM = 25
+	}
+	if c.MinYieldFrac == 0 {
+		c.MinYieldFrac = 0.5
+	}
+	if c.MinMeasuredCells == 0 {
+		c.MinMeasuredCells = 24
+	}
+	if c.MinConfidence == 0 {
+		c.MinConfidence = 0.35
 	}
 }
 
@@ -318,6 +345,21 @@ func (s *SkyRAN) runWithEstimates(ctx context.Context, w *sim.World, ests []geom
 	// refines the UE fixes for free (the dedicated localization loop
 	// spans tens of metres, the measurement tour spans hundreds).
 	samples, measTuples, measM := w.FlyMeasureWithRanging(path, s.targetAlt, s.cfg.MeasurementBudgetM)
+	// Degradation: an aborted leg that yielded too little of the budget
+	// is replanned once — the remaining budget flies a uniform sweep,
+	// and its samples and ranging tuples merge into the epoch's pool.
+	if w.Faults != nil && s.cfg.MeasurementBudgetM > 0 && measM < s.cfg.MeasurementBudgetM*s.cfg.MinYieldFrac {
+		if remaining := s.cfg.MeasurementBudgetM - measM; remaining > 1 {
+			w.Faults.NoteReplan()
+			replan := traj.Zigzag(w.Area(), w.Area().Width()/6).Resample(1)
+			s2, t2, m2 := w.FlyMeasureWithRanging(replan, s.targetAlt, remaining)
+			samples = append(samples, s2...)
+			for i := range measTuples {
+				measTuples[i] = append(measTuples[i], t2[i]...)
+			}
+			measM += m2
+		}
+	}
 	res.MeasurementM = measM
 	if !s.cfg.NoLocationRefine {
 		if refined := s.refineLocations(w, measTuples, ests); refined != nil {
@@ -341,6 +383,22 @@ func (s *SkyRAN) runWithEstimates(ctx context.Context, w *sim.World, ests []geom
 	flown := geom.Polyline{}
 	for _, smp := range samples {
 		flown = append(flown, smp.GPS.XY())
+	}
+	// Degradation: a map that ended the flight with almost no directly
+	// measured cells (dropout/abort-starved) is mostly prior fill;
+	// serving from it can be worse than reusing the densest stored map
+	// near the UE. Swap before the store write so the sparse map never
+	// displaces a good one.
+	if w.Faults != nil {
+		for i := range maps {
+			if maps[i].MeasuredCells() >= s.cfg.MinMeasuredCells {
+				continue
+			}
+			if prev := s.store.Lookup(ests[i]); prev != nil && prev.MeasuredCells() > maps[i].MeasuredCells() {
+				maps[i] = prev
+				w.Faults.NoteREMFallback()
+			}
+		}
 	}
 	for i, u := range w.UEs {
 		s.store.Put(ests[i], maps[i])
@@ -366,6 +424,12 @@ func (s *SkyRAN) runWithEstimates(ctx context.Context, w *sim.World, ests []geom
 	// hole the maps never saw.
 	mask := maps[0].NearMeasurement(s.cfg.PlacementMaskM)
 	pos, val, err := rem.PlaceMasked(maps, s.cfg.Objective, nil, mask)
+	if err != nil && w.Faults != nil {
+		// Degradation: a starved flight can leave no cell near a
+		// measurement — relax the mask rather than fail the epoch.
+		w.Faults.NotePlacementRelaxed()
+		pos, val, err = rem.PlaceMasked(maps, s.cfg.Objective, nil, nil)
+	}
 	if err != nil {
 		return res, fmt.Errorf("core: placement: %w", err)
 	}
@@ -457,7 +521,23 @@ func (s *SkyRAN) solveTuples(w *sim.World, tuples [][]ranging.Tuple, fallback []
 		}
 	}
 	solved := make(map[int]geom.Vec2, len(idxs))
-	if len(idxs) > 0 {
+	switch {
+	case len(idxs) == 0:
+	case w.Faults != nil:
+		// Under fault injection the ranges carry gross outliers: gate
+		// them (MAD) and discard fixes whose confidence is too low —
+		// those UEs take the fallback ladder like outage UEs do.
+		if results, err := locate.SolveJointRobust(in, opts); err == nil {
+			for k, i := range idxs {
+				w.Faults.NoteOutliersRejected(results[k].Outliers)
+				if results[k].Confidence < s.cfg.MinConfidence {
+					w.Faults.NoteLowConfFix()
+					continue
+				}
+				solved[i] = results[k].UE
+			}
+		}
+	default:
 		if results, err := locate.SolveJoint(in, opts); err == nil {
 			for k, i := range idxs {
 				solved[i] = results[k].UE

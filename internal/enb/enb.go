@@ -54,6 +54,9 @@ type UEContext struct {
 	// scheduler accounting
 	servedBits float64
 	avgRateBps float64 // EWMA for proportional fair
+	// starvedTTIs counts TTIs spent with data queued but an
+	// undecodable channel (CQI 0) — the eNodeB-side loss-window KPI.
+	starvedTTIs uint64
 }
 
 // SchedulerPolicy selects how PRBs are shared each TTI.
@@ -251,6 +254,8 @@ func (e *ENodeB) RunTTIFunc(grant func(imsi epc.IMSI, bits float64)) float64 {
 	for _, ctx := range e.byIMSI {
 		if ctx.RRC == RRCConnected && ctx.CQI > 0 {
 			active = append(active, ctx)
+		} else if ctx.RRC == RRCConnected && ctx.bearer != nil && ctx.bearer.QueuedPackets() > 0 {
+			ctx.starvedTTIs++
 		}
 	}
 	if len(active) == 0 {
@@ -314,6 +319,17 @@ func (e *ENodeB) RunTTIFunc(grant func(imsi epc.IMSI, bits float64)) float64 {
 		ctx.avgRateBps = (1-alpha)*ctx.avgRateBps + alpha*(e.bitsPerPRBTTI(ctx.CQI)*float64(prbs))
 	}
 	return total
+}
+
+// StarvedTTIs returns the number of TTIs imsi spent with queued data
+// but an undecodable channel.
+func (e *ENodeB) StarvedTTIs(imsi epc.IMSI) uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if ctx, ok := e.byIMSI[imsi]; ok {
+		return ctx.starvedTTIs
+	}
+	return 0
 }
 
 // ServedBits returns the cumulative bits served to imsi.

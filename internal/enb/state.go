@@ -82,13 +82,14 @@ func (b *Bearer) Restore(st BearerState) error {
 
 // UEContextState is one UE context's serializable state.
 type UEContextState struct {
-	RNTI       uint16
-	IMSI       epc.IMSI
-	RRC        RRCState
-	CQI        int
-	ServedBits float64
-	AvgRateBps float64
-	Bearer     BearerState
+	RNTI        uint16
+	IMSI        epc.IMSI
+	RRC         RRCState
+	CQI         int
+	ServedBits  float64
+	AvgRateBps  float64
+	StarvedTTIs uint64
+	Bearer      BearerState
 }
 
 // State is the eNodeB's serializable state, with UE contexts in RNTI
@@ -108,6 +109,7 @@ func (e *ENodeB) Snapshot() State {
 		cs := UEContextState{
 			RNTI: ctx.RNTI, IMSI: ctx.IMSI, RRC: ctx.RRC, CQI: ctx.CQI,
 			ServedBits: ctx.servedBits, AvgRateBps: ctx.avgRateBps,
+			StarvedTTIs: ctx.starvedTTIs,
 		}
 		if ctx.bearer != nil {
 			cs.Bearer = ctx.bearer.Snapshot()
@@ -142,6 +144,7 @@ func (e *ENodeB) Restore(st State) error {
 		ctx.CQI = cs.CQI
 		ctx.servedBits = cs.ServedBits
 		ctx.avgRateBps = cs.AvgRateBps
+		ctx.starvedTTIs = cs.StarvedTTIs
 		if ctx.bearer != nil {
 			if err := ctx.bearer.Restore(cs.Bearer); err != nil {
 				return fmt.Errorf("enb: UE %s: %w", cs.IMSI, err)

@@ -17,6 +17,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/fault"
 	"repro/internal/geom"
 	"repro/internal/rem"
 	"repro/internal/sim"
@@ -37,6 +38,12 @@ type Options struct {
 	// 1 forces the sequential order. Results are merged in task order,
 	// so output is identical for every worker count.
 	Workers int
+	// Faults applies a fault-injection schedule to the worlds built by
+	// the figures that exercise the full probing pipeline (Fig 1 and
+	// Fig 20); nil or an all-zero schedule reproduces the fault-free
+	// figures byte for byte. Used by the chaos smoke tier to measure
+	// figure-shape robustness under injected faults.
+	Faults *fault.Schedule
 }
 
 func (o *Options) defaults() {
@@ -206,13 +213,31 @@ func nearObstruction(t *terrain.Surface, p geom.Vec2, radius float64) bool {
 	return false
 }
 
-// newWorld builds a world on the named terrain.
+// newWorld builds a fault-free world on the named terrain.
 func newWorld(terrName string, seed uint64, ues []*ue.UE, fastRanging bool) (*sim.World, error) {
+	return newFaultyWorld(terrName, seed, ues, fastRanging, nil)
+}
+
+// newFaultyWorld builds a world with an optional fault schedule. The
+// schedule is normalized on a copy, and an inactive (all-zero) one is
+// dropped entirely so it cannot perturb the fault-free RNG streams.
+func newFaultyWorld(terrName string, seed uint64, ues []*ue.UE, fastRanging bool, sched *fault.Schedule) (*sim.World, error) {
 	t := terrain.ByName(terrName, seed)
 	if t == nil {
 		return nil, fmt.Errorf("experiments: unknown terrain %q", terrName)
 	}
-	return sim.New(sim.Config{Terrain: t, Seed: seed, FastRanging: fastRanging}, ues)
+	if sched != nil {
+		cp := *sched
+		if err := cp.Normalize(); err != nil {
+			return nil, fmt.Errorf("experiments: fault schedule: %w", err)
+		}
+		if cp.Active() {
+			sched = &cp
+		} else {
+			sched = nil
+		}
+	}
+	return sim.New(sim.Config{Terrain: t, Seed: seed, FastRanging: fastRanging, Faults: sched}, ues)
 }
 
 // truePositions snapshots the current true UE positions.

@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+)
+
+// An all-zero fault schedule must be indistinguishable from no
+// schedule at all: the golden fig01/fig20 rows are byte-identical
+// because the injector is never constructed.
+func TestZeroScheduleGoldenRows(t *testing.T) {
+	for _, tc := range []struct {
+		id  string
+		run func(Options) (*Report, error)
+	}{
+		{"fig01", RunFig01},
+		{"fig20", RunFig20},
+	} {
+		t.Run(tc.id, func(t *testing.T) {
+			plain, err := tc.run(Options{Seeds: 1, Quick: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			zeroed, err := tc.run(Options{Seeds: 1, Quick: true, Faults: &fault.Schedule{}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if plain.String() != zeroed.String() {
+				t.Fatalf("%s: zero fault schedule changed golden rows:\n--- nil ---\n%s\n--- zero ---\n%s",
+					tc.id, plain, zeroed)
+			}
+		})
+	}
+}
+
+// An active schedule still yields a well-formed report — the probing
+// pipeline degrades instead of failing.
+func TestFaultyFig20Completes(t *testing.T) {
+	sched := &fault.Schedule{SRSDropRate: 0.2, SRSOutlierRate: 0.1, LegAbortRate: 0.2}
+	r, err := RunFig20(Options{Seeds: 1, Quick: true, Faults: sched})
+	if err != nil {
+		t.Fatalf("fig20 under faults: %v", err)
+	}
+	if len(r.Rows) == 0 {
+		t.Fatal("fig20 under faults produced no rows")
+	}
+	// And it is reproducible.
+	r2, err := RunFig20(Options{Seeds: 1, Quick: true, Faults: sched})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.String() != r2.String() {
+		t.Fatal("faulty fig20 not deterministic")
+	}
+}

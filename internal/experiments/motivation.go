@@ -32,7 +32,7 @@ func RunFig01(opts Options) (*Report, error) {
 		// UEs in 4 pockets ("concentrated in few pockets of
 		// locations/roads").
 		all := pocketUEs(t, 20, int64(seed+1))
-		w, err := newWorld("NYC", uint64(seed+1), all, true)
+		w, err := newFaultyWorld("NYC", uint64(seed+1), all, true, opts.Faults)
 		if err != nil {
 			return seedResult{}, err
 		}

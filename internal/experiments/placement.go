@@ -31,7 +31,7 @@ func RunFig20(opts Options) (*Report, error) {
 		evalCell := evalCellFor(t, opts.Quick)
 		budget := times[ti] * speed
 
-		wS, err := newWorld("CAMPUS", uint64(seed+1), clonedUEs(baseUEs), true)
+		wS, err := newFaultyWorld("CAMPUS", uint64(seed+1), clonedUEs(baseUEs), true, opts.Faults)
 		if err != nil {
 			return errPair{}, err
 		}
@@ -48,7 +48,7 @@ func RunFig20(opts Options) (*Report, error) {
 		}
 		skyErr := medianREMError(wS, sres.REMs, alt, evalCell)
 
-		wU, err := newWorld("CAMPUS", uint64(seed+1), clonedUEs(baseUEs), true)
+		wU, err := newFaultyWorld("CAMPUS", uint64(seed+1), clonedUEs(baseUEs), true, opts.Faults)
 		if err != nil {
 			return errPair{}, err
 		}

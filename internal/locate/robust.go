@@ -1,0 +1,105 @@
+package locate
+
+import (
+	"math"
+
+	"repro/internal/ranging"
+)
+
+// RobustResult augments a joint fix with the outlier accounting and a
+// confidence score in [0, 1]. Confidence combines the inlier fraction
+// with the residual level: a fix from clean, consistent ranges scores
+// near 1; one surviving on a minority of gated tuples with large
+// residuals scores near 0. Consumers use it to decide whether a fix is
+// good enough to update the UE's REM anchor or should be discarded in
+// favour of the previous epoch's estimate.
+type RobustResult struct {
+	Result
+	// Inliers and Outliers partition this UE's tuples under the MAD
+	// gate (Outliers is 0 when nothing was rejected).
+	Inliers  int
+	Outliers int
+	// Confidence is inlierFrac / (1 + RMS/HuberDelta).
+	Confidence float64
+}
+
+// SolveJointRobust is SolveJoint hardened against gross range errors
+// (injected or NLOS): after an initial joint fit it gates each UE's
+// tuples on a MAD criterion around that UE's residual median, refits
+// the joint system on the surviving tuples, and reports per-UE
+// inlier/outlier counts plus a confidence score. With clean data no
+// tuple is gated and the fit equals SolveJoint's.
+func SolveJointRobust(perUE [][]ranging.Tuple, opts Options) ([]RobustResult, error) {
+	opts.defaults()
+	first, err := SolveJoint(perUE, opts)
+	if err != nil {
+		return nil, err
+	}
+
+	trimmed := make([][]ranging.Tuple, len(perUE))
+	outliers := make([]int, len(perUE))
+	dropped := false
+	for i, ts := range perUE {
+		kept := gateOutliers(ts, first[i], opts)
+		// Never gate below solvability: a UE whose tuples are mostly
+		// outliers keeps them all (its low confidence says the rest).
+		if len(kept) >= 4 && len(kept) < len(ts) {
+			trimmed[i] = kept
+			outliers[i] = len(ts) - len(kept)
+			dropped = true
+		} else {
+			trimmed[i] = ts
+		}
+	}
+
+	final := first
+	if dropped {
+		if refit, err := SolveJoint(trimmed, opts); err == nil {
+			final = refit
+		} else {
+			// The gated system went degenerate; keep the first fit (the
+			// outliers stay reported — they were detected, not removed).
+			trimmed = perUE
+		}
+	}
+
+	out := make([]RobustResult, len(perUE))
+	for i, res := range final {
+		inliers := len(trimmed[i])
+		frac := 1.0
+		if total := inliers + outliers[i]; total > 0 {
+			frac = float64(inliers) / float64(total)
+		}
+		out[i] = RobustResult{
+			Result:     res,
+			Inliers:    inliers,
+			Outliers:   outliers[i],
+			Confidence: frac / (1 + res.RMSResidualM/opts.HuberDeltaM),
+		}
+	}
+	return out, nil
+}
+
+// gateOutliers returns the tuples whose residual under res lies within
+// 3.5·1.4826·MAD of the median residual (floored at HuberDelta/2 so
+// clean low-noise data is never over-trimmed).
+func gateOutliers(tuples []ranging.Tuple, res Result, opts Options) []ranging.Tuple {
+	z := opts.GroundZ(res.UE)
+	resid := make([]float64, len(tuples))
+	for i, tp := range tuples {
+		resid[i] = tp.UAVPos.Dist(res.UE.WithZ(z)) + res.OffsetM - tp.RangeM
+	}
+	med := median(resid)
+	dev := make([]float64, len(resid))
+	for i, r := range resid {
+		dev[i] = math.Abs(r - med)
+	}
+	cut := math.Max(3.5*1.4826*median(dev), opts.HuberDeltaM/2)
+	var out []ranging.Tuple
+	for i, tp := range tuples {
+		if math.Abs(resid[i]-med) <= cut {
+			out = append(out, tp)
+		}
+	}
+	return out
+}

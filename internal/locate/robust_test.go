@@ -1,0 +1,111 @@
+package locate
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/ranging"
+)
+
+func jointFlights(ues []geom.Vec2, b, sigma float64, n int, rng *rand.Rand) [][]ranging.Tuple {
+	out := make([][]ranging.Tuple, len(ues))
+	for i, ue := range ues {
+		out[i] = makeFlight(ue, 1.5, b, sigma, n, rng)
+	}
+	return out
+}
+
+// With clean data nothing is gated and the robust fit is exactly the
+// plain joint fit at full confidence.
+func TestSolveJointRobustCleanMatchesSolveJoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ues := []geom.Vec2{geom.V2(180, 90), geom.V2(60, 200), geom.V2(140, 40)}
+	perUE := jointFlights(ues, 37.5, 0.5, 40, rng)
+
+	plain, err := SolveJoint(perUE, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	robust, err := SolveJointRobust(perUE, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ues {
+		if robust[i].Outliers != 0 {
+			t.Errorf("UE %d: %d outliers gated on clean data", i, robust[i].Outliers)
+		}
+		if robust[i].UE != plain[i].UE {
+			t.Errorf("UE %d: robust fix %v differs from plain %v on clean data", i, robust[i].UE, plain[i].UE)
+		}
+		if robust[i].Confidence < 0.9 {
+			t.Errorf("UE %d: confidence %.3f on clean data", i, robust[i].Confidence)
+		}
+	}
+}
+
+// Heavy-tailed late outliers on a fraction of the ranges must be gated
+// out, leaving the fix close to the clean-data one.
+func TestSolveJointRobustGatesOutliers(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	ues := []geom.Vec2{geom.V2(180, 90), geom.V2(60, 200), geom.V2(140, 40)}
+	perUE := jointFlights(ues, 37.5, 0.5, 60, rng)
+	// Corrupt 20% of each UE's ranges with gross late excess.
+	corrupt := make([][]ranging.Tuple, len(perUE))
+	for i, ts := range perUE {
+		cp := append([]ranging.Tuple(nil), ts...)
+		for j := range cp {
+			if rng.Float64() < 0.2 {
+				cp[j].RangeM += 60 + rng.ExpFloat64()*80
+			}
+		}
+		corrupt[i] = cp
+	}
+
+	robust, err := SolveJointRobust(corrupt, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := SolveJoint(corrupt, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gated int
+	for i, ue := range ues {
+		gated += robust[i].Outliers
+		if robust[i].UE.Dist(ue) > 6 {
+			t.Errorf("UE %d: robust fix off by %.1f m", i, robust[i].UE.Dist(ue))
+		}
+		if robust[i].Confidence >= 1 || robust[i].Confidence <= 0 {
+			t.Errorf("UE %d: confidence %.3f outside (0, 1) under outliers", i, robust[i].Confidence)
+		}
+		// The robust fix must not be worse than the naive one.
+		if robust[i].UE.Dist(ue) > naive[i].UE.Dist(ue)+1 {
+			t.Errorf("UE %d: robust fix (%.1f m) worse than naive (%.1f m)",
+				i, robust[i].UE.Dist(ue), naive[i].UE.Dist(ue))
+		}
+	}
+	if gated == 0 {
+		t.Error("no outliers gated despite 20% gross corruption")
+	}
+}
+
+// The robust solver is pure: same inputs, same outputs.
+func TestSolveJointRobustDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ues := []geom.Vec2{geom.V2(180, 90), geom.V2(60, 200)}
+	perUE := jointFlights(ues, 37.5, 1, 50, rng)
+	a, err := SolveJointRobust(perUE, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SolveJointRobust(perUE, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("UE %d: results differ across identical calls", i)
+		}
+	}
+}

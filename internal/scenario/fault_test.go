@@ -1,0 +1,197 @@
+package scenario
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/checkpoint"
+	"repro/internal/fault"
+	"repro/internal/traffic"
+)
+
+func faultSpec() Spec {
+	s := ckptSpec("skyran")
+	s.Faults = &fault.Schedule{
+		SRSDropRate:    0.25,
+		SRSOutlierRate: 0.15,
+		GTPULossRate:   0.1,
+		GTPUDupRate:    0.05,
+		UEChurnRate:    0.3,
+		GPSDriftM:      2,
+		BatterySagFrac: 0.1,
+		LegAbortRate:   0.2,
+	}
+	return s
+}
+
+func runBytes(t *testing.T, spec Spec) []byte {
+	t.Helper()
+	res, _, err := Run(context.Background(), spec, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MarshalResult(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestZeroFaultScheduleByteIdentical is the zero ≡ nil contract: a
+// spec carrying an all-zero fault schedule must produce output
+// byte-identical to a spec with no schedule at all — the injector is
+// never built and no RNG draw is perturbed.
+func TestZeroFaultScheduleByteIdentical(t *testing.T) {
+	plain := ckptSpec("skyran")
+	zeroed := ckptSpec("skyran")
+	zeroed.Faults = &fault.Schedule{}
+	a := runBytes(t, plain)
+	b := runBytes(t, zeroed)
+	if !bytes.Equal(a, b) {
+		t.Fatal("all-zero fault schedule changed the run's output")
+	}
+	if err := zeroed.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if zeroed.Faults != nil {
+		t.Error("Normalize should nil out an inactive fault schedule")
+	}
+}
+
+// TestFaultRunDeterministicBytes: an aggressive schedule is still
+// byte-reproducible, and its epochs actually report fault activity.
+func TestFaultRunDeterministicBytes(t *testing.T) {
+	a := runBytes(t, faultSpec())
+	b := runBytes(t, faultSpec())
+	if !bytes.Equal(a, b) {
+		t.Fatal("identical fault schedules produced different result bytes")
+	}
+	res, _, err := Run(context.Background(), faultSpec(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var active int
+	for _, ep := range res.Epochs {
+		if ep.Faults != nil && !ep.Faults.IsZero() {
+			active++
+		}
+	}
+	if active == 0 {
+		t.Fatal("aggressive schedule injected nothing across all epochs")
+	}
+}
+
+// TestFaultResumeByteIdentical extends the checkpoint contract to
+// fault injection: kill after epoch 2, resume in a fresh world, and
+// the output — including the injector's RNG streams and GPS bias —
+// must match the uninterrupted faulty run byte for byte.
+func TestFaultResumeByteIdentical(t *testing.T) {
+	spec := faultSpec()
+	ref := runBytes(t, spec)
+
+	dir := t.TempDir()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	_, _, err := Run(ctx, spec, Options{
+		Checkpoint: &CheckpointConfig{Dir: dir},
+		OnEpoch: func(rep EpochReport) {
+			if rep.Epoch == 2 {
+				cancel()
+			}
+		},
+	})
+	if err == nil {
+		t.Fatal("cancelled run reported no error")
+	}
+	ckpt := filepath.Join(dir, checkpoint.EpochFileName(2))
+	if _, err := os.Stat(ckpt); err != nil {
+		t.Fatalf("checkpoint missing: %v", err)
+	}
+	got, _, err := Resume(context.Background(), ckpt, &spec, Options{})
+	if err != nil {
+		t.Fatalf("Resume: %v", err)
+	}
+	gotJSON, err := MarshalResult(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ref, gotJSON) {
+		t.Fatal("resumed faulty run differs from uninterrupted run")
+	}
+}
+
+// TestFaultDegradationBounded is the graceful-degradation acceptance
+// check: under 20% SRS dropout plus heavy-tailed outliers the SkyRAN
+// controller still completes every epoch and the chosen placements
+// stay within a bounded throughput regression of the fault-free run.
+func TestFaultDegradationBounded(t *testing.T) {
+	clean := ckptSpec("skyran")
+	clean.Traffic = nil
+	degraded := clean
+	degraded.Faults = &fault.Schedule{SRSDropRate: 0.2, SRSOutlierRate: 0.1}
+
+	cleanRes, _, err := Run(context.Background(), clean, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	degRes, _, err := Run(context.Background(), degraded, Options{})
+	if err != nil {
+		t.Fatalf("degraded run failed outright: %v", err)
+	}
+	if len(degRes.Epochs) != len(cleanRes.Epochs) {
+		t.Fatalf("degraded run completed %d/%d epochs", len(degRes.Epochs), len(cleanRes.Epochs))
+	}
+	var cleanSum, degSum float64
+	for i := range cleanRes.Epochs {
+		cleanSum += cleanRes.Epochs[i].RelativeThroughput
+		degSum += degRes.Epochs[i].RelativeThroughput
+	}
+	cleanMean := cleanSum / float64(len(cleanRes.Epochs))
+	degMean := degSum / float64(len(degRes.Epochs))
+	// The robust pipeline must keep the mean relative throughput within
+	// 25 percentage points of fault-free despite losing a fifth of the
+	// ranging measurements.
+	if degMean < cleanMean-0.25 {
+		t.Errorf("degraded mean relative throughput %.3f vs clean %.3f: regression unbounded",
+			degMean, cleanMean)
+	}
+
+	var drops uint64
+	for _, ep := range degRes.Epochs {
+		if ep.Faults != nil {
+			drops += ep.Faults.SRSDrops + ep.Faults.SRSOutliers
+		}
+	}
+	if drops == 0 {
+		t.Error("degradation test injected no SRS faults")
+	}
+}
+
+// Churn and GTPU loss must surface in the traffic KPI report as the
+// fault-dropped / duplicated splits, and loss accounting must include
+// the injected drops.
+func TestFaultTrafficKPISurfaced(t *testing.T) {
+	spec := faultSpec()
+	spec.Traffic = &traffic.Spec{Model: traffic.ModelOnOff, RateBps: 3e6}
+	res, _, err := Run(context.Background(), spec, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var faultBytes, dupBytes uint64
+	for _, ep := range res.Epochs {
+		if ep.Traffic == nil {
+			t.Fatalf("epoch %d missing traffic report", ep.Epoch)
+		}
+		faultBytes += ep.Traffic.Summary.FaultDroppedBytes
+		dupBytes += ep.Traffic.Summary.DuplicatedBytes
+	}
+	if faultBytes == 0 {
+		t.Error("10% GTPU loss + churn surfaced no fault-dropped bytes")
+	}
+	if dupBytes == 0 {
+		t.Error("5% GTPU duplication surfaced no duplicated bytes")
+	}
+}

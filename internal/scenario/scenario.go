@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/detrand"
+	"repro/internal/fault"
 	"repro/internal/geom"
 	"repro/internal/metrics"
 	"repro/internal/rem"
@@ -55,6 +56,10 @@ type Spec struct {
 	// output); non-nil routes the serving phase through the
 	// discrete-event traffic engine and adds per-UE KPIs to each epoch.
 	Traffic *traffic.Spec `json:"traffic,omitempty"`
+	// Faults declares the fault-injection schedule. Nil — or a schedule
+	// with every rate zero, which Normalize nils out — runs fault-free,
+	// byte-identical to a spec without the field.
+	Faults *fault.Schedule `json:"faults,omitempty"`
 }
 
 // Normalize fills defaults (matching skyranctl's flag defaults, except
@@ -110,6 +115,17 @@ func (s *Spec) Normalize() error {
 			return err
 		}
 	}
+	if s.Faults != nil {
+		if err := s.Faults.Normalize(); err != nil {
+			return err
+		}
+		// An all-zero schedule is the same as no schedule; drop it so
+		// the spec fingerprint, the wire form and the run are all
+		// byte-identical to the fault-free ones.
+		if !s.Faults.Active() {
+			s.Faults = nil
+		}
+	}
 	return nil
 }
 
@@ -159,6 +175,11 @@ type EpochReport struct {
 	// Traffic is the serving-phase KPI report when the scenario ran a
 	// traffic workload (Spec.Traffic non-nil).
 	Traffic *traffic.Report `json:"traffic,omitempty"`
+
+	// Faults is this epoch's injected-fault and degradation counter
+	// deltas; present only when a fault schedule is active and at
+	// least one counter moved.
+	Faults *fault.Counts `json:"faults,omitempty"`
 
 	BatteryFrac float64 `json:"battery_frac"`
 	OdometerM   float64 `json:"odometer_m"`
@@ -271,7 +292,7 @@ func build(spec Spec, opts Options) (*runEnv, error) {
 		}
 		ues = ue.PlaceRandomOpen(spec.UEs, area, t.IsOpen, minSep, rng.Rand)
 	}
-	w, err := sim.New(sim.Config{Terrain: t, Seed: uint64(spec.Seed), FastRanging: true}, ues)
+	w, err := sim.New(sim.Config{Terrain: t, Seed: uint64(spec.Seed), FastRanging: true, Faults: spec.Faults}, ues)
 	if err != nil {
 		return nil, err
 	}
@@ -321,6 +342,10 @@ func Run(ctx context.Context, spec Spec, opts Options) (*Result, *rem.Store, err
 // (or restored) environment.
 func runFrom(ctx context.Context, env *runEnv, startEpoch int, opts Options) (*Result, *rem.Store, error) {
 	spec, w, ctrl, rng, res := env.spec, env.w, env.ctrl, env.rng, env.res
+	// Per-epoch fault deltas diff against the counters at loop entry;
+	// on a resume the restored injector carries the pre-checkpoint
+	// totals, so the first resumed epoch's delta starts from them.
+	prevFaults := w.FaultCounts()
 	for e := startEpoch; e < spec.Epochs; e++ {
 		if err := ctx.Err(); err != nil {
 			return res, storeOf(ctrl), fmt.Errorf("scenario: epoch %d: %w", e+1, err)
@@ -383,6 +408,22 @@ func runFrom(ctx context.Context, env *runEnv, startEpoch int, opts Options) (*R
 		}
 		rep.BatteryFrac = w.UAV.EnergyFraction()
 		rep.OdometerM = w.UAV.OdometerM()
+		if spec.Faults != nil {
+			now := w.FaultCounts()
+			if delta := now.Sub(prevFaults); !delta.IsZero() {
+				d := delta
+				rep.Faults = &d
+				if w.Tracer != nil {
+					for _, nc := range delta.NonZero() {
+						w.Tracer.Emit(trace.Record{
+							Kind: trace.KindFault, T: w.Clock, Epoch: e + 1,
+							Fault: nc.Name, Value: float64(nc.N),
+						})
+					}
+				}
+			}
+			prevFaults = now
+		}
 		res.Epochs = append(res.Epochs, rep)
 		if opts.OnEpoch != nil {
 			opts.OnEpoch(rep)

@@ -1,0 +1,131 @@
+package server
+
+import (
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// ChaosConfig switches on daemon-level fault injection: artificially
+// slow HTTP handlers and simulated worker crashes mid-job. It exists
+// to prove the recovery ladder under load — a crashed job re-enters
+// the resume path and must still produce byte-identical results. All
+// decisions draw from one seeded RNG, so a chaos run is reproducible
+// for a fixed request/job order.
+type ChaosConfig struct {
+	// Seed feeds the chaos RNG (0 picks a fixed default).
+	Seed int64
+	// SlowHandlerRate is the probability that an HTTP request is
+	// delayed by up to SlowHandlerMax before being served.
+	SlowHandlerRate float64
+	// SlowHandlerMax bounds the injected handler delay (default 50ms
+	// when SlowHandlerRate > 0).
+	SlowHandlerMax time.Duration
+	// WorkerCrashRate is the probability that a worker "crashes" while
+	// running a job: the run is aborted after CrashAfter and the job is
+	// re-run through the checkpoint-recovery ladder, exactly as a
+	// restarted daemon would.
+	WorkerCrashRate float64
+	// CrashAfter is how long a doomed run executes before the
+	// simulated crash (default 100ms when WorkerCrashRate > 0).
+	CrashAfter time.Duration
+	// MaxCrashes caps the total simulated crashes per daemon (default
+	// 2 when WorkerCrashRate > 0) so chaos cannot starve the queue.
+	MaxCrashes int
+}
+
+// normalize validates rates and fills defaults.
+func (c *ChaosConfig) normalize() error {
+	if c.SlowHandlerRate < 0 || c.SlowHandlerRate > 1 {
+		return fmt.Errorf("server: chaos slow-handler rate %g outside [0, 1]", c.SlowHandlerRate)
+	}
+	if c.WorkerCrashRate < 0 || c.WorkerCrashRate > 1 {
+		return fmt.Errorf("server: chaos worker-crash rate %g outside [0, 1]", c.WorkerCrashRate)
+	}
+	if c.SlowHandlerRate > 0 && c.SlowHandlerMax <= 0 {
+		c.SlowHandlerMax = 50 * time.Millisecond
+	}
+	if c.WorkerCrashRate > 0 {
+		if c.CrashAfter <= 0 {
+			c.CrashAfter = 100 * time.Millisecond
+		}
+		if c.MaxCrashes <= 0 {
+			c.MaxCrashes = 2
+		}
+	}
+	return nil
+}
+
+// active reports whether any chaos knob is on.
+func (c *ChaosConfig) active() bool {
+	return c != nil && (c.SlowHandlerRate > 0 || c.WorkerCrashRate > 0)
+}
+
+// chaosState is the runtime side of ChaosConfig: one locked RNG plus
+// the crash budget.
+type chaosState struct {
+	cfg ChaosConfig
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	crashes int
+}
+
+func newChaosState(cfg ChaosConfig) *chaosState {
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 0x5eed
+	}
+	return &chaosState{cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+}
+
+// slowDelay draws the injected delay for one HTTP request (0 = serve
+// normally).
+func (c *chaosState) slowDelay() time.Duration {
+	if c == nil || c.cfg.SlowHandlerRate <= 0 {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.rng.Float64() >= c.cfg.SlowHandlerRate {
+		return 0
+	}
+	return time.Duration(c.rng.Float64() * float64(c.cfg.SlowHandlerMax))
+}
+
+// planCrash decides whether the next job run should be crashed, and
+// after how long. Each positive decision spends one unit of the crash
+// budget.
+func (c *chaosState) planCrash() (time.Duration, bool) {
+	if c == nil || c.cfg.WorkerCrashRate <= 0 {
+		return 0, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.crashes >= c.cfg.MaxCrashes {
+		return 0, false
+	}
+	if c.rng.Float64() >= c.cfg.WorkerCrashRate {
+		return 0, false
+	}
+	c.crashes++
+	return c.cfg.CrashAfter, true
+}
+
+// slowMiddleware wraps h with the injected-latency layer.
+func (s *Server) slowMiddleware(h http.Handler, slowed *metrics.Counter) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if d := s.chaos.slowDelay(); d > 0 {
+			slowed.Inc()
+			select {
+			case <-time.After(d):
+			case <-r.Context().Done():
+			}
+		}
+		h.ServeHTTP(w, r)
+	})
+}

@@ -66,8 +66,15 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if s.chaos != nil && s.chaos.cfg.SlowHandlerRate > 0 {
+		return s.slowMiddleware(mux, s.mSlowHandlers)
+	}
 	return mux
 }
+
+// maxSubmitBytes caps a job-submission body; a scenario spec is a few
+// hundred bytes, so anything past this is junk or abuse.
+const maxSubmitBytes = 1 << 20
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -90,14 +97,21 @@ func (s *Server) jobOr404(w http.ResponseWriter, r *http.Request) (*Job, bool) {
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxSubmitBytes)
 	var spec scenario.Spec
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&spec); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("spec body exceeds %d bytes", tooBig.Limit))
+			return
+		}
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("decoding spec: %v", err))
 		return
 	}
-	job, err := s.Submit(spec)
+	job, replayed, err := s.SubmitIdem(spec, r.Header.Get("Idempotency-Key"))
 	switch {
 	case errors.Is(err, ErrQueueFull):
 		w.Header().Set("Retry-After", "1")
@@ -111,6 +125,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Location", "/v1/jobs/"+job.ID())
+	if replayed {
+		// The key was already used: answer with the existing job and
+		// never enqueue a duplicate (a retried submission after a lost
+		// response or daemon restart lands here).
+		w.Header().Set("Idempotency-Replayed", "true")
+		writeJSON(w, http.StatusOK, job.envelope(false))
+		return
+	}
 	writeJSON(w, http.StatusAccepted, job.envelope(false))
 }
 

@@ -29,6 +29,7 @@ type journalEntry struct {
 	Spec      scenario.Spec `json:"spec"`
 	State     JobState      `json:"state"`
 	Recovered bool          `json:"recovered,omitempty"`
+	IdemKey   string        `json:"idem_key,omitempty"`
 }
 
 // journalPath returns the journal file for a job ID.
@@ -49,7 +50,7 @@ func (s *Server) writeJournal(j *Job) {
 		return
 	}
 	j.mu.Lock()
-	ent := journalEntry{ID: j.id, Spec: j.spec, State: j.state, Recovered: j.recovered}
+	ent := journalEntry{ID: j.id, Spec: j.spec, State: j.state, Recovered: j.recovered, IdemKey: j.idemKey}
 	j.mu.Unlock()
 	b, err := json.MarshalIndent(ent, "", "  ")
 	if err != nil {
@@ -100,27 +101,30 @@ func probeCheckpointDirs(root, journal string) error {
 }
 
 // loadJournal reads every journal entry, sorted by numeric job ID.
-// Unreadable or malformed entries are skipped: recovery degrades to
-// whatever survived the crash.
-func loadJournal(dir string) []journalEntry {
+// Unreadable or malformed entries are skipped — recovery degrades to
+// whatever survived the crash — and counted, so the daemon can
+// surface the damage as skyran_journal_corrupt_total instead of
+// silently forgetting jobs.
+func loadJournal(dir string) (entries []journalEntry, corrupt int) {
 	names, err := filepath.Glob(filepath.Join(dir, "j*.json"))
 	if err != nil {
-		return nil
+		return nil, 0
 	}
-	var entries []journalEntry
 	for _, name := range names {
 		b, err := os.ReadFile(name)
 		if err != nil {
+			corrupt++
 			continue
 		}
 		var ent journalEntry
 		if err := json.Unmarshal(b, &ent); err != nil || jobNum(ent.ID) < 0 {
+			corrupt++
 			continue
 		}
 		entries = append(entries, ent)
 	}
 	sort.Slice(entries, func(i, j int) bool { return jobNum(entries[i].ID) < jobNum(entries[j].ID) })
-	return entries
+	return entries, corrupt
 }
 
 // jobNum parses the numeric part of a "j<N>" job ID, or -1.
@@ -148,6 +152,7 @@ func (s *Server) recoverJobs(entries []journalEntry) []*Job {
 		job := &Job{
 			id:        ent.ID,
 			spec:      ent.Spec,
+			idemKey:   ent.IdemKey,
 			state:     JobQueued,
 			recovered: true,
 			events:    newEventLog(),
@@ -155,6 +160,9 @@ func (s *Server) recoverJobs(entries []journalEntry) []*Job {
 		}
 		s.jobs[job.id] = job
 		s.order = append(s.order, job.id)
+		if ent.IdemKey != "" {
+			s.idemKeys[ent.IdemKey] = job.id
+		}
 		recovered = append(recovered, job)
 	}
 	return recovered

@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/checkpoint"
 	"repro/internal/engine"
+	"repro/internal/fault"
 	"repro/internal/metrics"
 	"repro/internal/radio"
 	"repro/internal/rem"
@@ -56,6 +57,10 @@ type Config struct {
 	// CheckpointRetain bounds the checkpoint files kept per job
 	// (0 keeps all).
 	CheckpointRetain int
+
+	// Chaos enables daemon-level fault injection (slow handlers,
+	// simulated worker crashes). Nil disables it.
+	Chaos *ChaosConfig
 }
 
 // JobState is a job's lifecycle state. Transitions are linear:
@@ -76,7 +81,8 @@ const (
 type Job struct {
 	id        string
 	spec      scenario.Spec
-	recovered bool // re-enqueued from the journal after a restart
+	recovered bool   // re-enqueued from the journal after a restart
+	idemKey   string // client idempotency key, empty when none given
 
 	events *eventLog
 	done   chan struct{} // closed when the job reaches a terminal state
@@ -122,11 +128,14 @@ type Server struct {
 	runCtx    context.Context // parent of every job context
 	runCancel context.CancelFunc
 
-	mu       sync.RWMutex // guards jobs/order/draining and queue sends
+	mu       sync.RWMutex // guards jobs/order/idemKeys/draining and queue sends
 	jobs     map[string]*Job
 	order    []string
+	idemKeys map[string]string // idempotency key -> job ID
 	nextID   int
 	draining bool
+
+	chaos *chaosState // nil unless Config.Chaos is active
 
 	queue chan *Job
 	wg    sync.WaitGroup
@@ -154,6 +163,12 @@ type Server struct {
 	mCkptBytes  *metrics.Counter
 	hCkptWrite  *metrics.Histogram
 	mRecovered  *metrics.Counter
+
+	// Fault-injection / chaos subsystem metrics.
+	mJournalCorrupt *metrics.Counter
+	mWorkerCrashes  *metrics.Counter
+	mSlowHandlers   *metrics.Counter
+	mIdemReplays    *metrics.Counter
 }
 
 // New builds a server; call Start to launch the workers. With
@@ -172,15 +187,21 @@ func New(cfg Config) (*Server, error) {
 	if reg == nil {
 		reg = metrics.NewRegistry()
 	}
+	if cfg.Chaos != nil {
+		if err := cfg.Chaos.normalize(); err != nil {
+			return nil, err
+		}
+	}
 
 	var journalDir string
 	var journaled []journalEntry
+	var corruptEntries int
 	if cfg.CheckpointDir != "" {
 		journalDir = filepath.Join(cfg.CheckpointDir, "journal")
 		if err := probeCheckpointDirs(cfg.CheckpointDir, journalDir); err != nil {
 			return nil, err
 		}
-		journaled = loadJournal(journalDir)
+		journaled, corruptEntries = loadJournal(journalDir)
 	}
 
 	ctx, cancel := context.WithCancel(context.Background())
@@ -191,6 +212,7 @@ func New(cfg Config) (*Server, error) {
 		runCtx:     ctx,
 		runCancel:  cancel,
 		jobs:       make(map[string]*Job),
+		idemKeys:   make(map[string]string),
 		queue:      make(chan *Job, cfg.QueueCap+len(journaled)),
 
 		mAccepted:  reg.Counter("skyrand_jobs_accepted_total", "Jobs admitted to the queue."),
@@ -213,7 +235,16 @@ func New(cfg Config) (*Server, error) {
 		mCkptBytes:  reg.Counter("skyran_checkpoint_bytes_total", "Total bytes written to checkpoint files."),
 		hCkptWrite:  reg.Histogram("skyran_checkpoint_write_seconds", "Wall-clock latency per checkpoint write.", nil),
 		mRecovered:  reg.Counter("skyran_checkpoint_recoveries_total", "Interrupted jobs re-enqueued from the journal after a restart."),
+
+		mJournalCorrupt: reg.Counter("skyran_journal_corrupt_total", "Journal records skipped during recovery because they were unreadable or malformed."),
+		mWorkerCrashes:  reg.Counter("skyrand_worker_crashes_total", "Simulated worker crashes injected by the chaos layer."),
+		mSlowHandlers:   reg.Counter("skyrand_chaos_slow_handlers_total", "HTTP requests delayed by the chaos layer."),
+		mIdemReplays:    reg.Counter("skyrand_idempotent_replays_total", "Job submissions answered from an existing job via Idempotency-Key."),
 	}
+	if cfg.Chaos.active() {
+		s.chaos = newChaosState(*cfg.Chaos)
+	}
+	s.mJournalCorrupt.Add(float64(corruptEntries))
 	for _, job := range s.recoverJobs(journaled) {
 		s.queue <- job
 		s.writeJournal(job)
@@ -242,18 +273,38 @@ var ErrQueueFull = errors.New("server: job queue full")
 // queue rejects rather than blocks, so clients always get a prompt
 // accept-or-retry answer.
 func (s *Server) Submit(spec scenario.Spec) (*Job, error) {
+	job, _, err := s.SubmitIdem(spec, "")
+	return job, err
+}
+
+// SubmitIdem is Submit with an optional idempotency key. A non-empty
+// key that was already used returns the existing job (replayed=true)
+// instead of enqueueing a duplicate — so a client retrying a
+// submission across a network failure or daemon restart never
+// double-runs a job. Keys survive restarts for every job the journal
+// recovers.
+func (s *Server) SubmitIdem(spec scenario.Spec, key string) (job *Job, replayed bool, err error) {
 	if err := spec.Normalize(); err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	s.mu.Lock()
+	if key != "" {
+		if id, ok := s.idemKeys[key]; ok {
+			j := s.jobs[id]
+			s.mu.Unlock()
+			s.mIdemReplays.Inc()
+			return j, true, nil
+		}
+	}
 	if s.draining {
 		s.mu.Unlock()
 		s.mRejected.Inc()
-		return nil, ErrDraining
+		return nil, false, ErrDraining
 	}
-	job := &Job{
+	job = &Job{
 		id:        fmt.Sprintf("j%d", s.nextID+1),
 		spec:      spec,
+		idemKey:   key,
 		state:     JobQueued,
 		events:    newEventLog(),
 		done:      make(chan struct{}),
@@ -264,15 +315,18 @@ func (s *Server) Submit(spec scenario.Spec) (*Job, error) {
 	default:
 		s.mu.Unlock()
 		s.mRejected.Inc()
-		return nil, ErrQueueFull
+		return nil, false, ErrQueueFull
 	}
 	s.nextID++
 	s.jobs[job.id] = job
 	s.order = append(s.order, job.id)
+	if key != "" {
+		s.idemKeys[key] = job.id
+	}
 	s.mu.Unlock()
 	s.mAccepted.Inc()
 	s.writeJournal(job)
-	return job, nil
+	return job, false, nil
 }
 
 // Get returns the job with the given ID.
@@ -401,6 +455,7 @@ func (s *Server) runJob(job *Job) {
 			s.hEpoch.Observe(time.Since(epochStart).Seconds())
 			epochStart = time.Now()
 			s.observeTraffic(rep.Traffic)
+			s.observeFaults(rep.Faults)
 		},
 	}
 	if s.cfg.CheckpointDir != "" {
@@ -415,7 +470,27 @@ func (s *Server) runJob(job *Job) {
 			s.hCkptWrite.Observe(ev.Seconds)
 		}
 	}
-	res, store, err := s.runScenario(ctx, job, recovered, opts)
+	var res *scenario.Result
+	var store *rem.Store
+	var err error
+	if crashAfter, doomed := s.chaos.planCrash(); doomed {
+		// Simulated worker crash: abort the run mid-flight, then take
+		// the same recovery path a restarted daemon would — resume from
+		// the newest intact checkpoint (or rerun from scratch).
+		// Determinism makes the two-phase execution byte-identical to an
+		// uninterrupted run.
+		crashCtx, crashCancel := context.WithCancel(ctx)
+		timer := time.AfterFunc(crashAfter, crashCancel)
+		res, store, err = s.runScenario(crashCtx, job, recovered, opts)
+		timer.Stop()
+		crashCancel()
+		if err != nil && crashCtx.Err() != nil && ctx.Err() == nil {
+			s.mWorkerCrashes.Inc()
+			res, store, err = s.runScenario(ctx, job, true, opts)
+		}
+	} else {
+		res, store, err = s.runScenario(ctx, job, recovered, opts)
+	}
 	unsub()
 
 	var resultJSON, remSnap []byte
@@ -478,6 +553,18 @@ func (s *Server) runScenario(ctx context.Context, job *Job, recovered bool, opts
 		}
 	}
 	return scenario.Run(ctx, job.spec, opts)
+}
+
+// observeFaults folds one epoch's fault/degradation counter deltas
+// into per-kind daemon counters (skyran_fault_<kind>_total).
+func (s *Server) observeFaults(c *fault.Counts) {
+	if c == nil {
+		return
+	}
+	for _, nc := range c.NonZero() {
+		s.reg.Counter("skyran_fault_"+nc.Name+"_total",
+			"Injected faults or degradation events of this kind, summed over epochs.").Add(float64(nc.N))
+	}
 }
 
 // observeTraffic folds one serving phase's KPI report into the

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/detrand"
 	"repro/internal/enb"
+	"repro/internal/fault"
 	"repro/internal/uav"
 	"repro/internal/ue"
 )
@@ -26,6 +27,12 @@ type WorldState struct {
 	UAV uav.State
 	UEs []ue.State
 	ENB enb.State
+
+	// Faults carries the fault injector's stream cursors and counters;
+	// nil for worlds without an active schedule (gob omits the nil
+	// pointer, keeping fault-free checkpoints on the existing wire
+	// form).
+	Faults *fault.State
 }
 
 // Snapshot captures the world state.
@@ -40,6 +47,10 @@ func (w *World) Snapshot() WorldState {
 	}
 	for _, u := range w.UEs {
 		st.UEs = append(st.UEs, u.Snapshot())
+	}
+	if w.Faults != nil {
+		fs := w.Faults.Snapshot()
+		st.Faults = &fs
 	}
 	return st
 }
@@ -67,6 +78,14 @@ func (w *World) Restore(st WorldState) error {
 	}
 	if err := w.ENB.Restore(st.ENB); err != nil {
 		return err
+	}
+	if st.Faults != nil {
+		if w.Faults == nil {
+			return fmt.Errorf("sim: snapshot carries fault state but the world has no fault schedule")
+		}
+		if err := w.Faults.Restore(*st.Faults); err != nil {
+			return fmt.Errorf("sim: %w", err)
+		}
 	}
 	w.Clock = st.Clock
 	w.servePhase = st.ServePhase

@@ -15,6 +15,7 @@ import (
 	"repro/internal/detrand"
 	"repro/internal/enb"
 	"repro/internal/epc"
+	"repro/internal/fault"
 	"repro/internal/geom"
 	"repro/internal/ltephy"
 	"repro/internal/radio"
@@ -56,6 +57,11 @@ type Config struct {
 	UplinkBonusDB float64
 	// Scheduler selects the serving-phase MAC policy.
 	Scheduler enb.SchedulerPolicy
+	// Faults, when non-nil and active, injects the scheduled fault
+	// kinds from streams derived from Seed. A nil or all-zero schedule
+	// leaves every simulation stream untouched — the run is
+	// byte-identical to one with no schedule at all.
+	Faults *fault.Schedule
 }
 
 func (c *Config) defaults() {
@@ -90,6 +96,10 @@ type World struct {
 	// Tracer, when non-nil, receives decimated flight telemetry
 	// (every 10th GPS window) and serving statistics.
 	Tracer *trace.Recorder
+
+	// Faults is the world's fault injector; nil when the scenario has
+	// no active fault schedule.
+	Faults *fault.Injector
 
 	Clock float64 // simulated seconds
 
@@ -127,7 +137,9 @@ func New(cfg Config, ues []*ue.UE) (*World, error) {
 		Core:    core,
 		rng:     detrand.New(int64(cfg.Seed) + 202),
 		mrng:    detrand.New(int64(cfg.Seed) + 303),
+		Faults:  fault.New(cfg.Faults, int64(cfg.Seed)),
 	}
+	w.UAV.SetPowerScale(w.Faults.PowerScale())
 	for _, u := range ues {
 		imsi := imsiFor(u.ID)
 		var key [16]byte
@@ -227,6 +239,11 @@ func (w *World) GroundTruthREMs(alt, evalCell float64) []*geom.Grid {
 // gpsTick is the 50 Hz simulation step.
 const gpsTick = 0.02
 
+// churnedSNRdB is the channel report a churned-out UE produces: far
+// below any decodable CQI, so the scheduler deallocates it until the
+// outage ends.
+const churnedSNRdB = -30
+
 // MeasSample is one 50 Hz measurement-flight record: the GPS position
 // the sample is attributed to and the measured SNR to every UE
 // (average of the two 100 Hz PHY reports in the window).
@@ -255,6 +272,7 @@ func (w *World) FlyMeasureWithRanging(path geom.Polyline, alt, budgetM float64) 
 
 func (w *World) flyMeasure(path geom.Polyline, alt, budgetM float64, withRanging bool) ([]MeasSample, [][]ranging.Tuple, float64) {
 	w.UAV.SetRoute2D(path, alt)
+	abortM := w.legAbortM(path, budgetM)
 	var samples []MeasSample
 	var flown float64
 	collectors := make([]ranging.Collector, len(w.UEs))
@@ -263,7 +281,7 @@ func (w *World) flyMeasure(path geom.Polyline, alt, budgetM float64, withRanging
 		before := w.UAV.OdometerM()
 		w.Step(gpsTick)
 		flown += w.UAV.OdometerM() - before
-		gps := w.UAV.GPS()
+		gps := w.gpsFix()
 		snrs := make([]float64, len(w.UEs))
 		for i := range w.UEs {
 			// Two 100 Hz reports per 50 Hz window, averaged.
@@ -289,6 +307,10 @@ func (w *World) flyMeasure(path geom.Polyline, alt, budgetM float64, withRanging
 			w.UAV.SetRoute(nil)
 			break
 		}
+		if abortM > 0 && flown >= abortM {
+			w.UAV.SetRoute(nil)
+			break
+		}
 	}
 	var tuples [][]ranging.Tuple
 	if withRanging {
@@ -306,13 +328,14 @@ func (w *World) flyMeasure(path geom.Polyline, alt, budgetM float64, withRanging
 // runs the real PHY chain unless FastRanging is configured.
 func (w *World) LocalizationFlight(path geom.Polyline, alt float64) ([][]ranging.Tuple, float64) {
 	w.UAV.SetRoute2D(path, alt)
+	abortM := w.legAbortM(path, 0)
 	collectors := make([]ranging.Collector, len(w.UEs))
 	var flown float64
 	for !w.UAV.Hovering() {
 		before := w.UAV.OdometerM()
 		w.Step(gpsTick)
 		flown += w.UAV.OdometerM() - before
-		gps := w.UAV.GPS()
+		gps := w.gpsFix()
 		for i := range w.UEs {
 			collectors[i].AddGPS(gps)
 			// Two SRS exchanges per GPS window (100 Hz vs 50 Hz).
@@ -321,6 +344,10 @@ func (w *World) LocalizationFlight(path geom.Polyline, alt float64) ([][]ranging
 					collectors[i].AddRange(r)
 				}
 			}
+		}
+		if abortM > 0 && flown >= abortM {
+			w.UAV.SetRoute(nil)
+			break
 		}
 	}
 	out := make([][]ranging.Tuple, len(w.UEs))
@@ -340,9 +367,12 @@ func (w *World) rangeOnce(i int) (float64, bool) {
 	if snr < -8 {
 		return 0, false // below decodable SRS SNR
 	}
+	if w.Faults != nil && w.Faults.DropSRS() {
+		return 0, false // injected ranging dropout
+	}
 	los := w.Radio.LOS(w.UAV.Position(), uePoint)
 	if w.Cfg.FastRanging {
-		return w.fastRange(trueDist, los), true
+		return w.perturbRange(w.fastRange(trueDist, los)), true
 	}
 	ch := ltephy.Channel{
 		DistanceM:   trueDist,
@@ -354,7 +384,44 @@ func (w *World) rangeOnce(i int) (float64, bool) {
 	if err != nil {
 		return 0, false
 	}
-	return d, true
+	return w.perturbRange(d), true
+}
+
+// perturbRange applies the injected heavy-tailed outlier model to a
+// ranging measurement (identity without an active injector).
+func (w *World) perturbRange(d float64) float64 {
+	if w.Faults == nil {
+		return d
+	}
+	return w.Faults.PerturbRange(d)
+}
+
+// gpsFix returns one GPS reading with any injected drift bias applied
+// on top of the platform's white per-fix noise.
+func (w *World) gpsFix() geom.Vec3 {
+	gps := w.UAV.GPS()
+	if w.Faults != nil {
+		gps = w.Faults.PerturbGPS(gps, gpsTick)
+	}
+	return gps
+}
+
+// legAbortM draws whether this flight leg aborts early, returning the
+// distance at which it ends (0 = flies to completion). The planned
+// length is the path length capped by the budget.
+func (w *World) legAbortM(path geom.Polyline, budgetM float64) float64 {
+	if w.Faults == nil {
+		return 0
+	}
+	frac, abort := w.Faults.AbortLeg()
+	if !abort {
+		return 0
+	}
+	planned := path.Length()
+	if budgetM > 0 && budgetM < planned {
+		planned = budgetM
+	}
+	return planned * frac
 }
 
 // fastRange mimics the SRS estimator's error statistics without the
@@ -379,6 +446,18 @@ func (w *World) fastRange(trueDist float64, los bool) float64 {
 // the interval. ttiStride > 1 trades accuracy for speed by running one
 // TTI per stride milliseconds and scaling the credit.
 func (w *World) ServeSeconds(seconds float64, ttiStride int) []float64 {
+	var plan *fault.ServePlan
+	if w.Faults != nil {
+		plan = w.Faults.NewServePlan(w.Cfg.Seed, w.servePhase, len(w.UEs), seconds)
+		w.servePhase++
+	}
+	return w.serveSeconds(seconds, ttiStride, plan)
+}
+
+// serveSeconds is the ServeSeconds body with an optional serving-phase
+// fault plan: UEs inside a churn outage report an undecodable channel
+// (CQI 0), so the scheduler starves them until they rejoin.
+func (w *World) serveSeconds(seconds float64, ttiStride int, plan *fault.ServePlan) []float64 {
 	if ttiStride < 1 {
 		ttiStride = 1
 	}
@@ -386,15 +465,20 @@ func (w *World) ServeSeconds(seconds float64, ttiStride int) []float64 {
 	for i := range w.UEs {
 		startBits[i] = w.ENB.ServedBits(w.IMSIOf(i))
 	}
+	tti := float64(ttiStride) / 1000
 	steps := int(seconds * 1000 / float64(ttiStride))
 	for s := 0; s < steps; s++ {
 		if s%(10/min(10, ttiStride)) == 0 {
 			for i := range w.UEs {
-				w.ENB.ReportSNR(w.IMSIOf(i), w.MeasuredSNR(i))
+				snr := w.MeasuredSNR(i)
+				if plan.ChurnedOut(i, float64(s)*tti) {
+					snr = churnedSNRdB
+				}
+				w.ENB.ReportSNR(w.IMSIOf(i), snr)
 			}
 		}
 		w.ENB.RunTTI()
-		w.Clock += float64(ttiStride) / 1000
+		w.Clock += tti
 	}
 	out := make([]float64, len(w.UEs))
 	for i := range w.UEs {
@@ -443,8 +527,13 @@ func (w *World) ServeTraffic(seconds float64, ttiStride int, spec traffic.Spec) 
 		return rep, nil
 	}
 
-	phaseSeed := w.Cfg.Seed + 0x9e3779b97f4a7c15*w.servePhase
+	phase := w.servePhase
 	w.servePhase++
+	phaseSeed := w.Cfg.Seed + 0x9e3779b97f4a7c15*phase
+	var plan *fault.ServePlan
+	if w.Faults != nil {
+		plan = w.Faults.NewServePlan(w.Cfg.Seed, phase, len(w.UEs), seconds)
+	}
 	sources := make([]traffic.Source, len(w.UEs))
 	for i, u := range w.UEs {
 		sources[i] = traffic.NewSource(spec, u.ID, phaseSeed, seconds)
@@ -462,6 +551,17 @@ func (w *World) ServeTraffic(seconds float64, ttiStride int, spec traffic.Spec) 
 		index[w.IMSIOf(i)] = i
 	}
 
+	// Under fault injection the report carries each UE's starved-TTI
+	// delta (scheduler TTIs spent undecodable with data queued) — the
+	// eNodeB-side view of churn and loss windows.
+	var startStarved []uint64
+	if w.Faults != nil {
+		startStarved = make([]uint64, len(w.UEs))
+		for i := range w.UEs {
+			startStarved[i] = w.ENB.StarvedTTIs(w.IMSIOf(i))
+		}
+	}
+
 	var scratch [65536]byte // zero payload template; only sizes matter
 	start := w.Clock
 	tti := float64(ttiStride) / 1000
@@ -470,7 +570,11 @@ func (w *World) ServeTraffic(seconds float64, ttiStride int, spec traffic.Spec) 
 		now := start + float64(s)*tti
 		if s%(10/min(10, ttiStride)) == 0 {
 			for i := range w.UEs {
-				w.ENB.ReportSNR(w.IMSIOf(i), w.MeasuredSNR(i))
+				snr := w.MeasuredSNR(i)
+				if plan.ChurnedOut(i, float64(s)*tti) {
+					snr = churnedSNRdB
+				}
+				w.ENB.ReportSNR(w.IMSIOf(i), snr)
 			}
 		}
 		// Enqueue everything arriving during this TTI before its grants.
@@ -480,14 +584,36 @@ func (w *World) ServeTraffic(seconds float64, ttiStride int, spec traffic.Spec) 
 				break
 			}
 			col.Offered(a.UE, a.Bytes)
-			pdu := bearers[a.UE].Tunnel().Encap(scratch[:a.Bytes])
-			switch err := bearers[a.UE].DeliverGTPUAt(pdu, start+a.T); err {
-			case nil, enb.ErrQueueOverflow:
-				if err != nil {
-					col.Dropped(a.UE, a.Bytes)
+			// Serving-phase faults act on the GTP-U leg: a packet for a
+			// churned-out UE or one landing in a loss window never
+			// reaches the bearer; a duplicated packet reaches it twice.
+			if plan.ChurnedOut(a.UE, a.T) {
+				col.FaultDropped(a.UE, a.Bytes)
+				plan.NoteChurnDrop()
+				continue
+			}
+			if plan.DropGTPU(a.UE, a.T) {
+				col.FaultDropped(a.UE, a.Bytes)
+				continue
+			}
+			copies := 1
+			if plan.DupGTPU(a.UE) {
+				copies = 2
+				col.Duplicated(a.UE, a.Bytes)
+			}
+			for c := 0; c < copies; c++ {
+				if c == 1 {
+					col.Offered(a.UE, a.Bytes)
 				}
-			default:
-				return nil, fmt.Errorf("sim: delivering to UE %d: %w", w.UEs[a.UE].ID, err)
+				pdu := bearers[a.UE].Tunnel().Encap(scratch[:a.Bytes])
+				switch err := bearers[a.UE].DeliverGTPUAt(pdu, start+a.T); err {
+				case nil, enb.ErrQueueOverflow:
+					if err != nil {
+						col.Dropped(a.UE, a.Bytes)
+					}
+				default:
+					return nil, fmt.Errorf("sim: delivering to UE %d: %w", w.UEs[a.UE].ID, err)
+				}
 			}
 		}
 		done := now + tti
@@ -506,10 +632,19 @@ func (w *World) ServeTraffic(seconds float64, ttiStride int, spec traffic.Spec) 
 		backlog[i] = b.QueuedPackets()
 		peak[i] = b.PeakQueue()
 	}
+	if startStarved != nil {
+		for i := range w.UEs {
+			col.Starved(i, w.ENB.StarvedTTIs(w.IMSIOf(i))-startStarved[i])
+		}
+	}
 	rep := col.Report(seconds, backlog, peak)
 	w.emitTraffic(rep, true)
 	return rep, nil
 }
+
+// FaultCounts returns the cumulative injected-fault and degradation
+// counters (zero without an active injector).
+func (w *World) FaultCounts() fault.Counts { return w.Faults.Counts() }
 
 // emitTraffic publishes per-UE traffic KPIs to the tracer. withServe
 // additionally emits the legacy KindServe records (delivered bits) for

@@ -29,6 +29,7 @@ const (
 	KindEpoch     Kind = "epoch"
 	KindServe     Kind = "serve"
 	KindTraffic   Kind = "traffic"
+	KindFault     Kind = "fault"
 )
 
 // Record is one telemetry event. Fields are used according to Kind;
@@ -55,6 +56,11 @@ type Record struct {
 	// delivered throughput in bit/s).
 	DelayS   float64 `json:"delay_s,omitempty"`
 	LossFrac float64 `json:"loss_frac,omitempty"`
+
+	// KindFault: one injected-fault or degradation counter that moved
+	// this epoch (Fault names the counter, Value carries the delta;
+	// Epoch ties it to the epoch that saw it).
+	Fault string `json:"fault,omitempty"`
 
 	// KindEpoch
 	Epoch         int     `json:"epoch,omitempty"`

@@ -47,6 +47,18 @@ type UEKPI struct {
 	MaxDelayS  float64 `json:"max_delay_s"`
 	// LossFrac is dropped / offered packets.
 	LossFrac float64 `json:"loss_frac"`
+
+	// Fault-injection splits (zero, and absent from the wire form,
+	// without an active fault schedule). FaultDropped packets are also
+	// counted in Dropped — LossFrac stays the total loss the UE saw —
+	// and Duplicated packets are also counted in Offered. StarvedTTIs
+	// counts scheduler TTIs the UE spent undecodable with data queued
+	// (the eNodeB-side view of a churn/loss window).
+	FaultDroppedPackets uint64 `json:"fault_dropped_packets,omitempty"`
+	FaultDroppedBytes   uint64 `json:"fault_dropped_bytes,omitempty"`
+	DuplicatedPackets   uint64 `json:"duplicated_packets,omitempty"`
+	DuplicatedBytes     uint64 `json:"duplicated_bytes,omitempty"`
+	StarvedTTIs         uint64 `json:"starved_ttis,omitempty"`
 }
 
 // Summary aggregates a serving phase across UEs.
@@ -67,6 +79,11 @@ type Summary struct {
 	MeanDelayS float64 `json:"mean_delay_s"`
 	P95DelayS  float64 `json:"p95_delay_s"`
 	LossFrac   float64 `json:"loss_frac"`
+
+	// Fault-injection aggregates (absent without an active schedule).
+	FaultDroppedBytes uint64 `json:"fault_dropped_bytes,omitempty"`
+	DuplicatedBytes   uint64 `json:"duplicated_bytes,omitempty"`
+	StarvedTTIs       uint64 `json:"starved_ttis,omitempty"`
 }
 
 // Report is a finished serving phase: per-UE rows plus the aggregate.
@@ -80,6 +97,9 @@ type ueAcc struct {
 	offeredPkts, offeredBytes     uint64
 	deliveredPkts, deliveredBytes uint64
 	droppedPkts, droppedBytes     uint64
+	faultPkts, faultBytes         uint64
+	dupPkts, dupBytes             uint64
+	starvedTTIs                   uint64
 	delaySum, delayMax            float64
 	delayHist                     []uint32
 	delayInf                      uint32
@@ -118,6 +138,30 @@ func (c *Collector) Offered(i, bytes int) {
 func (c *Collector) Dropped(i, bytes int) {
 	c.acc[i].droppedPkts++
 	c.acc[i].droppedBytes += uint64(bytes)
+}
+
+// FaultDropped records one packet lost to an injected fault (GTP-U
+// loss window or churn outage) for UE index i. The packet counts as
+// dropped — loss is loss to the UE, whatever caused it — with the
+// fault split kept separately.
+func (c *Collector) FaultDropped(i, bytes int) {
+	c.Dropped(i, bytes)
+	c.acc[i].faultPkts++
+	c.acc[i].faultBytes += uint64(bytes)
+}
+
+// Duplicated records one injected duplicate of a packet for UE index
+// i (the duplicate copy itself is also Offered and delivered or
+// dropped like any other packet).
+func (c *Collector) Duplicated(i, bytes int) {
+	c.acc[i].dupPkts++
+	c.acc[i].dupBytes += uint64(bytes)
+}
+
+// Starved records n scheduler TTIs UE index i spent with queued data
+// but an undecodable channel.
+func (c *Collector) Starved(i int, n uint64) {
+	c.acc[i].starvedTTIs += n
 }
 
 // Delivered records one delivered packet and its queueing delay.
@@ -204,6 +248,12 @@ func (c *Collector) Report(seconds float64, backlog, peak []int) *Report {
 			DroppedPackets:   a.droppedPkts,
 			DroppedBytes:     a.droppedBytes,
 			MaxDelayS:        a.delayMax,
+
+			FaultDroppedPackets: a.faultPkts,
+			FaultDroppedBytes:   a.faultBytes,
+			DuplicatedPackets:   a.dupPkts,
+			DuplicatedBytes:     a.dupBytes,
+			StarvedTTIs:         a.starvedTTIs,
 		}
 		if backlog != nil {
 			k.BacklogPackets = backlog[i]
@@ -230,6 +280,9 @@ func (c *Collector) Report(seconds float64, backlog, peak []int) *Report {
 		sum.DeliveredBytes += a.deliveredBytes
 		sum.DroppedBytes += a.droppedBytes
 		sum.BacklogPackets += k.BacklogPackets
+		sum.FaultDroppedBytes += a.faultBytes
+		sum.DuplicatedBytes += a.dupBytes
+		sum.StarvedTTIs += a.starvedTTIs
 		offeredPkts += a.offeredPkts
 		droppedPkts += a.droppedPkts
 		deliveredPkts += a.deliveredPkts

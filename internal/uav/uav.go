@@ -54,14 +54,26 @@ type UAV struct {
 	pos geom.Vec3
 	rng *detrand.Rand
 
-	route     []geom.Vec3
-	odometerM float64
-	energyWh  float64
+	route      []geom.Vec3
+	odometerM  float64
+	energyWh   float64
+	powerScale float64
 }
 
 // New places a UAV at pos with a seeded sensor-noise stream.
 func New(cfg Config, pos geom.Vec3, seed int64) *UAV {
-	return &UAV{cfg: cfg, pos: pos, rng: detrand.New(seed), energyWh: cfg.BatteryWh}
+	return &UAV{cfg: cfg, pos: pos, rng: detrand.New(seed), energyWh: cfg.BatteryWh, powerScale: 1}
+}
+
+// SetPowerScale multiplies all battery drain by scale (≥ 1 models a
+// sagging pack). It is part of the platform's construction-time
+// configuration, not flight state: checkpoints don't carry it — the
+// scale is re-derived from the fault schedule when the world is
+// rebuilt.
+func (u *UAV) SetPowerScale(scale float64) {
+	if scale > 0 {
+		u.powerScale = scale
+	}
 }
 
 // State is the platform's complete serializable flight state. The GPS
@@ -196,13 +208,13 @@ func (u *UAV) Step(dt float64) float64 {
 		moved += step.Norm()
 		used := tNeed * frac
 		remaining -= used
-		u.energyWh -= u.cfg.CruisePowerW * used / 3600
+		u.energyWh -= u.cfg.CruisePowerW * u.powerScale * used / 3600
 		if frac == 1 {
 			u.route = u.route[1:]
 		}
 	}
 	if remaining > 1e-12 {
-		u.energyWh -= u.cfg.HoverPowerW * remaining / 3600
+		u.energyWh -= u.cfg.HoverPowerW * u.powerScale * remaining / 3600
 	}
 	if u.energyWh < 0 {
 		u.energyWh = 0
