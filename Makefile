@@ -8,11 +8,13 @@
 #   make serve-smoke  end-to-end skyrand daemon vs skyranctl -json diff
 #   make recover-smoke  SIGKILL the daemon mid-job, restart, byte-identical finish
 #   make chaos-smoke  aggressive fault schedule + daemon chaos under -race, byte-identical
-#   make bench-traffic  record BENCH_traffic.json via skyrbench vs skyrand
+#   make handover-smoke  mobile-UE multi-cell handovers under -race, byte-identical
+#   make bench-traffic  record BENCH_traffic.json via skyrbench vs skyrand,
+#                       plus BENCH_sinr.json (per-TTI SINR-loop cost)
 
 GO ?= go
 
-.PHONY: tier1 race short bench bench-smoke fmt serve-smoke recover-smoke chaos-smoke bench-traffic
+.PHONY: tier1 race short bench bench-smoke fmt serve-smoke recover-smoke chaos-smoke handover-smoke bench-traffic
 
 tier1:
 	$(GO) build ./... && $(GO) test -timeout 60m ./...
@@ -41,5 +43,9 @@ recover-smoke:
 chaos-smoke:
 	sh scripts/chaos_smoke.sh
 
+handover-smoke:
+	sh scripts/handover_smoke.sh
+
 bench-traffic:
 	sh scripts/bench_traffic.sh
+	sh scripts/bench_sinr.sh

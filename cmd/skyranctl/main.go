@@ -31,6 +31,16 @@
 //
 //	skyranctl -terrain FLAT -ues 3 -fault-srs-drop 0.2 -fault-gtpu-loss 0.1 -json
 //
+// With -cells N (N >= 2) the single UAV becomes a cooperative fleet:
+// one airborne cell per UAV on a shared EPC, interference-aware
+// max-min SINR placement, load-aware cell selection and A3 handovers.
+// -mobility gives the UEs random-waypoint motion so handovers actually
+// happen; -carriers picks the carrier plan and the -handover-* flags
+// tune the A3 trigger:
+//
+//	skyranctl -terrain FLAT -ues 8 -cells 3 -mobility 15 -traffic cbr -serve 20
+//	skyranctl -terrain CAMPUS -ues 12 -cells 2 -carriers separate -handover-hysteresis 2 -handover-ttt 0.2
+//
 // `skyranctl submit` ships the same spec to a skyrand daemon through
 // the retrying idempotent client instead of running it in-process:
 //
@@ -181,15 +191,29 @@ func printEpoch(ctrlName string, serveSecs float64, rep scenario.EpochReport) {
 	} else {
 		fmt.Printf("\n-- epoch %d --\n", rep.Epoch)
 	}
-	fmt.Printf("%s placed UAV at %s\n", ctrlName, rep.Position)
-	fmt.Printf("flight: localization %.0f m, measurement %.0f m (%.0f s total)\n",
-		rep.LocalizationM, rep.MeasurementM, rep.TotalFlightS)
-	if rep.MedianLocErrM != nil {
-		fmt.Printf("localization: median error %.1f m\n", *rep.MedianLocErrM)
+	fleet := len(rep.Cells) > 0
+	if fleet {
+		fmt.Printf("%s placed %d cells: min SINR %.1f dB, avg throughput %.1f Mbps\n",
+			ctrlName, len(rep.Cells), rep.ObjectiveValue, rep.ThroughputBps/1e6)
+	} else {
+		fmt.Printf("%s placed UAV at %s\n", ctrlName, rep.Position)
+		fmt.Printf("flight: localization %.0f m, measurement %.0f m (%.0f s total)\n",
+			rep.LocalizationM, rep.MeasurementM, rep.TotalFlightS)
+		if rep.MedianLocErrM != nil {
+			fmt.Printf("localization: median error %.1f m\n", *rep.MedianLocErrM)
+		}
+		fmt.Printf("avg throughput: %.1f Mbps (optimal %.1f Mbps at %s) -> relative %.2f\n",
+			rep.ThroughputBps/1e6, rep.OptimalBps/1e6, rep.OptimalPos,
+			metrics.Relative(rep.ThroughputBps, rep.OptimalBps))
 	}
-	fmt.Printf("avg throughput: %.1f Mbps (optimal %.1f Mbps at %s) -> relative %.2f\n",
-		rep.ThroughputBps/1e6, rep.OptimalBps/1e6, rep.OptimalPos,
-		metrics.Relative(rep.ThroughputBps, rep.OptimalBps))
+	for _, c := range rep.Cells {
+		fmt.Printf("cell %d at %s: %d UEs, SINR min %.1f / mean %.1f dB, served %.1f Mbps, fairness %.2f\n",
+			c.Cell, c.Position, c.UEs, c.MinSINRdB, c.MeanSINRdB, c.ServedBps/1e6, c.JainFairness)
+	}
+	if rep.Handover != nil {
+		fmt.Printf("handovers: %d/%d succeeded, %d ping-pongs, %.2f s interrupted\n",
+			rep.Handover.Successes, rep.Handover.Attempts, rep.Handover.PingPongs, rep.Handover.InterruptionS)
+	}
 	if rep.Traffic != nil && rep.Traffic.Summary.Model != traffic.ModelFullBuffer {
 		sum := rep.Traffic.Summary
 		fmt.Printf("traffic (%s): offered %.1f Mbps, delivered %.1f Mbps, loss %.2f%%, mean delay %.1f ms (p95 %.1f ms)\n",
@@ -205,6 +229,8 @@ func printEpoch(ctrlName string, serveSecs float64, rep scenario.EpochReport) {
 		}
 		fmt.Printf("cell served %.1f Mbps aggregate over %.0f s\n", rep.AggregateServedBps/1e6, serveSecs)
 	}
-	fmt.Printf("battery: %.0f%% remaining, odometer %.0f m\n",
-		100*rep.BatteryFrac, rep.OdometerM)
+	if !fleet {
+		fmt.Printf("battery: %.0f%% remaining, odometer %.0f m\n",
+			100*rep.BatteryFrac, rep.OdometerM)
+	}
 }

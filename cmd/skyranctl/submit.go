@@ -32,6 +32,14 @@ func specFlags(fs *flag.FlagSet) func() scenario.Spec {
 		trafRate  = fs.Float64("traffic-rate", 0, "mean offered rate per UE in bit/s (0 = model default)")
 		pktBytes  = fs.Int("packet-bytes", 0, "traffic packet size in bytes (0 = model default)")
 
+		// Multi-UAV fleet (cells >= 2 replaces the single-UAV controller
+		// loop with the cooperative fleet).
+		cells    = fs.Int("cells", 0, "airborne cells; >= 2 runs the multi-UAV cooperative fleet (0/1 keeps the single-UAV path)")
+		carriers = fs.String("carriers", "", "fleet carrier plan: cochannel or separate (default cochannel)")
+		hoHyst   = fs.Float64("handover-hysteresis", 0, "A3 hysteresis margin in dB (0 = default 3)")
+		hoTTT    = fs.Float64("handover-ttt", 0, "A3 time-to-trigger in seconds (0 = default 0.16)")
+		mobility = fs.Float64("mobility", 0, "UE random-waypoint speed in m/s during serving phases (0 = static)")
+
 		// Fault-injection schedule (all zero = fault-free, byte-identical
 		// to a run without any fault flags).
 		fSRSDrop    = fs.Float64("fault-srs-drop", 0, "probability an SRS ranging exchange is dropped [0,1]")
@@ -57,6 +65,23 @@ func specFlags(fs *flag.FlagSet) func() scenario.Spec {
 		if *pktBytes < 0 {
 			usageError("-packet-bytes must be non-negative, got %d", *pktBytes)
 		}
+		switch *carriers {
+		case "", "cochannel", "separate":
+		default:
+			usageError("unknown -carriers plan %q (valid: cochannel, separate)", *carriers)
+		}
+		if *hoHyst < 0 {
+			usageError("-handover-hysteresis must be non-negative, got %g", *hoHyst)
+		}
+		if *hoTTT < 0 {
+			usageError("-handover-ttt must be non-negative, got %g", *hoTTT)
+		}
+		if *mobility < 0 {
+			usageError("-mobility must be non-negative, got %g", *mobility)
+		}
+		if *cells < 2 && (*carriers != "" || *hoHyst != 0 || *hoTTT != 0 || *mobility != 0) {
+			usageError("-carriers/-handover-*/-mobility require -cells >= 2")
+		}
 		spec := scenario.Spec{
 			Terrain:    *terrName,
 			UEs:        *nUEs,
@@ -66,6 +91,12 @@ func specFlags(fs *flag.FlagSet) func() scenario.Spec {
 			Epochs:     *epochs,
 			Seed:       *seed,
 			ServeS:     *serveSecs,
+
+			Cells:                *cells,
+			Carriers:             *carriers,
+			HandoverHysteresisDB: *hoHyst,
+			HandoverTTTs:         *hoTTT,
+			MobilityMS:           *mobility,
 		}
 		if *trafModel != "" {
 			spec.Traffic = &traffic.Spec{

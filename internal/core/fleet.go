@@ -7,6 +7,8 @@ import (
 	"repro/internal/detrand"
 	"repro/internal/engine"
 	"repro/internal/geom"
+	"repro/internal/interference"
+	"repro/internal/radio"
 	"repro/internal/rem"
 	"repro/internal/sim"
 	"repro/internal/terrain"
@@ -17,10 +19,14 @@ import (
 // Fleet coordinates several SkyRAN UAVs over one operating area — the
 // multi-UAV deployment sketched in §7/§8 of the paper. The area's UEs
 // are partitioned into sectors by K-means over their positions; each
-// UAV runs an independent SkyRAN controller over its sector's UEs, on
-// a separate carrier (so inter-UAV interference is a frequency-
-// planning problem, not a physical one), while all controllers share
-// one REM store so maps measured by any UAV benefit the others.
+// UAV runs an independent SkyRAN controller over its sector's UEs,
+// while all controllers share one REM store so maps measured by any
+// UAV benefit the others. The probing epochs themselves assume the
+// members fly on separate carriers; what co-channel operation costs is
+// a question for the interference graph — score the resulting
+// placement with FleetResult.MinSINRdB under interference.PlanCochannel
+// (or run the serving phase through sim.MultiCell, which models the
+// RB-level interference and the handovers it causes).
 //
 // Each UAV flies concurrently in wall-clock terms: the fleet's probing
 // overhead is the maximum over its members, not the sum.
@@ -166,6 +172,34 @@ func (f *Fleet) Epochs() int { return f.epochs }
 
 // SharedStore exposes the fleet-wide REM store.
 func (f *Fleet) SharedStore() *rem.Store { return f.shared }
+
+// MinSINRdB scores the fleet placement as the coverage-vs-interference
+// max-min objective: every member's chosen position becomes a cell of
+// an interference graph under the given carrier plan, and the score is
+// the minimum over all UEs of their best-cell fully-loaded wideband
+// SINR. Under interference.PlanSeparate no cell interferes and this
+// reduces exactly to the per-sector max-min SNR the probing
+// controllers already optimise; under PlanCochannel it charges the
+// placement for the overlap it creates.
+func (r *FleetResult) MinSINRdB(model *radio.Model, plan interference.Plan) float64 {
+	cells := make([]geom.Vec3, 0, len(r.PerUAV))
+	for s, er := range r.PerUAV {
+		if len(r.Sectors[s]) == 0 {
+			continue
+		}
+		cells = append(cells, er.Position)
+	}
+	var pts []geom.Vec2
+	for _, sector := range r.Sectors {
+		for _, u := range sector {
+			pts = append(pts, u.Pos)
+		}
+	}
+	if len(cells) == 0 || len(pts) == 0 {
+		return 0
+	}
+	return interference.NewGraph(plan, model, cells).MinSINRdB(pts)
+}
 
 // MeanRelativeThroughput scores the fleet placement: for each sector,
 // average UE throughput from its UAV relative to the sector's own

@@ -5,6 +5,9 @@ import (
 	"reflect"
 	"testing"
 
+	"repro/internal/geom"
+	"repro/internal/interference"
+	"repro/internal/radio"
 	"repro/internal/terrain"
 	"repro/internal/ue"
 )
@@ -92,6 +95,35 @@ func TestFleetParallelDeterminism(t *testing.T) {
 	}
 	if !reflect.DeepEqual(fseq.SharedStore().Positions(), fpar.SharedStore().Positions()) {
 		t.Fatal("merged shared stores differ between 1 and 8 workers")
+	}
+}
+
+// TestFleetMinSINRScore: the coverage-vs-interference objective
+// reduces to plain max-min SNR on separate carriers and can only get
+// worse when the same placement shares one carrier.
+func TestFleetMinSINRScore(t *testing.T) {
+	tr := terrain.Flat("FLAT", 250)
+	model := radio.NewModel(tr, radio.DefaultParams(), 9)
+	res := &FleetResult{
+		PerUAV: []EpochResult{
+			{Position: geom.V3(60, 125, 60)},
+			{Position: geom.V3(190, 125, 60)},
+		},
+		Sectors: [][]*ue.UE{
+			{ue.New(0, geom.V2(50, 120)), ue.New(1, geom.V2(80, 130))},
+			{ue.New(2, geom.V2(180, 120))},
+		},
+	}
+	sep := res.MinSINRdB(model, interference.PlanSeparate)
+	co := res.MinSINRdB(model, interference.PlanCochannel)
+	if sep <= 0 {
+		t.Fatalf("separate-carrier score %.1f dB, want positive on flat ground", sep)
+	}
+	if co > sep {
+		t.Errorf("co-channel score %.1f dB exceeds separate-carrier score %.1f dB", co, sep)
+	}
+	if empty := (&FleetResult{}).MinSINRdB(model, interference.PlanSeparate); empty != 0 {
+		t.Errorf("empty fleet scored %.1f, want 0", empty)
 	}
 }
 

@@ -99,6 +99,18 @@ func (b *Bearer) QueuedPackets() int {
 	return len(b.queue)
 }
 
+// QueuedBytes returns the total payload bytes currently backlogged —
+// the quantity the handover transfer must conserve.
+func (b *Bearer) QueuedBytes() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	n := 0
+	for _, p := range b.queue {
+		n += len(p.data)
+	}
+	return n
+}
+
 // PeakQueue returns the maximum queue depth observed so far.
 func (b *Bearer) PeakQueue() int {
 	b.mu.Lock()

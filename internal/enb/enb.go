@@ -98,6 +98,13 @@ type ENodeB struct {
 	byIMSI   map[epc.IMSI]*UEContext
 	nextRNTI uint16
 	ttis     uint64
+
+	// Scheduler scratch buffers, guarded by mu and reused every TTI so
+	// the hot serving loop allocates nothing in steady state.
+	schedActive []*UEContext
+	schedNPRB   []int
+	schedPlan   TTIPlan
+	commitCtxs  []*UEContext
 }
 
 // New returns an eNodeB bound to the given EPC core.
@@ -224,33 +231,83 @@ func (e *ENodeB) BearerTotals() Stats {
 	return tot
 }
 
-// bitsPerPRBTTI returns the deliverable bits for one PRB in one TTI at
-// the given CQI.
-func (e *ENodeB) bitsPerPRBTTI(cqi int) float64 {
+// rePerPRBTTI is the usable resource elements per PRB per TTI:
+// subcarriers × symbols × (1 − overhead).
+const rePerPRBTTI = 12 * 14 * 0.75
+
+// BitsPerPRBTTI returns the deliverable bits for one PRB in one TTI at
+// the given CQI — the interference-free link adaptation the scheduler
+// has always used.
+func BitsPerPRBTTI(cqi int) float64 {
 	if cqi <= 0 {
 		return 0
 	}
-	const rePerPRBTTI = 12 * 14 * 0.75 // subcarriers × symbols × (1 − overhead)
 	return rePerPRBTTI * ltephy.EfficiencyForSNR(ltephy.SNRForCQI(cqi))
 }
+
+// BitsPerPRBTTIDegraded is BitsPerPRBTTI with an SINR penalty applied:
+// the CQI's equivalent SNR is reduced by penaltyDB before the spectral
+// efficiency lookup. A penalty of exactly 0 returns BitsPerPRBTTI(cqi)
+// unchanged — the single-cell / separate-carrier case stays on the
+// legacy arithmetic bit for bit.
+func BitsPerPRBTTIDegraded(cqi int, penaltyDB float64) float64 {
+	if cqi <= 0 {
+		return 0
+	}
+	if penaltyDB == 0 {
+		return BitsPerPRBTTI(cqi)
+	}
+	return rePerPRBTTI * ltephy.EfficiencyForSNR(ltephy.SNRForCQI(cqi)-penaltyDB)
+}
+
+// bitsPerPRBTTI returns the deliverable bits for one PRB in one TTI at
+// the given CQI.
+func (e *ENodeB) bitsPerPRBTTI(cqi int) float64 { return BitsPerPRBTTI(cqi) }
 
 // RunTTI executes one 1 ms scheduling interval, allocating the cell's
 // PRBs among connected UEs under the configured policy and crediting
 // served bits. It returns the total bits served this TTI.
 func (e *ENodeB) RunTTI() float64 { return e.RunTTIFunc(nil) }
 
-// RunTTIFunc is RunTTI with a per-grant callback: grant (when non-nil)
-// is invoked once per UE that received a non-zero allocation this TTI,
-// in ascending-RNTI order, with the UE's IMSI and granted bits. The
-// traffic subsystem uses it to drain each UE's bearer with exactly the
-// scheduler's allocation. The callback runs with the eNodeB lock held:
-// it must not call back into the eNodeB (bearer methods are fine, they
-// take their own lock).
-func (e *ENodeB) RunTTIFunc(grant func(imsi epc.IMSI, bits float64)) float64 {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+// Alloc is one UE's PRB allocation in a TTI plan: N PRBs starting at
+// PRB Start (the scheduler fills the band from PRB 0). Every active UE
+// appears in the plan, zero-PRB allocations included — the
+// proportional-fair EWMA update needs the full active set.
+type Alloc struct {
+	RNTI  uint16
+	IMSI  epc.IMSI
+	CQI   int
+	Start int
+	N     int
+}
+
+// TTIPlan is the PRB allocation of one scheduling interval, in
+// ascending-RNTI order. Splitting planning from crediting lets a
+// multi-cell serving loop plan every cell first (so each cell's PRB
+// occupancy is known), compute per-allocation interference, and only
+// then commit degraded bits.
+type TTIPlan struct {
+	Allocs []Alloc
+}
+
+// OccupiedPRBs is the number of PRBs the plan actually schedules —
+// the occupancy interferer cells see.
+func (p *TTIPlan) OccupiedPRBs() int {
+	n := 0
+	for _, a := range p.Allocs {
+		n += a.N
+	}
+	return n
+}
+
+// planTTILocked advances the cell by one 1 ms scheduling interval and
+// fills the reused e.schedPlan/e.schedActive buffers (aligned:
+// schedActive[i] owns schedPlan.Allocs[i]), valid until the next call.
+// Starvation accounting (queued data, undecodable channel) happens
+// here, as it is part of advancing the TTI.
+func (e *ENodeB) planTTILocked() {
 	e.ttis++
-	var active []*UEContext
+	active := e.schedActive[:0]
 	for _, ctx := range e.byIMSI {
 		if ctx.RRC == RRCConnected && ctx.CQI > 0 {
 			active = append(active, ctx)
@@ -258,8 +315,10 @@ func (e *ENodeB) RunTTIFunc(grant func(imsi epc.IMSI, bits float64)) float64 {
 			ctx.starvedTTIs++
 		}
 	}
+	e.schedActive = active
+	e.schedPlan.Allocs = e.schedPlan.Allocs[:0]
 	if len(active) == 0 {
-		return 0
+		return
 	}
 	// Map iteration order is randomized per process; the PRB allocation
 	// below reads slice positions (round-robin rotation, max-CQI and PF
@@ -268,57 +327,152 @@ func (e *ENodeB) RunTTIFunc(grant func(imsi epc.IMSI, bits float64)) float64 {
 	// guarantee extends through the scheduler.
 	sort.Slice(active, func(i, j int) bool { return active[i].RNTI < active[j].RNTI })
 	prbs := e.Num.PRBs
-	var total float64
-	credit := func(ctx *UEContext, nPRB int) {
-		bits := e.bitsPerPRBTTI(ctx.CQI) * float64(nPRB)
-		ctx.servedBits += bits
-		total += bits
-		if grant != nil && bits > 0 {
-			grant(ctx.IMSI, bits)
-		}
+	if cap(e.schedNPRB) < len(active) {
+		e.schedNPRB = make([]int, len(active))
+	}
+	nPRB := e.schedNPRB[:len(active)]
+	for i := range nPRB {
+		nPRB[i] = 0
 	}
 	switch e.Policy {
 	case RoundRobin:
 		base := prbs / len(active)
 		extra := prbs % len(active)
 		// Rotate the extra PRBs deterministically by TTI count.
-		for i, ctx := range active {
-			n := base
+		for i := range active {
+			nPRB[i] = base
 			if (i+int(e.ttis))%len(active) < extra {
-				n++
+				nPRB[i]++
 			}
-			credit(ctx, n)
 		}
 	case MaxCQI:
-		best := active[0]
-		for _, ctx := range active[1:] {
-			if ctx.CQI > best.CQI || (ctx.CQI == best.CQI && ctx.RNTI < best.RNTI) {
-				best = ctx
+		best := 0
+		for i, ctx := range active[1:] {
+			if ctx.CQI > active[best].CQI || (ctx.CQI == active[best].CQI && ctx.RNTI < active[best].RNTI) {
+				best = i + 1
 			}
 		}
-		credit(best, prbs)
+		nPRB[best] = prbs
 	case ProportionalFair:
-		best := active[0]
+		best := 0
 		bestMetric := -1.0
-		for _, ctx := range active {
+		for i, ctx := range active {
 			inst := e.bitsPerPRBTTI(ctx.CQI)
 			avg := ctx.avgRateBps
 			if avg < 1 {
 				avg = 1
 			}
 			if m := inst / avg; m > bestMetric {
-				bestMetric, best = m, ctx
+				bestMetric, best = m, i
 			}
 		}
-		credit(best, prbs)
+		nPRB[best] = prbs
+	}
+	start := 0
+	for i, ctx := range active {
+		e.schedPlan.Allocs = append(e.schedPlan.Allocs,
+			Alloc{RNTI: ctx.RNTI, IMSI: ctx.IMSI, CQI: ctx.CQI, Start: start, N: nPRB[i]})
+		start += nPRB[i]
+	}
+}
+
+// PlanTTI advances the cell by one 1 ms scheduling interval and returns
+// the PRB allocation under the configured policy, without crediting any
+// bits. The returned plan is a private copy: it stays valid across
+// further scheduling, which lets a multi-cell loop plan every cell
+// before committing any.
+func (e *ENodeB) PlanTTI() *TTIPlan {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.planTTILocked()
+	return &TTIPlan{Allocs: append([]Alloc(nil), e.schedPlan.Allocs...)}
+}
+
+// CommitTTI credits the planned allocations: for each allocation, bits
+// (when non-nil) maps the allocation to its deliverable bits — the
+// multicell loop passes an interference-degraded mapping — and defaults
+// to the legacy CQI-rate × PRB-count product. grant (when non-nil) is
+// invoked once per UE that received non-zero bits, in ascending-RNTI
+// order, with the UE's IMSI and granted bits; it runs with the eNodeB
+// lock held and must not call back into the eNodeB (bearer methods are
+// fine, they take their own lock). Allocations whose UE context is gone
+// or re-keyed (detached or handed over between plan and commit) are
+// skipped. It returns the total bits served.
+func (e *ENodeB) CommitTTI(plan *TTIPlan, bits func(Alloc) float64, grant func(imsi epc.IMSI, bits float64)) float64 {
+	if len(plan.Allocs) == 0 {
+		return 0
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	// Re-resolve each allocation's context, revalidating identity: the
+	// UE may have detached or handed over between plan and commit.
+	ctxs := e.commitCtxs[:0]
+	for _, a := range plan.Allocs {
+		ctx, ok := e.byRNTI[a.RNTI]
+		if !ok || ctx.IMSI != a.IMSI {
+			ctx = nil
+		}
+		ctxs = append(ctxs, ctx)
+	}
+	e.commitCtxs = ctxs
+	return e.commitLocked(plan.Allocs, ctxs, bits, grant)
+}
+
+// commitLocked credits allocs (ctxs[i] is the live context for
+// allocs[i], nil when the UE vanished between plan and commit).
+func (e *ENodeB) commitLocked(allocs []Alloc, ctxs []*UEContext, bits func(Alloc) float64, grant func(imsi epc.IMSI, bits float64)) float64 {
+	prbs := e.Num.PRBs
+	var total float64
+	for i, a := range allocs {
+		ctx := ctxs[i]
+		if ctx == nil {
+			continue
+		}
+		var b float64
+		if bits != nil {
+			b = bits(a)
+		} else {
+			b = e.bitsPerPRBTTI(a.CQI) * float64(a.N)
+		}
+		ctx.servedBits += b
+		total += b
+		if grant != nil && b > 0 {
+			grant(ctx.IMSI, b)
+		}
 	}
 	// Update proportional-fair EWMAs with each UE's achievable
 	// full-cell rate this TTI.
 	const alpha = 0.02
-	for _, ctx := range active {
-		ctx.avgRateBps = (1-alpha)*ctx.avgRateBps + alpha*(e.bitsPerPRBTTI(ctx.CQI)*float64(prbs))
+	for i, a := range allocs {
+		ctx := ctxs[i]
+		if ctx == nil {
+			continue
+		}
+		ctx.avgRateBps = (1-alpha)*ctx.avgRateBps + alpha*(e.bitsPerPRBTTI(a.CQI)*float64(prbs))
 	}
 	return total
+}
+
+// RunTTIFunc is RunTTI with a per-grant callback: grant (when non-nil)
+// is invoked once per UE that received a non-zero allocation this TTI,
+// in ascending-RNTI order, with the UE's IMSI and granted bits. The
+// traffic subsystem uses it to drain each UE's bearer with exactly the
+// scheduler's allocation. The callback runs with the eNodeB lock held:
+// it must not call back into the eNodeB (bearer methods are fine, they
+// take their own lock). Semantically it is PlanTTI followed by an
+// interference-free CommitTTI, but it runs both under one lock against
+// the reused scheduling buffers — no per-TTI allocation, no context
+// re-resolution — so the single-cell hot loop pays nothing for the
+// plan/commit split; the arithmetic is unchanged from the pre-split
+// scheduler and served bits stay byte-identical.
+func (e *ENodeB) RunTTIFunc(grant func(imsi epc.IMSI, bits float64)) float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.planTTILocked()
+	if len(e.schedPlan.Allocs) == 0 {
+		return 0
+	}
+	return e.commitLocked(e.schedPlan.Allocs, e.schedActive, nil, grant)
 }
 
 // StarvedTTIs returns the number of TTIs imsi spent with queued data

@@ -1,0 +1,214 @@
+package enb
+
+import (
+	"testing"
+
+	"repro/internal/epc"
+	"repro/internal/ltephy"
+)
+
+func twoCells(t *testing.T) (*ENodeB, *ENodeB, *epc.Core) {
+	t.Helper()
+	hss := epc.NewHSS()
+	core := epc.NewCore(hss)
+	hss.Provision(epc.Subscriber{IMSI: "001010000000001", Key: [16]byte{1}, QoSClass: 9})
+	a := New(ltephy.LTE10MHz(), core, RoundRobin)
+	b := New(ltephy.LTE10MHz(), core, RoundRobin)
+	return a, b, core
+}
+
+// The X2 transfer must conserve every in-flight byte: packets queued at
+// the source drain at the target with nothing lost, duplicated, or
+// re-tunneled, and the scheduler accounting continues.
+func TestHandoverTransferZeroByteLoss(t *testing.T) {
+	src, dst, core := twoCells(t)
+	imsi := epc.IMSI("001010000000001")
+	ctx, err := src.Attach(imsi, [16]byte{1}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src.ReportSNR(imsi, 20)
+	bearer, _ := src.Bearer(imsi)
+	for i := 0; i < 5; i++ {
+		pkt := make([]byte, 100+i)
+		if err := bearer.DeliverGTPUAt(bearer.Tunnel().Encap(pkt), float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wantBytes := bearer.QueuedBytes()
+	wantPkts := bearer.QueuedPackets()
+	served := src.ServedBits(imsi)
+
+	hc, err := src.ReleaseForHandover(imsi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hc.QueuedBytes != wantBytes {
+		t.Fatalf("transfer recorded %d queued bytes, want %d", hc.QueuedBytes, wantBytes)
+	}
+	if _, ok := src.Context(imsi); ok {
+		t.Fatal("source still holds the context after release")
+	}
+	if _, ok := core.Session(imsi); !ok {
+		t.Fatal("EPC session did not survive the handover release")
+	}
+
+	nctx, err := dst.AdoptForHandover(hc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nctx.RNTI == ctx.RNTI && nctx.RNTI != 61 {
+		// Both cells start their RNTI space at 61, so equality here is
+		// coincidental, not shared identity.
+		t.Fatalf("unexpected RNTI reuse: %d", nctx.RNTI)
+	}
+	if nctx.CQI != 0 {
+		t.Fatalf("adopted context CQI = %d, want 0 (no CSI yet)", nctx.CQI)
+	}
+	if nctx.Session.TEID != ctx.Session.TEID {
+		t.Fatalf("TEID changed across handover: %d -> %d", ctx.Session.TEID, nctx.Session.TEID)
+	}
+	got, _ := dst.Bearer(imsi)
+	if got != bearer {
+		t.Fatal("bearer object did not move with the context")
+	}
+	if got.QueuedBytes() != wantBytes || got.QueuedPackets() != wantPkts {
+		t.Fatalf("backlog changed in transfer: %d bytes/%d pkts, want %d/%d",
+			got.QueuedBytes(), got.QueuedPackets(), wantBytes, wantPkts)
+	}
+	if dst.ServedBits(imsi) != served {
+		t.Fatalf("served-bits accounting reset: %v, want %v", dst.ServedBits(imsi), served)
+	}
+
+	// The target can serve the transferred backlog to completion.
+	dst.ReportSNR(imsi, 20)
+	var delivered int
+	for i := 0; i < 100 && got.QueuedPackets() > 0; i++ {
+		dst.RunTTIFunc(func(_ epc.IMSI, bits float64) {
+			for _, d := range got.CreditAt(bits, 0) {
+				delivered += len(d.Data)
+			}
+		})
+	}
+	if delivered != wantBytes {
+		t.Fatalf("delivered %d bytes at target, want %d", delivered, wantBytes)
+	}
+}
+
+func TestReleaseForHandoverUnknownUE(t *testing.T) {
+	src, _, _ := twoCells(t)
+	if _, err := src.ReleaseForHandover("001019999999999"); err == nil {
+		t.Fatal("release of unknown UE should fail")
+	}
+}
+
+func TestAdoptForHandoverDuplicate(t *testing.T) {
+	src, dst, _ := twoCells(t)
+	imsi := epc.IMSI("001010000000001")
+	if _, err := src.Attach(imsi, [16]byte{1}, 7); err != nil {
+		t.Fatal(err)
+	}
+	hc, err := src.ReleaseForHandover(imsi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dst.AdoptForHandover(hc); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dst.AdoptForHandover(hc); err == nil {
+		t.Fatal("double adopt should fail")
+	}
+}
+
+// A3 semantics: the candidate must be better by the hysteresis margin
+// continuously for the time-to-trigger; wobbles reset the clock.
+func TestHandoverEngineA3(t *testing.T) {
+	cfg := HandoverConfig{HysteresisDB: 3, TTTs: 0.3, InterruptS: 0.05, PingPongWindowS: 1}
+	h := NewHandoverEngine(cfg, 1, 2)
+	dt := 0.1
+	now := 0.0
+	step := func(scores []float64) (int, bool) {
+		now += dt
+		return h.Evaluate(0, now, dt, 0, scores)
+	}
+	// Better but under hysteresis: never triggers.
+	for i := 0; i < 10; i++ {
+		if _, fired := step([]float64{10, 12}); fired {
+			t.Fatal("triggered below hysteresis")
+		}
+	}
+	// Above hysteresis for 2 ticks (0.2 s < TTT), then a dip: reset.
+	step([]float64{10, 14})
+	step([]float64{10, 14})
+	step([]float64{10, 11}) // dip resets candidacy
+	step([]float64{10, 14})
+	step([]float64{10, 14})
+	if _, fired := step([]float64{10, 14}); !fired {
+		t.Fatal("expected trigger after continuous TTT")
+	}
+	st := h.Stats()
+	if st.Attempts != 1 {
+		t.Fatalf("attempts = %d, want 1", st.Attempts)
+	}
+	h.Complete(0, now, 0, 1)
+	if !h.Interrupted(0, now+0.01) {
+		t.Fatal("UE should be interrupted right after handover")
+	}
+	if h.Interrupted(0, now+1) {
+		t.Fatal("interruption should have elapsed")
+	}
+	// Immediate return to cell 0 within the window is a ping-pong.
+	now += 0.2
+	h.Complete(0, now, 1, 0)
+	st = h.Stats()
+	if st.Successes != 2 || st.PingPongs != 1 {
+		t.Fatalf("successes=%d pingpongs=%d, want 2/1", st.Successes, st.PingPongs)
+	}
+	if st.PerCellOut[0] != 1 || st.PerCellIn[1] != 1 || st.PerCellOut[1] != 1 || st.PerCellIn[0] != 1 {
+		t.Fatalf("per-cell counters wrong: %+v", st)
+	}
+	if h.UESuccesses(0) != 2 {
+		t.Fatalf("UESuccesses = %d, want 2", h.UESuccesses(0))
+	}
+
+	// Snapshot/restore round-trips the whole state.
+	snap := h.Snapshot()
+	h2 := NewHandoverEngine(cfg, 1, 2)
+	if err := h2.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if h2.Stats().Successes != 2 || h2.UESuccesses(0) != 2 {
+		t.Fatal("restored engine lost state")
+	}
+}
+
+func TestRestoreCold(t *testing.T) {
+	src, dst, core := twoCells(t)
+	imsi := epc.IMSI("001010000000001")
+	if _, err := src.Attach(imsi, [16]byte{1}, 7); err != nil {
+		t.Fatal(err)
+	}
+	src.ReportSNR(imsi, 15)
+	bearer, _ := src.Bearer(imsi)
+	pkt := make([]byte, 64)
+	if err := bearer.DeliverGTPUAt(bearer.Tunnel().Encap(pkt), 1.5); err != nil {
+		t.Fatal(err)
+	}
+	src.RunTTI()
+	snap := src.Snapshot()
+
+	// dst has a different (empty) attach layout; RestoreCold rebuilds it.
+	if err := dst.RestoreCold(snap, core.Session); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Snapshot().NextRNTI != snap.NextRNTI {
+		t.Fatal("nextRNTI not restored")
+	}
+	b2, ok := dst.Bearer(imsi)
+	if !ok || b2.QueuedBytes() != 64 {
+		t.Fatalf("cold-restored bearer backlog wrong: ok=%v", ok)
+	}
+	if dst.ServedBits(imsi) != src.ServedBits(imsi) {
+		t.Fatal("served bits not restored")
+	}
+}

@@ -155,3 +155,40 @@ func (e *ENodeB) Restore(st State) error {
 	e.ttis = st.TTIs
 	return nil
 }
+
+// RestoreCold rebuilds the eNodeB's UE contexts from a snapshot alone,
+// without requiring the same attach layout. Handovers reshuffle which
+// UEs a cell holds and under which RNTIs, so a resumed multi-cell run
+// cannot re-attach its way back to the checkpointed layout the way
+// Restore expects; instead each context (and its bearer, on the
+// snapshot's TEID) is created from scratch. sess resolves each IMSI's
+// live EPC session in the rebuilt core.
+func (e *ENodeB) RestoreCold(st State, sess func(epc.IMSI) (*epc.Session, bool)) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.byRNTI = make(map[uint16]*UEContext, len(st.UEs))
+	e.byIMSI = make(map[epc.IMSI]*UEContext, len(st.UEs))
+	for _, cs := range st.UEs {
+		s, ok := sess(cs.IMSI)
+		if !ok {
+			return fmt.Errorf("enb: snapshot UE %s has no EPC session", cs.IMSI)
+		}
+		b := &Bearer{tunnel: epc.NewTunnel(cs.Bearer.Tunnel.TEID), MaxQueue: 256}
+		if err := b.Restore(cs.Bearer); err != nil {
+			return fmt.Errorf("enb: UE %s: %w", cs.IMSI, err)
+		}
+		ctx := &UEContext{
+			RNTI: cs.RNTI, IMSI: cs.IMSI, RRC: cs.RRC, CQI: cs.CQI,
+			Session: s, bearer: b,
+			servedBits: cs.ServedBits, avgRateBps: cs.AvgRateBps, starvedTTIs: cs.StarvedTTIs,
+		}
+		if _, dup := e.byRNTI[ctx.RNTI]; dup {
+			return fmt.Errorf("enb: snapshot has duplicate RNTI %d", ctx.RNTI)
+		}
+		e.byRNTI[ctx.RNTI] = ctx
+		e.byIMSI[ctx.IMSI] = ctx
+	}
+	e.nextRNTI = st.NextRNTI
+	e.ttis = st.TTIs
+	return nil
+}

@@ -1,0 +1,232 @@
+// Package interference models the downlink co-channel interference of
+// a multi-UAV fleet sharing one LTE carrier. The single-UAV SkyRAN of
+// the paper never needs it — one cell, one carrier — but the ROADMAP's
+// fleet regime does: once several airborne eNodeBs transmit on the
+// same 10 MHz, each UE's channel is set by its serving cell's signal
+// against the sum of the other cells' power landing on the same PRBs.
+//
+// The package is deliberately small and pure: an interference Graph is
+// a carrier Plan, a propagation model and a list of cell positions,
+// and every query (per-RB SINR, wideband SINR, scheduling penalty) is
+// a deterministic function of its arguments. Pathloss evaluations go
+// through radio.Model and therefore share the process-wide sharded
+// obstruction cache — the interferer rays are memoized exactly like
+// serving rays.
+//
+// Backward compatibility is structural, not numeric: with the
+// "separate" plan, a single cell, or an empty interferer overlap, the
+// interference power term is exactly zero and every SINR degenerates
+// to the bitwise-identical legacy SNR (no log/exp round trip is
+// applied). SINR can therefore never exceed SNR, and equals it exactly
+// when the interferer set is empty — properties the tests pin.
+package interference
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/radio"
+)
+
+// Plan names a fleet carrier plan: how the cells share spectrum.
+type Plan string
+
+const (
+	// PlanSeparate gives every cell its own carrier — the legacy fleet
+	// assumption. No cell interferes with any other; all SINRs equal
+	// the plain SNR bit for bit.
+	PlanSeparate Plan = "separate"
+	// PlanCochannel puts every cell on one shared carrier (frequency
+	// reuse 1): each UE's downlink competes with every other cell's
+	// transmissions on the overlapping PRBs.
+	PlanCochannel Plan = "cochannel"
+)
+
+// ParsePlan validates a carrier-plan name. The empty string selects
+// the co-channel plan (the interesting fleet regime, and the only one
+// in which the interference graph has edges).
+func ParsePlan(s string) (Plan, error) {
+	switch Plan(s) {
+	case "":
+		return PlanCochannel, nil
+	case PlanSeparate, PlanCochannel:
+		return Plan(s), nil
+	}
+	return "", fmt.Errorf("interference: unknown carrier plan %q (valid: %s, %s)", s, PlanSeparate, PlanCochannel)
+}
+
+// PRBInterval is a contiguous PRB allocation [Start, Start+N). The
+// eNodeB scheduler fills the band from PRB 0, so an interval plus each
+// cell's occupied-PRB count is enough to compute RB overlaps.
+type PRBInterval struct {
+	Start int
+	N     int
+}
+
+// Graph is the interference graph of a fleet: the carrier plan, the
+// shared propagation model, and each cell's transmit position. Under
+// PlanCochannel the graph is complete (every cell interferes with
+// every other); under PlanSeparate it has no edges. Cell positions may
+// be updated between epochs with SetCell; queries are safe for
+// concurrent use as long as positions are not being mutated.
+type Graph struct {
+	Plan  Plan
+	Model *radio.Model
+	Cells []geom.Vec3
+}
+
+// NewGraph builds an interference graph over the given cells.
+func NewGraph(plan Plan, m *radio.Model, cells []geom.Vec3) *Graph {
+	return &Graph{Plan: plan, Model: m, Cells: append([]geom.Vec3(nil), cells...)}
+}
+
+// SetCell moves cell i.
+func (g *Graph) SetCell(i int, pos geom.Vec3) { g.Cells[i] = pos }
+
+// Interferers returns the cells that interfere with the serving cell's
+// downlink, in ascending index order: every other cell under
+// PlanCochannel, none under PlanSeparate.
+func (g *Graph) Interferers(serving int) []int {
+	if g.Plan != PlanCochannel || len(g.Cells) < 2 {
+		return nil
+	}
+	out := make([]int, 0, len(g.Cells)-1)
+	for j := range g.Cells {
+		if j != serving {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// rxPowerDBm is the received power at a ground UE from cell j — the
+// same link-budget arithmetic SNRFromPathloss applies, minus the noise
+// normalization.
+func (g *Graph) rxPowerDBm(j int, ue geom.Vec2) float64 {
+	b := g.Model.Budget
+	return b.TxPowerDBm + b.TxAntennaGainDB + b.RxAntennaGainDB - g.Model.Pathloss(g.Cells[j], g.Model.UEPoint(ue))
+}
+
+// SNRdB is the plain (interference-free) downlink SNR from the serving
+// cell to a UE at ue — exactly the legacy radio.Model.SNR call, bit
+// for bit.
+func (g *Graph) SNRdB(serving int, ue geom.Vec2) float64 {
+	return g.Model.SNR(g.Cells[serving], ue)
+}
+
+// overlapPRBs returns how many PRBs of alloc fall inside [0, occ) —
+// the PRBs on which a cell that scheduled occ PRBs (filled from 0)
+// collides with the allocation.
+func overlapPRBs(alloc PRBInterval, occ int) int {
+	hi := alloc.Start + alloc.N
+	if occ < hi {
+		hi = occ
+	}
+	if n := hi - alloc.Start; n > 0 {
+		return n
+	}
+	return 0
+}
+
+// interferenceMW sums the interfering cells' received power (mW) at
+// ue, weighted by the fraction of the allocation each collides with.
+// occ[j] is cell j's occupied-PRB count this TTI; a nil occ treats
+// every interferer as fully loaded (all PRBs occupied). The sum is
+// accumulated in ascending cell order, so it is deterministic.
+func (g *Graph) interferenceMW(serving int, ue geom.Vec2, alloc PRBInterval, occ []int) float64 {
+	if g.Plan != PlanCochannel || len(g.Cells) < 2 || alloc.N <= 0 {
+		return 0
+	}
+	var imw float64
+	for j := range g.Cells {
+		if j == serving {
+			continue
+		}
+		frac := 1.0
+		if occ != nil {
+			ov := overlapPRBs(alloc, occ[j])
+			if ov == 0 {
+				continue
+			}
+			frac = float64(ov) / float64(alloc.N)
+		}
+		imw += frac * radio.DBmToMilliwatt(g.rxPowerDBm(j, ue))
+	}
+	return imw
+}
+
+// PenaltyDB returns the SINR degradation of the allocation in dB:
+// 10·log10(1 + I/N) where I is the RB-overlap-weighted interference
+// power and N the thermal noise power. It is exactly 0 — not merely
+// small — when the interferer set is empty (separate carriers, a
+// single cell, or no PRB overlap), which is what keeps single-cell and
+// separate-carrier serving byte-identical to the legacy SNR path.
+func (g *Graph) PenaltyDB(serving int, ue geom.Vec2, alloc PRBInterval, occ []int) float64 {
+	imw := g.interferenceMW(serving, ue, alloc, occ)
+	if imw == 0 {
+		return 0
+	}
+	nmw := radio.DBmToMilliwatt(g.Model.Budget.NoiseFloorDBm())
+	return 10 * math.Log10(1+imw/nmw)
+}
+
+// SINRdB is the RB-granular downlink SINR of an allocation: the
+// serving-cell SNR minus the interference penalty. With an empty
+// interferer set it returns the serving SNR unchanged (bitwise), and
+// it can never exceed it — the penalty is non-negative.
+func (g *Graph) SINRdB(serving int, ue geom.Vec2, alloc PRBInterval, occ []int) float64 {
+	p := g.PenaltyDB(serving, ue, alloc, occ)
+	if p == 0 {
+		return g.SNRdB(serving, ue)
+	}
+	return g.SNRdB(serving, ue) - p
+}
+
+// WidebandSINRdB is the whole-band SINR a UE would report against the
+// serving cell with each interferer weighted by its band occupancy
+// (occ[j]/prbs used as an activity factor; nil occ = fully loaded).
+// Handover measurements and placement scoring use it: it needs no
+// allocation, only the load picture.
+func (g *Graph) WidebandSINRdB(serving int, ue geom.Vec2, occ []int, prbs int) float64 {
+	if g.Plan != PlanCochannel || len(g.Cells) < 2 {
+		return g.SNRdB(serving, ue)
+	}
+	var imw float64
+	for j := range g.Cells {
+		if j == serving {
+			continue
+		}
+		frac := 1.0
+		if occ != nil && prbs > 0 {
+			if occ[j] <= 0 {
+				continue
+			}
+			frac = float64(occ[j]) / float64(prbs)
+		}
+		imw += frac * radio.DBmToMilliwatt(g.rxPowerDBm(j, ue))
+	}
+	if imw == 0 {
+		return g.SNRdB(serving, ue)
+	}
+	nmw := radio.DBmToMilliwatt(g.Model.Budget.NoiseFloorDBm())
+	return g.SNRdB(serving, ue) - 10*math.Log10(1+imw/nmw)
+}
+
+// BestCell returns the cell with the highest load-biased wideband SINR
+// towards ue: score(j) = WidebandSINR(j) − loadBiasDB·load[j]. Ties
+// break to the lowest index. It is the load-aware cell-selection rule
+// shared by initial association and idle reselection.
+func (g *Graph) BestCell(ue geom.Vec2, load []int, loadBiasDB float64) int {
+	best, bestScore := 0, math.Inf(-1)
+	for j := range g.Cells {
+		score := g.WidebandSINRdB(j, ue, nil, 0)
+		if load != nil {
+			score -= loadBiasDB * float64(load[j])
+		}
+		if score > bestScore {
+			best, bestScore = j, score
+		}
+	}
+	return best
+}

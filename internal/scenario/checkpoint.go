@@ -30,11 +30,16 @@ import (
 // KindCheckpoint containers; bump on any section layout change.
 const checkpointPayloadVersion = 1
 
-// Section names inside a KindCheckpoint container.
+// Section names inside a KindCheckpoint container. Single-UAV runs
+// write "world"; multi-cell runs (Spec.Cells >= 2) write "multiworld"
+// instead. Sections are keyed, so old checkpoints — which never carry
+// "multiworld" and whose specs never set cells — decode unchanged and
+// the payload version stays 1.
 const (
 	sectionSpec       = "spec"
 	sectionProgress   = "progress"
 	sectionWorld      = "world"
+	sectionMultiWorld = "multiworld"
 	sectionController = "controller"
 	sectionReports    = "reports"
 )
@@ -152,7 +157,14 @@ func writeCheckpoint(env *runEnv, nextEpoch int, cp *CheckpointConfig, onCheckpo
 	if err != nil {
 		return fmt.Errorf("scenario: encoding progress: %w", err)
 	}
-	world, err := gobBytes(env.w.Snapshot())
+	worldSection := sectionWorld
+	var world []byte
+	if env.mw != nil {
+		worldSection = sectionMultiWorld
+		world, err = gobBytes(env.mw.Snapshot())
+	} else {
+		world, err = gobBytes(env.w.Snapshot())
+	}
 	if err != nil {
 		return fmt.Errorf("scenario: encoding world: %w", err)
 	}
@@ -177,7 +189,7 @@ func writeCheckpoint(env *runEnv, nextEpoch int, cp *CheckpointConfig, onCheckpo
 	c := checkpoint.New(checkpoint.KindCheckpoint, checkpointPayloadVersion, fp)
 	c.Add(sectionSpec, specJSON)
 	c.Add(sectionProgress, progress)
-	c.Add(sectionWorld, world)
+	c.Add(worldSection, world)
 	c.Add(sectionController, ctrlBytes)
 	c.Add(sectionReports, reports)
 
@@ -309,7 +321,14 @@ func Resume(ctx context.Context, path string, expect *Spec, opts Options) (*Resu
 		return nil, nil, fmt.Errorf("scenario: decoding checkpoint progress: %w", err)
 	}
 	var worldState sim.WorldState
-	if b, err := section(sectionWorld); err != nil {
+	var multiState sim.MultiState
+	if spec.Cells >= 2 {
+		if b, err := section(sectionMultiWorld); err != nil {
+			return nil, nil, err
+		} else if err := gobDecode(b, &multiState); err != nil {
+			return nil, nil, fmt.Errorf("scenario: decoding checkpoint fleet: %w", err)
+		}
+	} else if b, err := section(sectionWorld); err != nil {
 		return nil, nil, err
 	} else if err := gobDecode(b, &worldState); err != nil {
 		return nil, nil, fmt.Errorf("scenario: decoding checkpoint world: %w", err)
@@ -334,11 +353,17 @@ func Resume(ctx context.Context, path string, expect *Spec, opts Options) (*Resu
 	if err := env.rng.Restore(progress.RNG); err != nil {
 		return nil, nil, fmt.Errorf("scenario: restoring scenario RNG: %w", err)
 	}
-	if err := env.w.Restore(worldState); err != nil {
-		return nil, nil, err
-	}
-	if err := restoreController(env.ctrl, cs); err != nil {
-		return nil, nil, err
+	if env.mw != nil {
+		if err := env.mw.Restore(multiState); err != nil {
+			return nil, nil, err
+		}
+	} else {
+		if err := env.w.Restore(worldState); err != nil {
+			return nil, nil, err
+		}
+		if err := restoreController(env.ctrl, cs); err != nil {
+			return nil, nil, err
+		}
 	}
 	env.res.Terrain = reports.Terrain
 	env.res.Controller = reports.Controller

@@ -1,0 +1,184 @@
+package scenario
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/checkpoint"
+	"repro/internal/fault"
+	"repro/internal/traffic"
+)
+
+// fleetSpec is the acceptance scenario: a 3-UAV co-channel fleet over
+// mobile UEs, aggressive A3 knobs so handovers land inside the short
+// serving phases.
+func fleetSpec() Spec {
+	return Spec{
+		Terrain: "FLAT", UEs: 6, Epochs: 2, Seed: 9, ServeS: 10,
+		Traffic:              &traffic.Spec{Model: traffic.ModelCBR, RateBps: 4e5},
+		Cells:                3,
+		Carriers:             "cochannel",
+		HandoverHysteresisDB: 1,
+		HandoverTTTs:         0.1,
+		MobilityMS:           20,
+	}
+}
+
+func runFleet(t *testing.T, spec Spec, opts Options) ([]byte, *Result) {
+	t.Helper()
+	res, store, err := Run(context.Background(), spec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if store != nil {
+		t.Fatal("fleet run returned a REM store")
+	}
+	b, err := MarshalResult(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b, res
+}
+
+func TestFleetSpecValidation(t *testing.T) {
+	bad := []Spec{
+		{Cells: -1},
+		{Cells: 17},
+		{Cells: 2, Carriers: "fdd-7"},
+		{Cells: 2, HandoverHysteresisDB: -1},
+		{Cells: 2, HandoverTTTs: -0.1},
+		{Cells: 2, MobilityMS: -5},
+		{Cells: 2, UEs: 500},
+		{Carriers: "cochannel"},     // multi-cell knob without cells
+		{MobilityMS: 3},             // ditto
+		{HandoverHysteresisDB: 0.5}, // ditto
+	}
+	for _, s := range bad {
+		if err := s.Normalize(); err == nil {
+			t.Errorf("spec %+v normalized without error", s)
+		}
+	}
+	ok := fleetSpec()
+	if err := ok.Normalize(); err != nil {
+		t.Fatalf("fleet spec rejected: %v", err)
+	}
+}
+
+// TestFleetScenarioAcceptance is the issue's acceptance scenario: a
+// 3-UAV co-channel fleet with mobile UEs completes at least one
+// handover with zero bearer-byte loss, reports per-cell
+// SINR/load/fairness rows, and the whole Result is byte-identical
+// across worker counts and with an all-zero fault schedule.
+func TestFleetScenarioAcceptance(t *testing.T) {
+	spec := fleetSpec()
+	ref, res := runFleet(t, spec, Options{Workers: 1})
+
+	if res.Controller != "fleet" {
+		t.Errorf("controller = %q, want fleet", res.Controller)
+	}
+	if res.ActiveSessions != spec.UEs {
+		t.Errorf("active sessions = %d, want %d", res.ActiveSessions, spec.UEs)
+	}
+	var successes uint64
+	for _, ep := range res.Epochs {
+		if len(ep.Cells) != spec.Cells {
+			t.Fatalf("epoch %d has %d cell rows, want %d", ep.Epoch, len(ep.Cells), spec.Cells)
+		}
+		attached := 0
+		for _, c := range ep.Cells {
+			attached += c.UEs
+			if c.UEs > 0 && c.JainFairness <= 0 {
+				t.Errorf("epoch %d cell %d: fairness %g with %d UEs", ep.Epoch, c.Cell, c.JainFairness, c.UEs)
+			}
+		}
+		if attached != spec.UEs {
+			t.Errorf("epoch %d: cell rows cover %d UEs, want %d", ep.Epoch, attached, spec.UEs)
+		}
+		if ep.Handover == nil {
+			t.Fatalf("epoch %d has no handover report", ep.Epoch)
+		}
+		successes += ep.Handover.Successes
+		if ep.Traffic == nil {
+			t.Fatalf("epoch %d has no traffic report", ep.Epoch)
+		}
+		if ep.Traffic.Summary.JainFairness <= 0 {
+			t.Errorf("epoch %d: aggregate fairness %g", ep.Epoch, ep.Traffic.Summary.JainFairness)
+		}
+		for _, k := range ep.Traffic.KPIs {
+			if k.OfferedPackets != k.DeliveredPackets+k.DroppedPackets+uint64(k.BacklogPackets) {
+				t.Errorf("epoch %d UE %d leaks packets: offered %d != delivered %d + dropped %d + backlog %d",
+					ep.Epoch, k.UE, k.OfferedPackets, k.DeliveredPackets, k.DroppedPackets, k.BacklogPackets)
+			}
+			if k.Cell < 1 || k.Cell > spec.Cells {
+				t.Errorf("epoch %d UE %d on cell %d, want 1..%d", ep.Epoch, k.UE, k.Cell, spec.Cells)
+			}
+		}
+	}
+	if successes < 1 {
+		t.Errorf("fleet scenario completed no handovers")
+	}
+
+	if got, _ := runFleet(t, spec, Options{Workers: 8}); string(got) != string(ref) {
+		t.Error("fleet result differs between workers 1 and 8")
+	}
+
+	zeroFaults := fleetSpec()
+	zeroFaults.Faults = &fault.Schedule{}
+	if got, _ := runFleet(t, zeroFaults, Options{Workers: 1}); string(got) != string(ref) {
+		t.Error("all-zero fault schedule changed the fleet result")
+	}
+}
+
+// TestFleetResumeByteIdentical: a fleet run checkpointed mid-run and
+// resumed in a fresh environment — mobility cursors, handover
+// candidacies, per-cell contexts and all — matches the uninterrupted
+// run byte for byte.
+func TestFleetResumeByteIdentical(t *testing.T) {
+	spec := fleetSpec()
+	spec.Epochs = 3
+	ref, _ := runFleet(t, spec, Options{Workers: 2})
+
+	dir := t.TempDir()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	_, _, err := Run(ctx, spec, Options{
+		Workers:    2,
+		Checkpoint: &CheckpointConfig{Dir: dir},
+		OnEpoch: func(rep EpochReport) {
+			if rep.Epoch == 2 {
+				cancel()
+			}
+		},
+	})
+	if err == nil {
+		t.Fatal("cancelled run reported no error")
+	}
+	ckpt := filepath.Join(dir, checkpoint.EpochFileName(2))
+	if _, err := os.Stat(ckpt); err != nil {
+		t.Fatalf("checkpoint missing: %v", err)
+	}
+	meta, err := InspectCheckpoint(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.NextEpoch != 2 || meta.Spec.Cells != spec.Cells {
+		t.Fatalf("checkpoint meta %+v", meta)
+	}
+
+	res, store, err := Resume(context.Background(), ckpt, &spec, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if store != nil {
+		t.Fatal("fleet resume returned a REM store")
+	}
+	got, err := MarshalResult(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(ref) {
+		t.Error("resumed fleet result diverged from the uninterrupted run")
+	}
+}

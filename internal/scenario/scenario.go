@@ -17,8 +17,10 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/detrand"
+	"repro/internal/enb"
 	"repro/internal/fault"
 	"repro/internal/geom"
+	"repro/internal/interference"
 	"repro/internal/metrics"
 	"repro/internal/rem"
 	"repro/internal/sim"
@@ -60,6 +62,25 @@ type Spec struct {
 	// with every rate zero, which Normalize nils out — runs fault-free,
 	// byte-identical to a spec without the field.
 	Faults *fault.Schedule `json:"faults,omitempty"`
+
+	// Cells, when >= 2, runs the cooperative multi-UAV fleet instead of
+	// the single-UAV controller loop: one airborne eNodeB per cell on a
+	// shared EPC, interference-aware placement, load-aware selection and
+	// A3 handovers. 0 (and 1) keep the legacy single-UAV path, and every
+	// multi-cell field below is omitted from the wire form when unset,
+	// so existing spec fingerprints are unchanged.
+	Cells int `json:"cells,omitempty"`
+	// Carriers names the fleet carrier plan: "cochannel" (default) or
+	// "separate". Only meaningful with Cells >= 2.
+	Carriers string `json:"carriers,omitempty"`
+	// HandoverHysteresisDB and HandoverTTTs override the A3 hysteresis
+	// margin (default 3 dB) and time-to-trigger (default 0.16 s).
+	HandoverHysteresisDB float64 `json:"handover_hysteresis_db,omitempty"`
+	HandoverTTTs         float64 `json:"handover_ttt_s,omitempty"`
+	// MobilityMS, when > 0, gives every UE random-waypoint mobility at
+	// this speed (m/s) during serving phases — the workload that makes
+	// handovers happen.
+	MobilityMS float64 `json:"mobility_ms,omitempty"`
 }
 
 // Normalize fills defaults (matching skyranctl's flag defaults, except
@@ -126,6 +147,35 @@ func (s *Spec) Normalize() error {
 			s.Faults = nil
 		}
 	}
+	if s.Cells < 0 {
+		return fmt.Errorf("scenario: negative cells %d", s.Cells)
+	}
+	if s.Cells > 16 {
+		return fmt.Errorf("scenario: %d cells exceeds the fleet cap of 16", s.Cells)
+	}
+	if s.Cells < 2 {
+		if s.Carriers != "" || s.HandoverHysteresisDB != 0 || s.HandoverTTTs != 0 || s.MobilityMS != 0 {
+			return fmt.Errorf("scenario: carriers/handover/mobility fields require cells >= 2")
+		}
+		return nil
+	}
+	if _, err := interference.ParsePlan(s.Carriers); err != nil {
+		return fmt.Errorf("scenario: %w", err)
+	}
+	if s.HandoverHysteresisDB < 0 {
+		return fmt.Errorf("scenario: negative handover hysteresis %g dB", s.HandoverHysteresisDB)
+	}
+	if s.HandoverTTTs < 0 {
+		return fmt.Errorf("scenario: negative handover time-to-trigger %g s", s.HandoverTTTs)
+	}
+	if s.MobilityMS < 0 {
+		return fmt.Errorf("scenario: negative mobility speed %g m/s", s.MobilityMS)
+	}
+	// Fleet placement scores every (cell, UE) pair each descent round;
+	// the scale-up population is a single-cell traffic regime.
+	if s.UEs > 200 {
+		return fmt.Errorf("scenario: %d UEs exceeds the multi-cell cap of 200", s.UEs)
+	}
 	return nil
 }
 
@@ -144,6 +194,32 @@ type TerrainInfo struct {
 type UEServed struct {
 	UE        int     `json:"ue"`
 	ServedBps float64 `json:"served_bps"`
+}
+
+// CellReport is one fleet cell's per-epoch state: where it hovers, how
+// many UEs it serves, the fully-loaded wideband SINR its UEs see from
+// it, and — when a serving phase ran — what they got out of it.
+type CellReport struct {
+	// Cell is 1-based, matching the per-UE KPI column.
+	Cell     int       `json:"cell"`
+	Position geom.Vec3 `json:"position"`
+	UEs      int       `json:"ues"`
+	// SINR statistics over the cell's attached UEs (0 when it serves
+	// none).
+	MinSINRdB  float64 `json:"min_sinr_db"`
+	MeanSINRdB float64 `json:"mean_sinr_db"`
+	// ServedBps and JainFairness summarise the serving phase across the
+	// cell's UEs (0 when Spec.ServeS is 0).
+	ServedBps    float64 `json:"served_bps"`
+	JainFairness float64 `json:"jain_fairness"`
+}
+
+// HandoverReport is one epoch's handover KPI deltas.
+type HandoverReport struct {
+	Attempts      uint64  `json:"attempts"`
+	Successes     uint64  `json:"successes"`
+	PingPongs     uint64  `json:"ping_pongs"`
+	InterruptionS float64 `json:"interruption_s"`
 }
 
 // EpochReport is one controller epoch, scored against ground truth.
@@ -180,6 +256,12 @@ type EpochReport struct {
 	// deltas; present only when a fault schedule is active and at
 	// least one counter moved.
 	Faults *fault.Counts `json:"faults,omitempty"`
+
+	// Cells and Handover are the fleet columns, present only on
+	// multi-cell runs (Spec.Cells >= 2): per-cell SINR/load/fairness and
+	// this epoch's handover KPI deltas.
+	Cells    []CellReport    `json:"cells,omitempty"`
+	Handover *HandoverReport `json:"handover,omitempty"`
 
 	BatteryFrac float64 `json:"battery_frac"`
 	OdometerM   float64 `json:"odometer_m"`
@@ -251,14 +333,20 @@ type Options struct {
 	Checkpoint *CheckpointConfig
 	// OnCheckpoint is called after each committed checkpoint file.
 	OnCheckpoint func(CheckpointEvent)
+	// Workers bounds the fleet-placement fan-out on multi-cell runs
+	// (0 = one worker per core). It is an execution knob, not part of
+	// the Spec, and never changes results.
+	Workers int
 }
 
-// runEnv is a built scenario: the world, controller and scenario RNG a
-// run (or a resumed run) executes against.
+// runEnv is a built scenario: the world (single-UAV or fleet),
+// controller and scenario RNG a run (or a resumed run) executes
+// against. Exactly one of w and mw is set.
 type runEnv struct {
 	spec Spec
 	rng  *detrand.Rand
 	w    *sim.World
+	mw   *sim.MultiCell
 	ctrl core.Controller
 	res  *Result
 }
@@ -292,6 +380,9 @@ func build(spec Spec, opts Options) (*runEnv, error) {
 		}
 		ues = ue.PlaceRandomOpen(spec.UEs, area, t.IsOpen, minSep, rng.Rand)
 	}
+	if spec.Cells >= 2 {
+		return buildFleet(spec, opts, t, rng, ues)
+	}
 	w, err := sim.New(sim.Config{Terrain: t, Seed: uint64(spec.Seed), FastRanging: true, Faults: spec.Faults}, ues)
 	if err != nil {
 		return nil, err
@@ -320,6 +411,54 @@ func build(spec Spec, opts Options) (*runEnv, error) {
 	return &runEnv{spec: spec, rng: rng, w: w, ctrl: ctrl, res: res}, nil
 }
 
+// buildFleet constructs the multi-cell fleet environment: the carrier
+// plan and A3 knobs come from the spec, every UE optionally gets
+// random-waypoint mobility, and no single-UAV controller exists — the
+// fleet IS the placement strategy.
+func buildFleet(spec Spec, opts Options, t *terrain.Surface, rng *detrand.Rand, ues []*ue.UE) (*runEnv, error) {
+	plan, err := interference.ParsePlan(spec.Carriers)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	ho := enb.DefaultHandoverConfig()
+	if spec.HandoverHysteresisDB > 0 {
+		ho.HysteresisDB = spec.HandoverHysteresisDB
+	}
+	if spec.HandoverTTTs > 0 {
+		ho.TTTs = spec.HandoverTTTs
+	}
+	if spec.MobilityMS > 0 {
+		// The same inset the placement uses, so waypoint targets stay in
+		// the populated area.
+		area := t.Bounds().Inset(t.Bounds().Width() * 0.08)
+		for _, u := range ues {
+			u.Mobility = ue.NewRandomWaypoint(area, spec.MobilityMS, 0)
+		}
+	}
+	mw, err := sim.NewMultiCell(sim.Config{Terrain: t, Seed: uint64(spec.Seed), FastRanging: true, Faults: spec.Faults},
+		spec.Cells, plan, ho, ues, opts.Workers)
+	if err != nil {
+		return nil, err
+	}
+	mw.Mobile = spec.MobilityMS > 0
+	mw.Tracer = opts.Tracer
+	if opts.Tracer != nil {
+		opts.Tracer.Meta(t.Name, spec.Seed)
+	}
+	st := t.Stats()
+	res := &Result{
+		Spec: spec,
+		Terrain: TerrainInfo{
+			Name: t.Name, WidthM: t.Bounds().Width(), HeightM: t.Bounds().Height(),
+			OpenFrac: st.OpenFrac, BuildingFrac: st.BuildingFrac, FoliageFrac: st.FoliageFrac,
+			MaxObstacleHeightM: st.MaxObstacleHeight,
+		},
+		Controller:     "fleet",
+		ActiveSessions: mw.Core.ActiveSessions(),
+	}
+	return &runEnv{spec: spec, rng: rng, mw: mw, res: res}, nil
+}
+
 // Run executes the scenario and returns its Result plus the
 // controller's REM store (nil for controllers that keep no store).
 // Cancelling ctx aborts between epochs and, for the SkyRAN controller,
@@ -341,6 +480,9 @@ func Run(ctx context.Context, spec Spec, opts Options) (*Result, *rem.Store, err
 // runFrom executes epochs startEpoch..spec.Epochs-1 against a built
 // (or restored) environment.
 func runFrom(ctx context.Context, env *runEnv, startEpoch int, opts Options) (*Result, *rem.Store, error) {
+	if env.mw != nil {
+		return runFleetFrom(ctx, env, startEpoch, opts)
+	}
 	spec, w, ctrl, rng, res := env.spec, env.w, env.ctrl, env.rng, env.res
 	// Per-epoch fault deltas diff against the counters at loop entry;
 	// on a resume the restored injector carries the pre-checkpoint
@@ -443,6 +585,138 @@ func runFrom(ctx context.Context, env *runEnv, startEpoch int, opts Options) (*R
 	return res, storeOf(ctrl), nil
 }
 
+// runFleetFrom is the multi-cell epoch loop: relocate half the UEs,
+// re-place the fleet on the new UE field, reselect cells load-aware,
+// serve (with A3 handovers firing mid-phase), and report per-cell
+// SINR/load/fairness plus the epoch's handover KPI deltas. Fleet runs
+// keep no REM store.
+func runFleetFrom(ctx context.Context, env *runEnv, startEpoch int, opts Options) (*Result, *rem.Store, error) {
+	spec, m, rng, res := env.spec, env.mw, env.rng, env.res
+	// Deltas diff against the counters at loop entry; on a resume the
+	// restored injector and handover engine carry the pre-checkpoint
+	// totals, so the first resumed epoch's delta starts from them.
+	prevFaults := m.FaultCounts()
+	prevHO := m.HO.Stats()
+	for e := startEpoch; e < spec.Epochs; e++ {
+		if err := ctx.Err(); err != nil {
+			return res, nil, fmt.Errorf("scenario: epoch %d: %w", e+1, err)
+		}
+		relocated := e > 0
+		if relocated {
+			relocateHalfOf(m.Cfg.Terrain, m.UEs, rng.Rand)
+		}
+		if err := m.PlaceCells(); err != nil {
+			return res, nil, fmt.Errorf("scenario: epoch %d placement: %w", e+1, err)
+		}
+		if err := m.Reselect(); err != nil {
+			return res, nil, fmt.Errorf("scenario: epoch %d reselection: %w", e+1, err)
+		}
+		rep := EpochReport{
+			Epoch:          e + 1,
+			Relocated:      relocated,
+			Position:       m.Graph.Cells[0],
+			ObjectiveValue: m.MinSINRdB(),
+			ThroughputBps:  m.AvgThroughputBps(),
+		}
+		if spec.ServeS > 0 {
+			if spec.Traffic != nil {
+				trep, err := m.ServeTraffic(spec.ServeS, 10, *spec.Traffic)
+				if err != nil {
+					return res, nil, fmt.Errorf("scenario: epoch %d serving: %w", e+1, err)
+				}
+				rep.Traffic = trep
+				for _, k := range trep.KPIs {
+					rep.Served = append(rep.Served, UEServed{UE: k.UE, ServedBps: k.ThroughputBps})
+					rep.AggregateServedBps += k.ThroughputBps
+				}
+			} else {
+				bits, err := m.ServeSeconds(spec.ServeS, 10)
+				if err != nil {
+					return res, nil, fmt.Errorf("scenario: epoch %d serving: %w", e+1, err)
+				}
+				for i, b := range bits {
+					rep.Served = append(rep.Served, UEServed{UE: m.UEs[i].ID, ServedBps: b / spec.ServeS})
+					rep.AggregateServedBps += b / spec.ServeS
+				}
+			}
+		}
+		rep.Cells = cellReports(m, rep.Served)
+		ho := m.HO.Stats()
+		rep.Handover = &HandoverReport{
+			Attempts:      ho.Attempts - prevHO.Attempts,
+			Successes:     ho.Successes - prevHO.Successes,
+			PingPongs:     ho.PingPongs - prevHO.PingPongs,
+			InterruptionS: ho.InterruptionS - prevHO.InterruptionS,
+		}
+		prevHO = ho
+		if spec.Faults != nil {
+			now := m.FaultCounts()
+			if delta := now.Sub(prevFaults); !delta.IsZero() {
+				d := delta
+				rep.Faults = &d
+				if m.Tracer != nil {
+					for _, nc := range delta.NonZero() {
+						m.Tracer.Emit(trace.Record{
+							Kind: trace.KindFault, T: m.Clock, Epoch: e + 1,
+							Fault: nc.Name, Value: float64(nc.N),
+						})
+					}
+				}
+			}
+			prevFaults = now
+		}
+		res.Epochs = append(res.Epochs, rep)
+		if opts.OnEpoch != nil {
+			opts.OnEpoch(rep)
+		}
+		if cp := opts.Checkpoint; cp != nil {
+			every := cp.EveryEpochs
+			if every <= 0 {
+				every = 1
+			}
+			if (e+1)%every == 0 {
+				if err := writeCheckpoint(env, e+1, cp, opts.OnCheckpoint); err != nil {
+					return res, nil, fmt.Errorf("scenario: epoch %d: %w", e+1, err)
+				}
+			}
+		}
+	}
+	return res, nil, nil
+}
+
+// cellReports summarises each cell for one epoch: position, load,
+// fully-loaded wideband SINR over its attached UEs, and (when a serving
+// phase ran) the per-cell served rate and its Jain fairness. served is
+// rep.Served in UE index order, or nil when no serving phase ran.
+func cellReports(m *sim.MultiCell, served []UEServed) []CellReport {
+	out := make([]CellReport, m.NCells)
+	for c := range out {
+		out[c] = CellReport{Cell: c + 1, Position: m.Graph.Cells[c]}
+	}
+	sums := make([]float64, m.NCells)
+	bps := make([][]float64, m.NCells)
+	for i, u := range m.UEs {
+		c := m.CellOf(i)
+		s := m.Graph.WidebandSINRdB(c, u.Pos, nil, 0)
+		if out[c].UEs == 0 || s < out[c].MinSINRdB {
+			out[c].MinSINRdB = s
+		}
+		sums[c] += s
+		out[c].UEs++
+		if i < len(served) {
+			bps[c] = append(bps[c], served[i].ServedBps)
+			out[c].ServedBps += served[i].ServedBps
+		}
+	}
+	for c := range out {
+		if out[c].UEs > 0 {
+			out[c].MeanSINRdB = sums[c] / float64(out[c].UEs)
+		}
+		out[c].JainFairness = traffic.JainIndex(bps[c])
+	}
+	return out
+}
+
 // storeOf exposes the controller's REM store when it keeps one.
 func storeOf(ctrl core.Controller) *rem.Store {
 	if s, ok := ctrl.(*core.SkyRAN); ok {
@@ -471,14 +745,19 @@ func makeController(name string, budget float64, seed int64) (core.Controller, e
 // relocateHalf moves half the UEs to fresh open positions between
 // epochs — the paper's dynamic-UE workload.
 func relocateHalf(w *sim.World, rng *rand.Rand) {
-	t := w.Terrain
+	relocateHalfOf(w.Terrain, w.UEs, rng)
+}
+
+// relocateHalfOf is relocateHalf over any UE population — the fleet
+// world shares the exact draw sequence with the legacy path.
+func relocateHalfOf(t *terrain.Surface, ues []*ue.UE, rng *rand.Rand) {
 	area := t.Bounds().Inset(t.Bounds().Width() * 0.08)
-	for i := 0; i < len(w.UEs)/2; i++ {
-		idx := rng.Intn(len(w.UEs))
+	for i := 0; i < len(ues)/2; i++ {
+		idx := rng.Intn(len(ues))
 		for try := 0; try < 5000; try++ {
 			p := geom.V2(area.MinX+rng.Float64()*area.Width(), area.MinY+rng.Float64()*area.Height())
 			if t.IsOpen(p) {
-				w.UEs[idx].Pos = p
+				ues[idx].Pos = p
 				break
 			}
 		}

@@ -157,6 +157,15 @@ type Server struct {
 	gBearerBacklog    *metrics.Gauge
 	gBearerPeakQueue  *metrics.Gauge
 	hUEDelay          *metrics.Histogram
+	gJain             *metrics.Gauge
+
+	// Multi-cell fleet metrics (handover engine + interference graph).
+	mHOAttempts  *metrics.Counter
+	mHOSuccesses *metrics.Counter
+	mHOPingPongs *metrics.Counter
+	mHOInterrupt *metrics.Counter
+	gSINRMin     *metrics.Gauge
+	gSINRMean    *metrics.Gauge
 
 	// Checkpoint subsystem metrics.
 	mCkptWrites *metrics.Counter
@@ -230,6 +239,14 @@ func New(cfg Config) (*Server, error) {
 		gBearerBacklog:    reg.Gauge("skyran_bearer_backlog_packets", "Packets still queued at the end of the latest serving phase."),
 		gBearerPeakQueue:  reg.Gauge("skyran_bearer_peak_queue_depth", "Deepest bearer queue observed in the latest serving phase."),
 		hUEDelay:          reg.Histogram("skyran_traffic_ue_mean_delay_seconds", "Per-UE mean queueing delay per serving phase.", traffic.DelayBuckets),
+		gJain:             reg.Gauge("skyran_traffic_jain_fairness", "Jain fairness index over per-UE throughput in the latest serving phase."),
+
+		mHOAttempts:  reg.Counter("skyran_handover_attempts_total", "A3 handover triggers across fleet serving phases."),
+		mHOSuccesses: reg.Counter("skyran_handover_successes_total", "Completed handovers across fleet serving phases."),
+		mHOPingPongs: reg.Counter("skyran_handover_pingpongs_total", "Handovers that returned a UE to its previous cell within the ping-pong window."),
+		mHOInterrupt: reg.Counter("skyran_handover_interruption_seconds_total", "Cumulative service interruption caused by handovers."),
+		gSINRMin:     reg.Gauge("skyran_sinr_min_db", "Fleet max-min SINR objective at the latest epoch."),
+		gSINRMean:    reg.Gauge("skyran_sinr_mean_db", "UE-weighted mean wideband SINR at the latest epoch."),
 
 		mCkptWrites: reg.Counter("skyran_checkpoint_writes_total", "Checkpoint files written at epoch boundaries."),
 		mCkptBytes:  reg.Counter("skyran_checkpoint_bytes_total", "Total bytes written to checkpoint files."),
@@ -456,6 +473,7 @@ func (s *Server) runJob(job *Job) {
 			epochStart = time.Now()
 			s.observeTraffic(rep.Traffic)
 			s.observeFaults(rep.Faults)
+			s.observeFleet(rep)
 		},
 	}
 	if s.cfg.CheckpointDir != "" {
@@ -587,6 +605,38 @@ func (s *Server) observeTraffic(rep *traffic.Report) {
 		}
 	}
 	s.gBearerPeakQueue.Set(float64(peak))
+	s.gJain.Set(rep.Summary.JainFairness)
+}
+
+// observeFleet folds one epoch's multi-cell columns into the fleet
+// metrics: handover KPI deltas into counters, the SINR objective and
+// UE-weighted mean SINR into gauges, and per-cell load/fairness into
+// name-suffixed gauges (skyran_cell<N>_...). Single-UAV epochs carry
+// neither column and change nothing.
+func (s *Server) observeFleet(rep scenario.EpochReport) {
+	if ho := rep.Handover; ho != nil {
+		s.mHOAttempts.Add(float64(ho.Attempts))
+		s.mHOSuccesses.Add(float64(ho.Successes))
+		s.mHOPingPongs.Add(float64(ho.PingPongs))
+		s.mHOInterrupt.Add(ho.InterruptionS)
+	}
+	if len(rep.Cells) == 0 {
+		return
+	}
+	s.gSINRMin.Set(rep.ObjectiveValue)
+	var sum float64
+	attached := 0
+	for _, c := range rep.Cells {
+		sum += c.MeanSINRdB * float64(c.UEs)
+		attached += c.UEs
+		s.reg.Gauge(fmt.Sprintf("skyran_cell%d_ues", c.Cell),
+			"UEs attached to this fleet cell at the latest epoch.").Set(float64(c.UEs))
+		s.reg.Gauge(fmt.Sprintf("skyran_cell%d_jain_fairness", c.Cell),
+			"Jain fairness over this cell's UE throughput in the latest serving phase.").Set(c.JainFairness)
+	}
+	if attached > 0 {
+		s.gSINRMean.Set(sum / float64(attached))
+	}
 }
 
 // scrape refreshes the sampled gauges just before exposition.

@@ -457,6 +457,74 @@ func TestTrafficJobDeterministicAcrossWorkers(t *testing.T) {
 	}
 }
 
+// TestFleetJobMetrics: a multi-cell job served over HTTP matches the
+// direct scenario run byte for byte and surfaces the fleet metrics —
+// handover counters, SINR gauges, aggregate and per-cell Jain fairness
+// — on /metrics.
+func TestFleetJobMetrics(t *testing.T) {
+	spec := scenario.Spec{
+		Terrain: "FLAT", UEs: 6, Epochs: 2, Seed: 9, ServeS: 10,
+		Traffic:              &traffic.Spec{Model: traffic.ModelCBR, RateBps: 4e5},
+		Cells:                3,
+		HandoverHysteresisDB: 1,
+		HandoverTTTs:         0.1,
+		MobilityMS:           20,
+	}
+	res, _, err := scenario.Run(context.Background(), spec, scenario.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := scenario.MarshalResult(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s := mustNew(t, Config{QueueCap: 2, Workers: 1, JobTimeout: time.Minute})
+	s.Start()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, env := postJob(t, ts, spec)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d", resp.StatusCode)
+	}
+	j, _ := s.Get(env.ID)
+	waitDone(t, j)
+	code, body := getBody(t, ts.URL+"/v1/jobs/"+j.ID()+"/result")
+	if code != http.StatusOK {
+		t.Fatalf("result: status %d", code)
+	}
+	if !bytes.Equal(body, want) {
+		t.Fatal("fleet job result differs from the direct scenario run")
+	}
+
+	code, mtext := getBody(t, ts.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics: status %d", code)
+	}
+	for _, name := range []string{
+		"skyran_handover_attempts_total",
+		"skyran_handover_successes_total",
+		"skyran_handover_pingpongs_total",
+		"skyran_handover_interruption_seconds_total",
+		"skyran_sinr_min_db",
+		"skyran_sinr_mean_db",
+		"skyran_traffic_jain_fairness",
+		"skyran_cell1_jain_fairness",
+		"skyran_cell3_ues",
+	} {
+		if !strings.Contains(string(mtext), name) {
+			t.Errorf("/metrics missing %s", name)
+		}
+	}
+	if strings.Contains(string(mtext), "skyran_handover_successes_total 0\n") {
+		t.Error("fleet job completed no handovers according to /metrics")
+	}
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // recSpec is a multi-epoch job that leaves several checkpoints behind.
 func recSpec(seed int64) scenario.Spec {
 	return scenario.Spec{Terrain: "FLAT", UEs: 3, BudgetM: 200, Epochs: 3, Seed: seed, ServeS: 1}

@@ -1,0 +1,108 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/detrand"
+	"repro/internal/enb"
+	"repro/internal/fault"
+	"repro/internal/geom"
+	"repro/internal/ue"
+)
+
+// MultiState is the fleet world's complete serializable state. Unlike
+// WorldState it must carry the cell positions and the UE↔cell map:
+// handovers reshuffle which cell owns which context, so the layout is
+// simulation state, not configuration.
+type MultiState struct {
+	Clock      float64
+	ServePhase uint64
+
+	RNG         detrand.State
+	MobilityRNG detrand.State
+	PlaceRNG    detrand.State
+
+	UEs      []ue.State
+	Cells    []enb.State
+	CellPos  []geom.Vec3
+	Serving  []int
+	Handover enb.HandoverEngineState
+
+	Faults *fault.State
+}
+
+// Snapshot captures the fleet state at a quiescent point.
+func (m *MultiCell) Snapshot() MultiState {
+	st := MultiState{
+		Clock:       m.Clock,
+		ServePhase:  m.servePhase,
+		RNG:         m.rng.State(),
+		MobilityRNG: m.mrng.State(),
+		PlaceRNG:    m.placeRNG.State(),
+		CellPos:     append([]geom.Vec3(nil), m.Graph.Cells...),
+		Serving:     append([]int(nil), m.Serving...),
+		Handover:    m.HO.Snapshot(),
+	}
+	for _, u := range m.UEs {
+		st.UEs = append(st.UEs, u.Snapshot())
+	}
+	for _, c := range m.Cells {
+		st.Cells = append(st.Cells, c.Snapshot())
+	}
+	if m.Faults != nil {
+		fs := m.Faults.Snapshot()
+		st.Faults = &fs
+	}
+	return st
+}
+
+// Restore reinstates a snapshot into a fleet built from the same
+// configuration. Cell contexts are rebuilt cold (RestoreCold) because
+// the checkpointed attach layout — which UE lives in which cell, under
+// which RNTI — generally differs from the freshly constructed one.
+func (m *MultiCell) Restore(st MultiState) error {
+	if len(st.UEs) != len(m.UEs) {
+		return fmt.Errorf("sim: snapshot has %d UEs, fleet has %d", len(st.UEs), len(m.UEs))
+	}
+	if len(st.Cells) != m.NCells || len(st.CellPos) != m.NCells || len(st.Serving) != len(m.UEs) {
+		return fmt.Errorf("sim: snapshot shape mismatch: %d cells/%d positions/%d serving, fleet has %d cells/%d UEs",
+			len(st.Cells), len(st.CellPos), len(st.Serving), m.NCells, len(m.UEs))
+	}
+	if err := m.rng.Restore(st.RNG); err != nil {
+		return fmt.Errorf("sim: measurement RNG: %w", err)
+	}
+	if err := m.mrng.Restore(st.MobilityRNG); err != nil {
+		return fmt.Errorf("sim: mobility RNG: %w", err)
+	}
+	if err := m.placeRNG.Restore(st.PlaceRNG); err != nil {
+		return fmt.Errorf("sim: placement RNG: %w", err)
+	}
+	for i, u := range m.UEs {
+		if err := u.Restore(st.UEs[i]); err != nil {
+			return fmt.Errorf("sim: %w", err)
+		}
+	}
+	for c, cs := range st.Cells {
+		if err := m.Cells[c].RestoreCold(cs, m.Core.Session); err != nil {
+			return fmt.Errorf("sim: cell %d: %w", c, err)
+		}
+	}
+	for c, pos := range st.CellPos {
+		m.Graph.SetCell(c, pos)
+	}
+	copy(m.Serving, st.Serving)
+	if err := m.HO.Restore(st.Handover); err != nil {
+		return fmt.Errorf("sim: %w", err)
+	}
+	if st.Faults != nil {
+		if m.Faults == nil {
+			return fmt.Errorf("sim: snapshot carries fault state but the fleet has no fault schedule")
+		}
+		if err := m.Faults.Restore(*st.Faults); err != nil {
+			return fmt.Errorf("sim: %w", err)
+		}
+	}
+	m.Clock = st.Clock
+	m.servePhase = st.ServePhase
+	return nil
+}

@@ -30,6 +30,7 @@ const (
 	KindServe     Kind = "serve"
 	KindTraffic   Kind = "traffic"
 	KindFault     Kind = "fault"
+	KindHandover  Kind = "handover"
 )
 
 // Record is one telemetry event. Fields are used according to Kind;
@@ -61,6 +62,11 @@ type Record struct {
 	// this epoch (Fault names the counter, Value carries the delta;
 	// Epoch ties it to the epoch that saw it).
 	Fault string `json:"fault,omitempty"`
+
+	// KindHandover: one completed UE handover (UE identifies the UE, T
+	// the completion time).
+	FromCell int `json:"from_cell,omitempty"`
+	ToCell   int `json:"to_cell,omitempty"`
 
 	// KindEpoch
 	Epoch         int     `json:"epoch,omitempty"`

@@ -24,6 +24,11 @@ var DelayBuckets = func() []float64 {
 // requirements call the minimum meaningful simulator output.
 type UEKPI struct {
 	UE int `json:"ue"`
+	// Cell is the UE's serving cell at the end of the phase and
+	// Handovers the number of handovers it completed during it; both
+	// stay zero (and off the wire) outside multi-cell runs.
+	Cell      int    `json:"cell,omitempty"`
+	Handovers uint64 `json:"handovers,omitempty"`
 
 	OfferedPackets   uint64 `json:"offered_packets"`
 	OfferedBytes     uint64 `json:"offered_bytes"`
@@ -80,10 +85,33 @@ type Summary struct {
 	P95DelayS  float64 `json:"p95_delay_s"`
 	LossFrac   float64 `json:"loss_frac"`
 
+	// JainFairness is Jain's fairness index over the per-UE delivered
+	// throughputs: (Σx)²/(n·Σx²), 1 for a perfectly even split, 1/n
+	// when one UE takes everything. Zero (and absent) when nothing was
+	// delivered.
+	JainFairness float64 `json:"jain_fairness,omitempty"`
+
 	// Fault-injection aggregates (absent without an active schedule).
 	FaultDroppedBytes uint64 `json:"fault_dropped_bytes,omitempty"`
 	DuplicatedBytes   uint64 `json:"duplicated_bytes,omitempty"`
 	StarvedTTIs       uint64 `json:"starved_ttis,omitempty"`
+}
+
+// JainIndex is Jain's fairness index (Σx)²/(n·Σx²) over non-negative
+// values; it returns 0 for an empty or all-zero input. The scheduler
+// comment has long admitted max-CQI trades fairness for throughput —
+// this is the measurement that makes the trade visible per cell and
+// fleet-wide.
+func JainIndex(xs []float64) float64 {
+	var sum, sumSq float64
+	for _, x := range xs {
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 || len(xs) == 0 {
+		return 0
+	}
+	return sum * sum / (float64(len(xs)) * sumSq)
 }
 
 // Report is a finished serving phase: per-UE rows plus the aggregate.
@@ -307,5 +335,10 @@ func (c *Collector) Report(seconds float64, backlog, peak []int) *Report {
 	if offeredPkts > 0 {
 		sum.LossFrac = float64(droppedPkts) / float64(offeredPkts)
 	}
+	tputs := make([]float64, len(rep.KPIs))
+	for i := range rep.KPIs {
+		tputs[i] = rep.KPIs[i].ThroughputBps
+	}
+	sum.JainFairness = JainIndex(tputs)
 	return rep
 }

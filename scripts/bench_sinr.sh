@@ -1,0 +1,36 @@
+#!/bin/sh
+# bench-sinr: record BENCH_sinr.json — the per-TTI SINR-loop cost
+# (pathloss per interferer path through the shared obstruction cache,
+# RB-overlap accumulation, penalty mapping) at 2, 4 and 8 co-channel
+# cells, from BenchmarkSINRLoop in internal/interference.
+set -eu
+
+cd "$(dirname "$0")/.."
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT INT TERM
+
+echo "bench-sinr: running BenchmarkSINRLoop"
+go test -run '^$' -bench 'BenchmarkSINRLoop' ./internal/interference >"$tmp/bench.txt"
+cat "$tmp/bench.txt"
+
+awk '
+$1 ~ /^BenchmarkSINRLoop\// {
+	split($1, parts, "/")
+	sub(/-[0-9]+$/, "", parts[2])
+	name = parts[2]
+	ns[name] = $3
+	order[n++] = name
+}
+END {
+	if (n == 0) {
+		print "bench-sinr: no benchmark results parsed" > "/dev/stderr"
+		exit 1
+	}
+	printf "{\n"
+	for (i = 0; i < n; i++) {
+		printf "  \"%s_ns_per_op\": %s%s\n", order[i], ns[order[i]], (i + 1 < n ? "," : "")
+	}
+	printf "}\n"
+}' "$tmp/bench.txt" >BENCH_sinr.json
+
+echo "bench-sinr: OK (BENCH_sinr.json)"
