@@ -9,12 +9,15 @@
 #   make recover-smoke  SIGKILL the daemon mid-job, restart, byte-identical finish
 #   make chaos-smoke  aggressive fault schedule + daemon chaos under -race, byte-identical
 #   make handover-smoke  mobile-UE multi-cell handovers under -race, byte-identical
+#   make cluster-smoke  coordinator + 2 workers, SIGKILL one mid-campaign,
+#                       merged result byte-identical to a single-node run
 #   make bench-traffic  record BENCH_traffic.json via skyrbench vs skyrand,
-#                       plus BENCH_sinr.json (per-TTI SINR-loop cost)
+#                       plus BENCH_sinr.json (per-TTI SINR-loop cost) and
+#                       BENCH_cluster.json (campaign wall-clock at 1/2/4 workers)
 
 GO ?= go
 
-.PHONY: tier1 race short bench bench-smoke fmt serve-smoke recover-smoke chaos-smoke handover-smoke bench-traffic
+.PHONY: tier1 race short bench bench-smoke fmt serve-smoke recover-smoke chaos-smoke handover-smoke cluster-smoke bench-traffic
 
 tier1:
 	$(GO) build ./... && $(GO) test -timeout 60m ./...
@@ -46,6 +49,10 @@ chaos-smoke:
 handover-smoke:
 	sh scripts/handover_smoke.sh
 
+cluster-smoke:
+	sh scripts/cluster_smoke.sh
+
 bench-traffic:
 	sh scripts/bench_traffic.sh
 	sh scripts/bench_sinr.sh
+	sh scripts/bench_cluster.sh

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/client"
+)
+
+// runCluster implements `skyranctl cluster`: drive a skyrand cluster
+// coordinator instead of a single daemon.
+//
+//	skyranctl cluster submit -addr http://127.0.0.1:7650 -seeds 16 [scenario flags]
+//	skyranctl cluster status -addr http://127.0.0.1:7650
+//
+// `cluster submit` sweeps the spec over -seeds consecutive Monte-Carlo
+// seeds starting at -seed; with -wait it downloads the merged campaign
+// document, which is byte-identical to running every seed on one node.
+func runCluster(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: skyranctl cluster <submit|status> [flags]")
+	}
+	switch args[0] {
+	case "submit":
+		return runClusterSubmit(args[1:])
+	case "status":
+		return runClusterStatus(args[1:])
+	}
+	return fmt.Errorf("unknown cluster subcommand %q (valid: submit, status)", args[0])
+}
+
+func runClusterSubmit(args []string) error {
+	fs := flag.NewFlagSet("skyranctl cluster submit", flag.ExitOnError)
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: skyranctl cluster submit -addr http://127.0.0.1:7650 -seeds N [scenario flags]")
+		fs.PrintDefaults()
+	}
+	var (
+		addr    = fs.String("addr", "http://127.0.0.1:7650", "coordinator base URL")
+		seeds   = fs.Int("seeds", 8, "Monte-Carlo seeds to sweep, starting at -seed")
+		wait    = fs.Bool("wait", false, "poll the campaign to a terminal state and print the merged result JSON")
+		timeout = fs.Duration("timeout", 30*time.Minute, "overall wait budget with -wait")
+	)
+	buildSpec := specFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *seeds < 1 {
+		usageError("-seeds must be at least 1, got %d", *seeds)
+	}
+	spec := buildSpec()
+
+	cl := client.New(*addr)
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	id, err := cl.SubmitCampaign(ctx, client.CampaignRequest{
+		Spec:      spec,
+		SeedBase:  spec.Seed,
+		SeedCount: *seeds,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "skyranctl: submitted campaign %s (%d seeds from %d)\n", id, *seeds, spec.Seed)
+	if !*wait {
+		fmt.Println(id)
+		return nil
+	}
+	st, err := cl.AwaitCampaign(ctx, id, 0)
+	if err != nil {
+		return err
+	}
+	if st.Status != "succeeded" {
+		return fmt.Errorf("campaign %s %s: %s", id, st.Status, st.Error)
+	}
+	body, err := cl.CampaignResult(ctx, id)
+	if err != nil {
+		return err
+	}
+	_, err = os.Stdout.Write(body)
+	return err
+}
+
+func runClusterStatus(args []string) error {
+	fs := flag.NewFlagSet("skyranctl cluster status", flag.ExitOnError)
+	addr := fs.String("addr", "http://127.0.0.1:7650", "coordinator base URL")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	body, err := client.New(*addr).ClusterStatus(ctx)
+	if err != nil {
+		return err
+	}
+	_, err = os.Stdout.Write(body)
+	return err
+}

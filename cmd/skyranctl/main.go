@@ -45,6 +45,14 @@
 // the retrying idempotent client instead of running it in-process:
 //
 //	skyranctl submit -addr http://127.0.0.1:7643 -terrain FLAT -ues 3 -wait
+//
+// `skyranctl cluster submit` sweeps the spec over a Monte-Carlo seed
+// range through a skyrand cluster coordinator, which shards the seeds
+// across worker daemons and merges the results deterministically;
+// `skyranctl cluster status` shows the worker fleet:
+//
+//	skyranctl cluster submit -addr http://127.0.0.1:7650 -terrain FLAT -ues 3 -seeds 16 -wait
+//	skyranctl cluster status -addr http://127.0.0.1:7650
 package main
 
 import (
@@ -71,6 +79,12 @@ func main() {
 			return
 		case "submit":
 			if err := runSubmit(os.Args[2:]); err != nil {
+				fmt.Fprintln(os.Stderr, "skyranctl:", err)
+				os.Exit(1)
+			}
+			return
+		case "cluster":
+			if err := runCluster(os.Args[2:]); err != nil {
 				fmt.Fprintln(os.Stderr, "skyranctl:", err)
 				os.Exit(1)
 			}

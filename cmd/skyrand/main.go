@@ -29,6 +29,17 @@
 // run, even after kill -9:
 //
 //	skyrand -addr :7643 -checkpoint-dir /var/lib/skyrand
+//
+// With -coordinator the same binary fronts a fleet of worker daemons
+// as a cluster coordinator: POST a campaign (a spec template swept
+// over Monte-Carlo seeds) to /v1/campaigns, and the coordinator shards
+// the seeds across the workers, rides out worker failures by
+// restealing their shards, and serves a merged result byte-identical
+// to a single-node run at any worker count:
+//
+//	skyrand -coordinator -addr :7650 \
+//	    -worker-addrs http://127.0.0.1:7643,http://127.0.0.1:7644 \
+//	    -route least-loaded -cluster-ckpt-dir /var/lib/skyran-cluster
 package main
 
 import (
@@ -58,6 +69,16 @@ func main() {
 
 		readTimeout = flag.Duration("read-timeout", 30*time.Second, "HTTP request read timeout (header + body)")
 
+		coordinator = flag.Bool("coordinator", false, "run as a cluster coordinator fronting -worker-addrs instead of a worker daemon")
+		workerAddrs = flag.String("worker-addrs", "", "comma-separated worker base URLs (coordinator mode)")
+		route       = flag.String("route", "round-robin", "coordinator routing policy: round-robin, least-loaded, scenario-affinity")
+		admitRate   = flag.Float64("admit-rate", 0, "coordinator admission: seeds admitted per second (0 = unlimited)")
+		admitBurst  = flag.Int("admit-burst", 0, "coordinator admission burst in seeds")
+		probeEvery  = flag.Duration("probe-every", 500*time.Millisecond, "coordinator health-probe interval")
+		probeFails  = flag.Int("probe-fails", 3, "consecutive probe failures before a worker is evicted")
+		shardSeeds  = flag.Int("shard-seeds", 4, "max seeds per dispatched shard")
+		clusterCkpt = flag.String("cluster-ckpt-dir", "", "shared checkpoint root for shard sub-jobs (enables cross-worker resume after eviction)")
+
 		chaosSeed    = flag.Int64("chaos-seed", 0, "chaos RNG seed (0 = fixed default)")
 		chaosSlow    = flag.Float64("chaos-slow-rate", 0, "probability an HTTP request is artificially delayed [0,1]")
 		chaosSlowMax = flag.Duration("chaos-slow-max", 0, "max injected handler delay (0 = default)")
@@ -66,6 +87,23 @@ func main() {
 		chaosMax     = flag.Int("chaos-max-crashes", 0, "total simulated crashes allowed (0 = default)")
 	)
 	flag.Parse()
+	if *coordinator {
+		err := coordinatorMain(*addr, coordinatorOpts{
+			workerAddrs: *workerAddrs,
+			route:       *route,
+			admitRate:   *admitRate,
+			admitBurst:  *admitBurst,
+			probeEvery:  *probeEvery,
+			probeFails:  *probeFails,
+			shardSeeds:  *shardSeeds,
+			ckptRoot:    *clusterCkpt,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "skyrand:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	cfg := server.Config{
 		QueueCap:         *queueCap,
 		Workers:          *workers,

@@ -1,0 +1,171 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/scenario"
+)
+
+// Cluster targeting mode: instead of single jobs against one daemon,
+// skyrbench -coordinator submits campaigns (seed sweeps) to a cluster
+// coordinator and measures campaign wall-clock — the number that
+// actually changes with worker count. scripts/bench_cluster.sh sweeps
+// the same campaign load over 1, 2 and 4 local workers and assembles
+// the per-topology snapshots into BENCH_cluster.json.
+
+// clusterOutcome is one campaign's life as seen from the client.
+type clusterOutcome struct {
+	Campaign  string  `json:"campaign,omitempty"`
+	State     string  `json:"state"`
+	SubmitS   float64 `json:"submit_s"`
+	EndToEndS float64 `json:"e2e_s"` // scheduled submission -> merged result downloaded
+	Err       string  `json:"error,omitempty"`
+
+	mergedBytes int
+}
+
+// clusterSnapshot is one entry of BENCH_cluster.json: the campaign
+// latency profile at one worker count.
+type clusterSnapshot struct {
+	Addr             string        `json:"addr"`
+	Workers          int           `json:"workers"`
+	Spec             scenario.Spec `json:"spec"`
+	Campaigns        int           `json:"campaigns"`
+	SeedsPerCampaign int           `json:"seeds_per_campaign"`
+	RateCPS          float64       `json:"rate_campaigns_per_s"`
+
+	WallS            float64 `json:"wall_s"`
+	Succeeded        int     `json:"succeeded"`
+	Failed           int     `json:"failed"`
+	AchievedCPS      float64 `json:"achieved_campaigns_per_s"`
+	CampaignWallS    pctls   `json:"campaign_wall_s"`
+	MergedBytesTotal int     `json:"merged_bytes_total"`
+}
+
+// runCluster drives campaigns at a coordinator, open loop like the job
+// path: submission times are fixed up front so a slow cluster shows up
+// as campaign latency, never as reduced offered load.
+func runCluster(addr string, campaigns int, rate float64, wait time.Duration, maxRetries int,
+	outPath string, seedBase int64, seedsPer, workers int, spec scenario.Spec) error {
+	if rate <= 0 {
+		return fmt.Errorf("rate must be positive, got %g", rate)
+	}
+	if seedsPer < 1 {
+		return fmt.Errorf("-seeds must be at least 1, got %d", seedsPer)
+	}
+	start := time.Now()
+	results := make([]clusterOutcome, campaigns)
+	done := make(chan int, campaigns)
+	for i := 0; i < campaigns; i++ {
+		go func(i int) {
+			defer func() { done <- i }()
+			at := start.Add(time.Duration(float64(i) / rate * float64(time.Second)))
+			time.Sleep(time.Until(at))
+			// Disjoint seed ranges per campaign: campaign i sweeps
+			// [base+i*seeds, base+(i+1)*seeds).
+			results[i] = oneCampaign(addr, spec, seedBase+int64(i*seedsPer), seedsPer, at, wait, maxRetries)
+		}(i)
+	}
+	for range results {
+		<-done
+	}
+	wall := time.Since(start)
+	return reportCluster(os.Stdout, addr, spec, campaigns, rate, seedsPer, workers, wall, results, outPath)
+}
+
+func oneCampaign(addr string, spec scenario.Spec, seedBase int64, seeds int,
+	scheduled time.Time, wait time.Duration, maxRetries int) clusterOutcome {
+	out := clusterOutcome{State: "error"}
+	cl := client.New(addr)
+	cl.MaxRetries = maxRetries
+
+	ctx, cancel := context.WithTimeout(context.Background(), wait)
+	defer cancel()
+	submitStart := time.Now()
+	id, err := cl.SubmitCampaign(ctx, client.CampaignRequest{
+		Spec:      spec,
+		SeedBase:  seedBase,
+		SeedCount: seeds,
+	})
+	if err != nil {
+		out.Err = err.Error()
+		return out
+	}
+	out.Campaign = id
+	out.SubmitS = time.Since(submitStart).Seconds()
+
+	st, err := cl.AwaitCampaign(ctx, id, 150*time.Millisecond)
+	if err != nil {
+		out.Err = "waiting for terminal state: " + err.Error()
+		return out
+	}
+	if st.Status != "succeeded" {
+		out.State = st.Status
+		out.Err = st.Error
+		out.EndToEndS = time.Since(scheduled).Seconds()
+		return out
+	}
+	merged, err := cl.CampaignResult(ctx, id)
+	if err != nil {
+		out.Err = "fetching merged result: " + err.Error()
+		return out
+	}
+	out.State = "succeeded"
+	out.EndToEndS = time.Since(scheduled).Seconds()
+	out.mergedBytes = len(merged)
+	return out
+}
+
+func reportCluster(w io.Writer, addr string, spec scenario.Spec, campaigns int, rate float64,
+	seedsPer, workers int, wall time.Duration, results []clusterOutcome, outPath string) error {
+	snap := clusterSnapshot{
+		Addr: addr, Workers: workers, Spec: spec,
+		Campaigns: campaigns, SeedsPerCampaign: seedsPer, RateCPS: rate,
+		WallS: wall.Seconds(),
+	}
+	var e2e []float64
+	for _, r := range results {
+		if r.State == "succeeded" {
+			snap.Succeeded++
+			e2e = append(e2e, r.EndToEndS)
+			snap.MergedBytesTotal += r.mergedBytes
+		} else {
+			snap.Failed++
+			if r.Err != "" {
+				fmt.Fprintf(w, "campaign %s %s: %s\n", r.Campaign, r.State, r.Err)
+			}
+		}
+	}
+	if snap.Succeeded > 0 {
+		snap.AchievedCPS = float64(snap.Succeeded) / wall.Seconds()
+	}
+	snap.CampaignWallS = summarize(e2e)
+
+	fmt.Fprintf(w, "skyrbench: %d campaigns x %d seeds against coordinator %s (%d workers, %.1fs wall)\n",
+		campaigns, seedsPer, addr, workers, snap.WallS)
+	fmt.Fprintf(w, "outcome: %d succeeded, %d failed, %.3f campaigns/s achieved\n",
+		snap.Succeeded, snap.Failed, snap.AchievedCPS)
+	fmt.Fprintf(w, "campaign wall-clock: p50 %.2fs p90 %.2fs p99 %.2fs max %.2fs\n",
+		snap.CampaignWallS.P50, snap.CampaignWallS.P90, snap.CampaignWallS.P99, snap.CampaignWallS.Max)
+
+	if outPath != "" {
+		b, err := json.MarshalIndent(snap, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(outPath, append(b, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "snapshot written to %s\n", outPath)
+	}
+	if snap.Succeeded == 0 {
+		return fmt.Errorf("no campaign succeeded")
+	}
+	return nil
+}

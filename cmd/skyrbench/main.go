@@ -11,6 +11,13 @@
 //	skyrand -addr 127.0.0.1:7643 &
 //	skyrbench -addr http://127.0.0.1:7643 -jobs 20 -rate 4 \
 //	    -traffic onoff -traffic-rate 3e6 -out BENCH_traffic.json
+//
+// With -coordinator the target is a skyrand cluster coordinator:
+// -jobs counts campaigns, each sweeping -seeds Monte-Carlo seeds, and
+// the report is campaign wall-clock (see scripts/bench_cluster.sh for
+// the 1-vs-2-vs-4-worker sweep that writes BENCH_cluster.json):
+//
+//	skyrbench -coordinator -addr http://127.0.0.1:7650 -jobs 4 -seeds 4 -rate 0.5
 package main
 
 import (
@@ -51,6 +58,10 @@ func main() {
 		trafRate = flag.Float64("traffic-rate", 0, "mean offered rate per UE in bit/s (0 = default)")
 		pktBytes = flag.Int("packet-bytes", 0, "traffic packet size in bytes (0 = default)")
 		faultsJS = flag.String("faults", "", `fault schedule as JSON, e.g. '{"srs_drop_rate":0.2,"gtpu_loss_rate":0.1}'`)
+
+		coordinator = flag.Bool("coordinator", false, "target a cluster coordinator: -jobs counts campaigns, each sweeping -seeds seeds")
+		seedsPer    = flag.Int("seeds", 4, "seeds per campaign (coordinator mode)")
+		workersN    = flag.Int("workers-label", 0, "worker count recorded in the snapshot (coordinator mode; informational)")
 	)
 	flag.Parse()
 	spec := scenario.Spec{
@@ -73,6 +84,13 @@ func main() {
 			os.Exit(1)
 		}
 		spec.Faults = &sched
+	}
+	if *coordinator {
+		if err := runCluster(*addr, *jobs, *rate, *wait, *retries, *outPath, *seedBase, *seedsPer, *workersN, spec); err != nil {
+			fmt.Fprintln(os.Stderr, "skyrbench:", err)
+			os.Exit(1)
+		}
+		return
 	}
 	if err := run(*addr, *jobs, *rate, *wait, *retries, *outPath, *seedBase, spec); err != nil {
 		fmt.Fprintln(os.Stderr, "skyrbench:", err)

@@ -27,8 +27,17 @@ import (
 type Client struct {
 	// BaseURL is the daemon root, e.g. "http://127.0.0.1:7643".
 	BaseURL string
-	// HTTP is the transport; nil uses a 30 s-timeout default.
+	// HTTP is the transport; nil uses a default client with no global
+	// timeout — calls are bounded per attempt instead (see
+	// ControlTimeout), so long jobs and streamed JSONL telemetry are
+	// never cut off by a transport-wide deadline.
 	HTTP *http.Client
+	// ControlTimeout bounds each attempt of a control call (submit,
+	// status, shard dispatch): 0 selects the 30 s default, negative
+	// disables the bound. Long calls — result downloads, which can carry
+	// a full campaign — are governed only by the caller's context, so a
+	// per-call deadline is one context.WithTimeout away.
+	ControlTimeout time.Duration
 	// MaxRetries bounds retry attempts per request (default 8).
 	MaxRetries int
 	// BaseDelay and MaxDelay shape the exponential backoff
@@ -53,7 +62,30 @@ func (c *Client) http() *http.Client {
 	if c.HTTP != nil {
 		return c.HTTP
 	}
-	return &http.Client{Timeout: 30 * time.Second}
+	return http.DefaultClient
+}
+
+// controlTimeout resolves the per-attempt control-call bound.
+func (c *Client) controlTimeout() time.Duration {
+	switch {
+	case c.ControlTimeout < 0:
+		return 0
+	case c.ControlTimeout == 0:
+		return 30 * time.Second
+	}
+	return c.ControlTimeout
+}
+
+// attemptCtx derives one attempt's context: control calls get the
+// per-attempt timeout, long calls pass the caller's context through.
+func (c *Client) attemptCtx(ctx context.Context, long bool) (context.Context, context.CancelFunc) {
+	if long {
+		return context.WithCancel(ctx)
+	}
+	if d := c.controlTimeout(); d > 0 {
+		return context.WithTimeout(ctx, d)
+	}
+	return context.WithCancel(ctx)
 }
 
 func (c *Client) maxRetries() int {
@@ -177,8 +209,10 @@ func (c *Client) Submit(ctx context.Context, spec scenario.Spec, idemKey string)
 				return out, err
 			}
 		}
-		req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/jobs", bytes.NewReader(body))
+		actx, cancel := c.attemptCtx(ctx, false)
+		req, err := http.NewRequestWithContext(actx, http.MethodPost, c.BaseURL+"/v1/jobs", bytes.NewReader(body))
 		if err != nil {
+			cancel()
 			return out, err
 		}
 		req.Header.Set("Content-Type", "application/json")
@@ -187,6 +221,7 @@ func (c *Client) Submit(ctx context.Context, spec scenario.Spec, idemKey string)
 		}
 		resp, err := c.http().Do(req)
 		if err != nil {
+			cancel()
 			if ctx.Err() != nil {
 				return out, ctx.Err()
 			}
@@ -195,6 +230,7 @@ func (c *Client) Submit(ctx context.Context, spec scenario.Spec, idemKey string)
 		}
 		b, _ := io.ReadAll(resp.Body)
 		resp.Body.Close() //nolint:errcheck
+		cancel()
 		switch {
 		case resp.StatusCode == http.StatusAccepted || resp.StatusCode == http.StatusOK:
 			var env struct {
@@ -260,7 +296,7 @@ func (j *JobStatus) Terminal() bool {
 
 // Status fetches one job's envelope, retrying transient failures.
 func (c *Client) Status(ctx context.Context, id string) (*JobStatus, error) {
-	b, err := c.get(ctx, "/v1/jobs/"+id, id)
+	b, err := c.get(ctx, "/v1/jobs/"+id, id, false)
 	if err != nil {
 		return nil, err
 	}
@@ -291,14 +327,18 @@ func (c *Client) Await(ctx context.Context, id string, poll time.Duration) (*Job
 }
 
 // Result fetches the canonical result bytes of a terminal job — the
-// exact bytes `skyranctl -json` prints for the same spec.
+// exact bytes `skyranctl -json` prints for the same spec. It is a long
+// call: only the caller's context bounds it, never ControlTimeout, so a
+// large body (a whole campaign's merged results, streamed telemetry)
+// downloads at whatever pace the network allows.
 func (c *Client) Result(ctx context.Context, id string) ([]byte, error) {
-	return c.get(ctx, "/v1/jobs/"+id+"/result", id)
+	return c.get(ctx, "/v1/jobs/"+id+"/result", id, true)
 }
 
 // get performs a GET with the retry policy (GETs are naturally
-// idempotent, so every failure class is retried).
-func (c *Client) get(ctx context.Context, path, key string) ([]byte, error) {
+// idempotent, so every failure class is retried). long calls skip the
+// per-attempt control timeout.
+func (c *Client) get(ctx context.Context, path, key string, long bool) ([]byte, error) {
 	var lastErr error
 	for attempt := 0; attempt <= c.maxRetries(); attempt++ {
 		if attempt > 0 {
@@ -313,12 +353,15 @@ func (c *Client) get(ctx context.Context, path, key string) ([]byte, error) {
 				return nil, err
 			}
 		}
-		req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
+		actx, cancel := c.attemptCtx(ctx, long)
+		req, err := http.NewRequestWithContext(actx, http.MethodGet, c.BaseURL+path, nil)
 		if err != nil {
+			cancel()
 			return nil, err
 		}
 		resp, err := c.http().Do(req)
 		if err != nil {
+			cancel()
 			if ctx.Err() != nil {
 				return nil, ctx.Err()
 			}
@@ -327,6 +370,7 @@ func (c *Client) get(ctx context.Context, path, key string) ([]byte, error) {
 		}
 		b, _ := io.ReadAll(resp.Body)
 		resp.Body.Close() //nolint:errcheck
+		cancel()
 		switch {
 		case resp.StatusCode == http.StatusOK:
 			return b, nil

@@ -1,0 +1,88 @@
+package client
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/scenario"
+	"repro/internal/server"
+)
+
+// Against a live daemon with a full queue — not a canned handler — the
+// client must see real 429 + Retry-After responses, sleep the
+// deterministic max(backoff, Retry-After) schedule, and land the job
+// once capacity frees up.
+func TestSubmitBacksOffAgainstLiveThrottledDaemon(t *testing.T) {
+	s, err := server.New(server.Config{QueueCap: 1, Workers: 1, JobTimeout: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	defer s.Shutdown(context.Background()) //nolint:errcheck
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	spec := scenario.Spec{Terrain: "FLAT", UEs: 3, BudgetM: 200, Epochs: 1, ServeS: 1}
+	// Fill the daemon: one job running (once a worker grabs it), one in
+	// the single queue slot.
+	for seed := int64(1); seed <= 2; seed++ {
+		fill := spec
+		fill.Seed = seed
+		for { // the queue has one slot: wait for the worker to grab job 1
+			if _, err := s.Submit(fill); err == nil {
+				break
+			} else if err != server.ErrQueueFull {
+				t.Fatal(err)
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+
+	c := New(ts.URL)
+	var slept []time.Duration
+	var causes []string
+	c.OnRetry = func(_ int, cause string, delay time.Duration) {
+		slept = append(slept, delay)
+		causes = append(causes, cause)
+	}
+	throttled := spec
+	throttled.Seed = 3
+	const key = "live-throttle-k1"
+	res, err := c.Submit(context.Background(), throttled, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Retries == 0 {
+		t.Fatal("queue of 1 never throttled the third submission")
+	}
+	for i, d := range slept {
+		// The daemon advertises Retry-After: 1; every sleep honors it.
+		if d < time.Second {
+			t.Errorf("retry %d slept %v, want >= 1s", i, d)
+		}
+		// And the schedule is the deterministic max(backoff, Retry-After):
+		// a second client retrying the same key computes the same delays.
+		want := c.backoff(i, key)
+		if want < time.Second {
+			want = time.Second
+		}
+		if d != want {
+			t.Errorf("retry %d slept %v, want deterministic %v", i, d, want)
+		}
+	}
+	for i, cause := range causes {
+		if cause == "" {
+			t.Errorf("retry %d recorded no cause", i)
+		}
+	}
+	// The accepted job is a real one: it reaches a terminal state.
+	st, err := c.Await(context.Background(), res.ID, 50*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Status != "succeeded" {
+		t.Fatalf("throttled-then-accepted job finished %s: %s", st.Status, st.Error)
+	}
+}

@@ -1,0 +1,67 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// Admission control: a token bucket in front of campaign dispatch. A
+// campaign of N seeds costs N tokens — the unit of work the cluster
+// actually fans out — so a burst of small campaigns and one huge
+// campaign are throttled on equal footing. Rejections surface as 429
+// with a Retry-After computed from the refill rate, which the shared
+// client's deterministic backoff honors.
+
+// TokenBucket is a classic leaky-bucket admission limiter with an
+// injectable clock. Rate is tokens per second, Burst the bucket size;
+// a nil bucket or a non-positive rate admits everything.
+type TokenBucket struct {
+	mu     sync.Mutex
+	rate   float64
+	burst  float64
+	tokens float64
+	last   time.Time
+	now    func() time.Time
+}
+
+// NewTokenBucket returns a full bucket. now is the clock (nil selects
+// time.Now — tests inject a fake).
+func NewTokenBucket(rate float64, burst int, now func() time.Time) *TokenBucket {
+	if rate <= 0 {
+		return nil
+	}
+	if now == nil {
+		now = time.Now
+	}
+	b := float64(burst)
+	if b < 1 {
+		b = 1
+	}
+	return &TokenBucket{rate: rate, burst: b, tokens: b, last: now(), now: now}
+}
+
+// Take attempts to consume n tokens. It either succeeds, or reports
+// how long the caller should wait for the bucket to refill enough —
+// the Retry-After the HTTP layer propagates. Asking for more than the
+// bucket can ever hold is answered with the time to fill the whole
+// bucket; the request is then admitted at burst cost so an oversized
+// campaign is delayed, not starved forever.
+func (b *TokenBucket) Take(n float64) (ok bool, retryAfter time.Duration) {
+	if b == nil || b.rate <= 0 {
+		return true, 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	t := b.now()
+	if dt := t.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens = min(b.burst, b.tokens+dt*b.rate)
+	}
+	b.last = t
+	cost := min(n, b.burst)
+	if cost <= b.tokens {
+		b.tokens -= cost
+		return true, 0
+	}
+	need := cost - b.tokens
+	return false, time.Duration(need / b.rate * float64(time.Second))
+}

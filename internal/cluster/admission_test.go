@@ -1,0 +1,79 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced clock for admission tests.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func TestTokenBucketBurstThenRefill(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b := NewTokenBucket(2, 4, clk.now) // 2 tokens/s, burst 4
+
+	// The full burst is available immediately.
+	if ok, _ := b.Take(4); !ok {
+		t.Fatal("full burst should be admitted")
+	}
+	// Empty bucket: a 2-token ask must wait 1s at 2 tokens/s.
+	ok, after := b.Take(2)
+	if ok {
+		t.Fatal("empty bucket admitted a request")
+	}
+	if after != time.Second {
+		t.Fatalf("retry-after = %v, want 1s", after)
+	}
+	// Refill is proportional to elapsed fake time.
+	clk.advance(500 * time.Millisecond) // +1 token
+	if ok, _ := b.Take(1); !ok {
+		t.Fatal("1 token should be available after 500ms")
+	}
+	if ok, _ := b.Take(1); ok {
+		t.Fatal("second token should not be available yet")
+	}
+	// Refill caps at the burst.
+	clk.advance(time.Hour)
+	if ok, _ := b.Take(4); !ok {
+		t.Fatal("bucket should cap at burst, not below")
+	}
+	ok, after = b.Take(1)
+	if ok || after != 500*time.Millisecond {
+		t.Fatalf("post-burst take = (%v, %v), want (false, 500ms)", ok, after)
+	}
+}
+
+func TestTokenBucketOversizedRequest(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	b := NewTokenBucket(1, 2, clk.now)
+
+	// A request larger than the burst is charged at burst cost: delayed,
+	// never starved.
+	if ok, _ := b.Take(10); !ok {
+		t.Fatal("oversized request should be admitted at burst cost from a full bucket")
+	}
+	ok, after := b.Take(10)
+	if ok {
+		t.Fatal("empty bucket admitted an oversized request")
+	}
+	if after != 2*time.Second {
+		t.Fatalf("retry-after = %v, want 2s (time to refill the whole bucket)", after)
+	}
+	clk.advance(2 * time.Second)
+	if ok, _ := b.Take(10); !ok {
+		t.Fatal("oversized request should be admitted after a full refill")
+	}
+}
+
+func TestTokenBucketDisabled(t *testing.T) {
+	if b := NewTokenBucket(0, 10, nil); b != nil {
+		t.Fatal("rate 0 should disable admission (nil bucket)")
+	}
+	var b *TokenBucket
+	if ok, after := b.Take(1e9); !ok || after != 0 {
+		t.Fatal("nil bucket must admit everything")
+	}
+}

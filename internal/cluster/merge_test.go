@@ -1,0 +1,54 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/scenario"
+)
+
+func TestMergeResultsDeterministicOrder(t *testing.T) {
+	template := scenario.Spec{Terrain: "FLAT", UEs: 3, Epochs: 1, Seed: 99}
+	results := map[int64]json.RawMessage{
+		3: json.RawMessage(`{"seed":3}`),
+		1: json.RawMessage(`{"seed":1}`),
+		2: json.RawMessage(`{"seed":2}`),
+	}
+	a, err := MergeResults(template, results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MergeResults(template, results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("merge is not deterministic")
+	}
+	var doc struct {
+		Spec  scenario.Spec `json:"spec"`
+		Seeds []int64       `json:"seeds"`
+	}
+	if err := json.Unmarshal(a, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Seeds) != 3 || doc.Seeds[0] != 1 || doc.Seeds[2] != 3 {
+		t.Fatalf("seeds = %v, want ascending [1 2 3]", doc.Seeds)
+	}
+	if doc.Spec.Seed != 0 {
+		t.Fatalf("template seed leaked into merge: %d", doc.Spec.Seed)
+	}
+	if a[len(a)-1] != '\n' {
+		t.Fatal("merged document missing trailing newline")
+	}
+}
+
+func TestMergeResultsRejectsGaps(t *testing.T) {
+	if _, err := MergeResults(scenario.Spec{}, map[int64]json.RawMessage{1: nil}); err == nil {
+		t.Fatal("empty result accepted")
+	}
+	if _, err := MergeResults(scenario.Spec{}, map[int64]json.RawMessage{1: json.RawMessage("{oops")}); err == nil {
+		t.Fatal("invalid JSON accepted")
+	}
+}

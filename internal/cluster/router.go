@@ -1,0 +1,84 @@
+package cluster
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Routing policies. A router picks the worker a shard is dispatched
+// to; routing never affects campaign results — the deterministic
+// (seed, sector) merge makes output topology-independent — so policies
+// are free to optimize purely for load and locality.
+
+// Route names.
+const (
+	RouteRoundRobin = "round-robin"
+	RouteLeastLoad  = "least-loaded"
+	RouteAffinity   = "scenario-affinity"
+)
+
+// Router picks one worker from the healthy set for a shard of the
+// campaign fingerprinted by fp. The healthy slice is always in stable
+// worker-index order and never empty.
+type Router interface {
+	Name() string
+	Pick(healthy []*Worker, fp uint64) *Worker
+}
+
+// NewRouter resolves a routing policy by name ("" selects round-robin).
+func NewRouter(name string) (Router, error) {
+	switch name {
+	case "", RouteRoundRobin:
+		return &roundRobin{}, nil
+	case RouteLeastLoad:
+		return leastLoaded{}, nil
+	case RouteAffinity:
+		return affinity{}, nil
+	}
+	return nil, fmt.Errorf("cluster: unknown route %q (valid: %s, %s, %s)",
+		name, RouteRoundRobin, RouteLeastLoad, RouteAffinity)
+}
+
+// roundRobin cycles through the healthy workers in index order.
+type roundRobin struct {
+	n atomic.Uint64
+}
+
+func (r *roundRobin) Name() string { return RouteRoundRobin }
+
+func (r *roundRobin) Pick(healthy []*Worker, _ uint64) *Worker {
+	return healthy[(r.n.Add(1)-1)%uint64(len(healthy))]
+}
+
+// leastLoaded picks the worker with the lowest combined load: the
+// coordinator's own count of sub-jobs outstanding there (current to
+// the microsecond) plus the queue depth and inflight jobs from the
+// worker's latest /readyz capacity report. Ties break on the lowest
+// worker index.
+type leastLoaded struct{}
+
+func (leastLoaded) Name() string { return RouteLeastLoad }
+
+func (leastLoaded) Pick(healthy []*Worker, _ uint64) *Worker {
+	best := healthy[0]
+	bestLoad := best.load()
+	for _, w := range healthy[1:] {
+		if l := w.load(); l < bestLoad {
+			best, bestLoad = w, l
+		}
+	}
+	return best
+}
+
+// affinity maps a campaign fingerprint onto the healthy set, so every
+// shard of one campaign — and of every later campaign with the same
+// template — lands on the same worker while it stays healthy. That
+// worker's obstruction cache, REM stores and checkpoint directories
+// stay warm for the scenario.
+type affinity struct{}
+
+func (affinity) Name() string { return RouteAffinity }
+
+func (affinity) Pick(healthy []*Worker, fp uint64) *Worker {
+	return healthy[fp%uint64(len(healthy))]
+}

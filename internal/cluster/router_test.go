@@ -1,0 +1,65 @@
+package cluster
+
+import "testing"
+
+func testWorkers(n int) []*Worker {
+	ws := make([]*Worker, n)
+	for i := range ws {
+		ws[i] = &Worker{Addr: "w", Index: i, down: make(chan struct{})}
+	}
+	return ws
+}
+
+func TestRoundRobinCycles(t *testing.T) {
+	r, err := NewRouter("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := testWorkers(3)
+	for i := 0; i < 9; i++ {
+		if got := r.Pick(ws, 0); got.Index != i%3 {
+			t.Fatalf("pick %d = worker %d, want %d", i, got.Index, i%3)
+		}
+	}
+}
+
+func TestLeastLoadedPrefersIdleAndBreaksTiesLow(t *testing.T) {
+	r, err := NewRouter(RouteLeastLoad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := testWorkers(3)
+	ws[0].inflight.Store(2)
+	ws[1].reported.Store(1) // capacity report load counts too
+	if got := r.Pick(ws, 0); got.Index != 2 {
+		t.Fatalf("picked worker %d, want idle worker 2", got.Index)
+	}
+	ws[2].inflight.Store(1)
+	// Now 1 and 2 tie at load 1: lowest index wins.
+	if got := r.Pick(ws, 0); got.Index != 1 {
+		t.Fatalf("picked worker %d, want tie-break winner 1", got.Index)
+	}
+}
+
+func TestAffinityStableAndSpreads(t *testing.T) {
+	r, err := NewRouter(RouteAffinity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := testWorkers(4)
+	for fp := uint64(0); fp < 16; fp++ {
+		a, b := r.Pick(ws, fp), r.Pick(ws, fp)
+		if a != b {
+			t.Fatalf("fingerprint %d routed to two workers", fp)
+		}
+		if a.Index != int(fp%4) {
+			t.Fatalf("fingerprint %d landed on %d, want %d", fp, a.Index, fp%4)
+		}
+	}
+}
+
+func TestNewRouterRejectsUnknown(t *testing.T) {
+	if _, err := NewRouter("random"); err == nil {
+		t.Fatal("unknown route accepted")
+	}
+}

@@ -56,6 +56,7 @@ func (j *Job) envelope(withResult bool) jobEnvelope {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("POST /v1/shards", s.handleShard)
 	mux.HandleFunc("GET /v1/jobs", s.handleList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
@@ -134,6 +135,41 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusAccepted, job.envelope(false))
+}
+
+// handleShard accepts a campaign shard — a spec template plus a seed
+// range — and fans it into one sub-job per seed, all-or-nothing. The
+// cluster coordinator is the intended caller, but the endpoint is
+// plain HTTP like everything else here.
+func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxSubmitBytes)
+	var ss scenario.ShardSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&ss); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("shard body exceeds %d bytes", tooBig.Limit))
+			return
+		}
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("decoding shard: %v", err))
+		return
+	}
+	jobs, err := s.SubmitShard(ss)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, err.Error())
+		return
+	case errors.Is(err, ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]any{"jobs": jobs})
 }
 
 func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
@@ -281,15 +317,36 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
+// readyReport is the /readyz body: readiness plus the capacity report
+// least-loaded cluster routing feeds on — queue depth, inflight jobs
+// and worker-pool size. It is equally useful standalone: one curl tells
+// an operator how loaded a daemon is.
+type readyReport struct {
+	Status     string `json:"status"`
+	QueueDepth int    `json:"queue_depth"`
+	QueueCap   int    `json:"queue_cap"`
+	Inflight   int    `json:"inflight"`
+	Workers    int    `json:"workers"`
+}
+
 // handleReadyz reports readiness: healthy and accepting new jobs.
 // During drain it flips to 503 so load balancers stop routing here
-// while in-flight jobs finish.
+// while in-flight jobs finish. The body always carries the capacity
+// report.
 func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	rep := readyReport{
+		Status:     "ready",
+		QueueDepth: len(s.queue),
+		QueueCap:   s.cfg.QueueCap,
+		Inflight:   int(s.gRunning.Value()),
+		Workers:    s.cfg.Workers,
+	}
 	if s.Draining() {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		rep.Status = "draining"
+		writeJSON(w, http.StatusServiceUnavailable, rep)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	writeJSON(w, http.StatusOK, rep)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {

@@ -30,6 +30,7 @@ type journalEntry struct {
 	State     JobState      `json:"state"`
 	Recovered bool          `json:"recovered,omitempty"`
 	IdemKey   string        `json:"idem_key,omitempty"`
+	CkptDir   string        `json:"ckpt_dir,omitempty"` // external shard checkpoint dir
 }
 
 // journalPath returns the journal file for a job ID.
@@ -50,7 +51,7 @@ func (s *Server) writeJournal(j *Job) {
 		return
 	}
 	j.mu.Lock()
-	ent := journalEntry{ID: j.id, Spec: j.spec, State: j.state, Recovered: j.recovered, IdemKey: j.idemKey}
+	ent := journalEntry{ID: j.id, Spec: j.spec, State: j.state, Recovered: j.recovered, IdemKey: j.idemKey, CkptDir: j.ckptDir}
 	j.mu.Unlock()
 	b, err := json.MarshalIndent(ent, "", "  ")
 	if err != nil {
@@ -153,6 +154,7 @@ func (s *Server) recoverJobs(entries []journalEntry) []*Job {
 			id:        ent.ID,
 			spec:      ent.Spec,
 			idemKey:   ent.IdemKey,
+			ckptDir:   ent.CkptDir,
 			state:     JobQueued,
 			recovered: true,
 			events:    newEventLog(),

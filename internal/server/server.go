@@ -83,6 +83,7 @@ type Job struct {
 	spec      scenario.Spec
 	recovered bool   // re-enqueued from the journal after a restart
 	idemKey   string // client idempotency key, empty when none given
+	ckptDir   string // external checkpoint/resume dir (cluster shard sub-jobs)
 
 	events *eventLog
 	done   chan struct{} // closed when the job reaches a terminal state
@@ -305,23 +306,38 @@ func (s *Server) SubmitIdem(spec scenario.Spec, key string) (job *Job, replayed 
 		return nil, false, err
 	}
 	s.mu.Lock()
+	job, replayed, err = s.enqueueLocked(spec, key, "")
+	s.mu.Unlock()
+	switch {
+	case err != nil:
+		s.mRejected.Inc()
+		return nil, false, err
+	case replayed:
+		s.mIdemReplays.Inc()
+		return job, true, nil
+	}
+	s.mAccepted.Inc()
+	s.writeJournal(job)
+	return job, false, nil
+}
+
+// enqueueLocked creates and enqueues one job (or replays an existing
+// one via the idempotency key). Callers hold s.mu and handle metrics
+// and journaling after unlocking.
+func (s *Server) enqueueLocked(spec scenario.Spec, key, ckptDir string) (*Job, bool, error) {
 	if key != "" {
 		if id, ok := s.idemKeys[key]; ok {
-			j := s.jobs[id]
-			s.mu.Unlock()
-			s.mIdemReplays.Inc()
-			return j, true, nil
+			return s.jobs[id], true, nil
 		}
 	}
 	if s.draining {
-		s.mu.Unlock()
-		s.mRejected.Inc()
 		return nil, false, ErrDraining
 	}
-	job = &Job{
+	job := &Job{
 		id:        fmt.Sprintf("j%d", s.nextID+1),
 		spec:      spec,
 		idemKey:   key,
+		ckptDir:   ckptDir,
 		state:     JobQueued,
 		events:    newEventLog(),
 		done:      make(chan struct{}),
@@ -330,8 +346,6 @@ func (s *Server) SubmitIdem(spec scenario.Spec, key string) (job *Job, replayed 
 	select {
 	case s.queue <- job:
 	default:
-		s.mu.Unlock()
-		s.mRejected.Inc()
 		return nil, false, ErrQueueFull
 	}
 	s.nextID++
@@ -340,10 +354,87 @@ func (s *Server) SubmitIdem(spec scenario.Spec, key string) (job *Job, replayed 
 	if key != "" {
 		s.idemKeys[key] = job.id
 	}
-	s.mu.Unlock()
-	s.mAccepted.Inc()
-	s.writeJournal(job)
 	return job, false, nil
+}
+
+// ShardJob maps one campaign seed to the sub-job running it.
+type ShardJob struct {
+	Seed     int64  `json:"seed"`
+	ID       string `json:"id"`
+	Replayed bool   `json:"replayed,omitempty"`
+}
+
+// shardIdemKey derives the deterministic idempotency key of one shard
+// sub-job from the campaign fingerprint, the dispatcher's salt and the
+// seed, so a re-dispatched shard replays the sub-jobs this worker
+// already accepted instead of double-running them.
+func shardIdemKey(fp uint64, salt string, seed int64) string {
+	return fmt.Sprintf("shard-%016x-%s-%d", fp, salt, seed)
+}
+
+// SubmitShard fans a campaign shard into one sub-job per seed,
+// all-or-nothing: if the queue cannot absorb every fresh (non-replayed)
+// seed, the whole shard is rejected with ErrQueueFull and nothing is
+// enqueued — so the coordinator can re-dispatch the shard elsewhere
+// without leaking half a shard here. With ShardSpec.CheckpointDir set,
+// each sub-job checkpoints under its per-seed directory and first tries
+// to resume from the newest intact checkpoint found there (the resteal
+// path after a worker eviction).
+func (s *Server) SubmitShard(ss scenario.ShardSpec) ([]ShardJob, error) {
+	if err := ss.Normalize(); err != nil {
+		return nil, err
+	}
+	fp, err := scenario.CampaignFingerprint(ss.Spec)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.mRejected.Inc()
+		return nil, ErrDraining
+	}
+	fresh := 0
+	for _, seed := range ss.Seeds {
+		if _, ok := s.idemKeys[shardIdemKey(fp, ss.IdemSalt, seed)]; !ok {
+			fresh++
+		}
+	}
+	if free := cap(s.queue) - len(s.queue); fresh > free {
+		s.mu.Unlock()
+		s.mRejected.Inc()
+		return nil, ErrQueueFull
+	}
+	out := make([]ShardJob, 0, len(ss.Seeds))
+	var accepted []*Job
+	for _, seed := range ss.Seeds {
+		ckptDir := ""
+		if ss.CheckpointDir != "" {
+			ckptDir = scenario.SeedCheckpointDir(ss.CheckpointDir, seed)
+		}
+		job, replayed, err := s.enqueueLocked(scenario.SpecForSeed(ss.Spec, seed), shardIdemKey(fp, ss.IdemSalt, seed), ckptDir)
+		if err != nil {
+			// Unreachable short of a concurrent shard racing the capacity
+			// check above; report the partial acceptance honestly.
+			s.mu.Unlock()
+			for _, j := range accepted {
+				s.writeJournal(j)
+			}
+			return out, err
+		}
+		out = append(out, ShardJob{Seed: seed, ID: job.ID(), Replayed: replayed})
+		if replayed {
+			s.mIdemReplays.Inc()
+		} else {
+			accepted = append(accepted, job)
+		}
+	}
+	s.mu.Unlock()
+	for _, j := range accepted {
+		s.mAccepted.Inc()
+		s.writeJournal(j)
+	}
+	return out, nil
 }
 
 // Get returns the job with the given ID.
@@ -476,9 +567,9 @@ func (s *Server) runJob(job *Job) {
 			s.observeFleet(rep)
 		},
 	}
-	if s.cfg.CheckpointDir != "" {
+	if dir := s.checkpointDirFor(job); dir != "" {
 		opts.Checkpoint = &scenario.CheckpointConfig{
-			Dir:         s.jobCheckpointDir(job.id),
+			Dir:         dir,
 			EveryEpochs: s.cfg.CheckpointEvery,
 			Retain:      s.cfg.CheckpointRetain,
 		}
@@ -554,15 +645,32 @@ func (s *Server) runJob(job *Job) {
 	}
 }
 
-// runScenario executes a job, resuming recovered jobs from their
-// newest intact checkpoint. Resume attempts walk checkpoints newest to
-// oldest: a snapshot that fails verification (CRC, kind, fingerprint)
-// is skipped in favor of an older one, and when none survive the job
+// checkpointDirFor resolves a job's checkpoint directory: a cluster
+// shard sub-job carries its own (shared-filesystem) directory so a
+// re-dispatched shard can resume on another worker; ordinary jobs use
+// the daemon's per-job layout when checkpointing is enabled.
+func (s *Server) checkpointDirFor(job *Job) string {
+	if job.ckptDir != "" {
+		return job.ckptDir
+	}
+	if s.cfg.CheckpointDir != "" {
+		return s.jobCheckpointDir(job.id)
+	}
+	return ""
+}
+
+// runScenario executes a job, resuming from the newest intact
+// checkpoint when one may exist: journal-recovered jobs after a daemon
+// restart, and shard sub-jobs always (their checkpoint dir is shared
+// across workers, so a restolen shard continues where the evicted
+// worker left off). Resume attempts walk checkpoints newest to oldest:
+// a snapshot that fails verification (CRC, kind, fingerprint) is
+// skipped in favor of an older one, and when none survive the job
 // reruns from scratch — determinism guarantees the rerun produces the
 // bytes the resumed run would have.
 func (s *Server) runScenario(ctx context.Context, job *Job, recovered bool, opts scenario.Options) (*scenario.Result, *rem.Store, error) {
-	if recovered && s.cfg.CheckpointDir != "" {
-		files, _ := checkpoint.ListDir(s.jobCheckpointDir(job.id))
+	if dir := s.checkpointDirFor(job); dir != "" && (recovered || job.ckptDir != "") {
+		files, _ := checkpoint.ListDir(dir)
 		for i := len(files) - 1; i >= 0; i-- {
 			res, store, err := scenario.Resume(ctx, files[i], &job.spec, opts)
 			if err == nil || ctx.Err() != nil {

@@ -1,0 +1,98 @@
+#!/bin/sh
+# bench-cluster: record BENCH_cluster.json — campaign wall-clock through
+# a cluster coordinator at 1, 2 and 4 local workers, same offered load
+# each time. On a many-core host the sweep shows shard parallelism; on
+# a small one it quantifies coordination overhead honestly.
+set -eu
+
+cd "$(dirname "$0")/.."
+tmp=$(mktemp -d)
+pids=""
+# teardown: TERM everything, give drains a bounded window, then KILL.
+# Never block in an unbounded wait — a wedged daemon must not wedge CI.
+teardown() {
+	for p in $pids; do kill "$p" 2>/dev/null || true; done
+	for p in $pids; do
+		td_i=0
+		while kill -0 "$p" 2>/dev/null && [ $td_i -lt 50 ]; do
+			sleep 0.1
+			td_i=$((td_i + 1))
+		done
+		kill -KILL "$p" 2>/dev/null || true
+		wait "$p" 2>/dev/null || true
+	done
+	pids=""
+}
+cleanup() {
+	teardown
+	rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+echo "bench-cluster: building skyrand and skyrbench"
+go build -o "$tmp/skyrand" ./cmd/skyrand
+go build -o "$tmp/skyrbench" ./cmd/skyrbench
+
+# NB: sh functions share the caller's variables — wait_addr must not
+# touch `i`, which bench_topology uses as its worker-spawn counter.
+wait_addr() {
+	addr=""
+	wa_i=0
+	while [ $wa_i -lt 100 ]; do
+		addr=$(sed -n "$2" "$1")
+		[ -n "$addr" ] && return
+		sleep 0.1
+		wa_i=$((wa_i + 1))
+	done
+	echo "bench-cluster: process never reported its address ($1)" >&2
+	cat "$1" >&2
+	exit 1
+}
+
+bench_topology() {
+	n=$1
+	workers=""
+	i=0
+	while [ $i -lt "$n" ]; do
+		log="$tmp/w-$n-$i.log"
+		: >"$log"
+		"$tmp/skyrand" -addr 127.0.0.1:0 -workers 1 -queue 32 -drain-grace 2s >"$log" 2>&1 &
+		pids="$pids $!"
+		wait_addr "$log" 's#^skyrand: listening on http://\([^ ]*\).*#\1#p'
+		workers="$workers,http://$addr"
+		i=$((i + 1))
+	done
+	workers=${workers#,}
+
+	clog="$tmp/c-$n.log"
+	: >"$clog"
+	"$tmp/skyrand" -coordinator -addr 127.0.0.1:0 -worker-addrs "$workers" \
+		-shard-seeds 1 >"$clog" 2>&1 &
+	pids="$pids $!"
+	wait_addr "$clog" 's#^skyrand: coordinating .* on http://\([^ ]*\).*#\1#p'
+
+	echo "bench-cluster: $n worker(s), coordinator at $addr"
+	"$tmp/skyrbench" -coordinator -addr "http://$addr" \
+		-jobs 2 -seeds 4 -rate 0.5 -workers-label "$n" \
+		-terrain FLAT -ues 3 -epochs 1 -serve 1 \
+		-timeout 10m -out "$tmp/bench-$n.json"
+
+	teardown
+}
+
+bench_topology 1
+bench_topology 2
+bench_topology 4
+
+# Assemble the per-topology snapshots into one document.
+{
+	printf '{\n  "sweep": [\n'
+	cat "$tmp/bench-1.json"
+	printf ',\n'
+	cat "$tmp/bench-2.json"
+	printf ',\n'
+	cat "$tmp/bench-4.json"
+	printf '  ]\n}\n'
+} >BENCH_cluster.json
+
+echo "bench-cluster: OK (BENCH_cluster.json)"

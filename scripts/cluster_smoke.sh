@@ -1,0 +1,151 @@
+#!/bin/sh
+# cluster-smoke: end-to-end proof of the multi-node cluster. Runs a
+# campaign through a 1-worker coordinator for the single-node reference,
+# then through a 2-worker coordinator sharing a checkpoint dir,
+# SIGKILLs one worker mid-campaign, and checks that the merged result
+# is byte-identical to the reference and that the coordinator reports
+# the eviction on /metrics.
+set -eu
+
+cd "$(dirname "$0")/.."
+tmp=$(mktemp -d)
+pids=""
+# teardown: TERM everything, give drains a bounded window, then KILL.
+# Never block in an unbounded wait — a wedged daemon must not wedge CI.
+teardown() {
+	for p in $pids; do kill "$p" 2>/dev/null || true; done
+	for p in $pids; do
+		td_i=0
+		while kill -0 "$p" 2>/dev/null && [ $td_i -lt 50 ]; do
+			sleep 0.1
+			td_i=$((td_i + 1))
+		done
+		kill -KILL "$p" 2>/dev/null || true
+		wait "$p" 2>/dev/null || true
+	done
+	pids=""
+}
+cleanup() {
+	teardown
+	rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+echo "cluster-smoke: building skyrand and skyranctl"
+go build -o "$tmp/skyrand" ./cmd/skyrand
+go build -o "$tmp/skyranctl" ./cmd/skyranctl
+
+# start_worker <log> -> worker base addr in $addr, pid appended to $pids
+start_worker() {
+	: >"$1"
+	"$tmp/skyrand" -addr 127.0.0.1:0 -workers 1 -queue 16 >"$1" 2>&1 &
+	pids="$pids $!"
+	wait_addr "$1" 's#^skyrand: listening on http://\([^ ]*\).*#\1#p'
+}
+
+# start_coordinator <log> <worker-addrs> [extra flags...]
+start_coordinator() {
+	log=$1
+	workers=$2
+	shift 2
+	: >"$log"
+	"$tmp/skyrand" -coordinator -addr 127.0.0.1:0 -worker-addrs "$workers" \
+		-shard-seeds 1 -probe-every 200ms -probe-fails 2 "$@" >"$log" 2>&1 &
+	pids="$pids $!"
+	wait_addr "$log" 's#^skyrand: coordinating .* on http://\([^ ]*\).*#\1#p'
+}
+
+# NB: sh functions share the caller's variables — keep wait_addr's
+# counter out of `i`, which the poll loops below use.
+wait_addr() {
+	addr=""
+	wa_i=0
+	while [ $wa_i -lt 100 ]; do
+		addr=$(sed -n "$2" "$1")
+		[ -n "$addr" ] && return
+		sleep 0.1
+		wa_i=$((wa_i + 1))
+	done
+	echo "cluster-smoke: process never reported its address ($1)" >&2
+	cat "$1" >&2
+	exit 1
+}
+
+campaign_flags="-terrain FLAT -ues 3 -budget 200 -epochs 4 -seed 7 -serve 1 -seeds 4"
+
+# Phase 1: single-node reference through a 1-worker cluster.
+start_worker "$tmp/w-ref.log"
+ref_worker=$addr
+start_coordinator "$tmp/c-ref.log" "http://$ref_worker"
+echo "cluster-smoke: reference topology up (1 worker) at $addr"
+# shellcheck disable=SC2086
+"$tmp/skyranctl" cluster submit -addr "http://$addr" $campaign_flags -wait >"$tmp/ref.json"
+teardown
+echo "cluster-smoke: reference campaign merged ($(wc -c <"$tmp/ref.json") bytes)"
+
+# Phase 2: 2 fresh workers, shared shard-checkpoint dir, kill one
+# mid-campaign.
+start_worker "$tmp/w-a.log"
+wa=$addr
+wa_pid=$(echo "$pids" | awk '{print $1}')
+start_worker "$tmp/w-b.log"
+wb=$addr
+start_coordinator "$tmp/c2.log" "http://$wa,http://$wb" -cluster-ckpt-dir "$tmp/ckpt"
+caddr=$addr
+echo "cluster-smoke: 2-worker topology up at $caddr (workers $wa, $wb)"
+
+# shellcheck disable=SC2086
+cid=$("$tmp/skyranctl" cluster submit -addr "http://$caddr" $campaign_flags)
+[ -n "$cid" ] || { echo "cluster-smoke: submission returned no campaign id" >&2; exit 1; }
+echo "cluster-smoke: submitted campaign $cid"
+
+# Wait until some sub-job has committed a checkpoint into the shared
+# dir, then SIGKILL worker A — no drain, no goodbye.
+i=0
+while [ $i -lt 300 ]; do
+	if ls "$tmp/ckpt/$cid"/seed-*/epoch-*.ckpt >/dev/null 2>&1; then
+		break
+	fi
+	sleep 0.1
+	i=$((i + 1))
+done
+ls "$tmp/ckpt/$cid"/seed-*/epoch-*.ckpt >/dev/null 2>&1 ||
+	{ echo "cluster-smoke: no shard checkpoint appeared" >&2; cat "$tmp/c2.log" >&2; exit 1; }
+kill -KILL "$wa_pid"
+wait "$wa_pid" 2>/dev/null || true
+echo "cluster-smoke: SIGKILLed worker A mid-campaign"
+
+status=""
+i=0
+while [ $i -lt 600 ]; do
+	status=$(curl -fsS "http://$caddr/v1/campaigns/$cid" | sed -n 's/^  "status": "\([a-z]*\)".*/\1/p')
+	case "$status" in
+	succeeded) break ;;
+	failed)
+		echo "cluster-smoke: campaign $cid failed" >&2
+		curl -fsS "http://$caddr/v1/campaigns/$cid" >&2
+		cat "$tmp/c2.log" >&2
+		exit 1
+		;;
+	esac
+	sleep 0.5
+	i=$((i + 1))
+done
+[ "$status" = succeeded ] || { echo "cluster-smoke: campaign stuck ($status)" >&2; cat "$tmp/c2.log" >&2; exit 1; }
+
+curl -fsS "http://$caddr/v1/campaigns/$cid/result" >"$tmp/killed.json"
+if ! diff -u "$tmp/ref.json" "$tmp/killed.json"; then
+	echo "cluster-smoke: merged result after worker kill differs from single-node reference" >&2
+	exit 1
+fi
+echo "cluster-smoke: merged result is byte-identical to the single-node reference"
+
+evicted=$(curl -fsS "http://$caddr/metrics" | sed -n 's/^skyran_cluster_evicted_total \([0-9][0-9]*\).*/\1/p')
+[ -n "$evicted" ] && [ "$evicted" -ge 1 ] ||
+	{ echo "cluster-smoke: skyran_cluster_evicted_total=$evicted, want >= 1" >&2; exit 1; }
+resteals=$(curl -fsS "http://$caddr/metrics" | sed -n 's/^skyran_cluster_resteals_total \([0-9][0-9]*\).*/\1/p')
+[ -n "$resteals" ] && [ "$resteals" -ge 1 ] ||
+	{ echo "cluster-smoke: skyran_cluster_resteals_total=$resteals, want >= 1" >&2; exit 1; }
+echo "cluster-smoke: coordinator reported eviction ($evicted) and resteal ($resteals)"
+
+echo "cluster-smoke: OK"
