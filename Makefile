@@ -11,13 +11,15 @@
 #   make handover-smoke  mobile-UE multi-cell handovers under -race, byte-identical
 #   make cluster-smoke  coordinator + 2 workers, SIGKILL one mid-campaign,
 #                       merged result byte-identical to a single-node run
+#   make scenario-smoke  validate scenarios/, file-vs-flags byte diff,
+#                        -spec conflict usage error, capture/replay diff
 #   make bench-traffic  record BENCH_traffic.json via skyrbench vs skyrand,
 #                       plus BENCH_sinr.json (per-TTI SINR-loop cost) and
 #                       BENCH_cluster.json (campaign wall-clock at 1/2/4 workers)
 
 GO ?= go
 
-.PHONY: tier1 race short bench bench-smoke fmt serve-smoke recover-smoke chaos-smoke handover-smoke cluster-smoke bench-traffic
+.PHONY: tier1 race short bench bench-smoke fmt serve-smoke recover-smoke chaos-smoke handover-smoke cluster-smoke scenario-smoke bench-traffic
 
 tier1:
 	$(GO) build ./... && $(GO) test -timeout 60m ./...
@@ -51,6 +53,9 @@ handover-smoke:
 
 cluster-smoke:
 	sh scripts/cluster_smoke.sh
+
+scenario-smoke:
+	sh scripts/scenario_smoke.sh
 
 bench-traffic:
 	sh scripts/bench_traffic.sh

@@ -75,7 +75,7 @@ func runCheckpoints(args []string) error {
 
 // validTrafficModels is the -traffic usage string.
 func validTrafficModels() string {
-	return strings.Join([]string{"cbr", "poisson", "onoff", "web", "full-buffer"}, ", ")
+	return strings.Join([]string{"cbr", "poisson", "gamma", "weibull", "onoff", "web", "full-buffer"}, ", ")
 }
 
 // usageError prints a message plus the flag usage and exits 2, the

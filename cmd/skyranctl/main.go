@@ -89,6 +89,12 @@ func main() {
 				os.Exit(1)
 			}
 			return
+		case "scenario":
+			if err := runScenario(os.Args[2:]); err != nil {
+				fmt.Fprintln(os.Stderr, "skyranctl:", err)
+				os.Exit(1)
+			}
+			return
 		}
 	}
 	var (
@@ -100,6 +106,7 @@ func main() {
 		ckptEvery = flag.Int("checkpoint-every", 1, "epochs between checkpoints")
 		ckptKeep  = flag.Int("checkpoint-retain", 0, "checkpoint files to keep (0 = all)")
 		resume    = flag.String("resume", "", "resume a run from this checkpoint file (scenario flags are taken from the checkpoint)")
+		recTrace  = flag.String("record-trace", "", "capture the run's traffic workload (arrivals + mobility) into this trace file for later -traffic-replay")
 	)
 	buildSpec := specFlags(flag.CommandLine)
 	flag.Parse()
@@ -108,14 +115,14 @@ func main() {
 	if *ckptDir != "" {
 		cp = &scenario.CheckpointConfig{Dir: *ckptDir, EveryEpochs: *ckptEvery, Retain: *ckptKeep}
 	}
-	if err := run(spec, *xyz, *esri, *traceOut, *jsonOut, *resume, cp); err != nil {
+	if err := run(spec, *xyz, *esri, *traceOut, *jsonOut, *resume, *recTrace, cp); err != nil {
 		fmt.Fprintln(os.Stderr, "skyranctl:", err)
 		os.Exit(1)
 	}
 }
 
-func run(spec scenario.Spec, xyz, esri, traceOut string, jsonOut bool, resume string, cp *scenario.CheckpointConfig) error {
-	opts := scenario.Options{Checkpoint: cp}
+func run(spec scenario.Spec, xyz, esri, traceOut string, jsonOut bool, resume, recTrace string, cp *scenario.CheckpointConfig) error {
+	opts := scenario.Options{Checkpoint: cp, RecordTrace: recTrace}
 	t, err := buildTerrain(xyz, esri)
 	if err != nil {
 		return err

@@ -1,0 +1,90 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/scenario"
+	"repro/internal/specfile"
+)
+
+// runScenario implements `skyranctl scenario`: tooling for declarative
+// scenario files.
+//
+//	skyranctl scenario validate scenarios/*.yaml
+//	skyranctl scenario show scenarios/stadium-egress.yaml
+//
+// `validate` strictly parses and compiles each file, printing one line
+// per file (name, scenario fingerprint) and failing on the first bad
+// one. `show` prints a file's compiled spec in the canonical job-API
+// wire form — exactly the JSON a daemon submission of this scenario
+// would carry, byte-comparable between a file and a flag run.
+func runScenario(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: skyranctl scenario <validate|show> <file.yaml ...>")
+	}
+	switch args[0] {
+	case "validate":
+		return runScenarioValidate(args[1:])
+	case "show":
+		return runScenarioShow(args[1:])
+	}
+	return fmt.Errorf("unknown scenario subcommand %q (valid: validate, show)", args[0])
+}
+
+func runScenarioValidate(args []string) error {
+	fs := flag.NewFlagSet("skyranctl scenario validate", flag.ExitOnError)
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: skyranctl scenario validate <file.yaml ...>")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		return fmt.Errorf("scenario validate: no files given")
+	}
+	for _, path := range fs.Args() {
+		spec, doc, err := specfile.CompileFile(path)
+		if err != nil {
+			return err
+		}
+		fp, err := scenario.Fingerprint(spec)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		name := doc.Name
+		if name == "" {
+			name = "(unnamed)"
+		}
+		fmt.Printf("OK %s: %s fingerprint %016x\n", path, name, fp)
+	}
+	return nil
+}
+
+func runScenarioShow(args []string) error {
+	fs := flag.NewFlagSet("skyranctl scenario show", flag.ExitOnError)
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: skyranctl scenario show <file.yaml>")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("scenario show: exactly one file expected")
+	}
+	spec, _, err := specfile.CompileFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	b, err := json.MarshalIndent(spec, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = os.Stdout.Write(b)
+	return err
+}

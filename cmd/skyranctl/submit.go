@@ -5,11 +5,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/client"
 	"repro/internal/fault"
 	"repro/internal/scenario"
+	"repro/internal/specfile"
 	"repro/internal/traffic"
 )
 
@@ -18,19 +20,28 @@ import (
 // and returns a builder that validates them and assembles the Spec.
 // The local run path and the submit subcommand share it, so a spec
 // built here runs identically on either side of the daemon API.
+//
+// -spec loads the scenario from a YAML document instead; combining it
+// with any other scenario-shaping flag is a usage error (exit 2) —
+// the file is the single source of truth, edit it instead.
 func specFlags(fs *flag.FlagSet) func() scenario.Spec {
+	before := map[string]bool{}
+	fs.VisitAll(func(f *flag.Flag) { before[f.Name] = true })
 	var (
-		terrName  = fs.String("terrain", "CAMPUS", "terrain: CAMPUS, RURAL, NYC, LARGE, FLAT")
-		nUEs      = fs.Int("ues", 6, "number of UEs")
-		topology  = fs.String("topology", "uniform", "UE placement: uniform or clustered")
-		ctrlName  = fs.String("controller", "skyran", "controller: skyran, uniform, centroid, random, oracle")
-		budget    = fs.Float64("budget", 800, "measurement budget per epoch (metres)")
-		epochs    = fs.Int("epochs", 1, "epochs to run (half the UEs relocate between epochs)")
-		seed      = fs.Int64("seed", 1, "scenario seed")
-		serveSecs = fs.Float64("serve", 5, "seconds of LTE serving to simulate per epoch")
-		trafModel = fs.String("traffic", "", "serving-phase workload: cbr, poisson, onoff, web or full-buffer (empty keeps the legacy full-buffer path)")
-		trafRate  = fs.Float64("traffic-rate", 0, "mean offered rate per UE in bit/s (0 = model default)")
-		pktBytes  = fs.Int("packet-bytes", 0, "traffic packet size in bytes (0 = model default)")
+		specPath   = fs.String("spec", "", "scenario file (kind skyran/Scenario) instead of scenario flags")
+		terrName   = fs.String("terrain", "CAMPUS", "terrain: CAMPUS, RURAL, NYC, LARGE, FLAT")
+		nUEs       = fs.Int("ues", 6, "number of UEs")
+		topology   = fs.String("topology", "uniform", "UE placement: uniform or clustered")
+		ctrlName   = fs.String("controller", "skyran", "controller: skyran, uniform, centroid, random, oracle")
+		budget     = fs.Float64("budget", 800, "measurement budget per epoch (metres)")
+		epochs     = fs.Int("epochs", 1, "epochs to run (half the UEs relocate between epochs)")
+		seed       = fs.Int64("seed", 1, "scenario seed")
+		serveSecs  = fs.Float64("serve", 5, "seconds of LTE serving to simulate per epoch")
+		trafModel  = fs.String("traffic", "", "serving-phase workload: cbr, poisson, gamma, weibull, onoff, web or full-buffer (empty keeps the legacy full-buffer path)")
+		trafRate   = fs.Float64("traffic-rate", 0, "mean offered rate per UE in bit/s (0 = model default)")
+		pktBytes   = fs.Int("packet-bytes", 0, "traffic packet size in bytes (0 = model default)")
+		trafShape  = fs.Float64("traffic-shape", 0, "gamma/weibull interarrival shape k (0 = default 0.5)")
+		trafReplay = fs.String("traffic-replay", "", "replay a recorded traffic trace file instead of generating a workload")
 
 		// Multi-UAV fleet (cells >= 2 replaces the single-UAV controller
 		// loop with the cooperative fleet).
@@ -53,9 +64,28 @@ func specFlags(fs *flag.FlagSet) func() scenario.Spec {
 		fBattery    = fs.Float64("fault-battery-sag", 0, "fractional extra battery drain (0.1 = 10% worse)")
 		fAbort      = fs.Float64("fault-abort-leg", 0, "probability a trajectory leg is aborted partway [0,1]")
 	)
+	// Everything registered above (minus -spec itself) shapes the
+	// scenario and therefore conflicts with -spec.
+	mine := map[string]bool{}
+	fs.VisitAll(func(f *flag.Flag) {
+		if !before[f.Name] && f.Name != "spec" {
+			mine[f.Name] = true
+		}
+	})
 	return func() scenario.Spec {
+		if *specPath != "" {
+			if set := setFlagsIn(fs, mine); len(set) > 0 {
+				usageError("-spec cannot be combined with scenario flags (%s); edit the file instead", strings.Join(set, ", "))
+			}
+			spec, _, err := specfile.CompileFile(*specPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "skyranctl:", err)
+				os.Exit(1)
+			}
+			return spec
+		}
 		switch *trafModel {
-		case "", "cbr", "poisson", "onoff", "web", "full-buffer":
+		case "", "cbr", "poisson", "gamma", "weibull", "onoff", "web", "full-buffer":
 		default:
 			usageError("unknown -traffic model %q (valid: %s)", *trafModel, validTrafficModels())
 		}
@@ -64,6 +94,12 @@ func specFlags(fs *flag.FlagSet) func() scenario.Spec {
 		}
 		if *pktBytes < 0 {
 			usageError("-packet-bytes must be non-negative, got %d", *pktBytes)
+		}
+		if *trafShape < 0 {
+			usageError("-traffic-shape must be non-negative, got %g", *trafShape)
+		}
+		if *trafReplay != "" && *trafModel != "" {
+			usageError("-traffic-replay replaces the workload; drop -traffic")
 		}
 		switch *carriers {
 		case "", "cochannel", "separate":
@@ -103,7 +139,11 @@ func specFlags(fs *flag.FlagSet) func() scenario.Spec {
 				Model:       traffic.Model(*trafModel),
 				RateBps:     *trafRate,
 				PacketBytes: *pktBytes,
+				Shape:       *trafShape,
 			}
+		}
+		if *trafReplay != "" {
+			spec.Traffic = &traffic.Spec{Mode: traffic.ModeReplay, TraceFile: *trafReplay}
 		}
 		sched := &fault.Schedule{
 			SRSDropRate:    *fSRSDrop,
@@ -125,6 +165,18 @@ func specFlags(fs *flag.FlagSet) func() scenario.Spec {
 		}
 		return spec
 	}
+}
+
+// setFlagsIn returns the names (with leading dash) of the flags in
+// names the user set explicitly on the command line.
+func setFlagsIn(fs *flag.FlagSet, names map[string]bool) []string {
+	var out []string
+	fs.Visit(func(f *flag.Flag) {
+		if names[f.Name] {
+			out = append(out, "-"+f.Name)
+		}
+	})
+	return out
 }
 
 // runSubmit implements `skyranctl submit`: ship the spec to a skyrand

@@ -47,6 +47,9 @@ const (
 	KindCheckpoint = "skyran/checkpoint"
 	// KindREMStore is a persisted rem.Store.
 	KindREMStore = "skyran/rem-store"
+	// KindTrafficTrace is a recorded traffic workload (packet arrivals
+	// plus phase-start UE positions) for deterministic replay.
+	KindTrafficTrace = "skyran/traffic-trace"
 )
 
 // Distinct failure classes, so callers (and operators reading daemon

@@ -7,7 +7,6 @@ import (
 	"fmt"
 	"log"
 	"path/filepath"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -327,16 +326,9 @@ func (c *Coordinator) SubmitCampaign(template scenario.Spec, seeds []int64) (*Ca
 	if err := norm.Normalize(); err != nil {
 		return nil, fmt.Errorf("cluster: campaign template: %w", err)
 	}
-	if len(seeds) == 0 {
+	uniq, err := scenario.CanonicalSeeds(seeds)
+	if err != nil {
 		return nil, errors.New("cluster: campaign needs at least one seed")
-	}
-	sorted := append([]int64(nil), seeds...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	uniq := sorted[:1]
-	for _, s := range sorted[1:] {
-		if s != uniq[len(uniq)-1] {
-			uniq = append(uniq, s)
-		}
 	}
 	fp, err := scenario.CampaignFingerprint(norm)
 	if err != nil {

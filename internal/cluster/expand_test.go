@@ -1,0 +1,40 @@
+package cluster
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestExpandSeeds(t *testing.T) {
+	r := CampaignRequest{Seeds: []int64{7}, SeedBase: 100, SeedCount: 3}
+	got, err := r.ExpandSeeds()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []int64{7, 100, 101, 102}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("ExpandSeeds = %v, want %v", got, want)
+	}
+	if _, err := (&CampaignRequest{}).ExpandSeeds(); err == nil {
+		t.Fatal("empty request accepted")
+	}
+	if _, err := (&CampaignRequest{SeedCount: -1}).ExpandSeeds(); err == nil {
+		t.Fatal("negative seed_count accepted")
+	}
+}
+
+func TestExpandSeedsOverflowRejected(t *testing.T) {
+	r := CampaignRequest{SeedBase: math.MaxInt64 - 1, SeedCount: 3}
+	if _, err := r.ExpandSeeds(); err == nil {
+		t.Fatal("seed_base overflow accepted")
+	}
+	// The largest range that still fits must be accepted.
+	ok := CampaignRequest{SeedBase: math.MaxInt64 - 2, SeedCount: 3}
+	seeds, err := ok.ExpandSeeds()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seeds[2] != math.MaxInt64 {
+		t.Fatalf("last seed = %d", seeds[2])
+	}
+}

@@ -36,6 +36,9 @@ func (r *CampaignRequest) ExpandSeeds() ([]int64, error) {
 	if r.SeedCount < 0 || r.SeedCount > scenario.MaxShardSeeds {
 		return nil, fmt.Errorf("seed_count %d out of range [0, %d]", r.SeedCount, scenario.MaxShardSeeds)
 	}
+	if r.SeedCount > 0 && r.SeedBase > math.MaxInt64-int64(r.SeedCount-1) {
+		return nil, fmt.Errorf("seed_base %d + seed_count %d overflows int64", r.SeedBase, r.SeedCount)
+	}
 	for i := 0; i < r.SeedCount; i++ {
 		seeds = append(seeds, r.SeedBase+int64(i))
 	}

@@ -350,6 +350,12 @@ func Resume(ctx context.Context, path string, expect *Spec, opts Options) (*Resu
 	if err != nil {
 		return nil, nil, err
 	}
+	if opts.RecordTrace != "" {
+		return nil, nil, fmt.Errorf("scenario: trace capture cannot be combined with resume")
+	}
+	if err := setupTracing(env, opts); err != nil {
+		return nil, nil, err
+	}
 	if err := env.rng.Restore(progress.RNG); err != nil {
 		return nil, nil, fmt.Errorf("scenario: restoring scenario RNG: %w", err)
 	}

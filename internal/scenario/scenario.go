@@ -135,6 +135,11 @@ func (s *Spec) Normalize() error {
 		if err := s.Traffic.Normalize(); err != nil {
 			return err
 		}
+		// Replay feeds one recorded arrival stream through one serving
+		// loop; the fleet's per-cell phases have no recorded counterpart.
+		if s.Traffic.Mode == traffic.ModeReplay && s.Cells >= 2 {
+			return fmt.Errorf("scenario: traffic replay requires a single-cell run (cells = %d)", s.Cells)
+		}
 	}
 	if s.Faults != nil {
 		if err := s.Faults.Normalize(); err != nil {
@@ -337,6 +342,12 @@ type Options struct {
 	// (0 = one worker per core). It is an execution knob, not part of
 	// the Spec, and never changes results.
 	Workers int
+	// RecordTrace, when non-empty, captures the run's traffic workload
+	// (packet arrivals plus phase-start UE positions) into this trace
+	// file for later replay via traffic mode "replay". It requires a
+	// packet traffic model on a single-cell run without checkpointing;
+	// capture never changes the Result.
+	RecordTrace string
 }
 
 // runEnv is a built scenario: the world (single-UAV or fleet),
@@ -471,10 +482,19 @@ func Run(ctx context.Context, spec Spec, opts Options) (*Result, *rem.Store, err
 	if err != nil {
 		return nil, nil, err
 	}
+	if err := setupTracing(env, opts); err != nil {
+		return nil, nil, err
+	}
 	if opts.OnStart != nil {
 		opts.OnStart(env.res)
 	}
-	return runFrom(ctx, env, len(env.res.Epochs), opts)
+	res, store, err := runFrom(ctx, env, len(env.res.Epochs), opts)
+	if err == nil && opts.RecordTrace != "" {
+		if _, werr := env.w.Capture.Trace.WriteFile(opts.RecordTrace); werr != nil {
+			return res, store, fmt.Errorf("scenario: writing trace: %w", werr)
+		}
+	}
+	return res, store, err
 }
 
 // runFrom executes epochs startEpoch..spec.Epochs-1 against a built

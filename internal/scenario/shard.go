@@ -3,6 +3,7 @@ package scenario
 import (
 	"fmt"
 	"path/filepath"
+	"sort"
 )
 
 // Campaign sharding: a campaign is one scenario spec template fanned
@@ -59,6 +60,27 @@ func (ss *ShardSpec) Normalize() error {
 		}
 	}
 	return nil
+}
+
+// CanonicalSeeds returns the canonical form of a Monte-Carlo seed
+// set: sorted ascending with duplicates removed, never sharing memory
+// with the input. Campaign results are keyed by seed, so submission
+// order and repetition never matter; canonicalizing up front is what
+// makes the merged campaign document deterministic. An empty set is an
+// error — a campaign with no seeds runs nothing.
+func CanonicalSeeds(seeds []int64) ([]int64, error) {
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("scenario: seed set is empty")
+	}
+	sorted := append([]int64(nil), seeds...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	uniq := sorted[:1]
+	for _, s := range sorted[1:] {
+		if s != uniq[len(uniq)-1] {
+			uniq = append(uniq, s)
+		}
+	}
+	return uniq, nil
 }
 
 // SpecForSeed restricts a campaign template to one Monte-Carlo seed:

@@ -1,0 +1,70 @@
+package scenario
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestCanonicalSeeds(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		in   []int64
+		want []int64
+	}{
+		{"already-canonical", []int64{1, 2, 3}, []int64{1, 2, 3}},
+		{"unsorted", []int64{5, 1, 3}, []int64{1, 3, 5}},
+		{"duplicates", []int64{4, 4, 1, 4, 1}, []int64{1, 4}},
+		{"single", []int64{9}, []int64{9}},
+		{"negative-seeds", []int64{0, -5, 7, -5}, []int64{-5, 0, 7}},
+		{"extremes", []int64{math.MaxInt64, math.MinInt64, 0}, []int64{math.MinInt64, 0, math.MaxInt64}},
+	} {
+		got, err := CanonicalSeeds(tc.in)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("%s: CanonicalSeeds(%v) = %v, want %v", tc.name, tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestCanonicalSeedsEmptyRejected(t *testing.T) {
+	if _, err := CanonicalSeeds(nil); err == nil {
+		t.Fatal("nil seed set accepted")
+	}
+	if _, err := CanonicalSeeds([]int64{}); err == nil {
+		t.Fatal("empty seed set accepted")
+	}
+}
+
+func TestCanonicalSeedsDoesNotAliasInput(t *testing.T) {
+	in := []int64{3, 1, 2}
+	got, err := CanonicalSeeds(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got[0] = 99
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Fatalf("input mutated: %v", in)
+	}
+}
+
+func TestShardSpecNormalizeSeedOrder(t *testing.T) {
+	base := Spec{Controller: "random", UEs: 3}
+	ok := ShardSpec{Spec: base, Seeds: []int64{-2, 0, 5}}
+	if err := ok.Normalize(); err != nil {
+		t.Fatalf("ascending (negative-first) seeds rejected: %v", err)
+	}
+	for _, bad := range [][]int64{
+		nil,      // empty
+		{3, 3},   // duplicate
+		{5, 1},   // descending
+		{-1, -1}, // duplicate negatives
+	} {
+		ss := ShardSpec{Spec: base, Seeds: bad}
+		if err := ss.Normalize(); err == nil {
+			t.Errorf("Normalize accepted seeds %v", bad)
+		}
+	}
+}

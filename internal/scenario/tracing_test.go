@@ -1,0 +1,206 @@
+package scenario
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/traffic"
+)
+
+// cohortSpec is the multi-cohort acceptance workload: three traffic
+// classes on dedicated streams — heavy-tailed gamma, weibull, and a
+// diurnal+flash poisson cohort — over a mobile fleet.
+func cohortTraffic() *traffic.Spec {
+	return &traffic.Spec{
+		Model: traffic.ModelPoisson, RateBps: 3e5,
+		Cohorts: []traffic.Cohort{
+			{Name: "bulk", Share: 0.5, Model: traffic.ModelGamma, Shape: 0.4},
+			{Name: "iot", Share: 0.2, Model: traffic.ModelWeibull, Shape: 0.7, RateBps: 5e4},
+			{Name: "crowd", Share: 0.3,
+				Diurnal: []traffic.Period{{Seconds: 3, Mult: 0.5}, {Seconds: 3, Mult: 2}},
+				Flash:   &traffic.Flash{AtS: 2, Peak: 4, RampS: 1, HoldS: 2, DecayS: 1}},
+		},
+	}
+}
+
+// TestCohortFleetByteIdenticalAcrossWorkers is the cohort determinism
+// contract at the fleet layer: gamma, weibull and enveloped streams
+// are byte-identical at workers 1 vs 8.
+func TestCohortFleetByteIdenticalAcrossWorkers(t *testing.T) {
+	spec := Spec{
+		Terrain: "FLAT", UEs: 8, Epochs: 2, Seed: 11, ServeS: 5,
+		Traffic: cohortTraffic(),
+		Cells:   2, MobilityMS: 15, HandoverHysteresisDB: 1, HandoverTTTs: 0.1,
+	}
+	ref, _ := runFleet(t, spec, Options{Workers: 1})
+	got, _ := runFleet(t, spec, Options{Workers: 8})
+	if !bytes.Equal(ref, got) {
+		t.Fatal("cohort fleet result differs between workers 1 and 8")
+	}
+}
+
+// TestCohortResumeByteIdentical checkpoints a cohort run mid-sweep and
+// resumes it: the per-phase (seed, phase, cohort, UE) stream derivation
+// must survive the world rebuild.
+func TestCohortResumeByteIdentical(t *testing.T) {
+	spec := Spec{
+		Terrain: "FLAT", UEs: 6, Controller: "random",
+		BudgetM: 200, Epochs: 4, Seed: 13, ServeS: 2,
+		Traffic: cohortTraffic(),
+	}
+	ref, _, err := Run(context.Background(), spec, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refJSON, err := MarshalResult(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var last string
+	_, _, err = Run(ctx, spec, Options{
+		Checkpoint: &CheckpointConfig{Dir: dir},
+		OnEpoch: func(rep EpochReport) {
+			if rep.Epoch == 2 {
+				cancel()
+			}
+		},
+		OnCheckpoint: func(ev CheckpointEvent) { last = ev.Path },
+	})
+	if err == nil {
+		t.Fatal("cancelled run reported no error")
+	}
+	got, _, err := Resume(context.Background(), last, &spec, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotJSON, err := MarshalResult(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(refJSON, gotJSON) {
+		t.Fatal("resumed cohort run differs from uninterrupted run")
+	}
+}
+
+// traceSpec is the capture/replay scenario: packet traffic under an
+// active fault schedule (so replay must reproduce fault handling too).
+func traceSpec() Spec {
+	return Spec{
+		Terrain: "FLAT", UEs: 4, Controller: "random",
+		BudgetM: 200, Epochs: 2, Seed: 21, ServeS: 2,
+		Traffic: &traffic.Spec{Model: traffic.ModelPoisson, RateBps: 2e5},
+		Faults:  &fault.Schedule{GTPULossRate: 0.05},
+	}
+}
+
+// TestTraceCaptureReplayByteIdentical is the acceptance contract: a
+// captured trace replayed via traffic mode "replay" reproduces the
+// original run's per-UE KPI rows byte for byte — and capturing never
+// changes the capturing run itself.
+func TestTraceCaptureReplayByteIdentical(t *testing.T) {
+	spec := traceSpec()
+	plain, _, err := Run(context.Background(), spec, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainJSON, err := MarshalResult(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	trace := filepath.Join(t.TempDir(), "run.trace")
+	captured, _, err := Run(context.Background(), spec, Options{RecordTrace: trace})
+	if err != nil {
+		t.Fatal(err)
+	}
+	capturedJSON, err := MarshalResult(captured)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(plainJSON, capturedJSON) {
+		t.Fatal("capturing changed the run")
+	}
+
+	replay := spec
+	replay.Traffic = &traffic.Spec{Mode: traffic.ModeReplay, TraceFile: trace}
+	replayed, _, err := Run(context.Background(), replay, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(replayed.Epochs) != len(captured.Epochs) {
+		t.Fatalf("replay ran %d epochs, capture ran %d", len(replayed.Epochs), len(captured.Epochs))
+	}
+	for i := range captured.Epochs {
+		want, err := json.Marshal(captured.Epochs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := json.Marshal(replayed.Epochs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(want, got) {
+			t.Fatalf("epoch %d differs under replay:\n--- captured ---\n%s\n--- replayed ---\n%s", i+1, want, got)
+		}
+	}
+}
+
+func TestReplayWrongScenarioRejected(t *testing.T) {
+	spec := traceSpec()
+	trace := filepath.Join(t.TempDir(), "run.trace")
+	if _, _, err := Run(context.Background(), spec, Options{RecordTrace: trace}); err != nil {
+		t.Fatal(err)
+	}
+	wrong := spec
+	wrong.Seed = 22
+	wrong.Traffic = &traffic.Spec{Mode: traffic.ModeReplay, TraceFile: trace}
+	if _, _, err := Run(context.Background(), wrong, Options{}); err == nil {
+		t.Fatal("replay into a different scenario accepted")
+	}
+	// The matching scenario must still load.
+	right := spec
+	right.Traffic = &traffic.Spec{Mode: traffic.ModeReplay, TraceFile: trace}
+	if _, _, err := Run(context.Background(), right, Options{}); err != nil {
+		t.Fatalf("replay into the capturing scenario rejected: %v", err)
+	}
+}
+
+func TestRecordTraceValidation(t *testing.T) {
+	ctx := context.Background()
+	trace := filepath.Join(t.TempDir(), "t.trace")
+
+	fullBuffer := traceSpec()
+	fullBuffer.Traffic = nil
+	if _, _, err := Run(ctx, fullBuffer, Options{RecordTrace: trace}); err == nil {
+		t.Fatal("capture without a packet model accepted")
+	}
+
+	multi := traceSpec()
+	multi.Cells = 2
+	if _, _, err := Run(ctx, multi, Options{RecordTrace: trace}); err == nil {
+		t.Fatal("capture on a fleet run accepted")
+	}
+
+	withCkpt := traceSpec()
+	if _, _, err := Run(ctx, withCkpt, Options{
+		RecordTrace: trace,
+		Checkpoint:  &CheckpointConfig{Dir: t.TempDir()},
+	}); err == nil {
+		t.Fatal("capture combined with checkpointing accepted")
+	}
+
+	replayCells := traceSpec()
+	replayCells.Cells = 2
+	replayCells.Traffic = &traffic.Spec{Mode: traffic.ModeReplay, TraceFile: trace}
+	if err := replayCells.Normalize(); err == nil {
+		t.Fatal("replay on a fleet run accepted")
+	}
+}

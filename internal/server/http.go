@@ -4,12 +4,27 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
+	"strings"
 
 	"repro/internal/geom"
 	"repro/internal/scenario"
+	"repro/internal/specfile"
 )
+
+// yamlContentType reports whether a Content-Type header announces a
+// YAML scenario document (application/yaml, text/yaml and the legacy
+// x- variants, with or without parameters).
+func yamlContentType(ct string) bool {
+	mediatype, _, _ := strings.Cut(ct, ";")
+	switch strings.ToLower(strings.TrimSpace(mediatype)) {
+	case "application/yaml", "text/yaml", "application/x-yaml", "text/x-yaml":
+		return true
+	}
+	return false
+}
 
 // jobEnvelope is the wire form of a job's status. Result carries the
 // canonical scenario.MarshalResult bytes verbatim (RawMessage, not
@@ -100,17 +115,45 @@ func (s *Server) jobOr404(w http.ResponseWriter, r *http.Request) (*Job, bool) {
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	r.Body = http.MaxBytesReader(w, r.Body, maxSubmitBytes)
 	var spec scenario.Spec
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&spec); err != nil {
-		var tooBig *http.MaxBytesError
-		if errors.As(err, &tooBig) {
-			writeError(w, http.StatusRequestEntityTooLarge,
-				fmt.Sprintf("spec body exceeds %d bytes", tooBig.Limit))
+	if yamlContentType(r.Header.Get("Content-Type")) {
+		// A scenario document (kind skyran/Scenario) submitted as-is:
+		// the daemon compiles it through the same strict path as
+		// `skyranctl -spec`, so a file submission and the equivalent
+		// JSON spec land on identical jobs.
+		body, err := io.ReadAll(r.Body)
+		if err != nil {
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				writeError(w, http.StatusRequestEntityTooLarge,
+					fmt.Sprintf("spec body exceeds %d bytes", tooBig.Limit))
+				return
+			}
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("reading spec: %v", err))
 			return
 		}
-		writeError(w, http.StatusBadRequest, fmt.Sprintf("decoding spec: %v", err))
-		return
+		doc, err := specfile.Parse("request body", body)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		spec, err = doc.Compile()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+	} else {
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&spec); err != nil {
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				writeError(w, http.StatusRequestEntityTooLarge,
+					fmt.Sprintf("spec body exceeds %d bytes", tooBig.Limit))
+				return
+			}
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("decoding spec: %v", err))
+			return
+		}
 	}
 	job, replayed, err := s.SubmitIdem(spec, r.Header.Get("Idempotency-Key"))
 	switch {

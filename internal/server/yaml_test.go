@@ -1,0 +1,77 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestSubmitYAMLDocument submits a scenario document with a YAML
+// Content-Type: the daemon must compile it through the same strict
+// path as `skyranctl -spec` and land on exactly the spec the
+// equivalent JSON submission carries.
+func TestSubmitYAMLDocument(t *testing.T) {
+	s := mustNew(t, Config{QueueCap: 4, Workers: 1, JobTimeout: time.Minute})
+	s.Start()
+	defer s.Shutdown(context.Background()) //nolint:errcheck
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	doc := strings.Join([]string{
+		"kind: skyran/Scenario",
+		"version: 1",
+		"name: tiny",
+		"scenario:",
+		"  terrain: FLAT",
+		"  ues: 3",
+		"  budget_m: 200",
+		"  epochs: 1",
+		"  seed: 7",
+		"  serve_s: 1",
+		"",
+	}, "\n")
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/yaml", strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("YAML submit got %d, want 202", resp.StatusCode)
+	}
+	j, ok := s.Get(strings.TrimPrefix(resp.Header.Get("Location"), "/v1/jobs/"))
+	if !ok {
+		t.Fatal("submitted job not found")
+	}
+	want := tinySpec(7)
+	if err := want.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if got := j.envelope(false).Spec; !reflect.DeepEqual(got, want) {
+		t.Fatalf("YAML-compiled spec differs from flag-equivalent:\n got %+v\nwant %+v", got, want)
+	}
+	waitDone(t, j)
+}
+
+// TestSubmitYAMLRejectsBadDocument: strict decoding reaches the wire —
+// an unknown field in the scenario block is a 400 naming the field.
+func TestSubmitYAMLRejectsBadDocument(t *testing.T) {
+	s := mustNew(t, Config{QueueCap: 4, Workers: 1, JobTimeout: time.Minute})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	doc := "kind: skyran/Scenario\nversion: 1\nscenario:\n  terrian: FLAT\n"
+	for _, ct := range []string{"application/yaml", "text/yaml; charset=utf-8"} {
+		resp, err := http.Post(ts.URL+"/v1/jobs", ct, strings.NewReader(doc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("bad YAML via %s got %d, want 400", ct, resp.StatusCode)
+		}
+	}
+}

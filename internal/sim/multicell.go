@@ -434,11 +434,7 @@ func (m *MultiCell) ServeTraffic(seconds float64, ttiStride int, spec traffic.Sp
 	if m.Faults != nil {
 		plan = m.Faults.NewServePlan(m.Cfg.Seed, phase, len(m.UEs), seconds)
 	}
-	sources := make([]traffic.Source, len(m.UEs))
-	for i, u := range m.UEs {
-		sources[i] = traffic.NewSource(spec, u.ID, phaseSeed, seconds)
-	}
-	gen := traffic.NewGenerator(sources)
+	gen := traffic.NewGenerator(traffic.NewSources(spec, ids, phaseSeed, seconds))
 
 	// Bearer objects move between cells with their UE, so the slice
 	// built here stays valid across handovers.

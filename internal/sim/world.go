@@ -101,6 +101,15 @@ type World struct {
 	// no active fault schedule.
 	Faults *fault.Injector
 
+	// Capture, when non-nil, records every serving phase's arrivals and
+	// phase-start UE positions for later replay. It never changes the
+	// run: a capturing run and a plain run produce byte-identical KPIs.
+	Capture *traffic.Capture
+
+	// replay holds the loaded trace when serving with Mode = replay
+	// (preloaded via SetReplayTrace or lazily from Spec.TraceFile).
+	replay *traffic.Trace
+
 	Clock float64 // simulated seconds
 
 	rng  *detrand.Rand // measurement noise, SRS channels
@@ -516,9 +525,9 @@ func (w *World) ServeTraffic(seconds float64, ttiStride int, spec traffic.Spec) 
 	for i, u := range w.UEs {
 		ids[i] = u.ID
 	}
-	col := traffic.NewCollector(spec.Model, ids)
 
-	if spec.Model == traffic.ModelFullBuffer {
+	if spec.Model == traffic.ModelFullBuffer && spec.Mode != traffic.ModeReplay {
+		col := traffic.NewCollector(spec.Model, ids)
 		for i, bits := range w.ServeSeconds(seconds, ttiStride) {
 			col.FullBufferServed(i, bits)
 		}
@@ -534,11 +543,30 @@ func (w *World) ServeTraffic(seconds float64, ttiStride int, spec traffic.Spec) 
 	if w.Faults != nil {
 		plan = w.Faults.NewServePlan(w.Cfg.Seed, phase, len(w.UEs), seconds)
 	}
-	sources := make([]traffic.Source, len(w.UEs))
-	for i, u := range w.UEs {
-		sources[i] = traffic.NewSource(spec, u.ID, phaseSeed, seconds)
+	model := spec.Model
+	var gen traffic.Stream
+	if spec.Mode == traffic.ModeReplay {
+		ph, err := w.replayPhase(spec, phase, seconds)
+		if err != nil {
+			return nil, err
+		}
+		model = w.replay.Spec.Model
+		gen = ph.Stream()
+	} else {
+		gen = traffic.NewGenerator(traffic.NewSources(spec, ids, phaseSeed, seconds))
 	}
-	gen := traffic.NewGenerator(sources)
+	col := traffic.NewCollector(model, ids)
+	rec := w.Capture
+	if spec.Mode == traffic.ModeReplay {
+		rec = nil
+	}
+	if rec != nil {
+		ues := make([]traffic.TraceUE, len(w.UEs))
+		for i, u := range w.UEs {
+			ues[i] = traffic.TraceUE{ID: u.ID, X: u.Pos.X, Y: u.Pos.Y}
+		}
+		rec.BeginPhase(seconds, ues)
+	}
 
 	bearers := make([]*enb.Bearer, len(w.UEs))
 	index := make(map[epc.IMSI]int, len(w.UEs))
@@ -582,6 +610,12 @@ func (w *World) ServeTraffic(seconds float64, ttiStride int, spec traffic.Spec) 
 			a, ok := gen.Pop(float64(s+1) * tti)
 			if !ok {
 				break
+			}
+			// Capture upstream of the fault plan and the bearer path: the
+			// trace records the offered workload itself, and replay re-runs
+			// faults and queueing against the same derived streams.
+			if rec != nil {
+				rec.Arrival(a)
 			}
 			col.Offered(a.UE, a.Bytes)
 			// Serving-phase faults act on the GTP-U leg: a packet for a
@@ -640,6 +674,44 @@ func (w *World) ServeTraffic(seconds float64, ttiStride int, spec traffic.Spec) 
 	rep := col.Report(seconds, backlog, peak)
 	w.emitTraffic(rep, true)
 	return rep, nil
+}
+
+// SetReplayTrace preloads the trace used when serving with
+// Spec.Mode = replay, bypassing the lazy TraceFile load. Scenario runs
+// preload so fingerprint verification happens before any simulation.
+func (w *World) SetReplayTrace(tr *traffic.Trace) { w.replay = tr }
+
+// replayPhase resolves the recorded phase for the current serve-phase
+// counter: it lazily loads Spec.TraceFile on first use, checks the
+// phase's duration and UE field against the live run, and moves every
+// UE to its recorded phase-start position so the radio streams see the
+// same geometry the capturing run did.
+func (w *World) replayPhase(spec traffic.Spec, phase uint64, seconds float64) (*traffic.TracePhase, error) {
+	if w.replay == nil {
+		tr, err := traffic.ReadTraceFile(spec.TraceFile)
+		if err != nil {
+			return nil, err
+		}
+		w.replay = tr
+	}
+	ph, err := w.replay.Phase(phase)
+	if err != nil {
+		return nil, err
+	}
+	if ph.Seconds != seconds {
+		return nil, fmt.Errorf("sim: replay phase %d recorded %gs, run serves %gs", phase, ph.Seconds, seconds)
+	}
+	if len(ph.UEs) != len(w.UEs) {
+		return nil, fmt.Errorf("sim: replay phase %d recorded %d UEs, world has %d", phase, len(ph.UEs), len(w.UEs))
+	}
+	for i, tu := range ph.UEs {
+		if w.UEs[i].ID != tu.ID {
+			return nil, fmt.Errorf("sim: replay phase %d UE index %d recorded ID %d, world has %d",
+				phase, i, tu.ID, w.UEs[i].ID)
+		}
+		w.UEs[i].Pos = geom.V2(tu.X, tu.Y)
+	}
+	return ph, nil
 }
 
 // FaultCounts returns the cumulative injected-fault and degradation

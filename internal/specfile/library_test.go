@@ -1,0 +1,131 @@
+package specfile
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/scenario"
+)
+
+// libraryGolden pins every scenario in scenarios/ to its compiled-spec
+// fingerprint and per-epoch KPI rows. A diff here means a library file
+// changed meaning, the compiler changed, or the simulation changed —
+// all of which deserve a deliberate golden update, not an accident.
+var libraryGolden = map[string]struct {
+	fingerprint string
+	rows        []string
+}{
+	"quickstart.yaml": {
+		fingerprint: "bc3a1cda1d74586a",
+		rows: []string{
+			"epoch 1 thr_mbps=34.995",
+		},
+	},
+	"stadium-egress.yaml": {
+		fingerprint: "8e629fe9a0308a0d",
+		rows: []string{
+			"epoch 1 thr_mbps=34.995 offered_mbps=4.355 delivered_mbps=4.355 loss=0.0000 p95_ms=11.86",
+			"epoch 2 thr_mbps=34.995 offered_mbps=4.626 delivered_mbps=4.626 loss=0.0000 p95_ms=11.86",
+		},
+	},
+	"disaster-relief.yaml": {
+		fingerprint: "f47a072040f4b889",
+		rows: []string{
+			"epoch 1 thr_mbps=34.995 offered_mbps=1.219 delivered_mbps=1.085 loss=0.1102 p95_ms=11.86",
+			"epoch 2 thr_mbps=34.995 offered_mbps=1.187 delivered_mbps=1.098 loss=0.0744 p95_ms=11.86",
+		},
+	},
+	"urban-canyon.yaml": {
+		fingerprint: "19581d689a0e95ec",
+		rows: []string{
+			"epoch 1 cells=2 min_sinr_db=-3.49 thr_mbps=28.381 ho=0/0 offered_mbps=1.953 delivered_mbps=1.893 loss=0.0000 p95_ms=11.86",
+			"epoch 2 cells=2 min_sinr_db=-4.54 thr_mbps=28.696 ho=3/3 offered_mbps=1.928 delivered_mbps=1.928 loss=0.0000 p95_ms=505.76",
+		},
+	},
+	"highway-convoy.yaml": {
+		fingerprint: "18868ed29f00c9ce",
+		rows: []string{
+			"epoch 1 cells=2 min_sinr_db=3.81 thr_mbps=15.819 ho=8/8 offered_mbps=2.400 delivered_mbps=2.399 loss=0.0000 p95_ms=23.47",
+			"epoch 2 cells=2 min_sinr_db=5.16 thr_mbps=9.669 ho=10/10 offered_mbps=2.400 delivered_mbps=2.401 loss=0.0000 p95_ms=33.01",
+		},
+	},
+}
+
+// kpiRows renders a result as one golden row per epoch: the placement
+// quality and serving KPIs a scenario exists to pin.
+func kpiRows(res *scenario.Result) []string {
+	var rows []string
+	for _, ep := range res.Epochs {
+		row := fmt.Sprintf("epoch %d", ep.Epoch)
+		if len(ep.Cells) > 0 {
+			row += fmt.Sprintf(" cells=%d min_sinr_db=%.2f thr_mbps=%.3f", len(ep.Cells), ep.ObjectiveValue, ep.ThroughputBps/1e6)
+			if ep.Handover != nil {
+				row += fmt.Sprintf(" ho=%d/%d", ep.Handover.Successes, ep.Handover.Attempts)
+			}
+		} else {
+			row += fmt.Sprintf(" thr_mbps=%.3f", ep.ThroughputBps/1e6)
+		}
+		if ep.Traffic != nil {
+			s := ep.Traffic.Summary
+			row += fmt.Sprintf(" offered_mbps=%.3f delivered_mbps=%.3f loss=%.4f p95_ms=%.2f",
+				s.OfferedBps/1e6, s.DeliveredBps/1e6, s.LossFrac, 1e3*s.P95DelayS)
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// TestScenarioLibraryGolden compiles and runs every file in scenarios/
+// and holds it to its pinned fingerprint and KPI rows. It also fails
+// if a library file exists without a golden entry (or vice versa), so
+// the library and its pins can't drift apart.
+func TestScenarioLibraryGolden(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("..", "..", "scenarios", "*.yaml"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no scenario files found in scenarios/")
+	}
+	seen := map[string]bool{}
+	for _, path := range files {
+		base := filepath.Base(path)
+		seen[base] = true
+		golden, ok := libraryGolden[base]
+		if !ok {
+			t.Errorf("%s has no golden entry; pin its fingerprint and KPI rows", base)
+			continue
+		}
+		t.Run(base, func(t *testing.T) {
+			spec, doc, err := CompileFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if doc.Name == "" || doc.Description == "" {
+				t.Error("library scenarios must carry name and description")
+			}
+			fp, err := scenario.Fingerprint(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := fmt.Sprintf("%016x", fp); got != golden.fingerprint {
+				t.Errorf("fingerprint = %s, pinned %s", got, golden.fingerprint)
+			}
+			res, _, err := scenario.Run(context.Background(), spec, scenario.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rows := kpiRows(res); !reflect.DeepEqual(rows, golden.rows) {
+				t.Errorf("KPI rows drifted:\n got: %q\nwant: %q", rows, golden.rows)
+			}
+		})
+	}
+	for base := range libraryGolden {
+		if !seen[base] {
+			t.Errorf("golden entry %s has no scenario file", base)
+		}
+	}
+}

@@ -1,0 +1,90 @@
+// Package specfile loads versioned, declarative scenario documents —
+// YAML files with kind "skyran/Scenario" — and compiles them to the
+// very scenario.Spec both skyranctl flags and the skyrand job API
+// build. Decoding is strict (unknown fields and type mismatches are
+// file:line errors, never silent drops) and the document's scenario
+// section is mapped through the same json-tagged structs the HTTP
+// wire form uses, so a file-loaded run is byte-identical to the
+// equivalent flag or API run by construction.
+package specfile
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/scenario"
+)
+
+// Kind is the document kind every scenario file must declare.
+const Kind = "skyran/Scenario"
+
+// Version is the scenario document schema version this tree reads and
+// writes; bump on any breaking schema change.
+const Version = 1
+
+// Document is a scenario file: identity header plus the scenario
+// itself. The scenario section reuses scenario.Spec's json tags, so
+// the file schema and the job API schema can never drift apart.
+type Document struct {
+	// Kind must be "skyran/Scenario".
+	Kind string `json:"kind"`
+	// Version must be 1.
+	Version int `json:"version"`
+	// Name is a short identifier for the scenario (optional).
+	Name string `json:"name,omitempty"`
+	// Description says what the scenario models (optional).
+	Description string `json:"description,omitempty"`
+	// Scenario is the run specification.
+	Scenario scenario.Spec `json:"scenario"`
+}
+
+// Parse decodes a scenario document from data; name labels errors
+// (typically the file path). The header is validated but the scenario
+// section is not yet normalized — Compile does that.
+func Parse(name string, data []byte) (*Document, error) {
+	var doc Document
+	if err := DecodeStrict(name, data, &doc); err != nil {
+		return nil, err
+	}
+	if doc.Kind != Kind {
+		return nil, fmt.Errorf("%s: kind %q, want %q", name, doc.Kind, Kind)
+	}
+	if doc.Version != Version {
+		return nil, fmt.Errorf("%s: version %d, support %d", name, doc.Version, Version)
+	}
+	return &doc, nil
+}
+
+// Load reads and parses a scenario document file.
+func Load(path string) (*Document, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("specfile: %w", err)
+	}
+	return Parse(path, data)
+}
+
+// Compile normalizes the document's scenario into a runnable spec —
+// exactly what Run would do to the flag-built equivalent, so the two
+// paths fingerprint (and run) identically.
+func (d *Document) Compile() (scenario.Spec, error) {
+	spec := d.Scenario
+	if err := spec.Normalize(); err != nil {
+		return scenario.Spec{}, err
+	}
+	return spec, nil
+}
+
+// CompileFile loads, parses and compiles a scenario file in one step,
+// returning both the runnable spec and the document header.
+func CompileFile(path string) (scenario.Spec, *Document, error) {
+	doc, err := Load(path)
+	if err != nil {
+		return scenario.Spec{}, nil, err
+	}
+	spec, err := doc.Compile()
+	if err != nil {
+		return scenario.Spec{}, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return spec, doc, nil
+}

@@ -1,0 +1,231 @@
+package specfile
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/scenario"
+	"repro/internal/traffic"
+)
+
+const stadiumDoc = `# A flash-crowd scenario.
+kind: skyran/Scenario
+version: 1
+name: stadium
+description: "egress burst over campus"
+scenario:
+  terrain: CAMPUS
+  ues: 8
+  seed: 42
+  serve_s: 2
+  traffic:
+    model: poisson
+    rate_bps: 100000
+    packet_bytes: 1200
+    cohorts:
+      - name: bulk
+        share: 0.7
+      - name: video
+        share: 0.3
+        model: gamma
+        shape: 0.8
+        flash:
+          at_s: 0.5
+          peak: 3
+          ramp_s: 0.2
+          hold_s: 0.5
+          decay_s: 0.3
+  faults:
+    srs_drop_rate: 0.05
+`
+
+func TestParseDocument(t *testing.T) {
+	doc, err := Parse("stadium.yaml", []byte(stadiumDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Name != "stadium" || doc.Description != "egress burst over campus" {
+		t.Fatalf("header = %q / %q", doc.Name, doc.Description)
+	}
+	spec, err := doc.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.UEs != 8 || spec.Seed != 42 || spec.ServeS != 2 {
+		t.Fatalf("spec = %+v", spec)
+	}
+	if spec.Traffic == nil || len(spec.Traffic.Cohorts) != 2 {
+		t.Fatalf("traffic = %+v", spec.Traffic)
+	}
+	c := spec.Traffic.Cohorts[1]
+	if c.Model != traffic.ModelGamma || c.Flash == nil || c.Flash.Peak != 3 {
+		t.Fatalf("cohort = %+v", c)
+	}
+	if spec.Faults == nil || spec.Faults.SRSDropRate != 0.05 {
+		t.Fatalf("faults = %+v", spec.Faults)
+	}
+	// Compile must normalize exactly like a flag run would.
+	if spec.Terrain != "CAMPUS" || spec.Controller != "skyran" || spec.Topology != "uniform" {
+		t.Fatalf("defaults not applied: %+v", spec)
+	}
+}
+
+// The acceptance contract: a compiled file fingerprints identically to
+// the Spec the equivalent flag run builds.
+func TestFileMatchesFlagsFingerprint(t *testing.T) {
+	doc := `kind: skyran/Scenario
+version: 1
+scenario:
+  terrain: RURAL
+  ues: 12
+  controller: random
+  seed: 7
+  serve_s: 3
+  traffic:
+    model: poisson
+    rate_bps: 250000
+`
+	d, err := Parse("t.yaml", []byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromFile, err := d.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromFlags := scenario.Spec{
+		Terrain: "RURAL", UEs: 12, Controller: "random", Seed: 7, ServeS: 3,
+		Traffic: &traffic.Spec{Model: traffic.ModelPoisson, RateBps: 250000},
+	}
+	fpFile, err := scenario.Fingerprint(fromFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fpFlags, err := scenario.Fingerprint(fromFlags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fpFile != fpFlags {
+		t.Fatalf("file fingerprint %016x != flags fingerprint %016x", fpFile, fpFlags)
+	}
+}
+
+func TestUnknownFieldRejected(t *testing.T) {
+	doc := `kind: skyran/Scenario
+version: 1
+scenario:
+  terrain: CAMPUS
+  uess: 8
+`
+	_, err := Parse("bad.yaml", []byte(doc))
+	if err == nil {
+		t.Fatal("unknown field accepted")
+	}
+	for _, want := range []string{"bad.yaml:5", `unknown field "uess"`, "known fields"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q does not mention %q", err, want)
+		}
+	}
+}
+
+func TestNestedUnknownFieldLine(t *testing.T) {
+	doc := `kind: skyran/Scenario
+version: 1
+scenario:
+  traffic:
+    model: poisson
+    rate_bps: 1000
+    burst_rate: 9
+`
+	_, err := Parse("bad.yaml", []byte(doc))
+	if err == nil || !strings.Contains(err.Error(), "bad.yaml:7") {
+		t.Fatalf("want line 7 in error, got %v", err)
+	}
+}
+
+func TestTypeMismatchRejected(t *testing.T) {
+	for _, tc := range []struct{ name, doc, want string }{
+		{"string-for-int", "kind: skyran/Scenario\nversion: 1\nscenario:\n  ues: many\n", "bad.yaml:4"},
+		{"quoted-for-number", "kind: skyran/Scenario\nversion: 1\nscenario:\n  serve_s: \"3\"\n", "bad.yaml:4"},
+		{"mapping-for-scalar", "kind: skyran/Scenario\nversion: 1\nscenario:\n  ues:\n    a: 1\n", "expected an integer"},
+		{"scalar-for-mapping", "kind: skyran/Scenario\nversion: 1\nscenario: 3\n", "expected a mapping"},
+		{"float-for-int", "kind: skyran/Scenario\nversion: 1\nscenario:\n  ues: 3.5\n", "as integer"},
+	} {
+		_, err := Parse("bad.yaml", []byte(tc.doc))
+		if err == nil {
+			t.Fatalf("%s: accepted", tc.name)
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestHeaderValidation(t *testing.T) {
+	if _, err := Parse("x.yaml", []byte("kind: wrong/Kind\nversion: 1\nscenario:\n  ues: 3\n")); err == nil {
+		t.Fatal("wrong kind accepted")
+	}
+	if _, err := Parse("x.yaml", []byte("kind: skyran/Scenario\nversion: 2\nscenario:\n  ues: 3\n")); err == nil {
+		t.Fatal("wrong version accepted")
+	}
+	if _, err := Parse("x.yaml", []byte("")); err == nil {
+		t.Fatal("empty document accepted")
+	}
+}
+
+func TestYAMLSubsetErrors(t *testing.T) {
+	for _, tc := range []struct{ name, doc, want string }{
+		{"tab-indent", "kind: skyran/Scenario\n\tversion: 1\n", "tab in indentation"},
+		{"duplicate-key", "kind: skyran/Scenario\nkind: again\n", "duplicate key"},
+		{"flow-seq", "kind: skyran/Scenario\nversion: 1\nscenario:\n  traffic:\n    cohorts: [a, b]\n", "flow collections"},
+		{"anchor", "kind: skyran/Scenario\nversion: 1\nname: &a x\n", "not supported"},
+		{"unterminated-quote", "kind: skyran/Scenario\nname: \"oops\n", "unterminated"},
+		{"bad-dedent", "kind: skyran/Scenario\nversion: 1\nscenario:\n  ues: 3\n    extra: 1\n", "indentation"},
+	} {
+		_, err := Parse("y.yaml", []byte(tc.doc))
+		if err == nil {
+			t.Fatalf("%s: accepted", tc.name)
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestCommentsAndQuoting(t *testing.T) {
+	doc := `kind: skyran/Scenario   # trailing comment
+version: 1
+name: 'it''s #1'        # hash inside quotes survives
+description: "a\tb"
+scenario:
+  terrain: CAMPUS
+`
+	d, err := Parse("q.yaml", []byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name != "it's #1" {
+		t.Fatalf("name = %q", d.Name)
+	}
+	if d.Description != "a\tb" {
+		t.Fatalf("description = %q", d.Description)
+	}
+}
+
+func TestEmptyFlowCollections(t *testing.T) {
+	doc := `kind: skyran/Scenario
+version: 1
+scenario:
+  traffic:
+    model: poisson
+    rate_bps: 1000
+    cohorts: []
+`
+	d, err := Parse("e.yaml", []byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Scenario.Traffic.Cohorts == nil || len(d.Scenario.Traffic.Cohorts) != 0 {
+		t.Fatalf("cohorts = %#v", d.Scenario.Traffic.Cohorts)
+	}
+}

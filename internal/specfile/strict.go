@@ -1,0 +1,192 @@
+package specfile
+
+import (
+	"fmt"
+	"reflect"
+	"strconv"
+	"strings"
+)
+
+// Strict decoding: a parsed YAML tree is mapped onto Go structs by
+// their existing `json` tags — the very tags that define the HTTP job
+// API's wire shape — so a scenario file and a JSON job body are two
+// spellings of one schema, with nothing duplicated. Unknown fields and
+// type mismatches are errors carrying the file name and line of the
+// offending key, never silent drops.
+
+// DecodeStrict parses data as the YAML subset and decodes it into v
+// (a non-nil pointer), rejecting unknown fields and type mismatches.
+// name labels error messages (typically the file path).
+func DecodeStrict(name string, data []byte, v any) error {
+	n, err := parseYAML(name, data)
+	if err != nil {
+		return err
+	}
+	rv := reflect.ValueOf(v)
+	if rv.Kind() != reflect.Pointer || rv.IsNil() {
+		return fmt.Errorf("specfile: DecodeStrict needs a non-nil pointer, got %T", v)
+	}
+	d := &decoder{name: name}
+	return d.decode(n, rv.Elem(), "")
+}
+
+type decoder struct {
+	name string
+}
+
+func (d *decoder) errf(line int, field, format string, args ...any) error {
+	at := ""
+	if field != "" {
+		at = fmt.Sprintf(" (field %s)", field)
+	}
+	return fmt.Errorf("%s:%d: %s%s", d.name, line, fmt.Sprintf(format, args...), at)
+}
+
+// decode maps node n onto the value rv; field is the dotted path used
+// in error messages.
+func (d *decoder) decode(n *node, rv reflect.Value, field string) error {
+	if n.kind == kindScalar && n.null {
+		rv.Set(reflect.Zero(rv.Type()))
+		return nil
+	}
+	switch rv.Kind() {
+	case reflect.Pointer:
+		if rv.IsNil() {
+			rv.Set(reflect.New(rv.Type().Elem()))
+		}
+		return d.decode(n, rv.Elem(), field)
+	case reflect.Struct:
+		return d.decodeStruct(n, rv, field)
+	case reflect.Slice:
+		if n.kind != kindSequence {
+			return d.errf(n.line, field, "expected a sequence, got %s", kindName(n.kind))
+		}
+		s := reflect.MakeSlice(rv.Type(), len(n.items), len(n.items))
+		for i, item := range n.items {
+			if err := d.decode(item, s.Index(i), fmt.Sprintf("%s[%d]", field, i)); err != nil {
+				return err
+			}
+		}
+		rv.Set(s)
+		return nil
+	case reflect.String:
+		if n.kind != kindScalar {
+			return d.errf(n.line, field, "expected a string, got %s", kindName(n.kind))
+		}
+		rv.SetString(n.scalar)
+		return nil
+	case reflect.Bool:
+		if n.kind != kindScalar || n.quoted {
+			return d.errf(n.line, field, "expected true or false, got %s", nodeDesc(n))
+		}
+		switch n.scalar {
+		case "true":
+			rv.SetBool(true)
+		case "false":
+			rv.SetBool(false)
+		default:
+			return d.errf(n.line, field, "cannot parse %q as bool", n.scalar)
+		}
+		return nil
+	case reflect.Float64, reflect.Float32:
+		if n.kind != kindScalar || n.quoted {
+			return d.errf(n.line, field, "expected a number, got %s", nodeDesc(n))
+		}
+		f, err := strconv.ParseFloat(n.scalar, 64)
+		if err != nil {
+			return d.errf(n.line, field, "cannot parse %q as number", n.scalar)
+		}
+		rv.SetFloat(f)
+		return nil
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		if n.kind != kindScalar || n.quoted {
+			return d.errf(n.line, field, "expected an integer, got %s", nodeDesc(n))
+		}
+		i, err := strconv.ParseInt(n.scalar, 10, 64)
+		if err != nil || rv.OverflowInt(i) {
+			return d.errf(n.line, field, "cannot parse %q as integer", n.scalar)
+		}
+		rv.SetInt(i)
+		return nil
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		if n.kind != kindScalar || n.quoted {
+			return d.errf(n.line, field, "expected an unsigned integer, got %s", nodeDesc(n))
+		}
+		u, err := strconv.ParseUint(n.scalar, 10, 64)
+		if err != nil || rv.OverflowUint(u) {
+			return d.errf(n.line, field, "cannot parse %q as unsigned integer", n.scalar)
+		}
+		rv.SetUint(u)
+		return nil
+	default:
+		return d.errf(n.line, field, "unsupported destination type %s", rv.Type())
+	}
+}
+
+func (d *decoder) decodeStruct(n *node, rv reflect.Value, field string) error {
+	if n.kind != kindMapping {
+		return d.errf(n.line, field, "expected a mapping, got %s", kindName(n.kind))
+	}
+	t := rv.Type()
+	byTag := make(map[string]int, t.NumField())
+	for i := 0; i < t.NumField(); i++ {
+		f := t.Field(i)
+		if !f.IsExported() {
+			continue
+		}
+		tag := strings.Split(f.Tag.Get("json"), ",")[0]
+		if tag == "" || tag == "-" {
+			continue
+		}
+		byTag[tag] = i
+	}
+	for i, key := range n.keys {
+		fi, ok := byTag[key]
+		if !ok {
+			return d.errf(n.keyLines[i], "", "unknown field %q in %s%s", key, t.Name(), known(byTag))
+		}
+		path := key
+		if field != "" {
+			path = field + "." + key
+		}
+		if err := d.decode(n.vals[i], rv.Field(fi), path); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// known renders the accepted field names for an unknown-field error.
+func known(byTag map[string]int) string {
+	if len(byTag) == 0 {
+		return ""
+	}
+	names := make([]string, 0, len(byTag))
+	for k := range byTag {
+		names = append(names, k)
+	}
+	for i := 1; i < len(names); i++ { // insertion sort; tiny n
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	return " (known fields: " + strings.Join(names, ", ") + ")"
+}
+
+func kindName(k nodeKind) string {
+	switch k {
+	case kindMapping:
+		return "a mapping"
+	case kindSequence:
+		return "a sequence"
+	default:
+		return "a scalar"
+	}
+}
+
+func nodeDesc(n *node) string {
+	if n.kind == kindScalar && n.quoted {
+		return fmt.Sprintf("quoted string %q", n.scalar)
+	}
+	return kindName(n.kind)
+}

@@ -1,0 +1,315 @@
+package specfile
+
+import (
+	"fmt"
+	"strings"
+)
+
+// A line-oriented parser for the YAML subset scenario files use:
+// block mappings and block sequences nested by space indentation,
+// plain and quoted scalars, `#` comments, an optional leading `---`.
+// Deliberately out of scope (and rejected, never misparsed): tabs in
+// indentation, flow collections (except the empty `[]` / `{}`),
+// anchors/aliases/tags, and multiline scalars. Every node remembers
+// its source line so strict decoding can point at the exact offender.
+//
+// The subset is self-contained on purpose: the module vendors no
+// dependencies, and a full YAML implementation's implicit typing
+// ("no" == false, "1e2" == 100) is exactly what a strict,
+// deterministic scenario format must not inherit.
+
+type nodeKind int
+
+const (
+	kindScalar nodeKind = iota
+	kindMapping
+	kindSequence
+)
+
+// node is one parsed YAML value.
+type node struct {
+	line   int
+	kind   nodeKind
+	scalar string // kindScalar: decoded text ("" + !quoted means null/empty)
+	quoted bool   // kindScalar: came from a quoted literal, always a string
+	null   bool   // kindScalar: explicit null / empty value
+
+	keys     []string // kindMapping, in document order
+	keyLines []int
+	vals     []*node
+
+	items []*node // kindSequence
+}
+
+// srcLine is one significant source line: 1-based number, indentation
+// width in spaces, and content with indentation and comments stripped.
+type srcLine struct {
+	n       int
+	indent  int
+	content string
+}
+
+type parser struct {
+	name  string
+	lines []srcLine
+	pos   int
+}
+
+func (p *parser) errf(line int, format string, args ...any) error {
+	return fmt.Errorf("%s:%d: %s", p.name, line, fmt.Sprintf(format, args...))
+}
+
+// parseYAML parses a document into a node tree.
+func parseYAML(name string, data []byte) (*node, error) {
+	p := &parser{name: name}
+	raw := strings.Split(string(data), "\n")
+	for i, l := range raw {
+		l = strings.TrimRight(l, "\r")
+		indent := 0
+		for indent < len(l) && l[indent] == ' ' {
+			indent++
+		}
+		if indent < len(l) && l[indent] == '\t' {
+			return nil, p.errf(i+1, "tab in indentation (use spaces)")
+		}
+		content, err := stripComment(l[indent:])
+		if err != nil {
+			return nil, p.errf(i+1, "%v", err)
+		}
+		content = strings.TrimRight(content, " ")
+		if content == "" {
+			continue
+		}
+		if content == "---" && len(p.lines) == 0 {
+			continue // optional document start marker
+		}
+		p.lines = append(p.lines, srcLine{n: i + 1, indent: indent, content: content})
+	}
+	if len(p.lines) == 0 {
+		return nil, fmt.Errorf("%s: empty document", name)
+	}
+	n, err := p.parseNode(p.lines[0].indent)
+	if err != nil {
+		return nil, err
+	}
+	if p.pos < len(p.lines) {
+		l := p.lines[p.pos]
+		return nil, p.errf(l.n, "unexpected content %q after document (bad indentation?)", l.content)
+	}
+	return n, nil
+}
+
+// stripComment removes a trailing ` # ...` comment, honouring quotes.
+// A '#' only starts a comment at the beginning or after a space.
+func stripComment(s string) (string, error) {
+	var quote byte
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case quote != 0:
+			if c == quote {
+				if quote == '\'' && i+1 < len(s) && s[i+1] == '\'' {
+					i++ // '' escape inside single quotes
+					continue
+				}
+				quote = 0
+			} else if quote == '"' && c == '\\' {
+				i++
+			}
+		case c == '\'' || c == '"':
+			quote = c
+		case c == '#' && (i == 0 || s[i-1] == ' '):
+			return s[:i], nil
+		}
+	}
+	if quote != 0 {
+		return "", fmt.Errorf("unterminated %q quote", string(quote))
+	}
+	return s, nil
+}
+
+// parseNode parses the value starting at the current line, which must
+// be indented at least minIndent.
+func (p *parser) parseNode(minIndent int) (*node, error) {
+	l := p.lines[p.pos]
+	if l.indent < minIndent {
+		return nil, p.errf(l.n, "expected content indented by at least %d spaces", minIndent)
+	}
+	if l.content == "-" || strings.HasPrefix(l.content, "- ") {
+		return p.parseSequence(l.indent)
+	}
+	if key, _, ok := splitKey(l.content); ok && key != "" {
+		return p.parseMapping(l.indent)
+	}
+	p.pos++
+	return parseScalar(l.content, l.n)
+}
+
+// parseMapping parses `key: value` lines at exactly the given indent.
+func (p *parser) parseMapping(indent int) (*node, error) {
+	n := &node{line: p.lines[p.pos].n, kind: kindMapping}
+	for p.pos < len(p.lines) {
+		l := p.lines[p.pos]
+		if l.indent != indent {
+			if l.indent > indent {
+				return nil, p.errf(l.n, "unexpected indentation (%d spaces, surrounding block uses %d)", l.indent, indent)
+			}
+			break
+		}
+		if l.content == "-" || strings.HasPrefix(l.content, "- ") {
+			break
+		}
+		key, rest, ok := splitKey(l.content)
+		if !ok || key == "" {
+			return nil, p.errf(l.n, "expected \"key: value\", got %q", l.content)
+		}
+		for _, k := range n.keys {
+			if k == key {
+				return nil, p.errf(l.n, "duplicate key %q", key)
+			}
+		}
+		p.pos++
+		var val *node
+		var err error
+		if rest != "" {
+			val, err = parseScalar(rest, l.n)
+		} else if p.pos < len(p.lines) && p.lines[p.pos].indent > indent {
+			val, err = p.parseNode(indent + 1)
+		} else {
+			val = &node{line: l.n, kind: kindScalar, null: true}
+		}
+		if err != nil {
+			return nil, err
+		}
+		n.keys = append(n.keys, key)
+		n.keyLines = append(n.keyLines, l.n)
+		n.vals = append(n.vals, val)
+	}
+	return n, nil
+}
+
+// parseSequence parses `- item` lines at exactly the given indent.
+func (p *parser) parseSequence(indent int) (*node, error) {
+	n := &node{line: p.lines[p.pos].n, kind: kindSequence}
+	for p.pos < len(p.lines) {
+		l := p.lines[p.pos]
+		if l.indent != indent || (l.content != "-" && !strings.HasPrefix(l.content, "- ")) {
+			if l.indent > indent {
+				return nil, p.errf(l.n, "unexpected indentation (%d spaces, sequence uses %d)", l.indent, indent)
+			}
+			break
+		}
+		var item *node
+		var err error
+		if l.content == "-" {
+			p.pos++
+			if p.pos < len(p.lines) && p.lines[p.pos].indent > indent {
+				item, err = p.parseNode(indent + 1)
+			} else {
+				item = &node{line: l.n, kind: kindScalar, null: true}
+			}
+		} else {
+			// "- name: bulk": the item's content starts two columns in;
+			// rewrite the line and parse the item as its own block.
+			rest := l.content[2:]
+			pad := 0
+			for pad < len(rest) && rest[pad] == ' ' {
+				pad++
+			}
+			p.lines[p.pos] = srcLine{n: l.n, indent: indent + 2 + pad, content: rest[pad:]}
+			item, err = p.parseNode(indent + 1)
+		}
+		if err != nil {
+			return nil, err
+		}
+		n.items = append(n.items, item)
+	}
+	return n, nil
+}
+
+// splitKey splits "key: rest" / "key:" at the first unquoted colon
+// followed by a space or end of line.
+func splitKey(s string) (key, rest string, ok bool) {
+	if len(s) == 0 || s[0] == '\'' || s[0] == '"' {
+		return "", "", false // quoted keys are not part of the subset
+	}
+	for i := 0; i < len(s); i++ {
+		if s[i] != ':' {
+			continue
+		}
+		if i+1 == len(s) {
+			return strings.TrimSpace(s[:i]), "", true
+		}
+		if s[i+1] == ' ' {
+			return strings.TrimSpace(s[:i]), strings.TrimSpace(s[i+1:]), true
+		}
+	}
+	return "", "", false
+}
+
+// parseScalar decodes one inline scalar.
+func parseScalar(s string, line int) (*node, error) {
+	switch s {
+	case "null", "~":
+		return &node{line: line, kind: kindScalar, null: true}, nil
+	case "[]":
+		return &node{line: line, kind: kindSequence}, nil
+	case "{}":
+		return &node{line: line, kind: kindMapping}, nil
+	}
+	if s[0] == '\'' || s[0] == '"' {
+		text, err := unquote(s)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", line, err)
+		}
+		return &node{line: line, kind: kindScalar, scalar: text, quoted: true}, nil
+	}
+	if s[0] == '[' || s[0] == '{' {
+		return nil, fmt.Errorf("line %d: flow collections are not supported (use block style)", line)
+	}
+	if s[0] == '&' || s[0] == '*' || s[0] == '!' || s[0] == '|' || s[0] == '>' {
+		return nil, fmt.Errorf("line %d: %q: anchors, tags and block scalars are not supported", line, s)
+	}
+	return &node{line: line, kind: kindScalar, scalar: s}, nil
+}
+
+// unquote decodes a single- or double-quoted scalar.
+func unquote(s string) (string, error) {
+	q := s[0]
+	if len(s) < 2 || s[len(s)-1] != q {
+		return "", fmt.Errorf("unterminated %q quote", string(q))
+	}
+	body := s[1 : len(s)-1]
+	var b strings.Builder
+	for i := 0; i < len(body); i++ {
+		c := body[i]
+		switch {
+		case q == '\'' && c == '\'':
+			if i+1 >= len(body) || body[i+1] != '\'' {
+				return "", fmt.Errorf("stray quote inside single-quoted scalar")
+			}
+			b.WriteByte('\'')
+			i++
+		case q == '"' && c == '\\':
+			if i+1 >= len(body) {
+				return "", fmt.Errorf("trailing backslash in double-quoted scalar")
+			}
+			i++
+			switch body[i] {
+			case '"':
+				b.WriteByte('"')
+			case '\\':
+				b.WriteByte('\\')
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			default:
+				return "", fmt.Errorf("unsupported escape \\%c", body[i])
+			}
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return b.String(), nil
+}

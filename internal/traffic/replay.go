@@ -1,0 +1,190 @@
+package traffic
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"repro/internal/checkpoint"
+)
+
+// Trace capture & replay: a run can record the packet arrivals its
+// workload generated (plus each UE's position at every serving-phase
+// start — the run's mobility, as the traffic path sees it) into a
+// versioned container file, and a later run with Spec.Mode = replay
+// feeds the recorded arrivals through the same serving loop instead of
+// generating fresh ones. Because arrivals are captured upstream of the
+// fault plan and the bearer path, a replay against the same scenario
+// seed reproduces the original per-UE KPI rows byte for byte — the
+// recorded-trace regression workload the evaluation methodology calls
+// for.
+
+// tracePayloadVersion is the payload version written into
+// KindTrafficTrace containers; bump on any section layout change.
+const tracePayloadVersion = 1
+
+// Trace section names.
+const (
+	traceSectionMeta   = "meta"
+	traceSectionPhases = "phases"
+)
+
+// TraceUE is one UE at a phase start: its ID and planar position.
+type TraceUE struct {
+	ID   int
+	X, Y float64
+}
+
+// TracePhase is one recorded serving phase: its duration, the UE
+// field at phase start, and the merged arrival stream in pop order
+// (times relative to the phase start).
+type TracePhase struct {
+	Seconds  float64
+	UEs      []TraceUE
+	Arrivals []Arrival
+}
+
+// Trace is a recorded traffic workload.
+type Trace struct {
+	// Spec is the capturing run's normalized traffic spec; replay uses
+	// its Model to label the KPI rows exactly as the original did.
+	Spec Spec
+	// Fingerprint is the capturing run's scenario fingerprint, so a
+	// trace cannot silently replay into a different scenario.
+	Fingerprint uint64
+	// Phases are the serving phases in execution order.
+	Phases []TracePhase
+}
+
+// traceMeta is the gob form of the Trace header.
+type traceMeta struct {
+	Spec        Spec
+	Fingerprint uint64
+	Phases      int
+}
+
+// WriteFile commits the trace atomically as a checkpoint-format
+// container and returns the encoded size.
+func (tr *Trace) WriteFile(path string) (int64, error) {
+	meta, err := gobTrace(traceMeta{Spec: tr.Spec, Fingerprint: tr.Fingerprint, Phases: len(tr.Phases)})
+	if err != nil {
+		return 0, fmt.Errorf("traffic: encoding trace meta: %w", err)
+	}
+	phases, err := gobTrace(tr.Phases)
+	if err != nil {
+		return 0, fmt.Errorf("traffic: encoding trace phases: %w", err)
+	}
+	c := checkpoint.New(checkpoint.KindTrafficTrace, tracePayloadVersion, tr.Fingerprint)
+	c.Add(traceSectionMeta, meta)
+	c.Add(traceSectionPhases, phases)
+	return checkpoint.WriteFileAtomic(path, c)
+}
+
+// ReadTraceFile decodes and verifies a trace file.
+func ReadTraceFile(path string) (*Trace, error) {
+	c, err := checkpoint.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if c.Kind != checkpoint.KindTrafficTrace {
+		return nil, fmt.Errorf("%w: %q, want %q", checkpoint.ErrKind, c.Kind, checkpoint.KindTrafficTrace)
+	}
+	if c.Version != tracePayloadVersion {
+		return nil, fmt.Errorf("%w: trace payload version %d, support %d",
+			checkpoint.ErrVersion, c.Version, tracePayloadVersion)
+	}
+	var meta traceMeta
+	b, ok := c.Section(traceSectionMeta)
+	if !ok {
+		return nil, fmt.Errorf("traffic: trace has no %q section", traceSectionMeta)
+	}
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&meta); err != nil {
+		return nil, fmt.Errorf("traffic: decoding trace meta: %w", err)
+	}
+	tr := &Trace{Spec: meta.Spec, Fingerprint: meta.Fingerprint}
+	b, ok = c.Section(traceSectionPhases)
+	if !ok {
+		return nil, fmt.Errorf("traffic: trace has no %q section", traceSectionPhases)
+	}
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&tr.Phases); err != nil {
+		return nil, fmt.Errorf("traffic: decoding trace phases: %w", err)
+	}
+	if len(tr.Phases) != meta.Phases {
+		return nil, fmt.Errorf("traffic: trace declares %d phases, carries %d", meta.Phases, len(tr.Phases))
+	}
+	return tr, nil
+}
+
+func gobTrace(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Phase returns the recorded phase by index (the world's serve-phase
+// counter), erroring when the replayed run serves more phases than
+// were captured.
+func (tr *Trace) Phase(i uint64) (*TracePhase, error) {
+	if i >= uint64(len(tr.Phases)) {
+		return nil, fmt.Errorf("traffic: trace has %d phases, phase %d requested (replayed run serves more phases than were captured)",
+			len(tr.Phases), i)
+	}
+	return &tr.Phases[i], nil
+}
+
+// Stream is the serving loop's view of a phase's arrivals: Generator
+// (live workload models) and replayStream (recorded traces) both
+// satisfy it.
+type Stream interface {
+	// Pop returns the next arrival strictly before limit; ok=false when
+	// none remains before limit.
+	Pop(limit float64) (Arrival, bool)
+}
+
+var (
+	_ Stream = (*Generator)(nil)
+	_ Stream = (*replayStream)(nil)
+)
+
+// Stream returns the phase's arrivals as a pop-order stream.
+func (p *TracePhase) Stream() Stream { return &replayStream{arrivals: p.Arrivals} }
+
+type replayStream struct {
+	arrivals []Arrival
+	next     int
+}
+
+func (s *replayStream) Pop(limit float64) (Arrival, bool) {
+	if s.next >= len(s.arrivals) || s.arrivals[s.next].T >= limit {
+		return Arrival{}, false
+	}
+	a := s.arrivals[s.next]
+	s.next++
+	return a, true
+}
+
+// Capture accumulates a run's serving phases for later replay.
+type Capture struct {
+	Trace Trace
+	cur   *TracePhase
+}
+
+// NewCapture starts a capture for the given (normalized) traffic spec
+// and scenario fingerprint.
+func NewCapture(spec Spec, fingerprint uint64) *Capture {
+	return &Capture{Trace: Trace{Spec: spec, Fingerprint: fingerprint}}
+}
+
+// BeginPhase opens a new serving phase with the UE field at its start.
+func (c *Capture) BeginPhase(seconds float64, ues []TraceUE) {
+	c.Trace.Phases = append(c.Trace.Phases, TracePhase{Seconds: seconds, UEs: ues})
+	c.cur = &c.Trace.Phases[len(c.Trace.Phases)-1]
+}
+
+// Arrival records one generated arrival (pre-fault, pre-bearer — the
+// offered workload itself).
+func (c *Capture) Arrival(a Arrival) {
+	c.cur.Arrivals = append(c.cur.Arrivals, a)
+}

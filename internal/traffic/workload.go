@@ -29,6 +29,25 @@ const (
 	// Poisson process, flow sizes are Pareto, and each flow's packets
 	// are paced at a server line rate.
 	ModelWeb Model = "web"
+	// ModelGamma emits fixed-size packets with Gamma(shape, scale)
+	// inter-arrival times at the given mean rate. Shape < 1 is burstier
+	// than Poisson, shape > 1 smoother; shape 1 degenerates to Poisson.
+	ModelGamma Model = "gamma"
+	// ModelWeibull emits fixed-size packets with Weibull(shape)
+	// inter-arrival times at the given mean rate; shape < 1 gives the
+	// heavy-tailed gaps measured in real cellular traces.
+	ModelWeibull Model = "weibull"
+)
+
+// Traffic modes: where the serving phase's arrivals come from.
+const (
+	// ModeGenerate (the default; the empty string normalizes to it)
+	// draws arrivals from the workload models.
+	ModeGenerate = ""
+	// ModeReplay reads the arrivals recorded in Spec.TraceFile instead
+	// of generating them, reproducing a captured run's per-UE KPI rows
+	// byte for byte.
+	ModeReplay = "replay"
 )
 
 // Spec describes the per-UE offered load — part of the scenario knobs
@@ -52,6 +71,24 @@ type Spec struct {
 	// PacingBps is the in-flow packet pacing rate of the web model —
 	// the origin server's line rate (default 20 Mbit/s).
 	PacingBps float64 `json:"pacing_bps,omitempty"`
+	// Shape is the inter-arrival shape parameter k of the gamma and
+	// weibull models (default 0.5 — burstier than Poisson).
+	Shape float64 `json:"shape,omitempty"`
+
+	// Cohorts, when non-empty, splits the UE population into named
+	// traffic classes: each cohort has its own arrival process on a
+	// dedicated stream keyed by (seed, phase, cohort, UE), its own rate
+	// envelope (diurnal periods, flash-crowd ramp), and a Share of the
+	// population. The top-level model fields above then act as defaults
+	// a cohort can override. An empty list keeps the single-class
+	// behaviour byte-identical to pre-cohort builds.
+	Cohorts []Cohort `json:"cohorts,omitempty"`
+
+	// Mode selects where arrivals come from: ModeGenerate draws them
+	// from the models, ModeReplay reads them from TraceFile (recorded by
+	// a previous run). TraceFile is only meaningful with ModeReplay.
+	Mode      string `json:"mode,omitempty"`
+	TraceFile string `json:"trace_file,omitempty"`
 }
 
 // Normalize fills defaults and validates the spec.
@@ -60,9 +97,23 @@ func (s *Spec) Normalize() error {
 		s.Model = ModelFullBuffer
 	}
 	switch s.Model {
-	case ModelFullBuffer, ModelCBR, ModelPoisson, ModelOnOff, ModelWeb:
+	case ModelFullBuffer, ModelCBR, ModelPoisson, ModelOnOff, ModelWeb, ModelGamma, ModelWeibull:
 	default:
 		return fmt.Errorf("traffic: unknown model %q", s.Model)
+	}
+	if s.Mode == "generate" {
+		s.Mode = ModeGenerate // canonical form, so fingerprints agree
+	}
+	switch s.Mode {
+	case ModeGenerate, ModeReplay:
+	default:
+		return fmt.Errorf("traffic: unknown mode %q (valid: generate, replay)", s.Mode)
+	}
+	if s.Mode == ModeReplay && s.TraceFile == "" {
+		return fmt.Errorf("traffic: mode %q needs a trace_file", ModeReplay)
+	}
+	if s.Mode != ModeReplay && s.TraceFile != "" {
+		return fmt.Errorf("traffic: trace_file is only meaningful with mode %q", ModeReplay)
 	}
 	if s.RateBps == 0 {
 		s.RateBps = 2e6
@@ -103,6 +154,20 @@ func (s *Spec) Normalize() error {
 	if s.PacingBps < 0 {
 		return fmt.Errorf("traffic: negative pacing rate %g", s.PacingBps)
 	}
+	if s.Shape == 0 {
+		s.Shape = 0.5
+	}
+	if s.Shape <= 0 {
+		return fmt.Errorf("traffic: shape %g must be positive", s.Shape)
+	}
+	if len(s.Cohorts) > 0 {
+		if s.Model == ModelFullBuffer {
+			return fmt.Errorf("traffic: cohorts need a packet model (top-level model %q sets the cohort defaults)", ModelFullBuffer)
+		}
+		if err := normalizeCohorts(s); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -129,7 +194,12 @@ func deriveSeed(seed uint64, ue int) int64 {
 // returns nil (that model has no arrival process). The spec must be
 // normalized.
 func NewSource(spec Spec, ue int, seed uint64, horizon float64) Source {
-	rng := rand.New(rand.NewSource(deriveSeed(seed, ue)))
+	return newSourceRNG(spec, rand.New(rand.NewSource(deriveSeed(seed, ue))), horizon)
+}
+
+// newSourceRNG is NewSource with the stream already built — cohort
+// sources reuse it with a (seed, phase, cohort, UE)-keyed stream.
+func newSourceRNG(spec Spec, rng *rand.Rand, horizon float64) Source {
 	switch spec.Model {
 	case ModelCBR:
 		interval := float64(spec.PacketBytes*8) / spec.RateBps
@@ -161,6 +231,23 @@ func NewSource(spec Spec, ue int, seed uint64, horizon float64) Source {
 		src.t = rng.ExpFloat64() * spec.IdleS
 		src.onEnd = src.t + rng.ExpFloat64()*spec.BurstS
 		return src
+	case ModelGamma:
+		return &gammaSource{
+			rng:     rng,
+			meanIAT: float64(spec.PacketBytes*8) / spec.RateBps,
+			shape:   spec.Shape,
+			size:    spec.PacketBytes,
+			horizon: horizon,
+		}
+	case ModelWeibull:
+		k := spec.Shape
+		return &weibullSource{
+			rng:     rng,
+			scale:   float64(spec.PacketBytes*8) / spec.RateBps / math.Gamma(1+1/k),
+			invK:    1 / k,
+			size:    spec.PacketBytes,
+			horizon: horizon,
+		}
 	case ModelWeb:
 		meanFlowBytes := spec.FlowKB * 1024
 		return &webSource{
@@ -235,6 +322,75 @@ func (s *onOffSource) Next() (float64, int, bool) {
 			return 0, 0, false
 		}
 	}
+}
+
+// gammaSource: Gamma(shape, scale) inter-arrival times with mean
+// shape·scale = meanIAT.
+type gammaSource struct {
+	rng            *rand.Rand
+	t, meanIAT     float64
+	shape, horizon float64
+	size           int
+}
+
+func (s *gammaSource) Next() (float64, int, bool) {
+	s.t += gammaDraw(s.rng, s.shape) * s.meanIAT / s.shape
+	if s.t >= s.horizon {
+		return 0, 0, false
+	}
+	return s.t, s.size, true
+}
+
+// gammaDraw samples Gamma(k, 1) via Marsaglia–Tsang, with the
+// U^(1/k) boost for k < 1. Rejection draws a variable number of stream
+// values, but the count is a pure function of the stream, so the
+// sequence stays byte-reproducible.
+func gammaDraw(rng *rand.Rand, k float64) float64 {
+	if k < 1 {
+		u := rng.Float64()
+		if u < 1e-300 {
+			u = 1e-300
+		}
+		return gammaDraw(rng, k+1) * math.Pow(u, 1/k)
+	}
+	d := k - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := rng.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := rng.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}
+
+// weibullSource: Weibull(shape) inter-arrival times, scaled so the
+// mean gap is meanIAT (scale = meanIAT / Γ(1 + 1/shape)).
+type weibullSource struct {
+	rng           *rand.Rand
+	t, scale      float64
+	invK, horizon float64
+	size          int
+}
+
+func (s *weibullSource) Next() (float64, int, bool) {
+	u := s.rng.Float64()
+	if u < 1e-300 {
+		u = 1e-300
+	}
+	s.t += s.scale * math.Pow(-math.Log(u), s.invK)
+	if s.t >= s.horizon {
+		return 0, 0, false
+	}
+	return s.t, s.size, true
 }
 
 // webSource: Poisson flow arrivals, Pareto flow sizes, packets within
