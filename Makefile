@@ -11,6 +11,12 @@
 #   make handover-smoke  mobile-UE multi-cell handovers under -race, byte-identical
 #   make cluster-smoke  coordinator + 2 workers, SIGKILL one mid-campaign,
 #                       merged result byte-identical to a single-node run
+#   make chaosnet-smoke  race-built coordinator under seeded network chaos:
+#                        partition one worker mid-campaign (breaker opens,
+#                        shards resteal), then SIGKILL the coordinator and
+#                        recover from its journal — bytes identical throughout
+#   make fuzz-smoke  short native-fuzz pass over the specfile decoder and
+#                    the checkpoint container reader (seeds + corpora)
 #   make scenario-smoke  validate scenarios/, file-vs-flags byte diff,
 #                        -spec conflict usage error, capture/replay diff
 #   make bench-traffic  record BENCH_traffic.json via skyrbench vs skyrand,
@@ -19,7 +25,7 @@
 
 GO ?= go
 
-.PHONY: tier1 race short bench bench-smoke fmt serve-smoke recover-smoke chaos-smoke handover-smoke cluster-smoke scenario-smoke bench-traffic
+.PHONY: tier1 race short bench bench-smoke fmt serve-smoke recover-smoke chaos-smoke handover-smoke cluster-smoke chaosnet-smoke fuzz-smoke scenario-smoke bench-traffic
 
 tier1:
 	$(GO) build ./... && $(GO) test -timeout 60m ./...
@@ -53,6 +59,13 @@ handover-smoke:
 
 cluster-smoke:
 	sh scripts/cluster_smoke.sh
+
+chaosnet-smoke:
+	sh scripts/chaosnet_smoke.sh
+
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzParse$$' -fuzztime 10s ./internal/specfile
+	$(GO) test -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime 10s ./internal/checkpoint
 
 scenario-smoke:
 	sh scripts/scenario_smoke.sh

@@ -11,7 +11,9 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/cluster"
+	"repro/internal/metrics"
 )
 
 // coordinatorMain runs skyrand as a cluster coordinator instead of a
@@ -24,14 +26,23 @@ func coordinatorMain(addr string, opts coordinatorOpts) error {
 		return fmt.Errorf("-coordinator requires -worker-addrs (comma-separated worker base URLs)")
 	}
 	c, err := cluster.New(cluster.Config{
-		WorkerAddrs:    addrs,
-		Route:          opts.route,
-		AdmitRate:      opts.admitRate,
-		AdmitBurst:     opts.admitBurst,
-		ProbeEvery:     opts.probeEvery,
-		FailAfter:      opts.probeFails,
-		ShardSeeds:     opts.shardSeeds,
-		CheckpointRoot: opts.ckptRoot,
+		WorkerAddrs:     addrs,
+		Route:           opts.route,
+		AdmitRate:       opts.admitRate,
+		AdmitBurst:      opts.admitBurst,
+		ProbeEvery:      opts.probeEvery,
+		FailAfter:       opts.probeFails,
+		ShardSeeds:      opts.shardSeeds,
+		CheckpointRoot:  opts.ckptRoot,
+		JournalDir:      opts.journalDir,
+		JournalRetain:   opts.journalRetain,
+		JournalMaxAge:   opts.journalMaxAge,
+		BreakerFails:    opts.breakerFails,
+		BreakerCooldown: opts.breakerCooldown,
+		HedgeAfter:      opts.hedgeAfter,
+		TimingSeed:      opts.timingSeed,
+		NetChaos:        opts.netChaos,
+		Registry:        opts.registry,
 	})
 	if err != nil {
 		return err
@@ -52,6 +63,12 @@ func coordinatorMain(addr string, opts coordinatorOpts) error {
 	if opts.ckptRoot != "" {
 		fmt.Printf("skyrand: shard checkpoints under %s (shared with workers)\n", opts.ckptRoot)
 	}
+	if opts.journalDir != "" {
+		fmt.Printf("skyrand: campaign journal under %s (crash-recoverable)\n", opts.journalDir)
+	}
+	if opts.netChaos.Active() {
+		fmt.Println("skyrand: network chaos enabled on worker dispatch")
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -70,14 +87,23 @@ func coordinatorMain(addr string, opts coordinatorOpts) error {
 }
 
 type coordinatorOpts struct {
-	workerAddrs string
-	route       string
-	admitRate   float64
-	admitBurst  int
-	probeEvery  time.Duration
-	probeFails  int
-	shardSeeds  int
-	ckptRoot    string
+	workerAddrs     string
+	route           string
+	admitRate       float64
+	admitBurst      int
+	probeEvery      time.Duration
+	probeFails      int
+	shardSeeds      int
+	ckptRoot        string
+	journalDir      string
+	journalRetain   int
+	journalMaxAge   time.Duration
+	breakerFails    int
+	breakerCooldown time.Duration
+	hedgeAfter      time.Duration
+	timingSeed      int64
+	netChaos        *chaos.NetConfig
+	registry        *metrics.Registry
 }
 
 func splitAddrs(s string) []string {

@@ -50,9 +50,14 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/chaos"
+	"repro/internal/checkpoint"
+	"repro/internal/metrics"
 	"repro/internal/server"
 )
 
@@ -79,30 +84,98 @@ func main() {
 		shardSeeds  = flag.Int("shard-seeds", 4, "max seeds per dispatched shard")
 		clusterCkpt = flag.String("cluster-ckpt-dir", "", "shared checkpoint root for shard sub-jobs (enables cross-worker resume after eviction)")
 
+		journalRetain = flag.Int("journal-retain", 0, "terminal journal records kept across restarts (0 = all; worker and coordinator)")
+		journalMaxAge = flag.Duration("journal-max-age", 0, "terminal journal records older than this are collected at restart (0 = all)")
+		journalDir    = flag.String("journal-dir", "", "coordinator campaign journal dir (enables coordinator crash recovery)")
+
+		breakerFails    = flag.Int("breaker-fails", 0, "consecutive dispatch failures before a worker's circuit breaker opens (0 = default)")
+		breakerCooldown = flag.Duration("breaker-cooldown", 0, "how long an open breaker biases routing away from a worker (0 = default)")
+		hedgeAfter      = flag.Duration("hedge-after", 0, "hedge a slow shard to a second worker after this long (0 = off)")
+		timingSeed      = flag.Int64("timing-seed", 0, "seed for coordinator timing jitter (probe interval, Retry-After)")
+
+		quarantineAfter = flag.Int("quarantine-after", 0, "consecutive panics before a spec fingerprint is quarantined (0 = default)")
+
 		chaosSeed    = flag.Int64("chaos-seed", 0, "chaos RNG seed (0 = fixed default)")
 		chaosSlow    = flag.Float64("chaos-slow-rate", 0, "probability an HTTP request is artificially delayed [0,1]")
 		chaosSlowMax = flag.Duration("chaos-slow-max", 0, "max injected handler delay (0 = default)")
 		chaosCrash   = flag.Float64("chaos-crash-rate", 0, "probability a worker simulates a crash mid-job [0,1]")
 		chaosAfter   = flag.Duration("chaos-crash-after", 0, "how long a doomed job runs before the simulated crash (0 = default)")
 		chaosMax     = flag.Int("chaos-max-crashes", 0, "total simulated crashes allowed (0 = default)")
+		chaosPoison  = flag.String("chaos-poison-seeds", "", "comma-separated scenario seeds whose jobs panic mid-run (quarantine drill)")
+
+		chaosNetLatency    = flag.Float64("chaos-net-latency", 0, "coordinator->worker chaos: probability a request is delayed [0,1]")
+		chaosNetLatencyMax = flag.Duration("chaos-net-latency-max", 0, "max injected request latency (0 = default)")
+		chaosNetReset      = flag.Float64("chaos-net-reset", 0, "probability a request fails like a connection reset [0,1]")
+		chaosNetTruncate   = flag.Float64("chaos-net-truncate", 0, "probability a response body is truncated mid-transfer [0,1]")
+		chaosNetPartition  = flag.Float64("chaos-net-partition", 0, "probability a request is black-holed [0,1]")
+		chaosNetPartHosts  = flag.String("chaos-net-partition-hosts", "", "comma-separated host:port endpoints to partition entirely")
+		chaosNetPartAfter  = flag.Duration("chaos-net-partition-after", 0, "delay before -chaos-net-partition-hosts takes effect")
+
+		chaosDiskTorn    = flag.Float64("chaos-disk-torn", 0, "probability a checkpoint/journal write commits only a prefix [0,1]")
+		chaosDiskENOSPC  = flag.Float64("chaos-disk-enospc", 0, "probability a checkpoint/journal write fails with ENOSPC [0,1]")
+		chaosDiskBitFlip = flag.Float64("chaos-disk-bitflip", 0, "probability one payload bit of a write is inverted [0,1]")
 	)
 	flag.Parse()
+
+	reg := metrics.NewRegistry()
+	disk := chaos.DiskConfig{
+		Seed:        *chaosSeed,
+		TornRate:    *chaosDiskTorn,
+		ENOSPCRate:  *chaosDiskENOSPC,
+		BitFlipRate: *chaosDiskBitFlip,
+	}
+	if err := disk.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "skyrand:", err)
+		os.Exit(1)
+	}
+	if inj := chaos.NewDiskInjector(disk, reg); inj != nil {
+		// One process-wide hook: every durable write (simulation
+		// checkpoints, job journals, campaign journals) funnels through
+		// checkpoint.WriteRawFileAtomic.
+		checkpoint.SetWriteFault(inj.Mutate)
+		fmt.Println("skyrand: disk chaos enabled (torn/enospc/bitflip)")
+	}
+
 	if *coordinator {
+		netChaos := &chaos.NetConfig{
+			Seed:           *chaosSeed,
+			LatencyRate:    *chaosNetLatency,
+			LatencyMax:     *chaosNetLatencyMax,
+			ResetRate:      *chaosNetReset,
+			TruncateRate:   *chaosNetTruncate,
+			PartitionRate:  *chaosNetPartition,
+			PartitionHosts: splitAddrs(*chaosNetPartHosts),
+			PartitionAfter: *chaosNetPartAfter,
+		}
 		err := coordinatorMain(*addr, coordinatorOpts{
-			workerAddrs: *workerAddrs,
-			route:       *route,
-			admitRate:   *admitRate,
-			admitBurst:  *admitBurst,
-			probeEvery:  *probeEvery,
-			probeFails:  *probeFails,
-			shardSeeds:  *shardSeeds,
-			ckptRoot:    *clusterCkpt,
+			workerAddrs:     *workerAddrs,
+			route:           *route,
+			admitRate:       *admitRate,
+			admitBurst:      *admitBurst,
+			probeEvery:      *probeEvery,
+			probeFails:      *probeFails,
+			shardSeeds:      *shardSeeds,
+			ckptRoot:        *clusterCkpt,
+			journalDir:      *journalDir,
+			journalRetain:   *journalRetain,
+			journalMaxAge:   *journalMaxAge,
+			breakerFails:    *breakerFails,
+			breakerCooldown: *breakerCooldown,
+			hedgeAfter:      *hedgeAfter,
+			timingSeed:      *timingSeed,
+			netChaos:        netChaos,
+			registry:        reg,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "skyrand:", err)
 			os.Exit(1)
 		}
 		return
+	}
+	poisonSeeds, err := parseSeeds(*chaosPoison)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "skyrand:", err)
+		os.Exit(1)
 	}
 	cfg := server.Config{
 		QueueCap:         *queueCap,
@@ -111,8 +184,12 @@ func main() {
 		CheckpointDir:    *ckptDir,
 		CheckpointEvery:  *ckptEvery,
 		CheckpointRetain: *ckptRetain,
+		JournalRetain:    *journalRetain,
+		JournalMaxAge:    *journalMaxAge,
+		QuarantineAfter:  *quarantineAfter,
+		Registry:         reg,
 	}
-	if *chaosSlow > 0 || *chaosCrash > 0 {
+	if *chaosSlow > 0 || *chaosCrash > 0 || len(poisonSeeds) > 0 {
 		cfg.Chaos = &server.ChaosConfig{
 			Seed:            *chaosSeed,
 			SlowHandlerRate: *chaosSlow,
@@ -120,12 +197,29 @@ func main() {
 			WorkerCrashRate: *chaosCrash,
 			CrashAfter:      *chaosAfter,
 			MaxCrashes:      *chaosMax,
+			PoisonSeeds:     poisonSeeds,
 		}
 	}
 	if err := run(*addr, cfg, *drainGrace, *readTimeout); err != nil {
 		fmt.Fprintln(os.Stderr, "skyrand:", err)
 		os.Exit(1)
 	}
+}
+
+// parseSeeds parses a comma-separated list of int64 seeds.
+func parseSeeds(s string) ([]int64, error) {
+	var out []int64
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part == "" {
+			continue
+		}
+		n, err := strconv.ParseInt(part, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad seed %q in -chaos-poison-seeds", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
 }
 
 func run(addr string, cfg server.Config, drainGrace, readTimeout time.Duration) error {

@@ -32,6 +32,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"sync"
 )
 
 // Magic identifies a container file.
@@ -50,6 +51,9 @@ const (
 	// KindTrafficTrace is a recorded traffic workload (packet arrivals
 	// plus phase-start UE positions) for deterministic replay.
 	KindTrafficTrace = "skyran/traffic-trace"
+	// KindCampaignJournal is a cluster coordinator's durable campaign
+	// lifecycle record (template, seed set, per-seed progress).
+	KindCampaignJournal = "skyran/campaign-journal"
 )
 
 // Distinct failure classes, so callers (and operators reading daemon
@@ -292,35 +296,83 @@ func ReadFile(path string) (*Container, error) {
 	return c, nil
 }
 
+// WriteFault intercepts the bytes of a pending durable write. It may
+// return a mutated payload (torn prefix, flipped bit) or an error
+// (simulated ENOSPC). The disk chaos layer installs one at daemon
+// startup; the default is none, leaving writes untouched.
+type WriteFault func(path string, data []byte) ([]byte, error)
+
+var (
+	writeFaultMu sync.RWMutex
+	writeFault   WriteFault
+)
+
+// SetWriteFault installs (or, with nil, removes) the process-wide
+// write-fault hook and returns the previous one so tests can restore
+// it.
+func SetWriteFault(f WriteFault) WriteFault {
+	writeFaultMu.Lock()
+	defer writeFaultMu.Unlock()
+	prev := writeFault
+	writeFault = f
+	return prev
+}
+
+func applyWriteFault(path string, data []byte) ([]byte, error) {
+	writeFaultMu.RLock()
+	f := writeFault
+	writeFaultMu.RUnlock()
+	if f == nil {
+		return data, nil
+	}
+	return f(path, data)
+}
+
+// WriteRawFileAtomic commits arbitrary bytes to path via a
+// same-directory temp file, fsync and rename, so readers (and a
+// post-crash recovery scan) never observe a torn file. Every durable
+// artifact in the tree — checkpoints, job journals, campaign journals
+// — funnels through here, which is also where the disk chaos hook
+// taps in.
+func WriteRawFileAtomic(path string, data []byte) error {
+	data, err := applyWriteFault(path, data)
+	if err != nil {
+		return err
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("checkpoint: creating temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("checkpoint: writing %s: %w", tmpName, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("checkpoint: syncing %s: %w", tmpName, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("checkpoint: closing %s: %w", tmpName, err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		return fmt.Errorf("checkpoint: committing %s: %w", path, err)
+	}
+	return nil
+}
+
 // WriteFileAtomic commits the container to path atomically: encode,
-// write to a temp file in the same directory, fsync, rename. Readers
-// (and a post-crash recovery scan) therefore only ever see complete
-// containers. It returns the encoded size.
+// write to a temp file in the same directory, fsync, rename. It
+// returns the encoded size.
 func WriteFileAtomic(path string, c *Container) (int64, error) {
 	b, err := c.Encode()
 	if err != nil {
 		return 0, err
 	}
-	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
-	if err != nil {
-		return 0, fmt.Errorf("checkpoint: creating temp file: %w", err)
-	}
-	tmpName := tmp.Name()
-	defer os.Remove(tmpName) // no-op after a successful rename
-	if _, err := tmp.Write(b); err != nil {
-		tmp.Close()
-		return 0, fmt.Errorf("checkpoint: writing %s: %w", tmpName, err)
-	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		return 0, fmt.Errorf("checkpoint: syncing %s: %w", tmpName, err)
-	}
-	if err := tmp.Close(); err != nil {
-		return 0, fmt.Errorf("checkpoint: closing %s: %w", tmpName, err)
-	}
-	if err := os.Rename(tmpName, path); err != nil {
-		return 0, fmt.Errorf("checkpoint: committing %s: %w", path, err)
+	if err := WriteRawFileAtomic(path, b); err != nil {
+		return 0, err
 	}
 	return int64(len(b)), nil
 }

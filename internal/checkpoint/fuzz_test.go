@@ -1,0 +1,67 @@
+package checkpoint
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode drives the container reader with arbitrary bytes. The
+// reader fronts every durable artifact in the tree (simulation
+// checkpoints, job journals, campaign journals), and the disk chaos
+// layer deliberately feeds it torn and bit-flipped images — so its
+// contract is totality: Decode returns a container or an error, never
+// panics or over-reads, for any input. A container that does decode
+// must re-encode to bytes that decode again (the trailer CRC makes
+// byte equality too strong only for inputs Decode normalizes away).
+func FuzzDecode(f *testing.F) {
+	good := New("skyran/fuzz", 1, 0xfeedface)
+	good.Add("meta", []byte(`{"id":"c1"}`))
+	good.Add("result-7", []byte(`{"seed":7}`))
+	if b, err := good.Encode(); err == nil {
+		f.Add(b)
+		// Torn prefixes and a flipped byte: the shapes the chaos layer
+		// actually produces.
+		f.Add(b[:len(b)/2])
+		f.Add(b[:len(b)-1])
+		flipped := append([]byte(nil), b...)
+		flipped[len(flipped)/3] ^= 0x40
+		f.Add(flipped)
+	}
+	empty := New("skyran/empty", 2, 0)
+	if b, err := empty.Encode(); err == nil {
+		f.Add(b)
+	}
+	f.Add([]byte("SKYRBOX1"))
+	f.Add([]byte(""))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := Decode(data)
+		if err != nil {
+			return
+		}
+		for _, sec := range c.Sections() {
+			if _, ok := c.Section(sec.Name); !ok {
+				t.Fatalf("listed section %q not retrievable", sec.Name)
+			}
+		}
+		b, err := c.Encode()
+		if err != nil {
+			t.Fatalf("decoded container does not re-encode: %v", err)
+		}
+		c2, err := Decode(b)
+		if err != nil {
+			t.Fatalf("re-encoded container does not decode: %v", err)
+		}
+		if c2.Kind != c.Kind || c2.Version != c.Version || c2.Fingerprint != c.Fingerprint {
+			t.Fatal("round trip changed the header")
+		}
+		if len(c2.Sections()) != len(c.Sections()) {
+			t.Fatal("round trip changed the section count")
+		}
+		for i, sec := range c.Sections() {
+			got := c2.Sections()[i]
+			if got.Name != sec.Name || !bytes.Equal(got.Data, sec.Data) {
+				t.Fatalf("round trip changed section %q", sec.Name)
+			}
+		}
+	})
+}

@@ -1,0 +1,86 @@
+package checkpoint
+
+import (
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// ScrubReport summarizes one repair/GC pass over a checkpoint tree.
+type ScrubReport struct {
+	// Scanned counts container files examined.
+	Scanned int
+	// Intact counts files that decoded and passed every CRC.
+	Intact int
+	// Corrupt lists files that failed verification (with the failure),
+	// sorted by path.
+	Corrupt []ScrubFinding
+	// Removed lists files deleted by this pass (corrupt containers
+	// when remove was set, plus orphaned temp files), sorted by path.
+	Removed []string
+}
+
+// ScrubFinding is one damaged file and why it failed.
+type ScrubFinding struct {
+	Path string
+	Err  error
+}
+
+// Scrub walks root recursively, verifies every container file
+// (.ckpt), and sweeps the debris an interrupted writer leaves behind:
+// orphaned ".*.tmp-*" temp files are always deleted, and corrupt
+// containers are deleted too when remove is set — the recovery ladder
+// then falls back to the next-oldest intact snapshot or a fresh
+// deterministic run, so removal never loses information that was
+// trustworthy. The walk order (and therefore the report) is
+// deterministic: lexical by path.
+func Scrub(root string, remove bool) (ScrubReport, error) {
+	var rep ScrubReport
+	var ckpts, temps []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		switch {
+		case strings.HasPrefix(name, ".") && strings.Contains(name, ".tmp"):
+			temps = append(temps, path)
+		case filepath.Ext(name) == FileExt:
+			ckpts = append(ckpts, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return rep, err
+	}
+	sort.Strings(ckpts)
+	sort.Strings(temps)
+
+	for _, path := range ckpts {
+		rep.Scanned++
+		if _, err := ReadFile(path); err != nil {
+			rep.Corrupt = append(rep.Corrupt, ScrubFinding{Path: path, Err: err})
+			if remove {
+				if err := os.Remove(path); err != nil {
+					return rep, err
+				}
+				rep.Removed = append(rep.Removed, path)
+			}
+			continue
+		}
+		rep.Intact++
+	}
+	for _, path := range temps {
+		if err := os.Remove(path); err != nil {
+			return rep, err
+		}
+		rep.Removed = append(rep.Removed, path)
+	}
+	sort.Strings(rep.Removed)
+	return rep, nil
+}

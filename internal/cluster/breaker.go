@@ -1,0 +1,89 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// Per-worker circuit breaker over shard dispatch. The health prober
+// answers "is the daemon alive"; the breaker answers "are my
+// dispatches to it succeeding" — a worker behind a network partition
+// fails both, but a worker that is merely slow keeps its probe while
+// tripping the breaker. An open breaker only degrades routing
+// (pickWorker prefers workers with non-open breakers); it never blocks
+// a shard outright, because with one worker left, retrying it beats
+// giving up.
+
+// BreakerState is a breaker's current position.
+type BreakerState string
+
+const (
+	// BreakerClosed: dispatches are succeeding; route normally.
+	BreakerClosed BreakerState = "closed"
+	// BreakerOpen: recent dispatches failed; routing avoids the worker
+	// until the cooldown elapses.
+	BreakerOpen BreakerState = "open"
+	// BreakerHalfOpen: the cooldown elapsed; the next dispatch is the
+	// trial that closes or re-opens the breaker.
+	BreakerHalfOpen BreakerState = "half-open"
+)
+
+// Breaker trips after threshold consecutive dispatch failures and
+// re-admits traffic once cooldown has passed since the last failure.
+// State is derived, not stored, so there are no missed transitions: a
+// breaker left alone decays open → half-open by clock alone.
+type Breaker struct {
+	mu        sync.Mutex
+	fails     int
+	lastFail  time.Time
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time
+}
+
+// NewBreaker builds a closed breaker. threshold <= 0 defaults to 3,
+// cooldown <= 0 to 5s, nil now to time.Now.
+func NewBreaker(threshold int, cooldown time.Duration, now func() time.Time) *Breaker {
+	if threshold <= 0 {
+		threshold = 3
+	}
+	if cooldown <= 0 {
+		cooldown = 5 * time.Second
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown, now: now}
+}
+
+// Success records a completed dispatch, closing the breaker.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	b.fails = 0
+	b.mu.Unlock()
+}
+
+// Failure records a failed dispatch, (re-)opening the breaker once
+// threshold consecutive failures accumulate.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	b.fails++
+	b.lastFail = b.now()
+	b.mu.Unlock()
+}
+
+// State derives the breaker's position from the failure history.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.fails < b.threshold {
+		return BreakerClosed
+	}
+	if b.now().Sub(b.lastFail) >= b.cooldown {
+		return BreakerHalfOpen
+	}
+	return BreakerOpen
+}
+
+// Allow reports whether routing should prefer this worker right now.
+func (b *Breaker) Allow() bool { return b.State() != BreakerOpen }

@@ -6,12 +6,16 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	"net/http"
+	"os"
 	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/client"
+	"repro/internal/detrand"
 	"repro/internal/metrics"
 	"repro/internal/scenario"
 )
@@ -69,6 +73,42 @@ type Config struct {
 	// resume another worker's partial sweep.
 	CheckpointRoot string
 
+	// JournalDir, when set, makes the coordinator itself
+	// crash-recoverable: every campaign's lifecycle is journaled there
+	// as a checkpoint container, and a restarted coordinator resumes
+	// running campaigns over only their missing seeds (see journal.go).
+	JournalDir string
+
+	// JournalRetain caps how many terminal campaign journals are kept
+	// (oldest first); JournalMaxAge drops ones older than the given
+	// age. Zero values keep everything. The GC sweep runs once at
+	// startup, after recovery.
+	JournalRetain int
+	JournalMaxAge time.Duration
+
+	// BreakerFails and BreakerCooldown shape the per-worker dispatch
+	// circuit breaker (defaults 3 failures, 5s cooldown). The breaker
+	// only biases routing away from failing workers; eviction stays the
+	// prober's job.
+	BreakerFails    int
+	BreakerCooldown time.Duration
+
+	// HedgeAfter, when positive, launches one bounded hedge dispatch of
+	// a shard's missing seeds to a second worker if the first has not
+	// finished within the given duration. Results are keyed by seed and
+	// byte-deterministic, so duplicated completions are harmless.
+	HedgeAfter time.Duration
+
+	// TimingSeed seeds the detrand counting stream behind probe-interval
+	// and Retry-After jitter (default 1), so chaos runs replay their
+	// timing draws exactly.
+	TimingSeed int64
+
+	// NetChaos, when active, wraps every worker client's transport in
+	// the seeded network chaos layer. An inactive config changes
+	// nothing.
+	NetChaos *chaos.NetConfig
+
 	// Registry receives skyran_cluster_* metrics (nil creates one).
 	Registry *metrics.Registry
 
@@ -85,6 +125,7 @@ type Worker struct {
 	Index int
 
 	cl       *client.Client
+	br       *Breaker     // dispatch circuit breaker (routing bias only)
 	inflight atomic.Int64 // sub-jobs the coordinator has outstanding here
 	reported atomic.Int64 // queue+inflight from the last capacity report
 	fails    atomic.Int64 // consecutive probe failures
@@ -116,12 +157,16 @@ type Campaign struct {
 	Seeds    []int64
 	fp       uint64
 
-	mu      sync.Mutex
-	state   CampaignState
-	errMsg  string
-	results map[int64]json.RawMessage
-	merged  []byte
-	done    chan struct{}
+	mu        sync.Mutex
+	state     CampaignState
+	errMsg    string
+	results   map[int64]json.RawMessage
+	seedErrs  map[int64]string // per-seed failure rows (quarantined seeds)
+	merged    []byte
+	recovered bool
+	done      chan struct{}
+
+	jmu sync.Mutex // serializes journal writes for this campaign
 }
 
 // State returns the campaign's current phase.
@@ -152,6 +197,21 @@ func (cm *Campaign) Merged() []byte {
 	return cm.merged
 }
 
+// FailedSeeds returns how many seeds completed as error rows.
+func (cm *Campaign) FailedSeeds() int {
+	cm.mu.Lock()
+	defer cm.mu.Unlock()
+	return len(cm.seedErrs)
+}
+
+// Recovered reports whether this campaign was resumed from the journal
+// by a restarted coordinator.
+func (cm *Campaign) Recovered() bool {
+	cm.mu.Lock()
+	defer cm.mu.Unlock()
+	return cm.recovered
+}
+
 // Done is closed when the campaign reaches a terminal state.
 func (cm *Campaign) Done() <-chan struct{} { return cm.done }
 
@@ -161,14 +221,28 @@ func (cm *Campaign) addResult(seed int64, b json.RawMessage) {
 	cm.mu.Unlock()
 }
 
+// addError records a per-seed failure row. The seed is done — the
+// campaign completes around it with an explicit, deterministic error
+// entry instead of failing wholesale or wedging the sweep.
+func (cm *Campaign) addError(seed int64, msg string) {
+	cm.mu.Lock()
+	cm.seedErrs[seed] = msg
+	cm.mu.Unlock()
+}
+
+// missing returns the seeds with neither a result nor an error row.
 func (cm *Campaign) missing() []int64 {
 	cm.mu.Lock()
 	defer cm.mu.Unlock()
 	out := make([]int64, 0, len(cm.Seeds))
 	for _, s := range cm.Seeds {
-		if _, ok := cm.results[s]; !ok {
-			out = append(out, s)
+		if _, ok := cm.results[s]; ok {
+			continue
 		}
+		if _, ok := cm.seedErrs[s]; ok {
+			continue
+		}
+		out = append(out, s)
 	}
 	return out
 }
@@ -205,15 +279,23 @@ type Coordinator struct {
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
 
-	mCampaigns *metrics.Counter
-	mFailed    *metrics.Counter
-	mSubjobs   *metrics.Counter
-	mRouted    *metrics.Counter
-	mResteals  *metrics.Counter
-	mEvicted   *metrics.Counter
-	mThrottled *metrics.Counter
-	gHealthy   *metrics.Gauge
-	gRunning   *metrics.Gauge
+	timingMu sync.Mutex
+	timing   *detrand.Rand // jitter draws: probe interval, Retry-After
+
+	mCampaigns      *metrics.Counter
+	mFailed         *metrics.Counter
+	mSubjobs        *metrics.Counter
+	mRouted         *metrics.Counter
+	mResteals       *metrics.Counter
+	mEvicted        *metrics.Counter
+	mThrottled      *metrics.Counter
+	mHedges         *metrics.Counter
+	mRecovered      *metrics.Counter
+	mJournalGC      *metrics.Counter
+	mJournalCorrupt *metrics.Counter
+	gHealthy        *metrics.Gauge
+	gRunning        *metrics.Gauge
+	gBreakerOpen    *metrics.Gauge
 }
 
 // New builds a Coordinator and starts its health prober. Callers own
@@ -250,6 +332,12 @@ func New(cfg Config) (*Coordinator, error) {
 	if cfg.Logf == nil {
 		cfg.Logf = log.Printf
 	}
+	if cfg.TimingSeed == 0 {
+		cfg.TimingSeed = 1
+	}
+	if err := cfg.NetChaos.Validate(); err != nil {
+		return nil, err
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	c := &Coordinator{
 		cfg:       cfg,
@@ -257,16 +345,22 @@ func New(cfg Config) (*Coordinator, error) {
 		bucket:    NewTokenBucket(cfg.AdmitRate, cfg.AdmitBurst, cfg.Now),
 		reg:       cfg.Registry,
 		campaigns: make(map[string]*Campaign),
+		timing:    detrand.New(cfg.TimingSeed),
 		ctx:       ctx,
 		cancel:    cancel,
 	}
 	for i, addr := range cfg.WorkerAddrs {
-		c.workers = append(c.workers, &Worker{
+		w := &Worker{
 			Addr:  addr,
 			Index: i,
 			cl:    client.New(addr),
+			br:    NewBreaker(cfg.BreakerFails, cfg.BreakerCooldown, cfg.Now),
 			down:  make(chan struct{}),
-		})
+		}
+		if cfg.NetChaos.Active() {
+			w.cl.HTTP = &http.Client{Transport: chaos.NewTransport(*cfg.NetChaos, nil, cfg.Registry)}
+		}
+		c.workers = append(c.workers, w)
 	}
 	r := cfg.Registry
 	c.mCampaigns = r.Counter("skyran_cluster_campaigns_total", "Campaigns accepted by the coordinator.")
@@ -276,9 +370,35 @@ func New(cfg Config) (*Coordinator, error) {
 	c.mResteals = r.Counter("skyran_cluster_resteals_total", "Shards re-dispatched after a worker failure or eviction.")
 	c.mEvicted = r.Counter("skyran_cluster_evicted_total", "Workers evicted by the health prober.")
 	c.mThrottled = r.Counter("skyran_cluster_throttled_total", "Campaign submissions rejected by token-bucket admission.")
+	c.mHedges = r.Counter("skyran_cluster_hedges_total", "Hedge dispatches launched for slow shards.")
+	c.mRecovered = r.Counter("skyran_cluster_campaigns_recovered_total", "Running campaigns relaunched from the journal after a restart.")
+	c.mJournalGC = r.Counter("skyran_journal_gc_total", "Terminal campaign journal files removed by retention.")
+	c.mJournalCorrupt = r.Counter("skyran_cluster_journal_corrupt_total", "Campaign journal files skipped as corrupt during recovery.")
 	c.gHealthy = r.Gauge("skyran_cluster_workers_healthy", "Workers currently in the routing rotation.")
 	c.gRunning = r.Gauge("skyran_cluster_campaigns_running", "Campaigns currently running.")
+	c.gBreakerOpen = r.Gauge("skyran_breaker_open", "Workers whose dispatch circuit breaker is currently open.")
 	c.gHealthy.Set(float64(len(c.workers)))
+
+	// Crash recovery: rebuild the campaign table from the journal, then
+	// relaunch running campaigns over their missing seeds. The preserved
+	// campaign IDs keep shard IdemSalts identical, so workers' idempotency
+	// keys re-adopt sub-jobs that survived the coordinator's death.
+	if cfg.JournalDir != "" {
+		if err := os.MkdirAll(cfg.JournalDir, 0o755); err != nil {
+			cancel()
+			return nil, fmt.Errorf("cluster: journal dir: %w", err)
+		}
+		relaunch := c.recoverCampaigns()
+		c.sweepJournals()
+		for _, cm := range relaunch {
+			c.mRecovered.Inc()
+			c.gRunning.Add(1)
+			c.wg.Add(1)
+			c.cfg.Logf("cluster: recovering campaign %s (%d of %d seeds already done)",
+				cm.ID, len(cm.Seeds)-len(cm.missing()), len(cm.Seeds))
+			go c.runCampaign(cm)
+		}
+	}
 
 	c.wg.Add(1)
 	go c.probeLoop()
@@ -336,6 +456,11 @@ func (c *Coordinator) SubmitCampaign(template scenario.Spec, seeds []int64) (*Ca
 	}
 	if ok, after := c.bucket.Take(float64(len(uniq))); !ok {
 		c.mThrottled.Inc()
+		// Jitter the advertised wait by up to 10% from the counting
+		// timing stream, de-synchronizing retry stampedes while staying
+		// exactly replayable (and never promising less than the refill
+		// actually needs).
+		after += time.Duration(c.timingDraw() * 0.1 * float64(after))
 		return nil, &ThrottledError{RetryAfter: after}
 	}
 
@@ -350,11 +475,13 @@ func (c *Coordinator) SubmitCampaign(template scenario.Spec, seeds []int64) (*Ca
 		fp:       fp,
 		state:    CampaignRunning,
 		results:  make(map[int64]json.RawMessage),
+		seedErrs: make(map[int64]string),
 		done:     make(chan struct{}),
 	}
 	c.campaigns[cm.ID] = cm
 	c.order = append(c.order, cm.ID)
 	c.mu.Unlock()
+	c.journalCampaign(cm)
 
 	c.mCampaigns.Inc()
 	c.gRunning.Add(1)
@@ -393,41 +520,54 @@ func (c *Coordinator) runCampaign(cm *Campaign) {
 		}
 	}
 
-	cm.mu.Lock()
-	defer func() {
+	if errors.Is(firstErr, errShutdown) {
+		// The coordinator is going down, not the campaign: mark it
+		// failed in memory but leave the journal at "running", so a
+		// restarted coordinator resumes it instead of reporting a
+		// failure that never happened.
+		cm.mu.Lock()
+		cm.state = CampaignFailed
+		cm.errMsg = firstErr.Error()
 		cm.mu.Unlock()
 		close(cm.done)
-	}()
+		return
+	}
+
+	cm.mu.Lock()
 	if firstErr != nil {
 		cm.state = CampaignFailed
 		cm.errMsg = firstErr.Error()
 		c.mFailed.Inc()
 		c.cfg.Logf("cluster: campaign %s failed: %v", cm.ID, firstErr)
-		return
-	}
-	merged, err := MergeResults(cm.Template, cm.results)
-	if err != nil {
+	} else if merged, err := MergeResults(cm.Template, cm.results, cm.seedErrs); err != nil {
 		cm.state = CampaignFailed
 		cm.errMsg = err.Error()
 		c.mFailed.Inc()
-		return
+	} else {
+		cm.state = CampaignSucceeded
+		cm.merged = merged
+		if n := len(cm.seedErrs); n > 0 {
+			c.cfg.Logf("cluster: campaign %s succeeded (%d seeds, %d error rows)", cm.ID, len(cm.Seeds), n)
+		} else {
+			c.cfg.Logf("cluster: campaign %s succeeded (%d seeds)", cm.ID, len(cm.Seeds))
+		}
 	}
-	cm.state = CampaignSucceeded
-	cm.merged = merged
-	c.cfg.Logf("cluster: campaign %s succeeded (%d seeds)", cm.ID, len(cm.Seeds))
+	cm.mu.Unlock()
+	c.journalCampaign(cm)
+	close(cm.done)
 }
 
-// permanentError marks a failure that re-dispatching cannot cure (the
-// scenario itself fails); it stops the resteal loop.
-type permanentError struct{ err error }
-
-func (e *permanentError) Error() string { return e.err.Error() }
+// errShutdown aborts shard loops during coordinator shutdown; it is
+// deliberately not journaled as a campaign failure.
+var errShutdown = errors.New("cluster: coordinator shutting down")
 
 // runShard drives one shard to completion, restealing it to another
 // worker as many times as evictions require. Completed seeds are never
 // re-dispatched: each pass sends only the seeds still missing results,
 // and a re-dispatched seed resumes from the newest intact checkpoint
-// its previous worker left in the shared checkpoint directory.
+// its previous worker left in the shared checkpoint directory. A seed
+// whose sub-job *fails* (as opposed to its worker dying) becomes a
+// per-seed error row, not a campaign failure.
 func (c *Coordinator) runShard(cm *Campaign, seeds []int64) error {
 	tried := make(map[int]bool) // workers that failed this shard since the last success
 	for {
@@ -435,20 +575,16 @@ func (c *Coordinator) runShard(cm *Campaign, seeds []int64) error {
 		if len(remaining) == 0 {
 			return nil
 		}
-		if err := c.ctx.Err(); err != nil {
-			return fmt.Errorf("cluster: coordinator shutting down")
+		if c.ctx.Err() != nil {
+			return errShutdown
 		}
 		w := c.pickWorker(cm.fp, tried)
 		if w == nil {
 			return ErrNoWorkers
 		}
-		err := c.runShardOn(cm, w, remaining)
+		err := c.runShardHedged(cm, w, remaining, tried)
 		if err == nil {
 			continue // loop re-checks remaining; normally empty now
-		}
-		var perm *permanentError
-		if errors.As(err, &perm) {
-			return perm.err
 		}
 		// Transient: worker died, was evicted mid-shard, or timed out.
 		// Note the failure so rerouting prefers a different worker, and
@@ -458,6 +594,75 @@ func (c *Coordinator) runShard(cm *Campaign, seeds []int64) error {
 		c.cfg.Logf("cluster: campaign %s restealing %d seed(s) from %s: %v",
 			cm.ID, len(missingOf(cm, seeds)), w.Addr, err)
 	}
+}
+
+// runShardHedged runs one dispatch pass, and — when HedgeAfter is set
+// and the primary is slow — at most one concurrent hedge pass on a
+// different worker. Either pass completing completes the seeds:
+// results are keyed by seed and byte-deterministic, so a duplicated
+// completion overwrites with identical bytes.
+func (c *Coordinator) runShardHedged(cm *Campaign, w *Worker, seeds []int64, tried map[int]bool) error {
+	if c.cfg.HedgeAfter <= 0 {
+		return c.dispatchPass(cm, w, seeds)
+	}
+	primary := make(chan error, 1)
+	go func() { primary <- c.dispatchPass(cm, w, seeds) }()
+	select {
+	case err := <-primary:
+		return err
+	case <-time.After(c.cfg.HedgeAfter):
+	case <-c.ctx.Done():
+		return <-primary
+	}
+	avoid := map[int]bool{w.Index: true}
+	for k := range tried {
+		avoid[k] = true
+	}
+	hw := c.pickWorker(cm.fp, avoid)
+	if hw == nil || hw == w {
+		return <-primary
+	}
+	c.mHedges.Inc()
+	c.cfg.Logf("cluster: campaign %s hedging %d seed(s) from %s to %s", cm.ID, len(seeds), w.Addr, hw.Addr)
+	hedge := make(chan error, 1)
+	go func() { hedge <- c.dispatchPass(cm, hw, missingOf(cm, seeds)) }()
+	perr, herr := <-primary, <-hedge
+	if perr == nil || herr == nil {
+		return nil
+	}
+	return perr
+}
+
+// dispatchPass runs one pass on one worker and feeds its circuit
+// breaker with the outcome.
+func (c *Coordinator) dispatchPass(cm *Campaign, w *Worker, seeds []int64) error {
+	err := c.runShardOn(cm, w, seeds)
+	if err != nil {
+		w.br.Failure()
+	} else {
+		w.br.Success()
+	}
+	c.refreshBreakerGauge()
+	return err
+}
+
+// refreshBreakerGauge republishes how many workers' breakers are open.
+func (c *Coordinator) refreshBreakerGauge() {
+	open := 0
+	for _, w := range c.workers {
+		if w.br.State() == BreakerOpen {
+			open++
+		}
+	}
+	c.gBreakerOpen.Set(float64(open))
+}
+
+// timingDraw consumes one uniform [0,1) draw from the counting timing
+// stream.
+func (c *Coordinator) timingDraw() float64 {
+	c.timingMu.Lock()
+	defer c.timingMu.Unlock()
+	return c.timing.Float64()
 }
 
 func missingOf(cm *Campaign, seeds []int64) []int64 {
@@ -476,17 +681,23 @@ func missingOf(cm *Campaign, seeds []int64) []int64 {
 }
 
 // pickWorker routes among healthy workers, preferring ones that have
-// not just failed this shard. If every healthy worker already failed
-// it, the avoid set resets — with one worker left, retrying it beats
-// giving up.
+// not just failed this shard and whose circuit breaker is not open.
+// The preferences degrade in order rather than block: if every
+// candidate's breaker is open the avoid set still applies, and if
+// every healthy worker already failed the shard, the avoid set resets
+// — with one worker left, retrying it beats giving up.
 func (c *Coordinator) pickWorker(fp uint64, avoid map[int]bool) *Worker {
-	var healthy, preferred []*Worker
+	var healthy, candid, preferred []*Worker
 	for _, w := range c.workers {
 		if !w.Healthy() {
 			continue
 		}
 		healthy = append(healthy, w)
-		if !avoid[w.Index] {
+		if avoid[w.Index] {
+			continue
+		}
+		candid = append(candid, w)
+		if w.br.Allow() {
 			preferred = append(preferred, w)
 		}
 	}
@@ -494,6 +705,9 @@ func (c *Coordinator) pickWorker(fp uint64, avoid map[int]bool) *Worker {
 		return nil
 	}
 	pool := preferred
+	if len(pool) == 0 {
+		pool = candid
+	}
 	if len(pool) == 0 {
 		for k := range avoid {
 			delete(avoid, k)
@@ -549,7 +763,14 @@ func (c *Coordinator) runShardOn(cm *Campaign, w *Worker, seeds []int64) error {
 		switch st.Status {
 		case "succeeded":
 		case "failed":
-			return &permanentError{fmt.Errorf("seed %d failed on %s: %s", sj.Seed, w.Addr, st.Error)}
+			// The scenario itself failed (poisoned seed): quarantine it
+			// as a deterministic per-seed error row — no worker identity,
+			// no timing — and let the campaign complete around it.
+			cm.addError(sj.Seed, st.Error)
+			c.journalCampaign(cm)
+			w.inflight.Add(-1)
+			outstanding--
+			continue
 		default: // canceled (e.g. worker draining): transient, resteal
 			return fmt.Errorf("seed %d %s on %s", sj.Seed, st.Status, w.Addr)
 		}
@@ -558,6 +779,7 @@ func (c *Coordinator) runShardOn(cm *Campaign, w *Worker, seeds []int64) error {
 			return fmt.Errorf("fetching result %s from %s: %w", sj.ID, w.Addr, err)
 		}
 		cm.addResult(sj.Seed, body)
+		c.journalCampaign(cm)
 		w.inflight.Add(-1)
 		outstanding--
 	}
@@ -571,13 +793,16 @@ func (c *Coordinator) runShardOn(cm *Campaign, w *Worker, seeds []int64) error {
 // been restolen.
 func (c *Coordinator) probeLoop() {
 	defer c.wg.Done()
-	tick := time.NewTicker(c.cfg.ProbeEvery)
-	defer tick.Stop()
+	// The interval is jittered by up to 10% per cycle, drawn from the
+	// counting timing stream — de-phased from other coordinators, yet
+	// exactly replayable under a fixed TimingSeed.
+	timer := time.NewTimer(c.probeInterval())
+	defer timer.Stop()
 	for {
 		select {
 		case <-c.ctx.Done():
 			return
-		case <-tick.C:
+		case <-timer.C:
 		}
 		for _, w := range c.workers {
 			if !w.Healthy() {
@@ -585,7 +810,15 @@ func (c *Coordinator) probeLoop() {
 			}
 			c.probe(w)
 		}
+		c.refreshBreakerGauge()
+		timer.Reset(c.probeInterval())
 	}
+}
+
+// probeInterval is ProbeEvery plus a deterministic jitter in
+// [0, ProbeEvery/10).
+func (c *Coordinator) probeInterval() time.Duration {
+	return c.cfg.ProbeEvery + time.Duration(c.timingDraw()*0.1*float64(c.cfg.ProbeEvery))
 }
 
 func (c *Coordinator) probe(w *Worker) {

@@ -65,7 +65,7 @@ func localExpected(t *testing.T, template scenario.Spec, seeds []int64) []byte {
 		}
 		results[seed] = b
 	}
-	merged, err := MergeResults(norm, results)
+	merged, err := MergeResults(norm, results, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

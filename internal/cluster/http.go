@@ -49,20 +49,24 @@ func (r *CampaignRequest) ExpandSeeds() ([]int64, error) {
 }
 
 type campaignEnvelope struct {
-	ID     string `json:"id"`
-	Status string `json:"status"`
-	Error  string `json:"error,omitempty"`
-	Seeds  int    `json:"seeds"`
-	Merged int    `json:"merged"`
+	ID        string `json:"id"`
+	Status    string `json:"status"`
+	Error     string `json:"error,omitempty"`
+	Seeds     int    `json:"seeds"`
+	Merged    int    `json:"merged"`
+	Failed    int    `json:"failed,omitempty"`
+	Recovered bool   `json:"recovered,omitempty"`
 }
 
 func envelopeOf(cm *Campaign) campaignEnvelope {
 	return campaignEnvelope{
-		ID:     cm.ID,
-		Status: string(cm.State()),
-		Error:  cm.Err(),
-		Seeds:  len(cm.Seeds),
-		Merged: cm.MergedCount(),
+		ID:        cm.ID,
+		Status:    string(cm.State()),
+		Error:     cm.Err(),
+		Seeds:     len(cm.Seeds),
+		Merged:    cm.MergedCount(),
+		Failed:    cm.FailedSeeds(),
+		Recovered: cm.Recovered(),
 	}
 }
 
@@ -72,6 +76,7 @@ type workerStatus struct {
 	Inflight         int64  `json:"inflight"`
 	ReportedLoad     int64  `json:"reported_load"`
 	ConsecutiveFails int64  `json:"consecutive_fails"`
+	Breaker          string `json:"breaker"`
 }
 
 type clusterStatus struct {
@@ -191,6 +196,7 @@ func (c *Coordinator) handleStatus(w http.ResponseWriter, _ *http.Request) {
 			Inflight:         wk.inflight.Load(),
 			ReportedLoad:     wk.reported.Load(),
 			ConsecutiveFails: wk.fails.Load(),
+			Breaker:          string(wk.br.State()),
 		})
 	}
 	c.mu.Lock()
@@ -204,15 +210,24 @@ func (c *Coordinator) handleStatus(w http.ResponseWriter, _ *http.Request) {
 func (c *Coordinator) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	healthy := c.HealthyWorkers()
 	var inflight int64
+	breakersOpen := 0
+	breakers := make(map[string]string, len(c.workers))
 	for _, wk := range c.workers {
 		inflight += wk.inflight.Load()
+		st := wk.br.State()
+		breakers[wk.Addr] = string(st)
+		if st == BreakerOpen {
+			breakersOpen++
+		}
 	}
 	rep := map[string]any{
-		"status":      "ready",
-		"queue_depth": 0,
-		"queue_cap":   0,
-		"inflight":    inflight,
-		"workers":     healthy,
+		"status":        "ready",
+		"queue_depth":   0,
+		"queue_cap":     0,
+		"inflight":      inflight,
+		"workers":       healthy,
+		"breakers":      breakers,
+		"breakers_open": breakersOpen,
 	}
 	code := http.StatusOK
 	if healthy == 0 {

@@ -28,18 +28,40 @@ type mergedCampaign struct {
 }
 
 // MergeResults renders the merged campaign document from per-seed
-// canonical result bytes. The template is embedded with Seed zeroed
-// (the per-seed specs live inside each result). Every seed must have a
-// result; a gap is a coordinator bug and is reported as an error.
-func MergeResults(template scenario.Spec, results map[int64]json.RawMessage) ([]byte, error) {
-	seeds := make([]int64, 0, len(results))
+// canonical result bytes plus per-seed error rows (quarantined seeds).
+// The template is embedded with Seed zeroed (the per-seed specs live
+// inside each result). An errored seed's entry is an explicit
+// {"seed": N, "error": ...} row in seed position — deterministic like
+// everything else — and with no error rows the output is byte-for-byte
+// what the single-map signature produced before rows existed. Every
+// seed must have exactly one of a result or an error; a gap or an
+// overlap is a coordinator bug and is reported as an error.
+func MergeResults(template scenario.Spec, results map[int64]json.RawMessage, seedErrs map[int64]string) ([]byte, error) {
+	seeds := make([]int64, 0, len(results)+len(seedErrs))
 	for s := range results {
+		if _, dup := seedErrs[s]; dup {
+			return nil, fmt.Errorf("cluster: seed %d has both a result and an error row", s)
+		}
+		seeds = append(seeds, s)
+	}
+	for s := range seedErrs {
 		seeds = append(seeds, s)
 	}
 	sort.Slice(seeds, func(i, j int) bool { return seeds[i] < seeds[j] })
 	doc := mergedCampaign{Spec: template, Seeds: seeds, Results: make([]json.RawMessage, 0, len(seeds))}
 	doc.Spec.Seed = 0
 	for _, s := range seeds {
+		if msg, ok := seedErrs[s]; ok {
+			row, err := json.Marshal(struct {
+				Seed  int64  `json:"seed"`
+				Error string `json:"error"`
+			}{s, msg})
+			if err != nil {
+				return nil, err
+			}
+			doc.Results = append(doc.Results, row)
+			continue
+		}
 		b := results[s]
 		if len(b) == 0 {
 			return nil, fmt.Errorf("cluster: merge missing result for seed %d", s)

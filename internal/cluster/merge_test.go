@@ -15,11 +15,11 @@ func TestMergeResultsDeterministicOrder(t *testing.T) {
 		1: json.RawMessage(`{"seed":1}`),
 		2: json.RawMessage(`{"seed":2}`),
 	}
-	a, err := MergeResults(template, results)
+	a, err := MergeResults(template, results, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := MergeResults(template, results)
+	b, err := MergeResults(template, results, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,10 +45,10 @@ func TestMergeResultsDeterministicOrder(t *testing.T) {
 }
 
 func TestMergeResultsRejectsGaps(t *testing.T) {
-	if _, err := MergeResults(scenario.Spec{}, map[int64]json.RawMessage{1: nil}); err == nil {
+	if _, err := MergeResults(scenario.Spec{}, map[int64]json.RawMessage{1: nil}, nil); err == nil {
 		t.Fatal("empty result accepted")
 	}
-	if _, err := MergeResults(scenario.Spec{}, map[int64]json.RawMessage{1: json.RawMessage("{oops")}); err == nil {
+	if _, err := MergeResults(scenario.Spec{}, map[int64]json.RawMessage{1: json.RawMessage("{oops")}, nil); err == nil {
 		t.Fatal("invalid JSON accepted")
 	}
 }

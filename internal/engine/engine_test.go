@@ -79,3 +79,64 @@ func TestWorkerCount(t *testing.T) {
 		t.Fatalf("explicit WorkerCount: got %d, want 3", WorkerCount(3))
 	}
 }
+
+// A panicking body must not crash the process from an engine worker
+// goroutine: the panic is re-raised in the caller's goroutine as a
+// *Panic carrying the original value and the panicking goroutine's
+// stack, at every worker count.
+func TestParallelMapPanicRecaptured(t *testing.T) {
+	for _, workers := range []int{1, 4, 16} {
+		var p *Panic
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("workers=%d: panic was swallowed", workers)
+				}
+				var ok bool
+				if p, ok = r.(*Panic); !ok {
+					t.Fatalf("workers=%d: recovered %T, want *Panic", workers, r)
+				}
+			}()
+			ParallelMap(workers, 20, func(i int) (int, error) { //nolint:errcheck
+				if i == 7 || i == 13 {
+					panic(fmt.Sprintf("poisoned task %d", i))
+				}
+				return i, nil
+			})
+		}()
+		if p.Index != 7 {
+			t.Errorf("workers=%d: panic index %d, want lowest (7)", workers, p.Index)
+		}
+		if p.Value != "poisoned task 7" {
+			t.Errorf("workers=%d: panic value %v", workers, p.Value)
+		}
+		if len(p.Stack) == 0 {
+			t.Errorf("workers=%d: captured panic has no stack", workers)
+		}
+	}
+}
+
+// Nested fan-outs (fleet sectors inside an experiment sweep) must
+// surface the innermost capture, not wrap it again.
+func TestParallelMapNestedPanicKeepsInnermost(t *testing.T) {
+	defer func() {
+		p, ok := recover().(*Panic)
+		if !ok {
+			t.Fatal("expected *Panic")
+		}
+		if p.Value != "inner" || p.Index != 3 {
+			t.Fatalf("got index=%d value=%v, want inner task 3", p.Index, p.Value)
+		}
+	}()
+	ParallelMap(2, 4, func(i int) (int, error) { //nolint:errcheck
+		_, err := ParallelMap(2, 8, func(j int) (int, error) {
+			if i == 1 && j == 3 {
+				panic("inner")
+			}
+			return j, nil
+		})
+		return i, err
+	})
+	t.Fatal("panic did not propagate")
+}

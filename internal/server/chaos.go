@@ -36,6 +36,13 @@ type ChaosConfig struct {
 	// MaxCrashes caps the total simulated crashes per daemon (default
 	// 2 when WorkerCrashRate > 0) so chaos cannot starve the queue.
 	MaxCrashes int
+	// PoisonSeeds lists scenario seeds whose jobs panic mid-run instead
+	// of completing — the deterministic stand-in for a simulation bug
+	// that only one (spec, seed) point triggers. The per-job recover
+	// turns each panic into a failed-job record, and the consecutive-
+	// panic quarantine proves one poisoned seed cannot crash the daemon
+	// or wedge a campaign.
+	PoisonSeeds []int64
 }
 
 // normalize validates rates and fills defaults.
@@ -62,13 +69,14 @@ func (c *ChaosConfig) normalize() error {
 
 // active reports whether any chaos knob is on.
 func (c *ChaosConfig) active() bool {
-	return c != nil && (c.SlowHandlerRate > 0 || c.WorkerCrashRate > 0)
+	return c != nil && (c.SlowHandlerRate > 0 || c.WorkerCrashRate > 0 || len(c.PoisonSeeds) > 0)
 }
 
 // chaosState is the runtime side of ChaosConfig: one locked RNG plus
-// the crash budget.
+// the crash budget and the poison-seed set.
 type chaosState struct {
-	cfg ChaosConfig
+	cfg    ChaosConfig
+	poison map[int64]bool
 
 	mu      sync.Mutex
 	rng     *rand.Rand
@@ -80,7 +88,19 @@ func newChaosState(cfg ChaosConfig) *chaosState {
 	if seed == 0 {
 		seed = 0x5eed
 	}
-	return &chaosState{cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+	st := &chaosState{cfg: cfg, rng: rand.New(rand.NewSource(seed)), poison: make(map[int64]bool, len(cfg.PoisonSeeds))}
+	for _, s := range cfg.PoisonSeeds {
+		st.poison[s] = true
+	}
+	return st
+}
+
+// poisonSeed reports whether a job with this scenario seed should
+// panic. Unlike the rate-based knobs this is not random at all: the
+// same seed poisons on every dispatch, which is exactly what makes the
+// quarantine ladder testable.
+func (c *chaosState) poisonSeed(seed int64) bool {
+	return c != nil && c.poison[seed]
 }
 
 // slowDelay draws the injected delay for one HTTP request (0 = serve

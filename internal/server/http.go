@@ -36,6 +36,7 @@ type jobEnvelope struct {
 	Status     JobState        `json:"status"`
 	Recovered  bool            `json:"recovered,omitempty"`
 	Error      string          `json:"error,omitempty"`
+	Stack      string          `json:"stack,omitempty"`
 	Submitted  string          `json:"submitted,omitempty"`
 	Started    string          `json:"started,omitempty"`
 	Finished   string          `json:"finished,omitempty"`
@@ -48,7 +49,7 @@ const timeLayout = "2006-01-02T15:04:05.000Z07:00"
 func (j *Job) envelope(withResult bool) jobEnvelope {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	env := jobEnvelope{ID: j.id, Spec: j.spec, Status: j.state, Recovered: j.recovered, Error: j.errMsg}
+	env := jobEnvelope{ID: j.id, Spec: j.spec, Status: j.state, Recovered: j.recovered, Error: j.errMsg, Stack: j.panicStack}
 	if !j.submitted.IsZero() {
 		env.Submitted = j.submitted.UTC().Format(timeLayout)
 	}
@@ -365,11 +366,12 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 // and worker-pool size. It is equally useful standalone: one curl tells
 // an operator how loaded a daemon is.
 type readyReport struct {
-	Status     string `json:"status"`
-	QueueDepth int    `json:"queue_depth"`
-	QueueCap   int    `json:"queue_cap"`
-	Inflight   int    `json:"inflight"`
-	Workers    int    `json:"workers"`
+	Status      string `json:"status"`
+	QueueDepth  int    `json:"queue_depth"`
+	QueueCap    int    `json:"queue_cap"`
+	Inflight    int    `json:"inflight"`
+	Workers     int    `json:"workers"`
+	Quarantined int    `json:"quarantined_jobs"`
 }
 
 // handleReadyz reports readiness: healthy and accepting new jobs.
@@ -378,11 +380,12 @@ type readyReport struct {
 // report.
 func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	rep := readyReport{
-		Status:     "ready",
-		QueueDepth: len(s.queue),
-		QueueCap:   s.cfg.QueueCap,
-		Inflight:   int(s.gRunning.Value()),
-		Workers:    s.cfg.Workers,
+		Status:      "ready",
+		QueueDepth:  len(s.queue),
+		QueueCap:    s.cfg.QueueCap,
+		Inflight:    int(s.gRunning.Value()),
+		Workers:     s.cfg.Workers,
+		Quarantined: s.QuarantinedJobs(),
 	}
 	if s.Draining() {
 		rep.Status = "draining"

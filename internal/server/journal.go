@@ -8,7 +8,9 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
+	"repro/internal/checkpoint"
 	"repro/internal/scenario"
 )
 
@@ -31,6 +33,8 @@ type journalEntry struct {
 	Recovered bool          `json:"recovered,omitempty"`
 	IdemKey   string        `json:"idem_key,omitempty"`
 	CkptDir   string        `json:"ckpt_dir,omitempty"` // external shard checkpoint dir
+	Error     string        `json:"error,omitempty"`    // terminal failure message
+	Stack     string        `json:"stack,omitempty"`    // stack trace when the run died by panic
 }
 
 // journalPath returns the journal file for a job ID.
@@ -51,7 +55,7 @@ func (s *Server) writeJournal(j *Job) {
 		return
 	}
 	j.mu.Lock()
-	ent := journalEntry{ID: j.id, Spec: j.spec, State: j.state, Recovered: j.recovered, IdemKey: j.idemKey, CkptDir: j.ckptDir}
+	ent := journalEntry{ID: j.id, Spec: j.spec, State: j.state, Recovered: j.recovered, IdemKey: j.idemKey, CkptDir: j.ckptDir, Error: j.errMsg, Stack: j.panicStack}
 	j.mu.Unlock()
 	b, err := json.MarshalIndent(ent, "", "  ")
 	if err != nil {
@@ -61,26 +65,11 @@ func (s *Server) writeJournal(j *Job) {
 }
 
 // writeFileAtomic writes data to path via a same-directory temp file
-// and rename, so readers never observe a torn journal entry.
+// and rename, so readers never observe a torn journal entry. It
+// delegates to the checkpoint package's raw writer so the disk chaos
+// hook covers job journals too.
 func writeFileAtomic(path string, data []byte) error {
-	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp*")
-	if err != nil {
-		return err
-	}
-	defer os.Remove(tmp.Name()) //nolint:errcheck // no-op after rename
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		return err
-	}
-	return os.Rename(tmp.Name(), path)
+	return checkpoint.WriteRawFileAtomic(path, data)
 }
 
 // probeCheckpointDirs creates the checkpoint layout and proves it
@@ -135,6 +124,51 @@ func jobNum(id string) int {
 		return -1
 	}
 	return n
+}
+
+// sweepJournal applies retention to terminal journal records at
+// restart: JournalRetain caps how many are kept (oldest numeric IDs
+// collected first) and JournalMaxAge drops records whose file is
+// older. A collected job loses its journal record and its checkpoint
+// directory — the disk the retention knobs actually bound. Recovery
+// already advanced nextID past every journaled job, so collected IDs
+// are never reissued. Entries arrive sorted by numeric ID, making the
+// sweep deterministic for a given directory state.
+func (s *Server) sweepJournal(entries []journalEntry) {
+	if s.journalDir == "" || (s.cfg.JournalRetain <= 0 && s.cfg.JournalMaxAge <= 0) {
+		return
+	}
+	var term []journalEntry
+	for _, ent := range entries {
+		if terminal(ent.State) {
+			term = append(term, ent)
+		}
+	}
+	drop := make(map[string]bool)
+	if s.cfg.JournalRetain > 0 {
+		for i := 0; i < len(term)-s.cfg.JournalRetain; i++ {
+			drop[term[i].ID] = true
+		}
+	}
+	if s.cfg.JournalMaxAge > 0 {
+		now := time.Now()
+		for _, ent := range term {
+			st, err := os.Stat(s.journalPath(ent.ID))
+			if err == nil && now.Sub(st.ModTime()) > s.cfg.JournalMaxAge {
+				drop[ent.ID] = true
+			}
+		}
+	}
+	for _, ent := range term {
+		if !drop[ent.ID] {
+			continue
+		}
+		if err := os.Remove(s.journalPath(ent.ID)); err != nil {
+			continue
+		}
+		os.RemoveAll(s.jobCheckpointDir(ent.ID)) //nolint:errcheck
+		s.mJournalGC.Inc()
+	}
 }
 
 // recoverJobs re-enqueues every non-terminal journaled job under its

@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"path/filepath"
+	"runtime/debug"
 	"sync"
 	"time"
 
@@ -57,10 +58,24 @@ type Config struct {
 	// CheckpointRetain bounds the checkpoint files kept per job
 	// (0 keeps all).
 	CheckpointRetain int
+	// JournalRetain caps how many terminal job journal records (and
+	// their checkpoint directories) a restarted daemon keeps, oldest
+	// IDs collected first (0 keeps all).
+	JournalRetain int
+	// JournalMaxAge collects terminal journal records whose file is
+	// older at restart (0 keeps all). Non-terminal records are never
+	// collected by either knob.
+	JournalMaxAge time.Duration
 
 	// Chaos enables daemon-level fault injection (slow handlers,
-	// simulated worker crashes). Nil disables it.
+	// simulated worker crashes, poison seeds). Nil disables it.
 	Chaos *ChaosConfig
+
+	// QuarantineAfter is how many consecutive panics a spec fingerprint
+	// may cause before its jobs are failed fast instead of run — so one
+	// poisoned (spec, seed) point cannot crash workers forever or wedge
+	// a campaign that keeps re-dispatching it. Default 3.
+	QuarantineAfter int
 }
 
 // JobState is a job's lifecycle state. Transitions are linear:
@@ -91,6 +106,7 @@ type Job struct {
 	mu         sync.Mutex
 	state      JobState
 	errMsg     string
+	panicStack string // stack trace when the run died by panic
 	resultJSON []byte // canonical scenario.MarshalResult bytes
 	store      *rem.Store
 	remSnap    []byte // rem.Store.Save output, frozen at completion
@@ -138,6 +154,12 @@ type Server struct {
 
 	chaos *chaosState // nil unless Config.Chaos is active
 
+	// Poison-job quarantine: spec fingerprints that panicked
+	// QuarantineAfter times in a row are failed fast until restart.
+	qmu         sync.Mutex
+	panicStreak map[uint64]int
+	quarantined map[uint64]bool
+
 	queue chan *Job
 	wg    sync.WaitGroup
 
@@ -173,12 +195,16 @@ type Server struct {
 	mCkptBytes  *metrics.Counter
 	hCkptWrite  *metrics.Histogram
 	mRecovered  *metrics.Counter
+	mJournalGC  *metrics.Counter
 
 	// Fault-injection / chaos subsystem metrics.
-	mJournalCorrupt *metrics.Counter
-	mWorkerCrashes  *metrics.Counter
-	mSlowHandlers   *metrics.Counter
-	mIdemReplays    *metrics.Counter
+	mJournalCorrupt    *metrics.Counter
+	mWorkerCrashes     *metrics.Counter
+	mSlowHandlers      *metrics.Counter
+	mIdemReplays       *metrics.Counter
+	mPanics            *metrics.Counter
+	mQuarantineRejects *metrics.Counter
+	gQuarantined       *metrics.Gauge
 }
 
 // New builds a server; call Start to launch the workers. With
@@ -202,6 +228,9 @@ func New(cfg Config) (*Server, error) {
 			return nil, err
 		}
 	}
+	if cfg.QuarantineAfter <= 0 {
+		cfg.QuarantineAfter = 3
+	}
 
 	var journalDir string
 	var journaled []journalEntry
@@ -216,14 +245,16 @@ func New(cfg Config) (*Server, error) {
 
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
-		cfg:        cfg,
-		reg:        reg,
-		journalDir: journalDir,
-		runCtx:     ctx,
-		runCancel:  cancel,
-		jobs:       make(map[string]*Job),
-		idemKeys:   make(map[string]string),
-		queue:      make(chan *Job, cfg.QueueCap+len(journaled)),
+		cfg:         cfg,
+		reg:         reg,
+		journalDir:  journalDir,
+		runCtx:      ctx,
+		runCancel:   cancel,
+		jobs:        make(map[string]*Job),
+		idemKeys:    make(map[string]string),
+		panicStreak: make(map[uint64]int),
+		quarantined: make(map[uint64]bool),
+		queue:       make(chan *Job, cfg.QueueCap+len(journaled)),
 
 		mAccepted:  reg.Counter("skyrand_jobs_accepted_total", "Jobs admitted to the queue."),
 		mRejected:  reg.Counter("skyrand_jobs_rejected_total", "Jobs rejected with 429 (queue full) or 503 (draining)."),
@@ -253,11 +284,15 @@ func New(cfg Config) (*Server, error) {
 		mCkptBytes:  reg.Counter("skyran_checkpoint_bytes_total", "Total bytes written to checkpoint files."),
 		hCkptWrite:  reg.Histogram("skyran_checkpoint_write_seconds", "Wall-clock latency per checkpoint write.", nil),
 		mRecovered:  reg.Counter("skyran_checkpoint_recoveries_total", "Interrupted jobs re-enqueued from the journal after a restart."),
+		mJournalGC:  reg.Counter("skyran_journal_gc_total", "Terminal job journal records collected by retention at restart."),
 
-		mJournalCorrupt: reg.Counter("skyran_journal_corrupt_total", "Journal records skipped during recovery because they were unreadable or malformed."),
-		mWorkerCrashes:  reg.Counter("skyrand_worker_crashes_total", "Simulated worker crashes injected by the chaos layer."),
-		mSlowHandlers:   reg.Counter("skyrand_chaos_slow_handlers_total", "HTTP requests delayed by the chaos layer."),
-		mIdemReplays:    reg.Counter("skyrand_idempotent_replays_total", "Job submissions answered from an existing job via Idempotency-Key."),
+		mJournalCorrupt:    reg.Counter("skyran_journal_corrupt_total", "Journal records skipped during recovery because they were unreadable or malformed."),
+		mWorkerCrashes:     reg.Counter("skyrand_worker_crashes_total", "Simulated worker crashes injected by the chaos layer."),
+		mSlowHandlers:      reg.Counter("skyrand_chaos_slow_handlers_total", "HTTP requests delayed by the chaos layer."),
+		mIdemReplays:       reg.Counter("skyrand_idempotent_replays_total", "Job submissions answered from an existing job via Idempotency-Key."),
+		mPanics:            reg.Counter("skyran_panic_recovered_total", "Simulation panics caught by the per-job recover and converted into failed jobs."),
+		mQuarantineRejects: reg.Counter("skyran_quarantine_rejections_total", "Jobs failed fast because their spec fingerprint is quarantined."),
+		gQuarantined:       reg.Gauge("skyran_quarantined_jobs", "Spec fingerprints currently quarantined after consecutive panics."),
 	}
 	if cfg.Chaos.active() {
 		s.chaos = newChaosState(*cfg.Chaos)
@@ -268,6 +303,7 @@ func New(cfg Config) (*Server, error) {
 		s.writeJournal(job)
 		s.mRecovered.Inc()
 	}
+	s.sweepJournal(journaled)
 	return s, nil
 }
 
@@ -668,7 +704,45 @@ func (s *Server) checkpointDirFor(job *Job) string {
 // skipped in favor of an older one, and when none survive the job
 // reruns from scratch — determinism guarantees the rerun produces the
 // bytes the resumed run would have.
-func (s *Server) runScenario(ctx context.Context, job *Job, recovered bool, opts scenario.Options) (*scenario.Result, *rem.Store, error) {
+//
+// The call is the daemon's panic boundary: a simulation panic (an
+// engine.Panic re-raised from a worker goroutine, or a direct panic on
+// the calling goroutine) is recovered here and converted into an
+// ordinary failed job whose error is the deterministic "panic: <value>"
+// string; the stack trace is kept on the job (and in its journal
+// record) for debugging, out of the error so campaign error rows stay
+// byte-identical across workers. Fingerprints that panic
+// QuarantineAfter times in a row are quarantined: their jobs fail fast
+// without running, so a poisoned seed being re-dispatched forever
+// cannot keep crashing runners.
+func (s *Server) runScenario(ctx context.Context, job *Job, recovered bool, opts scenario.Options) (res *scenario.Result, store *rem.Store, err error) {
+	fp, fpErr := scenario.Fingerprint(job.spec)
+	if fpErr == nil && s.isQuarantined(fp) {
+		s.mQuarantineRejects.Inc()
+		return nil, nil, fmt.Errorf("server: spec %016x quarantined after %d consecutive panics", fp, s.cfg.QuarantineAfter)
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			if err == nil && fpErr == nil {
+				s.clearPanicStreak(fp)
+			}
+			return
+		}
+		val, stack := panicInfo(r)
+		s.mPanics.Inc()
+		if fpErr == nil {
+			s.notePanic(fp)
+		}
+		job.mu.Lock()
+		job.panicStack = string(stack)
+		job.mu.Unlock()
+		res, store = nil, nil
+		err = fmt.Errorf("panic: %v", val)
+	}()
+	if s.chaos.poisonSeed(job.spec.Seed) {
+		panic(fmt.Sprintf("chaos: poison seed %d", job.spec.Seed))
+	}
 	if dir := s.checkpointDirFor(job); dir != "" && (recovered || job.ckptDir != "") {
 		files, _ := checkpoint.ListDir(dir)
 		for i := len(files) - 1; i >= 0; i-- {
@@ -679,6 +753,51 @@ func (s *Server) runScenario(ctx context.Context, job *Job, recovered bool, opts
 		}
 	}
 	return scenario.Run(ctx, job.spec, opts)
+}
+
+// panicInfo unwraps a recovered panic: an engine.Panic carries the
+// original value and the stack of the worker goroutine that died;
+// anything else is a panic on this goroutine, stacked here.
+func panicInfo(r any) (val any, stack []byte) {
+	if p, ok := r.(*engine.Panic); ok {
+		return p.Value, p.Stack
+	}
+	return r, debug.Stack()
+}
+
+// isQuarantined reports whether the fingerprint is quarantined.
+func (s *Server) isQuarantined(fp uint64) bool {
+	s.qmu.Lock()
+	defer s.qmu.Unlock()
+	return s.quarantined[fp]
+}
+
+// notePanic records one panic against the fingerprint and quarantines
+// it once the consecutive streak reaches the threshold.
+func (s *Server) notePanic(fp uint64) {
+	s.qmu.Lock()
+	defer s.qmu.Unlock()
+	s.panicStreak[fp]++
+	if s.panicStreak[fp] >= s.cfg.QuarantineAfter && !s.quarantined[fp] {
+		s.quarantined[fp] = true
+		s.gQuarantined.Set(float64(len(s.quarantined)))
+	}
+}
+
+// clearPanicStreak resets the consecutive-panic count after a clean
+// run (quarantine itself is sticky until restart: a fingerprint that
+// crossed the threshold stays failed fast).
+func (s *Server) clearPanicStreak(fp uint64) {
+	s.qmu.Lock()
+	defer s.qmu.Unlock()
+	delete(s.panicStreak, fp)
+}
+
+// QuarantinedJobs returns how many spec fingerprints are quarantined.
+func (s *Server) QuarantinedJobs() int {
+	s.qmu.Lock()
+	defer s.qmu.Unlock()
+	return len(s.quarantined)
 }
 
 // observeFaults folds one epoch's fault/degradation counter deltas

@@ -1,0 +1,187 @@
+#!/bin/sh
+# chaosnet-smoke: failure-domain drill for the cluster under seeded
+# network chaos, with race-built binaries.
+#
+# Phase 1 records the single-node reference bytes. Phase 2 runs the
+# same campaign on a 2-worker cluster whose coordinator carries a
+# chaos transport that partitions worker A mid-campaign: the breaker
+# must open, the shards must resteal to worker B, and the merged
+# result must still be byte-identical to the reference. Phase 3
+# SIGKILLs a journaling coordinator mid-campaign and restarts it
+# against the same journal dir: the recovered campaign must finish
+# with the same bytes.
+set -eu
+
+cd "$(dirname "$0")/.."
+tmp=$(mktemp -d)
+pids=""
+teardown() {
+	for p in $pids; do kill "$p" 2>/dev/null || true; done
+	for p in $pids; do
+		td_i=0
+		while kill -0 "$p" 2>/dev/null && [ $td_i -lt 50 ]; do
+			sleep 0.1
+			td_i=$((td_i + 1))
+		done
+		kill -KILL "$p" 2>/dev/null || true
+		wait "$p" 2>/dev/null || true
+	done
+	pids=""
+}
+cleanup() {
+	teardown
+	rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+echo "chaosnet-smoke: building skyrand (-race) and skyranctl"
+go build -race -o "$tmp/skyrand" ./cmd/skyrand
+go build -o "$tmp/skyranctl" ./cmd/skyranctl
+
+start_worker() {
+	: >"$1"
+	"$tmp/skyrand" -addr 127.0.0.1:0 -workers 1 -queue 16 >"$1" 2>&1 &
+	pids="$pids $!"
+	wait_addr "$1" 's#^skyrand: listening on http://\([^ ]*\).*#\1#p'
+}
+
+# start_coordinator <log> <worker-addrs> [extra flags...]
+start_coordinator() {
+	log=$1
+	workers=$2
+	shift 2
+	: >"$log"
+	"$tmp/skyrand" -coordinator -addr 127.0.0.1:0 -worker-addrs "$workers" \
+		-shard-seeds 1 -probe-every 200ms -probe-fails 2 "$@" >"$log" 2>&1 &
+	coord_pid=$!
+	pids="$pids $coord_pid"
+	wait_addr "$log" 's#^skyrand: coordinating .* on http://\([^ ]*\).*#\1#p'
+}
+
+wait_addr() {
+	addr=""
+	wa_i=0
+	while [ $wa_i -lt 100 ]; do
+		addr=$(sed -n "$2" "$1")
+		[ -n "$addr" ] && return
+		sleep 0.1
+		wa_i=$((wa_i + 1))
+	done
+	echo "chaosnet-smoke: process never reported its address ($1)" >&2
+	cat "$1" >&2
+	exit 1
+}
+
+# metric <addr> <name> -> value (integer) in $metric
+metric() {
+	metric=$(curl -fsS "http://$1/metrics" | sed -n "s/^$2 \([0-9][0-9]*\).*/\1/p")
+}
+
+# await_campaign <addr> <cid> <log>
+await_campaign() {
+	ac_status=""
+	ac_i=0
+	while [ $ac_i -lt 600 ]; do
+		ac_status=$(curl -fsS "http://$1/v1/campaigns/$2" 2>/dev/null | sed -n 's/^  "status": "\([a-z]*\)".*/\1/p') || true
+		case "$ac_status" in
+		succeeded) return ;;
+		failed)
+			echo "chaosnet-smoke: campaign $2 failed" >&2
+			curl -fsS "http://$1/v1/campaigns/$2" >&2 || true
+			cat "$3" >&2
+			exit 1
+			;;
+		esac
+		sleep 0.5
+		ac_i=$((ac_i + 1))
+	done
+	echo "chaosnet-smoke: campaign $2 stuck ($ac_status)" >&2
+	cat "$3" >&2
+	exit 1
+}
+
+campaign_flags="-terrain FLAT -ues 3 -budget 200 -epochs 4 -seed 7 -serve 1 -seeds 4"
+
+# Phase 1: single-node reference.
+start_worker "$tmp/w-ref.log"
+start_coordinator "$tmp/c-ref.log" "http://$addr"
+echo "chaosnet-smoke: reference topology up at $addr"
+# shellcheck disable=SC2086
+"$tmp/skyranctl" cluster submit -addr "http://$addr" $campaign_flags -wait >"$tmp/ref.json"
+teardown
+echo "chaosnet-smoke: reference campaign merged ($(wc -c <"$tmp/ref.json") bytes)"
+
+# Phase 2: partition worker A mid-campaign via the chaos transport.
+start_worker "$tmp/w-a.log"
+wa=$addr
+start_worker "$tmp/w-b.log"
+wb=$addr
+start_coordinator "$tmp/c2.log" "http://$wa,http://$wb" \
+	-cluster-ckpt-dir "$tmp/ckpt" \
+	-breaker-fails 1 -breaker-cooldown 10m \
+	-chaos-net-partition-hosts "$wa" -chaos-net-partition-after 2s
+caddr=$addr
+echo "chaosnet-smoke: 2-worker topology up at $caddr ($wa will be partitioned)"
+
+# shellcheck disable=SC2086
+cid=$("$tmp/skyranctl" cluster submit -addr "http://$caddr" $campaign_flags)
+[ -n "$cid" ] || { echo "chaosnet-smoke: submission returned no campaign id" >&2; exit 1; }
+echo "chaosnet-smoke: submitted campaign $cid"
+await_campaign "$caddr" "$cid" "$tmp/c2.log"
+
+curl -fsS "http://$caddr/v1/campaigns/$cid/result" >"$tmp/partitioned.json"
+if ! diff -u "$tmp/ref.json" "$tmp/partitioned.json"; then
+	echo "chaosnet-smoke: merged result under partition differs from single-node reference" >&2
+	exit 1
+fi
+echo "chaosnet-smoke: merged result under partition is byte-identical to the reference"
+
+metric "$caddr" skyran_chaos_net_partition_drops_total
+[ -n "$metric" ] && [ "$metric" -ge 1 ] ||
+	{ echo "chaosnet-smoke: partition_drops_total=$metric, want >= 1" >&2; cat "$tmp/c2.log" >&2; exit 1; }
+drops=$metric
+metric "$caddr" skyran_breaker_open
+[ -n "$metric" ] && [ "$metric" -ge 1 ] ||
+	{ echo "chaosnet-smoke: skyran_breaker_open=$metric, want >= 1" >&2; cat "$tmp/c2.log" >&2; exit 1; }
+open=$metric
+metric "$caddr" skyran_cluster_resteals_total
+[ -n "$metric" ] && [ "$metric" -ge 1 ] ||
+	{ echo "chaosnet-smoke: resteals_total=$metric, want >= 1" >&2; cat "$tmp/c2.log" >&2; exit 1; }
+echo "chaosnet-smoke: breaker open ($open), resteals ($metric), partition drops ($drops)"
+teardown
+
+# Phase 3: SIGKILL a journaling coordinator mid-campaign, restart it
+# against the same journal dir, and require byte-identical completion.
+start_worker "$tmp/w-c.log"
+wc_addr=$addr
+start_coordinator "$tmp/c3.log" "http://$wc_addr" -journal-dir "$tmp/journal"
+caddr=$addr
+# shellcheck disable=SC2086
+cid=$("$tmp/skyranctl" cluster submit -addr "http://$caddr" $campaign_flags)
+echo "chaosnet-smoke: submitted campaign $cid to journaling coordinator"
+i=0
+while [ $i -lt 100 ]; do
+	[ -f "$tmp/journal/$cid.ckpt" ] && break
+	sleep 0.1
+	i=$((i + 1))
+done
+[ -f "$tmp/journal/$cid.ckpt" ] || { echo "chaosnet-smoke: campaign journal never appeared" >&2; exit 1; }
+kill -KILL "$coord_pid"
+wait "$coord_pid" 2>/dev/null || true
+echo "chaosnet-smoke: SIGKILLed coordinator mid-campaign"
+
+start_coordinator "$tmp/c3b.log" "http://$wc_addr" -journal-dir "$tmp/journal"
+caddr=$addr
+echo "chaosnet-smoke: restarted coordinator at $caddr against the same journal"
+await_campaign "$caddr" "$cid" "$tmp/c3b.log"
+curl -fsS "http://$caddr/v1/campaigns/$cid/result" >"$tmp/recovered.json"
+if ! diff -u "$tmp/ref.json" "$tmp/recovered.json"; then
+	echo "chaosnet-smoke: merged result after coordinator crash+recovery differs" >&2
+	exit 1
+fi
+metric "$caddr" skyran_cluster_campaigns_recovered_total
+[ -n "$metric" ] && [ "$metric" -ge 1 ] ||
+	{ echo "chaosnet-smoke: campaigns_recovered_total=$metric, want >= 1" >&2; cat "$tmp/c3b.log" >&2; exit 1; }
+echo "chaosnet-smoke: recovered campaign merged byte-identically (recovered=$metric)"
+
+echo "chaosnet-smoke: OK"
